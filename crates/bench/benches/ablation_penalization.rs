@@ -1,0 +1,62 @@
+//! Ablation bench (beyond the paper): penalization *mode* comparison on the
+//! op-amp benchmark — the paper's hallucinated-mean scheme (Eq. 9 / BUCB)
+//! against the constant-liar alternatives of Ginsbourger et al., plus the
+//! λ sweep of the κ-sampling range. Both design choices are called out in
+//! DESIGN.md §5.
+//!
+//! Not part of `run_benches.sh` by default; run directly:
+//!
+//! ```sh
+//! cargo bench -p easybo-bench --bench ablation_penalization
+//! ```
+
+use easybo::policies::{AcqOptConfig, EasyBoAsyncPolicy, PenalizationMode};
+use easybo::SurrogateConfig;
+use easybo_bench::*;
+use easybo_exec::{BlackBox, VirtualExecutor};
+use easybo_opt::sampling;
+use rand::SeedableRng;
+
+fn main() {
+    let reps = reps();
+    let bb = opamp_blackbox();
+    let max_evals = scaled(150);
+    let n_init = 20.min(max_evals / 2);
+    let batch = 10;
+    println!(
+        "Penalization-mode & lambda ablation: op-amp, B={batch}, {reps} reps, {max_evals} sims"
+    );
+
+    let run_with =
+        |mode: PenalizationMode, lambda: f64, seed: u64| -> easybo_exec::RunResult {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let init = sampling::latin_hypercube(bb.bounds(), n_init, &mut rng);
+            let mut policy = EasyBoAsyncPolicy::with_configs(
+                bb.bounds().clone(),
+                true,
+                lambda,
+                seed,
+                SurrogateConfig::default(),
+                AcqOptConfig::for_dim(bb.bounds().dim()),
+            );
+            policy.penalization_mode(mode);
+            VirtualExecutor::new(batch).run_async(&bb, &init, max_evals, &mut policy)
+        };
+
+    let mut rows = Vec::new();
+    for mode in PenalizationMode::all() {
+        let runs: Vec<_> = (0..reps)
+            .map(|r| run_with(mode, 6.0, 300 + r as u64))
+            .collect();
+        rows.push(summarize(format!("pen={}", mode.label()), &runs));
+        eprintln!("done: mode {}", mode.label());
+    }
+    for lambda in [0.0, 2.0, 6.0, 20.0] {
+        let runs: Vec<_> = (0..reps)
+            .map(|r| run_with(PenalizationMode::HallucinateMean, lambda, 400 + r as u64))
+            .collect();
+        rows.push(summarize(format!("lambda={lambda}"), &runs));
+        eprintln!("done: lambda {lambda}");
+    }
+    print_table("ABLATION: penalization mode and lambda (op-amp, B=10)", &rows);
+}

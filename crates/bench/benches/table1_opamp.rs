@@ -1,0 +1,118 @@
+//! Regenerates **Table I** of the paper: optimization results and
+//! simulation time of the two-stage operational amplifier.
+//!
+//! Matrix: DE (20000 sims), LCB / EI / sequential EasyBO (150 sims), and
+//! {pBO, pHCBO, EasyBO-S, EasyBO-A, EasyBO-SP, EasyBO} at batch sizes
+//! {5, 10, 15} (150 sims, 20 initial points), each repeated `EASYBO_REPS`
+//! times.
+//!
+//! With `EASYBO_ABLATE=lambda`, adds the λ-sweep ablation for the κ range
+//! of the EasyBO acquisition (design-choice ablation from DESIGN.md).
+
+use easybo::Algorithm;
+use easybo_bench::*;
+
+fn main() {
+    let reps = reps();
+    let bb = opamp_blackbox();
+    let max_evals = scaled(150);
+    let n_init = 20.min(max_evals / 2);
+    let de_evals = if fast_mode() { 2000 } else { 20_000 };
+    println!(
+        "Table I reproduction: op-amp, {reps} repetitions, {max_evals} sims/run (DE: {de_evals})"
+    );
+
+    let mut rows = Vec::new();
+
+    // Sequential block.
+    for algo in [
+        Algorithm::De,
+        Algorithm::Lcb,
+        Algorithm::Ei,
+        Algorithm::EasyBoSeq,
+    ] {
+        let runs = run_cell(algo, &bb, 1, max_evals, n_init, de_evals, reps, 11);
+        rows.push(summarize(algo.label(1), &runs));
+        eprintln!("done: {}", algo.label(1));
+    }
+
+    // Batch block.
+    let mut sync_async: Vec<(usize, f64, f64)> = Vec::new();
+    for &batch in &batch_sizes() {
+        let mut sp_time = 0.0;
+        let mut full_time = 0.0;
+        for algo in [
+            Algorithm::Pbo,
+            Algorithm::Phcbo,
+            Algorithm::EasyBoS,
+            Algorithm::EasyBoA,
+            Algorithm::EasyBoSp,
+            Algorithm::EasyBo,
+        ] {
+            let runs = run_cell(algo, &bb, batch, max_evals, n_init, 0, reps, 11);
+            let row = summarize(algo.label(batch), &runs);
+            if algo == Algorithm::EasyBoSp {
+                sp_time = row.time_seconds;
+            }
+            if algo == Algorithm::EasyBo {
+                full_time = row.time_seconds;
+            }
+            rows.push(row);
+            eprintln!("done: {}", algo.label(batch));
+        }
+        sync_async.push((batch, sp_time, full_time));
+    }
+
+    print_table(
+        "TABLE I: optimization results and simulation time (op-amp)",
+        &rows,
+    );
+
+    // Headline derived numbers (paper: 9.2% / 12.7% / 13.7% time reduction
+    // async vs sync; 134x-1935x speed-up vs DE).
+    println!("\n--- derived speed-ups ---");
+    let de_time = rows
+        .iter()
+        .find(|r| r.label == "DE")
+        .map(|r| r.time_seconds)
+        .unwrap_or(0.0);
+    for (batch, sp, full) in &sync_async {
+        if *sp > 0.0 && *full > 0.0 {
+            println!(
+                "B={batch}: async vs sync time reduction {:.1}% (paper: 9.2/12.7/13.7%), speed-up vs DE {:.0}x",
+                100.0 * (sp - full) / sp,
+                de_time / full
+            );
+        }
+    }
+
+    // Optional λ ablation.
+    if std::env::var("EASYBO_ABLATE").as_deref() == Ok("lambda") {
+        println!("\n--- ablation: κ range λ for EasyBO-5 ---");
+        let mut ab_rows = Vec::new();
+        for lambda in [0.0, 2.0, 6.0, 20.0] {
+            let runs: Vec<_> = (0..reps)
+                .map(|rep| {
+                    use easybo::policies::{AcqOptConfig, EasyBoAsyncPolicy};
+                    use easybo_exec::{BlackBox, VirtualExecutor};
+                    use easybo_opt::sampling;
+                    use rand::SeedableRng;
+                    let seed = 900u64 + rep as u64;
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                    let init = sampling::latin_hypercube(bb.bounds(), n_init, &mut rng);
+                    let mut p = EasyBoAsyncPolicy::with_configs(
+                        bb.bounds().clone(),
+                        true,
+                        lambda,
+                        seed,
+                        Default::default(),
+                        AcqOptConfig::for_dim(bb.bounds().dim()),
+                    );
+                    VirtualExecutor::new(5).run_async(&bb, &init, max_evals, &mut p)
+                })
+                .collect();
+            ab_rows.push(summarize(format!("lambda={lambda}"), &runs));
+        }
+        print_table("ABLATION: EasyBO-5 vs lambda", &ab_rows);
+    }
+}

@@ -1,0 +1,437 @@
+//! Class-E switching power amplifier (12 design variables, 180nm process) —
+//! the paper's second benchmark circuit (§IV-B, Fig. 5).
+//!
+//! Topology (after the MACE paper the schematic is reproduced from): an NMOS
+//! switch driven by an inverter chain, DC-fed through an RF choke, with a
+//! shunt capacitor at the drain, a series L0–C0 resonant filter, and an
+//! L-match network into the 50Ω load. Operating frequency is fixed at
+//! 1.8 GHz.
+//!
+//! The performance model follows the classical Sokal/Raab analysis:
+//!
+//! * **Pout** — `0.5768·Vdd²/R_eff` at the ideal operating point, scaled by
+//!   duty-cycle and drain efficiency factors.
+//! * **Drain efficiency** — ideal class-E degraded by (a) switch on-
+//!   resistance loss `1/(1 + 1.365·Ron/R_eff)`, (b) deviation of the total
+//!   shunt susceptance from the class-E optimum, (c) series-tank detuning,
+//!   (d) duty-cycle deviation from 50%, and (e) finite choke reactance.
+//! * **PAE** — `(Pout − P_drive)/P_dc` with gate-drive power
+//!   `P_drive ≈ C_g·V_dr²·f₀` and under-driven switches suffering higher
+//!   `Ron` (the driver sizing trade-off).
+//!
+//! Excessive drain voltage stress (`≈3.56·Vdd` in class E) beyond the
+//! device rating is penalized smoothly, bounding the supply knob.
+
+use easybo_opt::Bounds;
+
+use crate::mosfet::{Mosfet, MosType};
+use crate::{Circuit, Performances};
+
+/// Operating frequency (Hz).
+pub const F0_HZ: f64 = 1.8e9;
+/// Antenna / external load (Ω).
+pub const R_LOAD: f64 = 50.0;
+/// Class-E peak drain voltage factor.
+const VPEAK_FACTOR: f64 = 3.56;
+/// Maximum tolerable drain voltage for the (thick-oxide) switch (V).
+const V_STRESS_LIMIT: f64 = 6.5;
+/// Classic class-E power constant `8/(π²+4)`.
+const CLASS_E_POWER: f64 = 0.5768;
+/// Classic class-E shunt susceptance constant.
+const CLASS_E_SHUNT: f64 = 0.1836;
+/// Unloaded quality factor of the on-chip tank inductor (bounds how sharp
+/// the resonance can get and adds the inductor's series loss).
+const TANK_Q_UNLOADED: f64 = 15.0;
+
+/// Design-variable indices for [`ClassEPa`].
+///
+/// | idx | variable | meaning | range |
+/// |-----|----------|---------|-------|
+/// | 0 | `w_sw` | switch width (m) | 300µ – 3000µ |
+/// | 1 | `l_sw` | switch length (m) | 0.18µ – 0.5µ |
+/// | 2 | `w_drv` | driver width (m) | 20µ – 400µ |
+/// | 3 | `l_drv` | driver length (m) | 0.18µ – 0.5µ |
+/// | 4 | `l_choke` | RF choke (H) | 4n – 40n |
+/// | 5 | `c_shunt` | external shunt cap (F) | 0.5p – 8p |
+/// | 6 | `l0` | series tank L (H) | 1n – 10n |
+/// | 7 | `c0` | series tank C (F) | 0.5p – 12p |
+/// | 8 | `l_match` | match inductor (H) | 0.2n – 6n |
+/// | 9 | `c_match` | match capacitor (F) | 2p – 20p |
+/// | 10 | `vdd` | supply (V) | 1.0 – 2.2 |
+/// | 11 | `duty` | switch duty cycle | 0.35 – 0.65 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassEVar {
+    /// Switch width.
+    WSw = 0,
+    /// Switch length.
+    LSw = 1,
+    /// Driver width.
+    WDrv = 2,
+    /// Driver length.
+    LDrv = 3,
+    /// RF choke inductance.
+    LChoke = 4,
+    /// External shunt capacitance.
+    CShunt = 5,
+    /// Series tank inductance.
+    L0 = 6,
+    /// Series tank capacitance.
+    C0 = 7,
+    /// Matching inductor.
+    LMatch = 8,
+    /// Matching capacitor.
+    CMatch = 9,
+    /// Supply voltage.
+    Vdd = 10,
+    /// Duty cycle.
+    Duty = 11,
+}
+
+/// The class-E power amplifier benchmark (12 design variables).
+///
+/// # Example
+///
+/// ```
+/// use easybo_circuits::{Circuit, class_e::ClassEPa};
+///
+/// let pa = ClassEPa::new();
+/// assert_eq!(pa.dim(), 12);
+/// let perf = pa.performances(&pa.bounds().center());
+/// assert!(perf.get("pout_w").unwrap() >= 0.0);
+/// assert!(perf.get("pae").unwrap() <= 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassEPa {
+    bounds: Bounds,
+}
+
+impl ClassEPa {
+    /// Creates the benchmark with the standard design-variable bounds.
+    pub fn new() -> Self {
+        let bounds = Bounds::new(vec![
+            (300e-6, 3000e-6), // w_sw
+            (0.18e-6, 0.5e-6), // l_sw
+            (20e-6, 400e-6),   // w_drv
+            (0.18e-6, 0.5e-6), // l_drv
+            (4e-9, 40e-9),     // l_choke
+            (0.5e-12, 8e-12),  // c_shunt
+            (1e-9, 10e-9),     // l0
+            (0.5e-12, 12e-12), // c0
+            (0.2e-9, 6e-9),    // l_match
+            (2e-12, 20e-12),   // c_match
+            (1.0, 2.2),        // vdd
+            (0.35, 0.65),      // duty
+        ])
+        .expect("static class-E bounds are valid");
+        ClassEPa { bounds }
+    }
+
+    /// Detailed waveform-level analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 12`.
+    pub fn analyze(&self, x: &[f64]) -> ClassEAnalysis {
+        assert_eq!(x.len(), 12, "class-E PA expects 12 design variables");
+        let x = self.bounds.clamp(x);
+        let (w_sw, l_sw, w_drv, l_drv) = (x[0], x[1], x[2], x[3]);
+        let (l_choke, c_shunt, l0, c0) = (x[4], x[5], x[6], x[7]);
+        let (l_match, c_match, vdd, duty) = (x[8], x[9], x[10], x[11]);
+        let w0 = 2.0 * std::f64::consts::PI * F0_HZ;
+
+        // --- L-match: series L, shunt C across the 50Ω load ---------------
+        // Looking into the network from the PA side, the parallel RC section
+        // transforms down: R_eff = RL / (1 + (ω·C·RL)²).
+        let qc = w0 * c_match * R_LOAD;
+        let r_eff = (R_LOAD / (1.0 + qc * qc)).max(0.2);
+        // Residual series reactance of the match (ideally absorbed by the
+        // tank; otherwise it detunes the filter).
+        let x_match = w0 * l_match - w0 * c_match * R_LOAD * R_LOAD / (1.0 + qc * qc);
+
+        // --- Switch and driver ---------------------------------------------
+        let switch = Mosfet::new(MosType::Nmos, w_sw, l_sw);
+        let driver = Mosfet::new(MosType::Nmos, w_drv, l_drv);
+        // Gate capacitance the driver must swing every cycle.
+        let c_gate = switch.cgs() + switch.cgd();
+        // Driver strength: its RC time constant against the gate cap decides
+        // how completely the switch gate reaches the 1.8V rail.
+        let r_drv = 1.0 / (driver.params().kp * driver.aspect() * 0.9).max(1e-9);
+        let tau = r_drv * c_gate;
+        let settle = 1.0 - (-1.0 / (2.0 * F0_HZ * tau.max(1e-15))).exp();
+        let v_gate = 1.8 * settle;
+        let vov_drive = (v_gate - switch.vth()).max(0.02);
+        let ron = 1.0 / (switch.params().kp * switch.aspect() * vov_drive);
+
+        // --- Class-E operating point ---------------------------------------
+        // Total shunt capacitance: external + switch output capacitance.
+        let c_total = c_shunt + switch.cdb() + switch.cgd();
+        let c_opt = CLASS_E_SHUNT / (w0 * r_eff);
+        let shunt_ratio = c_total / c_opt;
+
+        // Series tank: the inductor's finite unloaded Q adds a series loss
+        // resistance, which both caps the loaded Q (bounding how sharp the
+        // resonance is) and burns output power.
+        let w_tank = 1.0 / (l0 * c0).sqrt();
+        let r_loss = w0 * l0 / TANK_Q_UNLOADED;
+        let r_total = r_eff + ron + r_loss;
+        let q_loaded = (w0 * l0 / r_total).max(0.1);
+        let detune = (w0 / w_tank - w_tank / w0) * q_loaded + x_match / r_total;
+        let eta_tank = r_eff / (r_eff + r_loss);
+
+        // Duty factor: ideal class E wants 50%.
+        let duty_dev = duty - 0.5;
+
+        // --- Output power and efficiency ------------------------------------
+        let p_ideal = CLASS_E_POWER * vdd * vdd / r_eff;
+        let eta_ron = 1.0 / (1.0 + 1.365 * ron / r_eff);
+        let eta_shunt = (-0.8 * (shunt_ratio - 1.0) * (shunt_ratio - 1.0)).exp();
+        let eta_tune = 1.0 / (1.0 + 0.35 * detune * detune);
+        let eta_duty = (-5.0 * duty_dev * duty_dev).exp();
+        let eta_choke = w0 * l_choke / (w0 * l_choke + 2.0 * r_eff);
+        let eta = eta_ron * eta_shunt * eta_tune * eta_duty * eta_choke * eta_tank;
+
+        let p_dc = p_ideal; // nominal DC draw at the class-E operating point
+        let pout = eta * p_dc;
+        // Gate-drive power: switching the gate plus the driver's own chain
+        // (estimated as 40% overhead).
+        let p_drive = 1.4 * c_gate * v_gate * v_gate * F0_HZ;
+        let pae = if p_dc > 1e-9 {
+            ((pout - p_drive) / p_dc).clamp(-1.0, 1.0)
+        } else {
+            -1.0
+        };
+
+        // --- Voltage stress --------------------------------------------------
+        let v_peak = VPEAK_FACTOR * vdd;
+        let stress = (v_peak - V_STRESS_LIMIT).max(0.0);
+        let penalty = 2.0 * stress + 4.0 * stress * stress;
+
+        ClassEAnalysis {
+            pout_w: pout,
+            pae,
+            drain_efficiency: eta,
+            r_eff,
+            ron,
+            c_opt,
+            shunt_ratio,
+            detune,
+            p_drive_w: p_drive,
+            v_peak,
+            penalty,
+        }
+    }
+}
+
+impl Default for ClassEPa {
+    fn default() -> Self {
+        ClassEPa::new()
+    }
+}
+
+/// Full analysis output of [`ClassEPa::analyze`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassEAnalysis {
+    /// RF output power (W).
+    pub pout_w: f64,
+    /// Power-added efficiency in [-1, 1].
+    pub pae: f64,
+    /// Drain efficiency in [0, 1].
+    pub drain_efficiency: f64,
+    /// Transformed load resistance seen by the switch (Ω).
+    pub r_eff: f64,
+    /// Switch on-resistance (Ω).
+    pub ron: f64,
+    /// Class-E optimal total shunt capacitance (F).
+    pub c_opt: f64,
+    /// Actual/optimal shunt capacitance ratio.
+    pub shunt_ratio: f64,
+    /// Normalized tank detuning (0 = tuned).
+    pub detune: f64,
+    /// Gate-drive power (W).
+    pub p_drive_w: f64,
+    /// Peak drain voltage (V).
+    pub v_peak: f64,
+    /// FOM penalty from voltage over-stress.
+    pub penalty: f64,
+}
+
+impl Circuit for ClassEPa {
+    fn name(&self) -> &str {
+        "class-e-pa"
+    }
+
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    fn performances(&self, x: &[f64]) -> Performances {
+        let a = self.analyze(x);
+        Performances::new()
+            .with("pae", a.pae)
+            .with("pout_w", a.pout_w)
+            .with("drain_efficiency", a.drain_efficiency)
+            .with("v_peak", a.v_peak)
+    }
+
+    /// Eq. (11) of the paper: `3·PAE + Pout` (PAE as a fraction, Pout in W),
+    /// minus the voltage-stress penalty.
+    fn fom(&self, x: &[f64]) -> f64 {
+        let a = self.analyze(x);
+        3.0 * a.pae + a.pout_w - a.penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pa() -> ClassEPa {
+        ClassEPa::new()
+    }
+
+    /// A hand-tuned near-class-E design.
+    fn good_design() -> Vec<f64> {
+        let w0 = 2.0 * std::f64::consts::PI * F0_HZ;
+        // Choose the match for R_eff ≈ 5Ω, then the class-E values around it.
+        let c_match = ((R_LOAD / 5.0 - 1.0) as f64).sqrt() / (w0 * R_LOAD);
+        let r_eff = 5.0;
+        let c_opt = CLASS_E_SHUNT / (w0 * r_eff);
+        vec![
+            1500e-6,        // w_sw
+            0.18e-6,        // l_sw
+            200e-6,         // w_drv
+            0.18e-6,        // l_drv
+            20e-9,          // l_choke
+            (c_opt - 1.6e-12).max(0.15e-12), // c_shunt (minus device output cap)
+            3e-9,           // l0
+            1.0 / (w0 * w0 * 3e-9), // c0 tuned to f0
+            1.0e-9,         // l_match (partially cancels match reactance)
+            c_match,        // c_match
+            1.6,            // vdd
+            0.5,            // duty
+        ]
+    }
+
+    #[test]
+    fn good_design_is_efficient() {
+        let a = pa().analyze(&good_design());
+        assert!(a.drain_efficiency > 0.4, "eta {}", a.drain_efficiency);
+        assert!(a.pae > 0.3, "pae {}", a.pae);
+        assert!(a.pout_w > 0.1, "pout {}", a.pout_w);
+        assert_eq!(a.penalty, 0.0);
+    }
+
+    #[test]
+    fn fom_matches_paper_scale_somewhere() {
+        // The paper reports FOMs in the 3.2–5.7 range; our good design
+        // should land in the same decade.
+        let f = pa().fom(&good_design());
+        assert!(f > 1.0 && f < 10.0, "fom {f}");
+    }
+
+    #[test]
+    fn fom_finite_on_pseudo_grid() {
+        let pa = pa();
+        let b = pa.bounds().clone();
+        for i in 0..200 {
+            let u: Vec<f64> = (0..12)
+                .map(|d| (((i * 41 + d * 89) % 103) as f64) / 102.0)
+                .collect();
+            let x = b.from_unit(&u);
+            assert!(pa.fom(&x).is_finite(), "non-finite FOM at {x:?}");
+        }
+    }
+
+    #[test]
+    fn detuned_tank_hurts_efficiency() {
+        let pa = pa();
+        let tuned = good_design();
+        let mut detuned = tuned.clone();
+        detuned[ClassEVar::C0 as usize] *= 2.0;
+        assert!(
+            pa.analyze(&detuned).drain_efficiency < pa.analyze(&tuned).drain_efficiency
+        );
+    }
+
+    #[test]
+    fn wrong_shunt_cap_hurts_efficiency() {
+        let pa = pa();
+        let tuned = good_design();
+        let mut wrong = tuned.clone();
+        wrong[ClassEVar::CShunt as usize] = 10e-12;
+        assert!(pa.analyze(&wrong).drain_efficiency < pa.analyze(&tuned).drain_efficiency);
+    }
+
+    #[test]
+    fn duty_off_center_hurts() {
+        let pa = pa();
+        let mut skewed = good_design();
+        skewed[ClassEVar::Duty as usize] = 0.75;
+        assert!(
+            pa.analyze(&skewed).drain_efficiency
+                < pa.analyze(&good_design()).drain_efficiency
+        );
+    }
+
+    #[test]
+    fn higher_vdd_gives_more_power_until_stress() {
+        let pa = pa();
+        let mut lo = good_design();
+        let mut hi = good_design();
+        lo[ClassEVar::Vdd as usize] = 1.0;
+        hi[ClassEVar::Vdd as usize] = 1.7;
+        assert!(pa.analyze(&hi).pout_w > pa.analyze(&lo).pout_w);
+        // Pushing to the rail triggers the stress penalty (3.56·3.3 > 6.5).
+        let mut max = good_design();
+        max[ClassEVar::Vdd as usize] = 3.3;
+        assert!(pa.analyze(&max).penalty > 0.0);
+    }
+
+    #[test]
+    fn wider_switch_lowers_ron_but_costs_drive_power() {
+        let pa = pa();
+        let mut narrow = good_design();
+        let mut wide = good_design();
+        narrow[ClassEVar::WSw as usize] = 200e-6;
+        wide[ClassEVar::WSw as usize] = 3000e-6;
+        let a_n = pa.analyze(&narrow);
+        let a_w = pa.analyze(&wide);
+        assert!(a_w.ron < a_n.ron);
+        assert!(a_w.p_drive_w > a_n.p_drive_w);
+    }
+
+    #[test]
+    fn tiny_driver_underdrives_big_switch() {
+        let pa = pa();
+        let mut under = good_design();
+        under[ClassEVar::WSw as usize] = 3000e-6;
+        under[ClassEVar::WDrv as usize] = 5e-6;
+        let mut strong = under.clone();
+        strong[ClassEVar::WDrv as usize] = 400e-6;
+        assert!(pa.analyze(&under).ron > pa.analyze(&strong).ron);
+    }
+
+    #[test]
+    fn pae_below_drain_efficiency() {
+        let a = pa().analyze(&good_design());
+        assert!(a.pae <= a.drain_efficiency + 1e-12);
+    }
+
+    #[test]
+    fn circuit_trait_surface() {
+        let pa = pa();
+        assert_eq!(pa.name(), "class-e-pa");
+        assert_eq!(pa.dim(), 12);
+        let p = pa.performances(&good_design());
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn fom_composition_matches_metrics() {
+        let pa = pa();
+        let x = good_design();
+        let a = pa.analyze(&x);
+        let expect = 3.0 * a.pae + a.pout_w - a.penalty;
+        assert!((pa.fom(&x) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,302 @@
+//! Low-dropout regulator (8 design variables, 180nm process) — a second
+//! *extension* benchmark: LDO sizing trades load regulation, dropout,
+//! quiescent current and transient response, with a stability constraint
+//! that makes it a natural test case for the constrained-EasyBO extension.
+//!
+//! Topology: PMOS pass device driven by a single-stage error amplifier,
+//! resistive feedback divider, output capacitor with ESR zero.
+//!
+//! First-order model:
+//!
+//! * dropout `V_do = I_load · R_on(pass)`;
+//! * loop gain `A_loop = A_ea · gm_p·R_out · β`;
+//! * load regulation `≈ 1 / (gm_p·R_out·A_ea·β)`;
+//! * poles at the output (`1/R_out·C_out`) and the pass gate
+//!   (`1/R_ea·C_gate`), ESR zero `1/(R_esr·C_out)` — phase margin from the
+//!   two-pole-one-zero constellation;
+//! * quiescent current = amplifier tail + divider current.
+
+use easybo_opt::Bounds;
+
+use crate::mosfet::{Mosfet, MosType, VDD_180NM};
+use crate::{Circuit, Performances};
+
+/// Load current the regulator is evaluated at (A).
+pub const I_LOAD: f64 = 50e-3;
+/// Regulated output voltage (V).
+pub const V_OUT: f64 = 1.2;
+
+/// Design-variable indices for [`Ldo`].
+///
+/// | idx | variable | meaning | range |
+/// |-----|----------|---------|-------|
+/// | 0 | `w_pass` | pass PMOS width (m) | 500µ – 10000µ |
+/// | 1 | `l_pass` | pass PMOS length (m) | 0.18µ – 0.5µ |
+/// | 2 | `w_ea` | error-amp input width (m) | 2µ – 50µ |
+/// | 3 | `l_ea` | error-amp length (m) | 0.2µ – 2µ |
+/// | 4 | `i_ea` | error-amp tail current (A) | 2µ – 100µ |
+/// | 5 | `c_out` | output capacitor (F) | 0.1µ – 10µ (off-chip) |
+/// | 6 | `r_esr` | output-cap ESR (Ω) | 1m – 1 |
+/// | 7 | `r_div` | divider total resistance (Ω) | 10k – 1M |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LdoVar {
+    /// Pass device width.
+    WPass = 0,
+    /// Pass device length.
+    LPass = 1,
+    /// Error-amp input width.
+    WEa = 2,
+    /// Error-amp length.
+    LEa = 3,
+    /// Error-amp tail current.
+    IEa = 4,
+    /// Output capacitor.
+    COut = 5,
+    /// Output-cap ESR.
+    REsr = 6,
+    /// Feedback divider resistance.
+    RDiv = 7,
+}
+
+/// The LDO extension benchmark (8 design variables).
+///
+/// # Example
+///
+/// ```
+/// use easybo_circuits::{Circuit, ldo::Ldo};
+///
+/// let ldo = Ldo::new();
+/// assert_eq!(ldo.dim(), 8);
+/// let a = ldo.analyze(&ldo.bounds().center());
+/// assert!(a.dropout_v > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ldo {
+    bounds: Bounds,
+}
+
+impl Ldo {
+    /// Creates the benchmark with the standard design-variable bounds.
+    pub fn new() -> Self {
+        let bounds = Bounds::new(vec![
+            (500e-6, 10000e-6), // w_pass
+            (0.18e-6, 0.5e-6),  // l_pass
+            (2e-6, 50e-6),      // w_ea
+            (0.2e-6, 2e-6),     // l_ea
+            (2e-6, 100e-6),     // i_ea
+            (0.1e-6, 10e-6),    // c_out
+            (1e-3, 1.0),        // r_esr
+            (10e3, 1e6),        // r_div
+        ])
+        .expect("static LDO bounds are valid");
+        Ldo { bounds }
+    }
+
+    /// Detailed analysis at the rated load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 8`.
+    pub fn analyze(&self, x: &[f64]) -> LdoAnalysis {
+        assert_eq!(x.len(), 8, "LDO expects 8 design variables");
+        let x = self.bounds.clamp(x);
+        let (w_pass, l_pass, w_ea, l_ea) = (x[0], x[1], x[2], x[3]);
+        let (i_ea, c_out, r_esr, r_div) = (x[4], x[5], x[6], x[7]);
+
+        let pass = Mosfet::new(MosType::Pmos, w_pass, l_pass);
+        let ea = Mosfet::new(MosType::Nmos, w_ea, l_ea);
+
+        // Pass device in triode at dropout: Ron = 1/(K' W/L Vov_max).
+        let vov_max = VDD_180NM - pass.vth();
+        let r_on = 1.0 / (pass.params().kp * pass.aspect() * vov_max);
+        let dropout = I_LOAD * r_on;
+
+        // Small-signal at the rated operating point.
+        let gm_pass = pass.gm_eff(I_LOAD);
+        let r_out = parallel3(pass.ro(I_LOAD), V_OUT / I_LOAD, r_div);
+        let gm_ea = ea.gm_eff(i_ea / 2.0);
+        let r_ea = ea.ro(i_ea / 2.0);
+        let a_ea = gm_ea * r_ea;
+        let beta = 0.5; // divider ratio for V_OUT from the 0.6V reference
+        let loop_gain = a_ea * gm_pass * r_out * beta;
+
+        // Load regulation (mV per full load step).
+        let load_reg_mv = 1e3 * V_OUT / loop_gain.max(1.0);
+
+        // Stability: output pole, gate pole, ESR zero.
+        let f_out = 1.0 / (2.0 * std::f64::consts::PI * r_out * c_out);
+        let c_gate = pass.cgs() + pass.cgd();
+        let f_gate = 1.0 / (2.0 * std::f64::consts::PI * r_ea * c_gate);
+        let f_zero = 1.0 / (2.0 * std::f64::consts::PI * r_esr * c_out);
+        // Unity-gain crossover of the loop (dominant pole at the output).
+        let f_ugf = (loop_gain * f_out).min(1e9);
+        let deg = |r: f64| r.atan().to_degrees();
+        let pm = (90.0 - deg(f_ugf / f_gate) + deg(f_ugf / f_zero) - deg(f_ugf / (20.0 * f_zero)))
+            .clamp(0.0, 95.0);
+
+        // Quiescent current: amplifier + divider.
+        let i_q = i_ea + V_OUT / r_div;
+
+        // Transient droop for a full load step: the output sags by
+        // ΔV ≈ I_load·t_loop/C_out during the loop's reaction time, which
+        // is set by the (C_out-independent) gate pole.
+        let t_loop = 1.0 / (2.0 * std::f64::consts::PI * f_gate.max(1e3));
+        let droop_mv = 1e3 * I_LOAD * t_loop / c_out;
+
+        LdoAnalysis {
+            dropout_v: dropout,
+            load_reg_mv,
+            pm_deg: pm,
+            i_q_a: i_q,
+            droop_mv,
+            loop_gain_db: 20.0 * loop_gain.max(1e-3).log10(),
+        }
+    }
+}
+
+impl Default for Ldo {
+    fn default() -> Self {
+        Ldo::new()
+    }
+}
+
+/// Three-way parallel resistance.
+fn parallel3(a: f64, b: f64, c: f64) -> f64 {
+    1.0 / (1.0 / a + 1.0 / b + 1.0 / c)
+}
+
+/// Analysis output of [`Ldo::analyze`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdoAnalysis {
+    /// Dropout voltage at rated load (V).
+    pub dropout_v: f64,
+    /// Load regulation (mV per full load step).
+    pub load_reg_mv: f64,
+    /// Loop phase margin (degrees).
+    pub pm_deg: f64,
+    /// Quiescent current (A).
+    pub i_q_a: f64,
+    /// Transient droop (mV).
+    pub droop_mv: f64,
+    /// DC loop gain (dB).
+    pub loop_gain_db: f64,
+}
+
+impl Circuit for Ldo {
+    fn name(&self) -> &str {
+        "ldo"
+    }
+
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    fn performances(&self, x: &[f64]) -> Performances {
+        let a = self.analyze(x);
+        Performances::new()
+            .with("dropout_v", a.dropout_v)
+            .with("load_reg_mv", a.load_reg_mv)
+            .with("pm_deg", a.pm_deg)
+            .with("i_q_a", a.i_q_a)
+            .with("droop_mv", a.droop_mv)
+    }
+
+    /// FOM: minimize dropout, regulation error, droop and quiescent
+    /// current, with a smooth stability credit for PM ≥ 45°.
+    fn fom(&self, x: &[f64]) -> f64 {
+        let a = self.analyze(x);
+        let stability = 1.0 / (1.0 + (-(a.pm_deg - 45.0) / 6.0).exp());
+        let quality = -20.0 * a.dropout_v
+            - 0.5 * a.load_reg_mv
+            - 0.05 * a.droop_mv
+            - 50.0 * (a.i_q_a * 1e3);
+        10.0 * stability + quality
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ldo() -> Ldo {
+        Ldo::new()
+    }
+
+    fn nominal() -> Vec<f64> {
+        vec![4000e-6, 0.18e-6, 20e-6, 0.5e-6, 30e-6, 4e-6, 0.2, 100e3]
+    }
+
+    #[test]
+    fn nominal_design_regulates() {
+        let a = ldo().analyze(&nominal());
+        assert!(a.dropout_v < 0.3, "dropout {}", a.dropout_v);
+        assert!(a.load_reg_mv < 50.0, "regulation {}", a.load_reg_mv);
+        assert!(a.loop_gain_db > 20.0, "loop gain {}", a.loop_gain_db);
+        assert!(a.i_q_a < 200e-6);
+    }
+
+    #[test]
+    fn wider_pass_device_lowers_dropout() {
+        let l = ldo();
+        let mut narrow = nominal();
+        let mut wide = nominal();
+        narrow[LdoVar::WPass as usize] = 800e-6;
+        wide[LdoVar::WPass as usize] = 9000e-6;
+        assert!(l.analyze(&wide).dropout_v < l.analyze(&narrow).dropout_v);
+    }
+
+    #[test]
+    fn bigger_output_cap_reduces_droop() {
+        let l = ldo();
+        let mut small = nominal();
+        let mut big = nominal();
+        small[LdoVar::COut as usize] = 0.2e-6;
+        big[LdoVar::COut as usize] = 8e-6;
+        assert!(l.analyze(&big).droop_mv < l.analyze(&small).droop_mv);
+    }
+
+    #[test]
+    fn divider_resistance_trades_iq() {
+        let l = ldo();
+        let mut lo = nominal();
+        let mut hi = nominal();
+        lo[LdoVar::RDiv as usize] = 20e3;
+        hi[LdoVar::RDiv as usize] = 800e3;
+        assert!(l.analyze(&hi).i_q_a < l.analyze(&lo).i_q_a);
+    }
+
+    #[test]
+    fn esr_zero_helps_phase_margin() {
+        let l = ldo();
+        let mut no_esr = nominal();
+        let mut esr = nominal();
+        no_esr[LdoVar::REsr as usize] = 1e-3;
+        esr[LdoVar::REsr as usize] = 0.3;
+        assert!(
+            l.analyze(&esr).pm_deg >= l.analyze(&no_esr).pm_deg,
+            "{} vs {}",
+            l.analyze(&esr).pm_deg,
+            l.analyze(&no_esr).pm_deg
+        );
+    }
+
+    #[test]
+    fn fom_finite_on_pseudo_grid() {
+        let l = ldo();
+        let b = l.bounds().clone();
+        for i in 0..150 {
+            let u: Vec<f64> = (0..8)
+                .map(|d| (((i * 43 + d * 61) % 83) as f64) / 82.0)
+                .collect();
+            assert!(l.fom(&b.from_unit(&u)).is_finite());
+        }
+    }
+
+    #[test]
+    fn circuit_trait_surface() {
+        let l = ldo();
+        assert_eq!(l.name(), "ldo");
+        assert_eq!(l.dim(), 8);
+        assert_eq!(l.performances(&nominal()).len(), 5);
+    }
+}

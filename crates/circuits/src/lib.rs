@@ -1,0 +1,132 @@
+//! Analytical analog-circuit performance models — the HSPICE substitute for
+//! the EasyBO reproduction — plus standard synthetic benchmark functions.
+//!
+//! The paper evaluates EasyBO on two circuits simulated with commercial
+//! HSPICE: a two-stage operational amplifier in a 180nm process (10 design
+//! variables, Eq. 10: `FOM = 1.2·GAIN + 10·UGF + 1.6·PM`) and a class-E
+//! power amplifier (12 design variables, Eq. 11: `FOM = 3·PAE + Pout`).
+//! We replace netlist simulation with first-order analytical models built on
+//! a hand-rolled square-law MOSFET device model:
+//!
+//! * [`opamp::TwoStageOpAmp`] — DC bias solve, small-signal gain, Miller
+//!   compensation pole/zero analysis → GAIN (dB), UGF, PM (degrees).
+//! * [`class_e::ClassEPa`] — classical Sokal/Raab class-E design equations
+//!   with switch loss, tank detuning and drive power accounting → PAE, Pout.
+//!
+//! Both expose the same black-box structure the BO algorithms see in the
+//! paper: smooth, multimodal, with soft-penalized infeasible regions (e.g.
+//! transistors falling out of saturation), and nothing else about the model
+//! is visible to the optimizer.
+//!
+//! # Example
+//!
+//! ```
+//! use easybo_circuits::{Circuit, opamp::TwoStageOpAmp};
+//!
+//! let amp = TwoStageOpAmp::new();
+//! let x = amp.bounds().center();
+//! let perf = amp.performances(&x);
+//! assert!(perf.get("gain_db").is_some());
+//! assert!(amp.fom(&x).is_finite());
+//! ```
+
+pub mod class_e;
+pub mod ldo;
+pub mod mosfet;
+pub mod opamp;
+pub mod ring_osc;
+pub mod testfns;
+
+use easybo_opt::Bounds;
+
+/// A named bundle of circuit performance metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Performances {
+    entries: Vec<(&'static str, f64)>,
+}
+
+impl Performances {
+    /// Creates an empty bundle.
+    pub fn new() -> Self {
+        Performances::default()
+    }
+
+    /// Adds a metric (builder style).
+    pub fn with(mut self, name: &'static str, value: f64) -> Self {
+        self.entries.push((name, value));
+        self
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bundle is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A sizable analog circuit: a box-constrained design space, a set of named
+/// performance metrics, and the scalar figure of merit (Eq. 1 of the paper)
+/// that the optimizers maximize.
+pub trait Circuit: Send + Sync {
+    /// Human-readable circuit name.
+    fn name(&self) -> &str;
+
+    /// The design space.
+    fn bounds(&self) -> &Bounds;
+
+    /// Number of design variables.
+    fn dim(&self) -> usize {
+        self.bounds().dim()
+    }
+
+    /// Evaluates all performance metrics at design `x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != dim()`.
+    fn performances(&self, x: &[f64]) -> Performances;
+
+    /// The weighted figure of merit to maximize.
+    fn fom(&self, x: &[f64]) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performances_builder_and_lookup() {
+        let p = Performances::new().with("gain_db", 60.0).with("pm_deg", 55.0);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.get("gain_db"), Some(60.0));
+        assert_eq!(p.get("missing"), None);
+        let names: Vec<_> = p.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["gain_db", "pm_deg"]);
+    }
+
+    #[test]
+    fn empty_performances() {
+        let p = Performances::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.get("x"), None);
+    }
+}

@@ -1,0 +1,477 @@
+//! Two-stage Miller-compensated operational amplifier (10 design variables,
+//! 180nm process) — the paper's first benchmark circuit (§IV-A, Fig. 3).
+//!
+//! The amplifier is the classic textbook topology: NMOS differential pair
+//! (M1/M2) with PMOS mirror load (M3/M4), NMOS tail current source, and a
+//! common-source NMOS second stage (M6) with PMOS current-source load (M7),
+//! compensated by a Miller capacitor `Cc` with series nulling resistor `Rz`
+//! driving a fixed 3pF load.
+//!
+//! The performance extraction follows standard hand analysis:
+//!
+//! * **GAIN** — `A_v = gm1·(ro2∥ro4) · gm6·(ro6∥ro7)` in dB.
+//! * **UGF** — `f_u = gm1 / (2π·Cc)`, de-rated smoothly when the phase
+//!   margin collapses (a ringing amplifier's measured unity-gain crossing is
+//!   garbage, which is exactly what a transient HSPICE testbench reports).
+//! * **PM** — `90° − Σ atan(f_u/f_p) ± atan(f_u/f_z)` over the nondominant
+//!   pole, the mirror pole, the nulling-resistor pole, and the Miller zero
+//!   (LHP when `Rz > 1/gm6`, RHP otherwise).
+//!
+//! Designs that run out of supply headroom (devices falling out of
+//! saturation) receive a smooth penalty, mimicking the performance cliff a
+//! real testbench measures.
+
+use easybo_opt::Bounds;
+
+use crate::mosfet::{parallel, Mosfet, MosType, VDD_180NM};
+use crate::{Circuit, Performances};
+
+/// Fixed load capacitance at the output (F).
+const C_LOAD: f64 = 3e-12;
+/// Voltage headroom margin required beyond the saturation voltages (V).
+const HEADROOM_MARGIN: f64 = 0.15;
+/// PM level (degrees) below which the measured UGF starts collapsing.
+const PM_KNEE_DEG: f64 = 40.0;
+/// Softness (degrees) of the UGF collapse around the knee.
+const PM_KNEE_WIDTH: f64 = 12.0;
+
+/// Design-variable indices, in the order the optimizer sees them.
+///
+/// | idx | variable | meaning | range |
+/// |-----|----------|---------|-------|
+/// | 0 | `w1` | diff-pair width (m) | 5µ – 100µ |
+/// | 1 | `l1` | diff-pair length (m) | 0.18µ – 1µ |
+/// | 2 | `w3` | mirror-load width (m) | 2µ – 60µ |
+/// | 3 | `l3` | mirror-load length (m) | 0.18µ – 1µ |
+/// | 4 | `w6` | 2nd-stage width (m) | 10µ – 200µ |
+/// | 5 | `l6` | 2nd-stage length (m) | 0.18µ – 1µ |
+/// | 6 | `ib` | bias reference (A) | 5µ – 50µ |
+/// | 7 | `mb` | tail mirror ratio | 1 – 8 |
+/// | 8 | `cc` | Miller cap (F) | 0.2p – 3p |
+/// | 9 | `rz` | nulling resistor (Ω) | 300 – 10k |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpAmpVar {
+    /// Diff-pair width.
+    W1 = 0,
+    /// Diff-pair length.
+    L1 = 1,
+    /// Mirror-load width.
+    W3 = 2,
+    /// Mirror-load length.
+    L3 = 3,
+    /// Second-stage width.
+    W6 = 4,
+    /// Second-stage length.
+    L6 = 5,
+    /// Bias reference current.
+    Ib = 6,
+    /// Tail mirror ratio.
+    Mb = 7,
+    /// Miller compensation capacitor.
+    Cc = 8,
+    /// Nulling resistor.
+    Rz = 9,
+}
+
+/// The two-stage op-amp benchmark (10 design variables).
+///
+/// # Example
+///
+/// ```
+/// use easybo_circuits::{Circuit, opamp::TwoStageOpAmp};
+///
+/// let amp = TwoStageOpAmp::new();
+/// assert_eq!(amp.dim(), 10);
+/// let perf = amp.performances(&amp.bounds().center());
+/// // A mid-range design is a working amplifier.
+/// assert!(perf.get("gain_db").unwrap() > 30.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoStageOpAmp {
+    bounds: Bounds,
+}
+
+impl TwoStageOpAmp {
+    /// Creates the benchmark with the standard design-variable bounds.
+    pub fn new() -> Self {
+        let bounds = Bounds::new(vec![
+            (5e-6, 100e-6),   // w1
+            (0.18e-6, 1e-6),  // l1
+            (2e-6, 60e-6),    // w3
+            (0.18e-6, 1e-6),  // l3
+            (10e-6, 200e-6),  // w6
+            (0.18e-6, 1e-6),  // l6
+            (5e-6, 50e-6),    // ib
+            (1.0, 8.0),       // mb
+            (0.2e-12, 3e-12), // cc
+            (300.0, 10e3),    // rz
+        ])
+        .expect("static op-amp bounds are valid");
+        TwoStageOpAmp { bounds }
+    }
+
+    /// Detailed operating-point and small-signal analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 10`.
+    pub fn analyze(&self, x: &[f64]) -> OpAmpAnalysis {
+        assert_eq!(x.len(), 10, "op-amp expects 10 design variables");
+        let x = self.bounds.clamp(x);
+        let (w1, l1, w3, l3, w6, l6) = (x[0], x[1], x[2], x[3], x[4], x[5]);
+        let (ib, mb, cc, rz) = (x[6], x[7], x[8], x[9]);
+
+        // --- Bias ---------------------------------------------------------
+        let i_tail = mb * ib;
+        let i1 = 0.5 * i_tail; // per diff-pair branch
+        let i6 = 2.0 * i_tail; // second stage (2x mirror)
+
+        let m1 = Mosfet::new(MosType::Nmos, w1, l1);
+        let m3 = Mosfet::new(MosType::Pmos, w3, l3);
+        let m6 = Mosfet::new(MosType::Nmos, w6, l6);
+        // Fixed-geometry bias devices: tail mirror and 2nd-stage load.
+        let m_tail = Mosfet::new(MosType::Nmos, (5e-6 * mb).max(1e-6), 0.5e-6);
+        let m7 = Mosfet::new(MosType::Pmos, (2.0 * w3).max(1e-6), l3);
+
+        // --- Small signal ---------------------------------------------------
+        let gm1 = m1.gm_eff(i1);
+        let a1 = gm1 * parallel(m1.ro(i1), m3.ro(i1));
+        let gm6 = m6.gm_eff(i6);
+        let a2 = gm6 * parallel(m6.ro(i6), m7.ro(i6));
+        let av = (a1 * a2).max(1e-3);
+        let gain_db = 20.0 * av.log10();
+
+        // --- Poles & zeros --------------------------------------------------
+        // Inter-stage node and output node capacitances.
+        let c1 = m6.cgs() + m1.cdb() + m3.cdb() + m3.cgd();
+        let c2 = C_LOAD + m6.cdb() + m7.cdb();
+        let fu = gm1 / (2.0 * std::f64::consts::PI * cc); // Miller-dominant UGF
+        // Nondominant pole (exact two-stage expression).
+        let fp2 = gm6 * cc / (2.0 * std::f64::consts::PI * (c1 * c2 + cc * (c1 + c2)));
+        // Mirror pole at the M3/M4 gate node.
+        let fp3 = m3.gm_eff(i1) / (2.0 * std::f64::consts::PI * 2.0 * m3.cgs());
+        // Pole introduced by the nulling resistor branch.
+        let fp4 = 1.0 / (2.0 * std::f64::consts::PI * rz * c1.max(1e-18));
+        // Miller zero: LHP when rz > 1/gm6 (phase lead), RHP otherwise.
+        // The LHP lead only gets partial credit: a poly resistor cannot
+        // track 1/gm6 across process corners, so exact pole-zero
+        // cancellation is never bankable (ZETA models the residual).
+        const ZETA: f64 = 0.5;
+        let zden = 1.0 / gm6 - rz;
+        let fz = if zden.abs() > 1e-12 {
+            Some((
+                1.0 / (2.0 * std::f64::consts::PI * cc * zden.abs()),
+                zden < 0.0, // true => LHP (lead)
+            ))
+        } else {
+            None
+        };
+        // Phase margin at frequency f for this pole/zero constellation.
+        let pm_at = |f: f64| -> f64 {
+            let deg = |r: f64| r.atan().to_degrees();
+            let mut pm = 90.0 - deg(f / fp2) - deg(f / fp3) - deg(f / fp4);
+            if let Some((z, lhp)) = fz {
+                if lhp {
+                    pm += ZETA * deg(f / z);
+                } else {
+                    pm -= deg(f / z);
+                }
+            }
+            pm
+        };
+        let pm = pm_at(fu).clamp(0.0, 95.0);
+
+        // The loop phase eventually reaches -180° (pole losses saturate at
+        // 3x90° against at most ZETA·90° of zero lead): beyond that crossing
+        // no unity-gain bandwidth is measurable. Bisect for f180.
+        let f180 = {
+            let (mut lo, mut hi) = (1e3, 1e13);
+            if pm_at(hi) > 0.0 {
+                hi // pathologically wide: no crossing below 10 THz
+            } else {
+                for _ in 0..80 {
+                    let mid = (lo * hi).sqrt();
+                    if pm_at(mid) > 0.0 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                hi
+            }
+        };
+
+        // A transient testbench cannot measure a clean unity-gain crossing
+        // on a ringing amplifier: cap the reported UGF at the -180° crossing
+        // and de-rate it smoothly once PM falls below the knee.
+        let stability = 1.0 / (1.0 + (-(pm - PM_KNEE_DEG) / PM_KNEE_WIDTH).exp());
+        let ugf_measured = fu.min(f180) * stability;
+
+        // --- Headroom feasibility ------------------------------------------
+        // Input branch: tail Vdsat + pair Vov + mirror |Vgs| must fit.
+        let stack1 = m_tail.vdsat(i_tail) + m1.vov_for_id(i1) + m3.vth() + m3.vov_for_id(i1);
+        // Output branch: both output devices in saturation with margin.
+        let stack2 = m6.vdsat(i6) + m7.vdsat(i6);
+        let viol = (stack1 - (VDD_180NM - HEADROOM_MARGIN)).max(0.0)
+            + (stack2 - (VDD_180NM - 2.0 * HEADROOM_MARGIN)).max(0.0);
+        let penalty = 400.0 * viol * viol + 100.0 * viol;
+
+        OpAmpAnalysis {
+            gain_db,
+            ugf_hz: ugf_measured,
+            pm_deg: pm,
+            i_tail,
+            i6,
+            gm1,
+            gm6,
+            fp2_hz: fp2,
+            headroom_violation: viol,
+            penalty,
+        }
+    }
+}
+
+impl Default for TwoStageOpAmp {
+    fn default() -> Self {
+        TwoStageOpAmp::new()
+    }
+}
+
+/// Full analysis output of [`TwoStageOpAmp::analyze`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpAmpAnalysis {
+    /// DC gain (dB).
+    pub gain_db: f64,
+    /// Measured unity-gain frequency (Hz), de-rated when unstable.
+    pub ugf_hz: f64,
+    /// Phase margin (degrees, clamped to [0, 95]).
+    pub pm_deg: f64,
+    /// Tail current (A).
+    pub i_tail: f64,
+    /// Second-stage current (A).
+    pub i6: f64,
+    /// Input-pair transconductance (S).
+    pub gm1: f64,
+    /// Second-stage transconductance (S).
+    pub gm6: f64,
+    /// Nondominant pole (Hz).
+    pub fp2_hz: f64,
+    /// Total saturation-headroom violation (V; 0 when feasible).
+    pub headroom_violation: f64,
+    /// FOM penalty derived from the violation.
+    pub penalty: f64,
+}
+
+impl Circuit for TwoStageOpAmp {
+    fn name(&self) -> &str {
+        "two-stage-opamp"
+    }
+
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    fn performances(&self, x: &[f64]) -> Performances {
+        let a = self.analyze(x);
+        Performances::new()
+            .with("gain_db", a.gain_db)
+            .with("ugf_hz", a.ugf_hz)
+            .with("pm_deg", a.pm_deg)
+            .with("headroom_violation", a.headroom_violation)
+    }
+
+    /// Eq. (10) of the paper: `1.2·GAIN + 10·UGF + 1.6·PM`, with GAIN in dB,
+    /// UGF in units of 10 MHz, PM in degrees, minus the headroom penalty.
+    fn fom(&self, x: &[f64]) -> f64 {
+        let a = self.analyze(x);
+        1.2 * a.gain_db + 10.0 * (a.ugf_hz / 1e7) + 1.6 * a.pm_deg - a.penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amp() -> TwoStageOpAmp {
+        TwoStageOpAmp::new()
+    }
+
+    /// A hand-designed, sensible operating point.
+    fn good_design() -> Vec<f64> {
+        vec![
+            30e-6,   // w1
+            0.5e-6,  // l1
+            20e-6,   // w3
+            0.5e-6,  // l3
+            80e-6,   // w6
+            0.3e-6,  // l6
+            30e-6,   // ib
+            4.0,     // mb
+            1.5e-12, // cc
+            3e3,     // rz
+        ]
+    }
+
+    #[test]
+    fn good_design_is_a_working_amplifier() {
+        let a = amp().analyze(&good_design());
+        assert!(a.gain_db > 50.0, "gain {}", a.gain_db);
+        assert!(a.pm_deg > 30.0, "pm {}", a.pm_deg);
+        assert!(a.ugf_hz > 1e7, "ugf {}", a.ugf_hz);
+        assert_eq!(a.headroom_violation, 0.0);
+    }
+
+    #[test]
+    fn fom_is_finite_everywhere_on_a_grid() {
+        let amp = amp();
+        let b = amp.bounds().clone();
+        for i in 0..200 {
+            // Deterministic pseudo-grid over the box.
+            let u: Vec<f64> = (0..10)
+                .map(|d| (((i * 37 + d * 101) % 97) as f64) / 96.0)
+                .collect();
+            let x = b.from_unit(&u);
+            let f = amp.fom(&x);
+            assert!(f.is_finite(), "non-finite FOM at {x:?}");
+        }
+    }
+
+    #[test]
+    fn bigger_cc_lowers_ugf() {
+        // Compare two designs that are both comfortably stable so the
+        // measured UGF tracks the raw Miller UGF.
+        let amp = amp();
+        let lo = good_design(); // cc = 1p, PM ≈ 60°
+        let mut hi = good_design();
+        hi[OpAmpVar::Cc as usize] = 4e-12;
+        let a_lo = amp.analyze(&lo);
+        let a_hi = amp.analyze(&hi);
+        assert!(a_lo.pm_deg > 45.0, "precondition: stable baseline");
+        assert!(a_lo.ugf_hz > a_hi.ugf_hz);
+        // …and the bigger cap improves phase margin.
+        assert!(a_hi.pm_deg > a_lo.pm_deg);
+    }
+
+    #[test]
+    fn undercompensated_design_loses_phase_margin() {
+        // With too little Miller cap the raw UGF crosses the nondominant
+        // pole and PM collapses.
+        let amp = amp();
+        let mut tiny = good_design();
+        tiny[OpAmpVar::Cc as usize] = 0.3e-12;
+        assert!(amp.analyze(&tiny).pm_deg < amp.analyze(&good_design()).pm_deg);
+    }
+
+    #[test]
+    fn longer_channels_increase_gain() {
+        // Lengthen both stages' devices so every output resistance rises.
+        let amp = amp();
+        let mut short = good_design();
+        let mut long = good_design();
+        for var in [OpAmpVar::L1, OpAmpVar::L3, OpAmpVar::L6] {
+            short[var as usize] = 0.2e-6;
+            long[var as usize] = 1.5e-6;
+        }
+        assert!(amp.analyze(&long).gain_db > amp.analyze(&short).gain_db);
+    }
+
+    #[test]
+    fn more_current_raises_ugf() {
+        let amp = amp();
+        let mut lo = good_design();
+        let mut hi = good_design();
+        lo[OpAmpVar::Ib as usize] = 4e-6;
+        hi[OpAmpVar::Ib as usize] = 30e-6;
+        assert!(amp.analyze(&hi).gm1 > amp.analyze(&lo).gm1);
+        assert!(amp.analyze(&hi).ugf_hz > amp.analyze(&lo).ugf_hz);
+    }
+
+    #[test]
+    fn headroom_penalty_triggers_for_greedy_designs() {
+        let amp = amp();
+        let mut greedy = good_design();
+        // Max current through minimum-size devices: enormous Vov.
+        greedy[OpAmpVar::Ib as usize] = 50e-6;
+        greedy[OpAmpVar::Mb as usize] = 8.0;
+        greedy[OpAmpVar::W1 as usize] = 1e-6;
+        greedy[OpAmpVar::W3 as usize] = 1e-6;
+        greedy[OpAmpVar::W6 as usize] = 2e-6;
+        let a = amp.analyze(&greedy);
+        assert!(a.headroom_violation > 0.0);
+        assert!(a.penalty > 0.0);
+    }
+
+    #[test]
+    fn unstable_design_reports_tiny_ugf() {
+        let amp = amp();
+        let mut wild = good_design();
+        // Minimum compensation, huge first-stage current: PM collapses.
+        wild[OpAmpVar::Cc as usize] = 0.2e-12;
+        wild[OpAmpVar::Ib as usize] = 50e-6;
+        wild[OpAmpVar::Mb as usize] = 8.0;
+        wild[OpAmpVar::W1 as usize] = 100e-6;
+        wild[OpAmpVar::Rz as usize] = 100.0;
+        let a = amp.analyze(&wild);
+        if a.pm_deg < 10.0 {
+            // The measured UGF must be a small fraction of the raw Miller UGF.
+            let raw_fu = a.gm1 / (2.0 * std::f64::consts::PI * 0.2e-12);
+            assert!(a.ugf_hz < raw_fu * 0.15, "ugf {} raw {raw_fu}", a.ugf_hz);
+        }
+    }
+
+    #[test]
+    fn nulling_resistor_adds_phase_lead() {
+        let amp = amp();
+        let mut no_rz = good_design();
+        let mut with_rz = good_design();
+        no_rz[OpAmpVar::Rz as usize] = 100.0; // ≈ RHP zero
+        with_rz[OpAmpVar::Rz as usize] = 5e3; // LHP zero
+        let a0 = amp.analyze(&no_rz);
+        let a1 = amp.analyze(&with_rz);
+        assert!(a1.pm_deg > a0.pm_deg, "{} vs {}", a1.pm_deg, a0.pm_deg);
+    }
+
+    #[test]
+    fn fom_composition_matches_metrics() {
+        let amp = amp();
+        let x = good_design();
+        let a = amp.analyze(&x);
+        let expect = 1.2 * a.gain_db + 10.0 * (a.ugf_hz / 1e7) + 1.6 * a.pm_deg - a.penalty;
+        assert!((amp.fom(&x) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_bounds_inputs_are_clamped_not_panicking() {
+        let amp = amp();
+        let mut x = good_design();
+        x[0] = 1.0; // 1 meter wide transistor
+        assert!(amp.fom(&x).is_finite());
+    }
+
+    #[test]
+    fn circuit_trait_surface() {
+        let amp = amp();
+        assert_eq!(amp.name(), "two-stage-opamp");
+        assert_eq!(amp.dim(), 10);
+        let p = amp.performances(&good_design());
+        assert_eq!(p.len(), 4);
+        assert!(p.get("pm_deg").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fom_is_continuous_under_small_perturbations() {
+        let amp = amp();
+        let x = good_design();
+        let f0 = amp.fom(&x);
+        for d in 0..10 {
+            let mut xp = x.clone();
+            let (lo, hi) = amp.bounds().pair(d);
+            xp[d] += (hi - lo) * 1e-7;
+            let f1 = amp.fom(&xp);
+            assert!(
+                (f1 - f0).abs() < 1.0,
+                "discontinuity in dim {d}: {f0} -> {f1}"
+            );
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Current-starved ring oscillator (7 design variables, 180nm process) —
+//! an *extension* benchmark beyond the paper's two circuits, exercising a
+//! different FOM structure (frequency-accuracy / power / jitter-proxy
+//! trade-off typical of VCO sizing problems).
+//!
+//! Topology: an odd number of current-starved inverter stages; the starve
+//! current sets the per-stage delay, and the inverter sizing sets the
+//! swing-dependent delay floor and the power.
+//!
+//! First-order model:
+//!
+//! * per-stage delay `t_d ≈ C_node·V_sw / I_starve` plus the unstarved
+//!   inverter delay floor;
+//! * oscillation frequency `f = 1 / (2·N·t_d)`;
+//! * power `P = N·(I_starve·V_dd + C_node·V_dd²·f)`;
+//! * a phase-noise proxy that improves with swing and current (thermal
+//!   noise averaging) — the classic Leeson-style `1/(I·V_sw²)` scaling.
+
+use easybo_opt::Bounds;
+
+use crate::mosfet::{Mosfet, MosType, VDD_180NM};
+use crate::{Circuit, Performances};
+
+/// Target oscillation frequency (Hz).
+pub const F_TARGET_HZ: f64 = 0.8e9;
+
+/// Design-variable indices for [`RingOscillator`].
+///
+/// | idx | variable | meaning | range |
+/// |-----|----------|---------|-------|
+/// | 0 | `wn` | inverter NMOS width (m) | 1µ – 20µ |
+/// | 1 | `wp` | inverter PMOS width (m) | 2µ – 50µ |
+/// | 2 | `l` | inverter channel length (m) | 0.18µ – 0.5µ |
+/// | 3 | `i_starve` | starve current per stage (A) | 10µ – 500µ |
+/// | 4 | `stages` | number of stages (continuous, rounded odd) | 3 – 15 |
+/// | 5 | `c_load` | extra node capacitance (F) | 1f – 50f |
+/// | 6 | `v_swing` | internal swing fraction of Vdd | 0.5 – 1.0 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingOscVar {
+    /// NMOS width.
+    Wn = 0,
+    /// PMOS width.
+    Wp = 1,
+    /// Channel length.
+    L = 2,
+    /// Starve current.
+    IStarve = 3,
+    /// Stage count (continuous relaxation).
+    Stages = 4,
+    /// Extra node capacitance.
+    CLoad = 5,
+    /// Swing fraction.
+    VSwing = 6,
+}
+
+/// The ring-oscillator extension benchmark (7 design variables).
+///
+/// # Example
+///
+/// ```
+/// use easybo_circuits::{Circuit, ring_osc::RingOscillator};
+///
+/// let vco = RingOscillator::new();
+/// assert_eq!(vco.dim(), 7);
+/// let perf = vco.performances(&vco.bounds().center());
+/// assert!(perf.get("freq_hz").unwrap() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingOscillator {
+    bounds: Bounds,
+}
+
+impl RingOscillator {
+    /// Creates the benchmark with the standard design-variable bounds.
+    pub fn new() -> Self {
+        let bounds = Bounds::new(vec![
+            (1e-6, 20e-6),    // wn
+            (2e-6, 50e-6),    // wp
+            (0.18e-6, 0.5e-6),// l
+            (10e-6, 500e-6),  // i_starve
+            (3.0, 15.0),      // stages
+            (1e-15, 50e-15),  // c_load
+            (0.5, 1.0),       // v_swing
+        ])
+        .expect("static ring-oscillator bounds are valid");
+        RingOscillator { bounds }
+    }
+
+    /// Detailed analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 7`.
+    pub fn analyze(&self, x: &[f64]) -> RingOscAnalysis {
+        assert_eq!(x.len(), 7, "ring oscillator expects 7 design variables");
+        let x = self.bounds.clamp(x);
+        let (wn, wp, l, i_starve) = (x[0], x[1], x[2], x[3]);
+        let (stages_raw, c_extra, v_swing) = (x[4], x[5], x[6]);
+        // Round the continuous relaxation to the nearest odd stage count.
+        let stages = {
+            let k = stages_raw.round() as usize;
+            if k.is_multiple_of(2) {
+                (k + 1).min(15)
+            } else {
+                k
+            }
+        };
+
+        let nmos = Mosfet::new(MosType::Nmos, wn, l);
+        let pmos = Mosfet::new(MosType::Pmos, wp, l);
+        // Node capacitance: next stage's gates + own drains + extra load.
+        let c_node = nmos.cgs() + pmos.cgs() + nmos.cdb() + pmos.cdb() + c_extra;
+        let v_sw = v_swing * VDD_180NM;
+
+        // Starved delay plus the intrinsic inverter delay floor (strong
+        // inverter drive at full swing).
+        let i_drive = nmos
+            .id_sat(VDD_180NM - nmos.vth())
+            .min(pmos.id_sat(VDD_180NM - pmos.vth()));
+        let t_floor = c_node * v_sw / i_drive.max(1e-9);
+        let t_starved = c_node * v_sw / i_starve;
+        let t_d = t_floor + t_starved;
+        let freq = 1.0 / (2.0 * stages as f64 * t_d);
+
+        // Power: static starve current in every stage plus dynamic CV²f.
+        let power = stages as f64 * (i_starve * VDD_180NM + c_node * v_sw * v_sw * freq);
+
+        // Phase-noise proxy (lower = better): thermal-noise-limited jitter
+        // improves with swing, per-stage current and stage count.
+        let noise_proxy = 1.0
+            / (v_sw * v_sw * (i_starve / 1e-6) * (stages as f64).sqrt()).max(1e-12);
+
+        RingOscAnalysis {
+            freq_hz: freq,
+            power_w: power,
+            noise_proxy,
+            stages,
+            c_node,
+        }
+    }
+}
+
+impl Default for RingOscillator {
+    fn default() -> Self {
+        RingOscillator::new()
+    }
+}
+
+/// Analysis output of [`RingOscillator::analyze`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingOscAnalysis {
+    /// Oscillation frequency (Hz).
+    pub freq_hz: f64,
+    /// Total power (W).
+    pub power_w: f64,
+    /// Phase-noise proxy (arbitrary units; lower is better).
+    pub noise_proxy: f64,
+    /// Realized (odd) stage count.
+    pub stages: usize,
+    /// Per-node capacitance (F).
+    pub c_node: f64,
+}
+
+impl Circuit for RingOscillator {
+    fn name(&self) -> &str {
+        "ring-oscillator"
+    }
+
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    fn performances(&self, x: &[f64]) -> Performances {
+        let a = self.analyze(x);
+        Performances::new()
+            .with("freq_hz", a.freq_hz)
+            .with("power_w", a.power_w)
+            .with("noise_proxy", a.noise_proxy)
+    }
+
+    /// FOM: hit the 800 MHz target (Gaussian frequency-accuracy credit),
+    /// minimize power, minimize the noise proxy.
+    fn fom(&self, x: &[f64]) -> f64 {
+        let a = self.analyze(x);
+        let freq_err = (a.freq_hz - F_TARGET_HZ) / F_TARGET_HZ;
+        let accuracy = 30.0 * (-8.0 * freq_err * freq_err).exp();
+        let power_mw = a.power_w * 1e3;
+        let noise_db = -10.0 * a.noise_proxy.log10();
+        accuracy - power_mw + 0.1 * noise_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vco() -> RingOscillator {
+        RingOscillator::new()
+    }
+
+    fn nominal() -> Vec<f64> {
+        vec![4e-6, 10e-6, 0.18e-6, 150e-6, 5.0, 5e-15, 0.8]
+    }
+
+    #[test]
+    fn nominal_design_oscillates_in_ghz_range() {
+        let a = vco().analyze(&nominal());
+        assert!(a.freq_hz > 1e8 && a.freq_hz < 2e10, "f = {}", a.freq_hz);
+        assert!(a.power_w > 0.0);
+        assert_eq!(a.stages, 5);
+    }
+
+    #[test]
+    fn stage_count_rounds_to_odd() {
+        let v = vco();
+        for (raw, expect) in [(3.0, 3), (4.0, 5), (6.2, 7), (14.9, 15)] {
+            let mut x = nominal();
+            x[RingOscVar::Stages as usize] = raw;
+            assert_eq!(v.analyze(&x).stages, expect, "raw {raw}");
+        }
+    }
+
+    #[test]
+    fn more_current_means_faster_and_hungrier() {
+        let v = vco();
+        let mut lo = nominal();
+        let mut hi = nominal();
+        lo[RingOscVar::IStarve as usize] = 30e-6;
+        hi[RingOscVar::IStarve as usize] = 400e-6;
+        let (a_lo, a_hi) = (v.analyze(&lo), v.analyze(&hi));
+        assert!(a_hi.freq_hz > a_lo.freq_hz);
+        assert!(a_hi.power_w > a_lo.power_w);
+        assert!(a_hi.noise_proxy < a_lo.noise_proxy);
+    }
+
+    #[test]
+    fn more_stages_slows_the_ring() {
+        let v = vco();
+        let mut few = nominal();
+        let mut many = nominal();
+        few[RingOscVar::Stages as usize] = 3.0;
+        many[RingOscVar::Stages as usize] = 15.0;
+        assert!(v.analyze(&few).freq_hz > v.analyze(&many).freq_hz);
+    }
+
+    #[test]
+    fn extra_load_slows_the_ring() {
+        let v = vco();
+        let mut light = nominal();
+        let mut heavy = nominal();
+        light[RingOscVar::CLoad as usize] = 1e-15;
+        heavy[RingOscVar::CLoad as usize] = 50e-15;
+        assert!(v.analyze(&light).freq_hz > v.analyze(&heavy).freq_hz);
+    }
+
+    #[test]
+    fn fom_finite_on_pseudo_grid() {
+        let v = vco();
+        let b = v.bounds().clone();
+        for i in 0..150 {
+            let u: Vec<f64> = (0..7)
+                .map(|d| (((i * 29 + d * 53) % 71) as f64) / 70.0)
+                .collect();
+            assert!(v.fom(&b.from_unit(&u)).is_finite());
+        }
+    }
+
+    #[test]
+    fn fom_rewards_hitting_target_frequency() {
+        let v = vco();
+        // Find two designs identical except frequency accuracy by tweaking
+        // the starve current around the target crossing.
+        let b = v.bounds().clone();
+        let mut best_err = f64::INFINITY;
+        let mut best_fom = f64::NEG_INFINITY;
+        let mut worst_err: f64 = 0.0;
+        let mut worst_fom = 0.0;
+        for i in 0..60 {
+            let mut x = nominal();
+            x[RingOscVar::IStarve as usize] = 10e-6 + i as f64 * 8e-6;
+            let x = b.clamp(&x);
+            let a = v.analyze(&x);
+            let err = ((a.freq_hz - F_TARGET_HZ) / F_TARGET_HZ).abs();
+            if err < best_err {
+                best_err = err;
+                best_fom = v.fom(&x);
+            }
+            if err > worst_err {
+                worst_err = err;
+                worst_fom = v.fom(&x);
+            }
+        }
+        assert!(
+            best_fom > worst_fom,
+            "accurate design {best_fom} should beat inaccurate {worst_fom}"
+        );
+    }
+
+    #[test]
+    fn circuit_trait_surface() {
+        let v = vco();
+        assert_eq!(v.name(), "ring-oscillator");
+        assert_eq!(v.performances(&nominal()).len(), 3);
+    }
+}

@@ -1,0 +1,262 @@
+//! Synthetic benchmark functions with known optima, wrapped as [`Circuit`]s
+//! so the whole BO stack can be validated against ground truth.
+//!
+//! All functions are presented as **maximization** problems (negated where
+//! the literature defines a minimum), matching the paper's Eq. (1).
+
+use easybo_opt::Bounds;
+
+use crate::{Circuit, Performances};
+
+/// The synthetic functions available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestFunction {
+    /// Branin (2-d): three global optima, max value ≈ -0.397887 (negated).
+    Branin,
+    /// Hartmann 6-d: max value ≈ 3.32237.
+    Hartmann6,
+    /// Ackley (d-dimensional): max value 0 at the origin (negated).
+    Ackley(usize),
+    /// Rosenbrock (d-dimensional): max value 0 at (1, …, 1) (negated).
+    Rosenbrock(usize),
+    /// Levy (d-dimensional): max value 0 at (1, …, 1) (negated).
+    Levy(usize),
+}
+
+/// A synthetic objective implementing [`Circuit`].
+///
+/// # Example
+///
+/// ```
+/// use easybo_circuits::{Circuit, testfns::{SyntheticCircuit, TestFunction}};
+///
+/// let branin = SyntheticCircuit::new(TestFunction::Branin);
+/// // Known optimizer (π, 2.275) attains the global maximum ≈ -0.3979.
+/// let val = branin.fom(&[std::f64::consts::PI, 2.275]);
+/// assert!((val + 0.397887).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticCircuit {
+    function: TestFunction,
+    bounds: Bounds,
+    name: &'static str,
+}
+
+impl SyntheticCircuit {
+    /// Creates the named synthetic benchmark with its standard domain.
+    pub fn new(function: TestFunction) -> Self {
+        let (bounds, name) = match function {
+            TestFunction::Branin => (
+                Bounds::new(vec![(-5.0, 10.0), (0.0, 15.0)]),
+                "branin",
+            ),
+            TestFunction::Hartmann6 => (Bounds::new(vec![(0.0, 1.0); 6]), "hartmann6"),
+            TestFunction::Ackley(d) => (
+                Bounds::new(vec![(-32.768, 32.768); d.max(1)]),
+                "ackley",
+            ),
+            TestFunction::Rosenbrock(d) => (
+                Bounds::new(vec![(-2.048, 2.048); d.max(1)]),
+                "rosenbrock",
+            ),
+            TestFunction::Levy(d) => (Bounds::new(vec![(-10.0, 10.0); d.max(1)]), "levy"),
+        };
+        SyntheticCircuit {
+            function,
+            bounds: bounds.expect("static test-function bounds are valid"),
+            name,
+        }
+    }
+
+    /// Which function this instance wraps.
+    pub fn function(&self) -> TestFunction {
+        self.function
+    }
+
+    /// The known global maximum value (to compare optimizer output against).
+    pub fn global_max(&self) -> f64 {
+        match self.function {
+            TestFunction::Branin => -0.397887,
+            TestFunction::Hartmann6 => 3.32237,
+            TestFunction::Ackley(_) | TestFunction::Rosenbrock(_) | TestFunction::Levy(_) => 0.0,
+        }
+    }
+}
+
+impl Circuit for SyntheticCircuit {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    fn performances(&self, x: &[f64]) -> Performances {
+        Performances::new().with("value", self.fom(x))
+    }
+
+    fn fom(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.bounds.dim(), "dimension mismatch");
+        match self.function {
+            TestFunction::Branin => -branin(x[0], x[1]),
+            TestFunction::Hartmann6 => hartmann6(x),
+            TestFunction::Ackley(_) => -ackley(x),
+            TestFunction::Rosenbrock(_) => -rosenbrock(x),
+            TestFunction::Levy(_) => -levy(x),
+        }
+    }
+}
+
+/// Branin function (minimization form).
+fn branin(x1: f64, x2: f64) -> f64 {
+    use std::f64::consts::PI;
+    let a = 1.0;
+    let b = 5.1 / (4.0 * PI * PI);
+    let c = 5.0 / PI;
+    let r = 6.0;
+    let s = 10.0;
+    let t = 1.0 / (8.0 * PI);
+    a * (x2 - b * x1 * x1 + c * x1 - r).powi(2) + s * (1.0 - t) * x1.cos() + s
+}
+
+/// Hartmann-6 function (maximization form — already positive at optimum).
+fn hartmann6(x: &[f64]) -> f64 {
+    const ALPHA: [f64; 4] = [1.0, 1.2, 3.0, 3.2];
+    const A: [[f64; 6]; 4] = [
+        [10.0, 3.0, 17.0, 3.5, 1.7, 8.0],
+        [0.05, 10.0, 17.0, 0.1, 8.0, 14.0],
+        [3.0, 3.5, 1.7, 10.0, 17.0, 8.0],
+        [17.0, 8.0, 0.05, 10.0, 0.1, 14.0],
+    ];
+    const P: [[f64; 6]; 4] = [
+        [0.1312, 0.1696, 0.5569, 0.0124, 0.8283, 0.5886],
+        [0.2329, 0.4135, 0.8307, 0.3736, 0.1004, 0.9991],
+        [0.2348, 0.1451, 0.3522, 0.2883, 0.3047, 0.6650],
+        [0.4047, 0.8828, 0.8732, 0.5743, 0.1091, 0.0381],
+    ];
+    let mut sum = 0.0;
+    for i in 0..4 {
+        let mut inner = 0.0;
+        for j in 0..6 {
+            inner += A[i][j] * (x[j] - P[i][j]).powi(2);
+        }
+        sum += ALPHA[i] * (-inner).exp();
+    }
+    sum
+}
+
+/// Ackley function (minimization form).
+fn ackley(x: &[f64]) -> f64 {
+    use std::f64::consts::{E, PI};
+    let d = x.len() as f64;
+    let sum_sq: f64 = x.iter().map(|v| v * v).sum();
+    let sum_cos: f64 = x.iter().map(|v| (2.0 * PI * v).cos()).sum();
+    -20.0 * (-0.2 * (sum_sq / d).sqrt()).exp() - (sum_cos / d).exp() + 20.0 + E
+}
+
+/// Rosenbrock function (minimization form).
+fn rosenbrock(x: &[f64]) -> f64 {
+    x.windows(2)
+        .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+        .sum()
+}
+
+/// Levy function (minimization form).
+fn levy(x: &[f64]) -> f64 {
+    use std::f64::consts::PI;
+    let w: Vec<f64> = x.iter().map(|v| 1.0 + (v - 1.0) / 4.0).collect();
+    let n = w.len();
+    let mut sum = (PI * w[0]).sin().powi(2);
+    for i in 0..n - 1 {
+        sum += (w[i] - 1.0).powi(2) * (1.0 + 10.0 * (PI * w[i] + 1.0).sin().powi(2));
+    }
+    sum + (w[n - 1] - 1.0).powi(2) * (1.0 + (2.0 * PI * w[n - 1]).sin().powi(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branin_known_optima() {
+        let f = SyntheticCircuit::new(TestFunction::Branin);
+        for opt in [
+            [-std::f64::consts::PI, 12.275],
+            [std::f64::consts::PI, 2.275],
+            [9.42478, 2.475],
+        ] {
+            assert!((f.fom(&opt) - f.global_max()).abs() < 1e-3, "{opt:?}");
+        }
+    }
+
+    #[test]
+    fn hartmann6_known_optimum() {
+        let f = SyntheticCircuit::new(TestFunction::Hartmann6);
+        let xopt = [0.20169, 0.150011, 0.476874, 0.275332, 0.311652, 0.6573];
+        assert!((f.fom(&xopt) - 3.32237).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ackley_optimum_at_origin() {
+        let f = SyntheticCircuit::new(TestFunction::Ackley(4));
+        assert!(f.fom(&[0.0; 4]).abs() < 1e-9);
+        assert!(f.fom(&[5.0, -3.0, 2.0, 1.0]) < -5.0);
+    }
+
+    #[test]
+    fn rosenbrock_optimum_at_ones() {
+        let f = SyntheticCircuit::new(TestFunction::Rosenbrock(3));
+        assert_eq!(f.fom(&[1.0; 3]), 0.0);
+        assert!(f.fom(&[0.0; 3]) < -1.0);
+    }
+
+    #[test]
+    fn levy_optimum_at_ones() {
+        let f = SyntheticCircuit::new(TestFunction::Levy(5));
+        assert!(f.fom(&[1.0; 5]).abs() < 1e-12);
+        assert!(f.fom(&[4.0; 5]) < -1.0);
+    }
+
+    #[test]
+    fn domains_match_literature() {
+        assert_eq!(
+            SyntheticCircuit::new(TestFunction::Branin).bounds().pair(0),
+            (-5.0, 10.0)
+        );
+        assert_eq!(SyntheticCircuit::new(TestFunction::Hartmann6).dim(), 6);
+        assert_eq!(SyntheticCircuit::new(TestFunction::Ackley(7)).dim(), 7);
+    }
+
+    #[test]
+    fn all_values_below_global_max() {
+        // Sample a pseudo-grid; nothing may exceed the known maximum.
+        for func in [
+            TestFunction::Branin,
+            TestFunction::Hartmann6,
+            TestFunction::Ackley(3),
+            TestFunction::Rosenbrock(2),
+            TestFunction::Levy(3),
+        ] {
+            let f = SyntheticCircuit::new(func);
+            let b = f.bounds().clone();
+            for i in 0..100 {
+                let u: Vec<f64> = (0..b.dim())
+                    .map(|d| (((i * 31 + d * 7) % 53) as f64) / 52.0)
+                    .collect();
+                let v = f.fom(&b.from_unit(&u));
+                assert!(
+                    v <= f.global_max() + 1e-9,
+                    "{func:?} exceeded global max: {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn performances_exposes_value() {
+        let f = SyntheticCircuit::new(TestFunction::Branin);
+        let p = f.performances(&[0.0, 0.0]);
+        assert_eq!(p.get("value"), Some(f.fom(&[0.0, 0.0])));
+    }
+}

@@ -1,0 +1,421 @@
+//! The benchmark algorithm registry: every optimizer evaluated in the
+//! paper's Tables I/II (plus the BUCB/LP extensions), behind a single
+//! dispatcher so the benchmark harness can sweep the full matrix.
+
+use easybo_exec::{BlackBox, Dataset, RunResult, RunTrace, Schedule, VirtualExecutor};
+use easybo_opt::{sampling, DeConfig, DifferentialEvolution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::policies::{
+    BucbPolicy, EasyBoAsyncPolicy, EasyBoSyncPolicy, LocalPenalizationPolicy, PboPolicy,
+    SequentialAcquisition, SequentialBoPolicy,
+};
+
+/// Scheduling mode of an [`Algorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmMode {
+    /// Population-based metaheuristic, evaluated one point at a time.
+    Evolutionary,
+    /// Model-based, one query per completed evaluation, single worker.
+    Sequential,
+    /// Barrier-synchronized batches of `B` queries.
+    SyncBatch,
+    /// A new query the moment any of the `B` workers idles.
+    AsyncBatch,
+}
+
+/// Every optimization algorithm in the benchmark matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Differential evolution baseline (Liu et al., ref. \[13\]).
+    De,
+    /// Sequential BO with expected improvement.
+    Ei,
+    /// Sequential BO with the optimistic confidence bound (paper: "LCB").
+    Lcb,
+    /// Sequential EasyBO (randomized-weight acquisition, one worker).
+    EasyBoSeq,
+    /// pBO: synchronous batch with the uniform weight grid (ref. \[23\]).
+    Pbo,
+    /// pHCBO: pBO plus the high-coverage distance penalty (ref. \[23\]).
+    Phcbo,
+    /// EasyBO-S: synchronous, randomized weights, no penalization.
+    EasyBoS,
+    /// EasyBO-A: asynchronous, randomized weights, no penalization.
+    EasyBoA,
+    /// EasyBO-SP: synchronous, randomized weights, hallucination penalty.
+    EasyBoSp,
+    /// EasyBO: asynchronous + hallucination penalty — the paper's method.
+    EasyBo,
+    /// Batch UCB extension (Desautels et al., ref. \[32\]).
+    Bucb,
+    /// Local Penalization extension (González et al., ref. \[33\]).
+    Lp,
+    /// Thompson sampling extension (sequential; paper ref. \[30\]).
+    Ts,
+    /// GP-Hedge acquisition portfolio extension (sequential; ref. \[31\]).
+    Portfolio,
+    /// Particle swarm optimization baseline (paper refs. \[14\]-\[17\]).
+    Pso,
+    /// Simulated annealing baseline (paper refs. \[10\]-\[12\]).
+    Sa,
+    /// CMA-ES baseline (modern evolutionary representative).
+    CmaEs,
+    /// MACE: multi-objective acquisition ensemble batch BO (§II-C, ref. \[22\]).
+    Mace,
+}
+
+impl Algorithm {
+    /// The algorithms appearing in the paper's tables, in table order.
+    pub fn paper_set() -> [Algorithm; 10] {
+        [
+            Algorithm::De,
+            Algorithm::Lcb,
+            Algorithm::Ei,
+            Algorithm::EasyBoSeq,
+            Algorithm::Pbo,
+            Algorithm::Phcbo,
+            Algorithm::EasyBoS,
+            Algorithm::EasyBoA,
+            Algorithm::EasyBoSp,
+            Algorithm::EasyBo,
+        ]
+    }
+
+    /// All implemented algorithms (paper set + extensions).
+    pub fn all() -> [Algorithm; 18] {
+        [
+            Algorithm::De,
+            Algorithm::Lcb,
+            Algorithm::Ei,
+            Algorithm::EasyBoSeq,
+            Algorithm::Pbo,
+            Algorithm::Phcbo,
+            Algorithm::EasyBoS,
+            Algorithm::EasyBoA,
+            Algorithm::EasyBoSp,
+            Algorithm::EasyBo,
+            Algorithm::Bucb,
+            Algorithm::Lp,
+            Algorithm::Ts,
+            Algorithm::Portfolio,
+            Algorithm::Pso,
+            Algorithm::Sa,
+            Algorithm::CmaEs,
+            Algorithm::Mace,
+        ]
+    }
+
+    /// Scheduling mode.
+    pub fn mode(&self) -> AlgorithmMode {
+        match self {
+            Algorithm::De | Algorithm::Pso | Algorithm::Sa | Algorithm::CmaEs => {
+                AlgorithmMode::Evolutionary
+            }
+            Algorithm::Ei
+            | Algorithm::Lcb
+            | Algorithm::EasyBoSeq
+            | Algorithm::Ts
+            | Algorithm::Portfolio => AlgorithmMode::Sequential,
+            Algorithm::Pbo
+            | Algorithm::Phcbo
+            | Algorithm::EasyBoS
+            | Algorithm::EasyBoSp
+            | Algorithm::Bucb
+            | Algorithm::Lp
+            | Algorithm::Mace => AlgorithmMode::SyncBatch,
+            Algorithm::EasyBoA | Algorithm::EasyBo => AlgorithmMode::AsyncBatch,
+        }
+    }
+
+    /// Whether the algorithm uses a batch of parallel workers.
+    pub fn is_batch(&self) -> bool {
+        matches!(
+            self.mode(),
+            AlgorithmMode::SyncBatch | AlgorithmMode::AsyncBatch
+        )
+    }
+
+    /// The label used in the paper's tables (`EasyBO-SP-5` style: batch
+    /// size appended for batch algorithms).
+    pub fn label(&self, batch: usize) -> String {
+        let base = match self {
+            Algorithm::De => "DE",
+            Algorithm::Ei => "EI",
+            Algorithm::Lcb => "LCB",
+            Algorithm::EasyBoSeq => "EasyBO",
+            Algorithm::Pbo => "pBO",
+            Algorithm::Phcbo => "pHCBO",
+            Algorithm::EasyBoS => "EasyBO-S",
+            Algorithm::EasyBoA => "EasyBO-A",
+            Algorithm::EasyBoSp => "EasyBO-SP",
+            Algorithm::EasyBo => "EasyBO",
+            Algorithm::Bucb => "BUCB",
+            Algorithm::Lp => "LP",
+            Algorithm::Ts => "TS",
+            Algorithm::Portfolio => "Portfolio",
+            Algorithm::Pso => "PSO",
+            Algorithm::Sa => "SA",
+            Algorithm::CmaEs => "CMA-ES",
+            Algorithm::Mace => "MACE",
+        };
+        if self.is_batch() {
+            format!("{base}-{batch}")
+        } else {
+            base.to_string()
+        }
+    }
+
+    /// Runs the algorithm against `bb`.
+    ///
+    /// * `batch` — worker count for batch algorithms (ignored otherwise).
+    /// * `max_evals` — total evaluation budget for BO algorithms,
+    ///   including the `n_init` initial points.
+    /// * `de_evals` — evaluation budget when `self` is [`Algorithm::De`].
+    /// * `seed` — controls the initial design, all stochastic selection,
+    ///   and the surrogate training restarts.
+    pub fn run(
+        &self,
+        bb: &dyn BlackBox,
+        batch: usize,
+        max_evals: usize,
+        n_init: usize,
+        de_evals: usize,
+        seed: u64,
+    ) -> RunResult {
+        let bounds = bb.bounds().clone();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        let init = sampling::latin_hypercube(&bounds, n_init, &mut rng);
+
+        match self {
+            Algorithm::De | Algorithm::Pso | Algorithm::Sa | Algorithm::CmaEs => {
+                run_metaheuristic(*self, bb, de_evals, seed)
+            }
+            Algorithm::Ei => {
+                let mut p =
+                    SequentialBoPolicy::new(bounds, SequentialAcquisition::Ei, seed);
+                VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::Lcb => {
+                let mut p = SequentialBoPolicy::new(
+                    bounds,
+                    SequentialAcquisition::Ucb { kappa: 2.0 },
+                    seed,
+                );
+                VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::EasyBoSeq => {
+                let mut p = SequentialBoPolicy::new(
+                    bounds,
+                    SequentialAcquisition::EasyBo {
+                        lambda: crate::weight::DEFAULT_LAMBDA,
+                    },
+                    seed,
+                );
+                VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::Pbo => {
+                let mut p = PboPolicy::new(bounds, false, seed);
+                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::Phcbo => {
+                let mut p = PboPolicy::new(bounds, true, seed);
+                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::EasyBoS => {
+                let mut p = EasyBoSyncPolicy::new(bounds, false, seed);
+                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::EasyBoSp => {
+                let mut p = EasyBoSyncPolicy::new(bounds, true, seed);
+                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::EasyBoA => {
+                let mut p = EasyBoAsyncPolicy::new(bounds, false, seed);
+                VirtualExecutor::new(batch).run_async(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::EasyBo => {
+                let mut p = EasyBoAsyncPolicy::new(bounds, true, seed);
+                VirtualExecutor::new(batch).run_async(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::Bucb => {
+                let mut p = BucbPolicy::new(bounds, 2.0, seed);
+                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::Lp => {
+                let mut p = LocalPenalizationPolicy::new(bounds, seed);
+                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::Ts => {
+                let mut p = crate::policies::ThompsonSamplingPolicy::new(bounds, 192, seed);
+                VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::Portfolio => {
+                let mut p = crate::policies::PortfolioPolicy::new(bounds, 1.0, seed);
+                VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
+            }
+            Algorithm::Mace => {
+                let mut p = crate::policies::MacePolicy::new(bounds, seed);
+                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
+            }
+        }
+    }
+}
+
+/// Runs a metaheuristic baseline (DE/PSO/SA/CMA-ES) sequentially,
+/// accounting virtual time per evaluation exactly as a single simulator
+/// worker would.
+fn run_metaheuristic(algo: Algorithm, bb: &dyn BlackBox, budget: usize, seed: u64) -> RunResult {
+    use easybo_opt::{CmaEs, CmaEsConfig, ParticleSwarm, PsoConfig, SaConfig, SimulatedAnnealing};
+    let bounds = bb.bounds().clone();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdede_dede);
+    let mut data = Dataset::new();
+    let mut trace = RunTrace::new();
+    let mut schedule = Schedule::new(1);
+    let mut t = 0.0f64;
+    let mut task = 0usize;
+    {
+        let mut objective = |x: &[f64]| {
+            let e = bb.evaluate(x);
+            schedule.add(0, task, t, t + e.cost);
+            t += e.cost;
+            task += 1;
+            data.push(x.to_vec(), e.value);
+            trace.record(t, e.value);
+            e.value
+        };
+        match algo {
+            Algorithm::De => {
+                let de = DifferentialEvolution::new(DeConfig {
+                    max_evals: budget.max(DeConfig::default().population),
+                    ..Default::default()
+                })
+                .expect("static DE config is valid");
+                let _ = de.maximize(&bounds, &mut rng, &mut objective);
+            }
+            Algorithm::Pso => {
+                let pso = ParticleSwarm::new(PsoConfig {
+                    max_evals: budget.max(PsoConfig::default().particles),
+                    ..Default::default()
+                })
+                .expect("static PSO config is valid");
+                let _ = pso.maximize(&bounds, &mut rng, &mut objective);
+            }
+            Algorithm::Sa => {
+                let sa = SimulatedAnnealing::new(SaConfig {
+                    max_evals: budget.max(2),
+                    ..Default::default()
+                })
+                .expect("static SA config is valid");
+                let _ = sa.maximize(&bounds, &mut rng, &mut objective);
+            }
+            Algorithm::CmaEs => {
+                let cma = CmaEs::new(CmaEsConfig {
+                    max_evals: budget.max(4),
+                    ..Default::default()
+                })
+                .expect("static CMA-ES config is valid");
+                let _ = cma.maximize(&bounds, &mut rng, &mut objective);
+            }
+            _ => unreachable!("not a metaheuristic"),
+        }
+    }
+    RunResult {
+        data,
+        trace,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use easybo_exec::{CostedFunction, SimTimeModel};
+    use easybo_opt::Bounds;
+
+    fn bb() -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync> {
+        let bounds = Bounds::new(vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        let time = SimTimeModel::new(&bounds, 10.0, 0.25, 0);
+        CostedFunction::new("peak", bounds, time, |x: &[f64]| {
+            (-((x[0] - 0.5).powi(2) + (x[1] + 0.5).powi(2))).exp()
+        })
+    }
+
+    #[test]
+    fn labels_match_paper_convention() {
+        assert_eq!(Algorithm::De.label(5), "DE");
+        assert_eq!(Algorithm::EasyBoSeq.label(5), "EasyBO");
+        assert_eq!(Algorithm::Pbo.label(5), "pBO-5");
+        assert_eq!(Algorithm::EasyBoSp.label(10), "EasyBO-SP-10");
+        assert_eq!(Algorithm::EasyBo.label(15), "EasyBO-15");
+    }
+
+    #[test]
+    fn modes_are_consistent() {
+        assert_eq!(Algorithm::De.mode(), AlgorithmMode::Evolutionary);
+        assert_eq!(Algorithm::Ei.mode(), AlgorithmMode::Sequential);
+        assert_eq!(Algorithm::Pbo.mode(), AlgorithmMode::SyncBatch);
+        assert_eq!(Algorithm::EasyBo.mode(), AlgorithmMode::AsyncBatch);
+        assert!(!Algorithm::Lcb.is_batch());
+        assert!(Algorithm::Bucb.is_batch());
+    }
+
+    #[test]
+    fn paper_set_is_subset_of_all() {
+        let all = Algorithm::all();
+        for a in Algorithm::paper_set() {
+            assert!(all.contains(&a));
+        }
+    }
+
+    #[test]
+    fn every_algorithm_runs_and_respects_budget() {
+        let bb = bb();
+        for algo in Algorithm::all() {
+            let r = algo.run(&bb, 3, 24, 8, 60, 1);
+            let expected = if algo.mode() == AlgorithmMode::Evolutionary {
+                60
+            } else {
+                24
+            };
+            assert_eq!(r.data.len(), expected, "{algo:?}");
+            assert!(r.best_value().is_finite(), "{algo:?}");
+            assert!(r.total_time() > 0.0, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn async_variants_finish_faster_than_sync_counterparts() {
+        let bb = bb();
+        let sync = Algorithm::EasyBoSp.run(&bb, 4, 32, 8, 0, 3);
+        let asyn = Algorithm::EasyBo.run(&bb, 4, 32, 8, 0, 3);
+        assert!(
+            asyn.total_time() < sync.total_time(),
+            "async {} vs sync {}",
+            asyn.total_time(),
+            sync.total_time()
+        );
+    }
+
+    #[test]
+    fn seeds_reproduce_runs_exactly() {
+        let bb = bb();
+        let a = Algorithm::EasyBo.run(&bb, 3, 20, 6, 0, 7);
+        let b = Algorithm::EasyBo.run(&bb, 3, 20, 6, 0, 7);
+        assert_eq!(a.data, b.data);
+        let c = Algorithm::EasyBo.run(&bb, 3, 20, 6, 0, 8);
+        assert_ne!(a.data, c.data, "different seeds must differ");
+    }
+
+    #[test]
+    fn de_uses_its_own_budget() {
+        let bb = bb();
+        let r = Algorithm::De.run(&bb, 1, 10, 5, 200, 2);
+        assert_eq!(r.data.len(), 200);
+        // Sequential DE time = sum of costs ≈ 200 × 10s.
+        assert!(r.total_time() > 150.0 * 10.0);
+    }
+}

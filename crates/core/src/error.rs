@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+use easybo_gp::GpError;
+use easybo_opt::OptError;
+
+/// Error type for the EasyBO optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EasyBoError {
+    /// Invalid design space or optimizer configuration.
+    Opt(OptError),
+    /// Gaussian-process fitting failure.
+    Gp(GpError),
+    /// Invalid budget: fewer total evaluations than initial points, or zero.
+    BadBudget {
+        /// Configured maximum evaluations.
+        max_evals: usize,
+        /// Configured initial design size.
+        initial_points: usize,
+    },
+    /// The objective returned only non-finite values during initialization.
+    DegenerateObjective,
+}
+
+impl fmt::Display for EasyBoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EasyBoError::Opt(e) => write!(f, "configuration error: {e}"),
+            EasyBoError::Gp(e) => write!(f, "surrogate model error: {e}"),
+            EasyBoError::BadBudget {
+                max_evals,
+                initial_points,
+            } => write!(
+                f,
+                "evaluation budget {max_evals} must exceed the initial design size {initial_points}"
+            ),
+            EasyBoError::DegenerateObjective => {
+                write!(f, "objective returned no finite values during initialization")
+            }
+        }
+    }
+}
+
+impl Error for EasyBoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EasyBoError::Opt(e) => Some(e),
+            EasyBoError::Gp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OptError> for EasyBoError {
+    fn from(e: OptError) -> Self {
+        EasyBoError::Opt(e)
+    }
+}
+
+impl From<GpError> for EasyBoError {
+    fn from(e: GpError) -> Self {
+        EasyBoError::Gp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error as _;
+        let e = EasyBoError::from(OptError::EmptySpace);
+        assert!(e.to_string().contains("configuration"));
+        assert!(e.source().is_some());
+        let b = EasyBoError::BadBudget {
+            max_evals: 10,
+            initial_points: 20,
+        };
+        assert!(b.to_string().contains("10"));
+        assert!(b.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EasyBoError>();
+    }
+}

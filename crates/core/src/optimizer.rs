@@ -1,0 +1,337 @@
+//! The high-level EasyBO optimizer API for end users.
+
+use easybo_exec::{
+    BlackBox, CostedFunction, Dataset, RunTrace, Schedule, SimTimeModel, ThreadedExecutor,
+    VirtualExecutor,
+};
+use easybo_opt::{sampling, Bounds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::policies::{AcqOptConfig, EasyBoAsyncPolicy};
+use crate::surrogate::SurrogateConfig;
+use crate::weight::DEFAULT_LAMBDA;
+use crate::EasyBoError;
+
+/// Outcome of an [`EasyBo`] optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationResult {
+    /// Best design found.
+    pub best_x: Vec<f64>,
+    /// Objective value at `best_x`.
+    pub best_value: f64,
+    /// All evaluations in completion order.
+    pub data: Dataset,
+    /// Best-so-far timeline (virtual seconds for [`EasyBo::run`] /
+    /// [`EasyBo::run_blackbox`], real seconds for [`EasyBo::run_threaded`]).
+    pub trace: RunTrace,
+    /// Worker occupancy record.
+    pub schedule: Schedule,
+}
+
+/// The EasyBO optimizer: asynchronous batch Bayesian optimization with
+/// randomized exploration weights and busy-point penalization (the paper's
+/// Algorithm 1), wrapped in a builder.
+///
+/// # Example
+///
+/// ```
+/// use easybo::EasyBo;
+/// use easybo_opt::Bounds;
+///
+/// # fn main() -> Result<(), easybo::EasyBoError> {
+/// let bounds = Bounds::new(vec![(0.0, 1.0); 3])?;
+/// let result = EasyBo::new(bounds)
+///     .batch_size(4)
+///     .initial_points(12)
+///     .max_evals(40)
+///     .seed(1)
+///     .run(|x| -(x[0] - 0.2).powi(2) - (x[1] - 0.7).powi(2) - x[2])?;
+/// assert!(result.best_value > -0.2);
+/// assert_eq!(result.data.len(), 40);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EasyBo {
+    bounds: Bounds,
+    batch_size: usize,
+    max_evals: usize,
+    initial_points: usize,
+    seed: u64,
+    lambda: f64,
+    penalize: bool,
+    surrogate: SurrogateConfig,
+    acq_opt: AcqOptConfig,
+}
+
+impl EasyBo {
+    /// Creates an optimizer over `bounds` with the paper's defaults:
+    /// batch size 5, 20 initial points, 100 total evaluations, λ = 6,
+    /// penalization on.
+    pub fn new(bounds: Bounds) -> Self {
+        let dim = bounds.dim();
+        EasyBo {
+            bounds,
+            batch_size: 5,
+            max_evals: 100,
+            initial_points: 20,
+            seed: 0,
+            lambda: DEFAULT_LAMBDA,
+            penalize: true,
+            surrogate: SurrogateConfig::default(),
+            acq_opt: AcqOptConfig::for_dim(dim),
+        }
+    }
+
+    /// Number of parallel workers (batch size B). Default 5.
+    pub fn batch_size(&mut self, b: usize) -> &mut Self {
+        self.batch_size = b.max(1);
+        self
+    }
+
+    /// Total evaluation budget, including the initial design. Default 100.
+    pub fn max_evals(&mut self, n: usize) -> &mut Self {
+        self.max_evals = n;
+        self
+    }
+
+    /// Size of the Latin-hypercube initial design. Default 20.
+    pub fn initial_points(&mut self, n: usize) -> &mut Self {
+        self.initial_points = n.max(2);
+        self
+    }
+
+    /// RNG seed controlling the initial design and all stochastic
+    /// selection. Default 0.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// κ sampling range `[0, λ]` of the acquisition (Eq. 8). Default 6.
+    pub fn lambda(&mut self, lambda: f64) -> &mut Self {
+        self.lambda = lambda.max(0.0);
+        self
+    }
+
+    /// Enables/disables the busy-point penalization scheme (Eq. 9).
+    /// Default on; disabling gives the EasyBO-A ablation.
+    pub fn penalization(&mut self, on: bool) -> &mut Self {
+        self.penalize = on;
+        self
+    }
+
+    /// Overrides the surrogate configuration.
+    pub fn surrogate_config(&mut self, config: SurrogateConfig) -> &mut Self {
+        self.surrogate = config;
+        self
+    }
+
+    /// Overrides the acquisition-maximizer sizing.
+    pub fn acquisition_config(&mut self, config: AcqOptConfig) -> &mut Self {
+        self.acq_opt = config;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> crate::Result<()> {
+        if self.max_evals == 0 || self.max_evals <= self.initial_points {
+            return Err(EasyBoError::BadBudget {
+                max_evals: self.max_evals,
+                initial_points: self.initial_points,
+            });
+        }
+        Ok(())
+    }
+
+    /// The configured design space.
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    pub(crate) fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    pub(crate) fn batch_size_value(&self) -> usize {
+        self.batch_size
+    }
+
+    pub(crate) fn max_evals_value(&self) -> usize {
+        self.max_evals
+    }
+
+    fn build_policy(&self) -> EasyBoAsyncPolicy {
+        EasyBoAsyncPolicy::with_configs(
+            self.bounds.clone(),
+            self.penalize,
+            self.lambda,
+            self.seed,
+            self.surrogate.clone(),
+            self.acq_opt,
+        )
+    }
+
+    pub(crate) fn initial_design(&self) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9e37_79b9));
+        sampling::latin_hypercube(&self.bounds, self.initial_points, &mut rng)
+    }
+
+    fn finish(result: easybo_exec::RunResult) -> crate::Result<OptimizationResult> {
+        let (best_x, best_value) = result
+            .data
+            .best()
+            .map(|(x, y)| (x.to_vec(), y))
+            .ok_or(EasyBoError::DegenerateObjective)?;
+        if !best_value.is_finite() {
+            return Err(EasyBoError::DegenerateObjective);
+        }
+        Ok(OptimizationResult {
+            best_x,
+            best_value,
+            data: result.data,
+            trace: result.trace,
+            schedule: result.schedule,
+        })
+    }
+
+    /// Maximizes a plain objective function. Evaluation cost is treated as
+    /// uniform (one virtual second per evaluation).
+    ///
+    /// # Errors
+    ///
+    /// * [`EasyBoError::BadBudget`] if `max_evals <= initial_points`.
+    /// * [`EasyBoError::DegenerateObjective`] if no finite value was seen.
+    pub fn run<F>(&self, f: F) -> crate::Result<OptimizationResult>
+    where
+        F: Fn(&[f64]) -> f64 + Send + Sync,
+    {
+        self.validate()?;
+        let time = SimTimeModel::new(&self.bounds, 1.0, 0.0, self.seed);
+        let bb = CostedFunction::new("objective", self.bounds.clone(), time, f);
+        self.run_blackbox(&bb)
+    }
+
+    /// Maximizes a [`BlackBox`] on the virtual-time executor (deterministic,
+    /// instant; the returned trace carries the *virtual* schedule).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EasyBo::run`].
+    pub fn run_blackbox(&self, bb: &dyn BlackBox) -> crate::Result<OptimizationResult> {
+        self.validate()?;
+        let mut policy = self.build_policy();
+        let result = VirtualExecutor::new(self.batch_size).run_async(
+            bb,
+            &self.initial_design(),
+            self.max_evals,
+            &mut policy,
+        );
+        Self::finish(result)
+    }
+
+    /// Maximizes a [`BlackBox`] on real OS threads — the production path
+    /// for genuinely expensive objectives. `time_scale` seconds of real
+    /// sleep emulate each virtual second of reported cost (0.0 = no sleep).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EasyBo::run`].
+    pub fn run_threaded(
+        &self,
+        bb: &(dyn BlackBox + Sync),
+        time_scale: f64,
+    ) -> crate::Result<OptimizationResult> {
+        self.validate()?;
+        let mut policy = self.build_policy();
+        let result = ThreadedExecutor::new(self.batch_size, time_scale).run_async(
+            bb,
+            &self.initial_design(),
+            self.max_evals,
+            &mut policy,
+        );
+        Self::finish(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_peak_of_smooth_function() {
+        let bounds = Bounds::new(vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        let r = EasyBo::new(bounds)
+            .batch_size(4)
+            .initial_points(10)
+            .max_evals(45)
+            .seed(3)
+            .run(|x| (-((x[0] - 0.5).powi(2) + (x[1] + 0.5).powi(2))).exp())
+            .unwrap();
+        assert!(r.best_value > 0.9, "best {}", r.best_value);
+        assert!((r.best_x[0] - 0.5).abs() < 0.5);
+        assert_eq!(r.data.len(), 45);
+    }
+
+    #[test]
+    fn rejects_bad_budget() {
+        let bounds = Bounds::unit_cube(2).unwrap();
+        let mut opt = EasyBo::new(bounds);
+        opt.initial_points(20).max_evals(10);
+        assert!(matches!(
+            opt.run(|_| 0.0),
+            Err(EasyBoError::BadBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_objective_is_reported() {
+        let bounds = Bounds::unit_cube(1).unwrap();
+        let r = EasyBo::new(bounds)
+            .initial_points(3)
+            .max_evals(6)
+            .run(|_| f64::NAN);
+        assert!(matches!(r, Err(EasyBoError::DegenerateObjective)));
+    }
+
+    #[test]
+    fn builder_clamps_degenerate_settings() {
+        let bounds = Bounds::unit_cube(1).unwrap();
+        let mut opt = EasyBo::new(bounds);
+        opt.batch_size(0).initial_points(0).lambda(-1.0);
+        // batch >= 1, init >= 2, lambda >= 0: the run must still work.
+        opt.max_evals(8).seed(1);
+        let r = opt.run(|x| -x[0]).unwrap();
+        assert_eq!(r.data.len(), 8);
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let bounds = Bounds::unit_cube(2).unwrap();
+        let run = |seed| {
+            let mut opt = EasyBo::new(bounds.clone());
+            opt.initial_points(6).max_evals(16).seed(seed);
+            opt.run(|x| -(x[0] - 0.3f64).powi(2) - (x[1] - 0.6f64).powi(2))
+                .unwrap()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.best_x, b.best_x);
+    }
+
+    #[test]
+    fn threaded_run_matches_api_contract() {
+        use easybo_exec::{CostedFunction, SimTimeModel};
+        let bounds = Bounds::unit_cube(2).unwrap();
+        let time = SimTimeModel::new(&bounds, 5.0, 0.2, 0);
+        let bb = CostedFunction::new("toy", bounds.clone(), time, |x: &[f64]| {
+            -(x[0] - 0.4f64).powi(2) - (x[1] - 0.6f64).powi(2)
+        });
+        let mut opt = EasyBo::new(bounds);
+        opt.batch_size(3).initial_points(6).max_evals(20).seed(2);
+        let r = opt.run_threaded(&bb, 0.0).unwrap();
+        assert_eq!(r.data.len(), 20);
+        assert!(r.best_value > -0.05, "best {}", r.best_value);
+    }
+}

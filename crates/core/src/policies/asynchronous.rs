@@ -1,0 +1,295 @@
+//! The asynchronous EasyBO policy — the paper's main contribution
+//! (Algorithm 1).
+//!
+//! Whenever a worker becomes idle, the policy:
+//!
+//! 1. refits/extends the surrogate with all completed observations,
+//! 2. hallucinates the still-running ("busy") query points with their
+//!    predictive means (`penalize = true`; Eq. 9 / §III-C),
+//! 3. draws a fresh exploration weight `w = κ/(κ+1)`, `κ ~ U[0, λ]`
+//!    (Eq. 8 / §III-B), and
+//! 4. maximizes `α(x, w) = (1-w)·μ(x) + w·σ̂(x)` for the idle worker.
+//!
+//! `penalize = false` gives the EasyBO-A ablation: same asynchronous
+//! scheduling and randomized weights, but the busy points are invisible,
+//! so concurrent workers can pile onto the same region.
+
+use easybo_exec::{AsyncPolicy, BusyPoint, Dataset};
+use easybo_opt::Bounds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::acquisition;
+use crate::policies::penalization::PenalizationMode;
+use crate::policies::{AcqMaximizer, AcqOptConfig};
+use crate::surrogate::{SurrogateConfig, SurrogateManager};
+use crate::weight::{sample_kappa_weight, DEFAULT_LAMBDA};
+
+/// Asynchronous EasyBO policy (full EasyBO with `penalize = true`,
+/// EasyBO-A ablation with `penalize = false`).
+///
+/// # Example
+///
+/// ```
+/// use easybo::policies::EasyBoAsyncPolicy;
+/// use easybo_exec::{CostedFunction, SimTimeModel, VirtualExecutor};
+/// use easybo_opt::{sampling, Bounds};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let bounds = Bounds::new(vec![(-2.0, 2.0)])?;
+/// let time = SimTimeModel::new(&bounds, 20.0, 0.3, 1);
+/// let bb = CostedFunction::new("bump", bounds.clone(), time, |x: &[f64]| {
+///     -(x[0] - 1.1) * (x[0] - 1.1)
+/// });
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let init = sampling::latin_hypercube(&bounds, 6, &mut rng);
+/// let mut policy = EasyBoAsyncPolicy::new(bounds, true, 7);
+/// let r = VirtualExecutor::new(4).run_async(&bb, &init, 30, &mut policy);
+/// assert!(r.best_value() > -0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub struct EasyBoAsyncPolicy {
+    surrogate: SurrogateManager,
+    maximizer: AcqMaximizer,
+    rng: StdRng,
+    penalize: bool,
+    mode: PenalizationMode,
+    lambda: f64,
+    fallbacks: usize,
+}
+
+impl EasyBoAsyncPolicy {
+    /// Creates the asynchronous policy with the paper's λ = 6.
+    pub fn new(bounds: Bounds, penalize: bool, seed: u64) -> Self {
+        let dim = bounds.dim();
+        Self::with_configs(
+            bounds,
+            penalize,
+            DEFAULT_LAMBDA,
+            seed,
+            SurrogateConfig::default(),
+            AcqOptConfig::for_dim(dim),
+        )
+    }
+
+    /// Full-configuration constructor.
+    pub fn with_configs(
+        bounds: Bounds,
+        penalize: bool,
+        lambda: f64,
+        seed: u64,
+        surrogate: SurrogateConfig,
+        acq_opt: AcqOptConfig,
+    ) -> Self {
+        let dim = bounds.dim();
+        EasyBoAsyncPolicy {
+            surrogate: SurrogateManager::new(bounds, SurrogateConfig { seed, ..surrogate }),
+            maximizer: AcqMaximizer::new(dim, acq_opt),
+            rng: StdRng::seed_from_u64(seed ^ 0xea5b_0a57),
+            penalize,
+            mode: PenalizationMode::default(),
+            lambda,
+            fallbacks: 0,
+        }
+    }
+
+    /// Overrides how busy points are hallucinated (default: predictive
+    /// mean, the paper's scheme). See [`PenalizationMode`] for the
+    /// constant-liar ablations.
+    pub fn penalization_mode(&mut self, mode: PenalizationMode) -> &mut Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Whether busy-point penalization is active.
+    pub fn penalizes(&self) -> bool {
+        self.penalize
+    }
+
+    /// Surrogate-fit fallback count (should stay 0).
+    pub fn fallbacks(&self) -> usize {
+        self.fallbacks
+    }
+}
+
+impl AsyncPolicy for EasyBoAsyncPolicy {
+    fn select_next(&mut self, data: &Dataset, busy: &[BusyPoint]) -> Vec<f64> {
+        if data.is_empty() {
+            // More workers than initial points: nothing observed yet.
+            return self.surrogate.bounds().sample_uniform(&mut self.rng);
+        }
+        let gp = match self.surrogate.surrogate(data) {
+            Ok(gp) => gp.clone(),
+            Err(_) => {
+                self.fallbacks += 1;
+                return self.surrogate.bounds().sample_uniform(&mut self.rng);
+            }
+        };
+        let w = sample_kappa_weight(self.lambda, &mut self.rng);
+        let u = if self.penalize && !busy.is_empty() {
+            // Hallucinate the busy points (Algorithm 1, lines 5-6).
+            let busy_units: Vec<Vec<f64>> = busy
+                .iter()
+                .map(|bp| self.surrogate.to_unit(&bp.x))
+                .collect();
+            let (y_lo, y_hi) = data.ys().iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), &y| (lo.min(y), hi.max(y)),
+            );
+            match self.mode.augment(&gp, &busy_units, y_lo, y_hi) {
+                Ok(aug) => {
+                    // Eq. 9 (hallucinated mean): μ from the base GP, σ̂ from
+                    // the augmented one (the augmented mean is identical in
+                    // exact arithmetic). Constant-liar modes *deliberately*
+                    // bias the mean near busy points, so they must read both
+                    // moments from the augmented model.
+                    let use_aug_mean =
+                        self.mode != PenalizationMode::HallucinateMean;
+                    let (base, aug_ref) = (&gp, &aug);
+                    self.maximizer.maximize(&mut self.rng, |p| {
+                        if use_aug_mean {
+                            acquisition::weighted(aug_ref, p, w)
+                        } else {
+                            acquisition::weighted_penalized(base, aug_ref, p, w)
+                        }
+                    })
+                }
+                Err(_) => {
+                    // Numerically degenerate augmentation (duplicated busy
+                    // points): fall back to the unpenalized acquisition.
+                    let base = &gp;
+                    self.maximizer
+                        .maximize(&mut self.rng, |p| acquisition::weighted(base, p, w))
+                }
+            }
+        } else {
+            let base = &gp;
+            self.maximizer
+                .maximize(&mut self.rng, |p| acquisition::weighted(base, p, w))
+        };
+        self.surrogate.from_unit(&u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easybo_exec::BlackBox as _;
+    use easybo_exec::{CostedFunction, SimTimeModel, VirtualExecutor};
+    use easybo_opt::sampling;
+
+    fn bb_2d() -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync> {
+        let bounds = Bounds::new(vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        let time = SimTimeModel::new(&bounds, 10.0, 0.3, 0);
+        CostedFunction::new("peak", bounds, time, |x: &[f64]| {
+            (-((x[0] - 0.5).powi(2) + (x[1] + 0.5).powi(2))).exp()
+        })
+    }
+
+    fn init(bounds: &Bounds, n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        sampling::latin_hypercube(bounds, n, &mut rng)
+    }
+
+    #[test]
+    fn full_easybo_reaches_peak() {
+        let bb = bb_2d();
+        let bounds = bb.bounds().clone();
+        let mut policy = EasyBoAsyncPolicy::new(bounds.clone(), true, 1);
+        let r = VirtualExecutor::new(5).run_async(&bb, &init(&bounds, 10, 1), 45, &mut policy);
+        assert!(r.best_value() > 0.9, "EasyBO best {}", r.best_value());
+        assert_eq!(policy.fallbacks(), 0);
+        assert!(policy.penalizes());
+    }
+
+    #[test]
+    fn easybo_a_reaches_peak() {
+        let bb = bb_2d();
+        let bounds = bb.bounds().clone();
+        let mut policy = EasyBoAsyncPolicy::new(bounds.clone(), false, 2);
+        let r = VirtualExecutor::new(5).run_async(&bb, &init(&bounds, 10, 2), 45, &mut policy);
+        assert!(r.best_value() > 0.85, "EasyBO-A best {}", r.best_value());
+    }
+
+    #[test]
+    fn async_total_time_beats_sync_for_same_budget() {
+        // Same black box, same eval budget, same batch width: the async
+        // driver must finish sooner on heterogeneous costs.
+        let bb = bb_2d();
+        let bounds = bb.bounds().clone();
+        let exec = VirtualExecutor::new(5);
+        let mut async_policy = EasyBoAsyncPolicy::new(bounds.clone(), true, 3);
+        let r_async = exec.run_async(&bb, &init(&bounds, 10, 3), 50, &mut async_policy);
+        let mut sync_policy = crate::policies::EasyBoSyncPolicy::new(bounds.clone(), true, 3);
+        let r_sync = exec.run_sync(&bb, &init(&bounds, 10, 3), 50, &mut sync_policy);
+        assert!(
+            r_async.total_time() < r_sync.total_time(),
+            "async {} vs sync {}",
+            r_async.total_time(),
+            r_sync.total_time()
+        );
+    }
+
+    #[test]
+    fn penalization_diversifies_concurrent_queries() {
+        // Sparse data with a large unexplored gap: the plain policy's
+        // highest-uncertainty point sits in the gap center, right where a
+        // busy worker already is. Penalization must push the next query
+        // away from the busy point.
+        let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        let mut data = Dataset::new();
+        for x in [0.0, 0.05, 0.1, 0.9, 0.95, 1.0] {
+            data.push(vec![x], -(x - 0.5f64).powi(2));
+        }
+        let busy = vec![BusyPoint {
+            x: vec![0.5],
+            worker: 0,
+            finish_time: 100.0,
+        }];
+        let mut dist_pen = 0.0;
+        let mut dist_plain = 0.0;
+        let trials = 10;
+        for t in 0..trials {
+            let mut pen = EasyBoAsyncPolicy::new(bounds.clone(), true, 50 + t);
+            let mut plain = EasyBoAsyncPolicy::new(bounds.clone(), false, 50 + t);
+            dist_pen += (pen.select_next(&data, &busy)[0] - 0.5).abs();
+            dist_plain += (plain.select_next(&data, &busy)[0] - 0.5).abs();
+        }
+        assert!(
+            dist_pen > dist_plain,
+            "penalized mean distance {dist_pen} <= plain {dist_plain}"
+        );
+    }
+
+    #[test]
+    fn handles_duplicate_busy_points_gracefully() {
+        let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        let mut data = Dataset::new();
+        for i in 0..6 {
+            data.push(vec![i as f64 / 5.0], (i as f64).sin());
+        }
+        let busy: Vec<BusyPoint> = (0..4)
+            .map(|w| BusyPoint {
+                x: vec![0.5],
+                worker: w,
+                finish_time: 10.0,
+            })
+            .collect();
+        let mut policy = EasyBoAsyncPolicy::new(bounds.clone(), true, 9);
+        let x = policy.select_next(&data, &busy);
+        assert!(bounds.contains(&x));
+    }
+
+    #[test]
+    fn selections_stay_in_bounds() {
+        let bb = bb_2d();
+        let bounds = bb.bounds().clone();
+        let mut policy = EasyBoAsyncPolicy::new(bounds.clone(), true, 6);
+        let r = VirtualExecutor::new(3).run_async(&bb, &init(&bounds, 8, 6), 25, &mut policy);
+        for x in r.data.xs() {
+            assert!(bounds.contains(x), "{x:?}");
+        }
+    }
+}

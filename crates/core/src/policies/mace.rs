@@ -1,0 +1,215 @@
+//! MACE — batch BO via Multi-objective ACquisition Ensemble (Lyu et al.,
+//! ICML 2018), the synchronous baseline the paper's §II-C describes as
+//! "maintain[ing] diversity for each batch by sampling from the Pareto
+//! front of the multi-objective acquisition function ensemble".
+//!
+//! The ensemble is {EI, PI, UCB}. A candidate pool (space-filling probes
+//! plus local refinements of each single-acquisition maximizer) is scored
+//! on all three acquisitions; the non-dominated subset is the Pareto
+//! front; the batch is drawn uniformly from the front (topping up with the
+//! best-crowded dominated candidates if the front is small).
+
+use easybo_exec::{Dataset, SyncBatchPolicy};
+use easybo_opt::{sampling, Bounds};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+use crate::acquisition;
+use crate::policies::{AcqMaximizer, AcqOptConfig};
+use crate::surrogate::{SurrogateConfig, SurrogateManager};
+
+/// MACE synchronous batch policy.
+///
+/// # Example
+///
+/// ```
+/// use easybo::policies::MacePolicy;
+/// use easybo_exec::{CostedFunction, SimTimeModel, VirtualExecutor};
+/// use easybo_opt::{sampling, Bounds};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let bounds = Bounds::new(vec![(0.0, 1.0)])?;
+/// let time = SimTimeModel::new(&bounds, 5.0, 0.2, 0);
+/// let bb = CostedFunction::new("bump", bounds.clone(), time, |x: &[f64]| {
+///     -(x[0] - 0.4) * (x[0] - 0.4)
+/// });
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let init = sampling::latin_hypercube(&bounds, 5, &mut rng);
+/// let mut policy = MacePolicy::new(bounds, 7);
+/// let r = VirtualExecutor::new(3).run_sync(&bb, &init, 20, &mut policy);
+/// assert!(r.best_value() > -0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub struct MacePolicy {
+    surrogate: SurrogateManager,
+    maximizer: AcqMaximizer,
+    rng: StdRng,
+    pool_size: usize,
+    fallbacks: usize,
+}
+
+impl MacePolicy {
+    /// Creates a MACE policy with the default candidate pool size.
+    pub fn new(bounds: Bounds, seed: u64) -> Self {
+        let dim = bounds.dim();
+        MacePolicy {
+            surrogate: SurrogateManager::new(
+                bounds,
+                SurrogateConfig {
+                    seed,
+                    ..Default::default()
+                },
+            ),
+            maximizer: AcqMaximizer::new(dim, AcqOptConfig::for_dim(dim)),
+            rng: StdRng::seed_from_u64(seed ^ 0x3ace_0001),
+            pool_size: 256.max(32 * dim),
+            fallbacks: 0,
+        }
+    }
+
+    /// Surrogate-fit fallback count (should stay 0).
+    pub fn fallbacks(&self) -> usize {
+        self.fallbacks
+    }
+}
+
+/// Indices of the Pareto-optimal rows of `scores` (maximization in every
+/// column).
+pub(crate) fn pareto_front(scores: &[[f64; 3]]) -> Vec<usize> {
+    let dominates = |a: &[f64; 3], b: &[f64; 3]| {
+        a.iter().zip(b.iter()).all(|(x, y)| x >= y)
+            && a.iter().zip(b.iter()).any(|(x, y)| x > y)
+    };
+    (0..scores.len())
+        .filter(|&i| {
+            !scores
+                .iter()
+                .enumerate()
+                .any(|(j, s)| j != i && dominates(s, &scores[i]))
+        })
+        .collect()
+}
+
+impl SyncBatchPolicy for MacePolicy {
+    fn select_batch(&mut self, data: &Dataset, batch_size: usize) -> Vec<Vec<f64>> {
+        if data.is_empty() {
+            return (0..batch_size)
+                .map(|_| self.surrogate.bounds().sample_uniform(&mut self.rng))
+                .collect();
+        }
+        let gp = match self.surrogate.surrogate(data) {
+            Ok(gp) => gp.clone(),
+            Err(_) => {
+                self.fallbacks += 1;
+                return (0..batch_size)
+                    .map(|_| self.surrogate.bounds().sample_uniform(&mut self.rng))
+                    .collect();
+            }
+        };
+        let best = data.best_value();
+        let unit = Bounds::unit_cube(gp.dim()).expect("dim > 0");
+
+        // Candidate pool: LHS probes + the three single-acquisition optima.
+        let mut pool = sampling::latin_hypercube(&unit, self.pool_size, &mut self.rng);
+        for e in 0..3 {
+            let gp_ref = &gp;
+            let opt = self.maximizer.maximize(&mut self.rng, move |p| match e {
+                0 => acquisition::expected_improvement(gp_ref, p, best),
+                1 => acquisition::probability_of_improvement(gp_ref, p, best),
+                _ => acquisition::ucb(gp_ref, p, 2.0),
+            });
+            pool.push(opt);
+        }
+
+        // Score the ensemble.
+        let scores: Vec<[f64; 3]> = pool
+            .iter()
+            .map(|p| {
+                [
+                    acquisition::expected_improvement(&gp, p, best),
+                    acquisition::probability_of_improvement(&gp, p, best),
+                    acquisition::ucb(&gp, p, 2.0),
+                ]
+            })
+            .collect();
+        let mut front = pareto_front(&scores);
+        front.shuffle(&mut self.rng);
+
+        // Draw the batch from the front; top up from the rest of the pool
+        // if the front is smaller than the batch.
+        let mut batch: Vec<Vec<f64>> = front
+            .iter()
+            .take(batch_size)
+            .map(|&i| self.surrogate.from_unit(&pool[i]))
+            .collect();
+        while batch.len() < batch_size {
+            let i = self.rng.gen_range(0..pool.len());
+            batch.push(self.surrogate.from_unit(&pool[i]));
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easybo_exec::{BlackBox as _, CostedFunction, SimTimeModel, VirtualExecutor};
+
+    #[test]
+    fn pareto_front_of_known_points() {
+        // (3,1,1) and (1,3,1) and (1,1,3) are mutually non-dominated;
+        // (0.5,0.5,0.5) is dominated by all of them.
+        let scores = vec![
+            [3.0, 1.0, 1.0],
+            [1.0, 3.0, 1.0],
+            [1.0, 1.0, 3.0],
+            [0.5, 0.5, 0.5],
+        ];
+        let front = pareto_front(&scores);
+        assert_eq!(front, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pareto_front_single_dominator() {
+        let scores = vec![[1.0, 1.0, 1.0], [2.0, 2.0, 2.0]];
+        assert_eq!(pareto_front(&scores), vec![1]);
+    }
+
+    #[test]
+    fn pareto_front_all_equal_keeps_everything() {
+        let scores = vec![[1.0, 1.0, 1.0]; 4];
+        assert_eq!(pareto_front(&scores).len(), 4);
+    }
+
+    #[test]
+    fn mace_reaches_peak() {
+        let bounds = Bounds::new(vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        let time = SimTimeModel::new(&bounds, 10.0, 0.2, 0);
+        let bb = CostedFunction::new("peak", bounds.clone(), time, |x: &[f64]| {
+            (-((x[0] - 0.5).powi(2) + (x[1] + 0.5).powi(2))).exp()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let init = sampling::latin_hypercube(bb.bounds(), 10, &mut rng);
+        let mut policy = MacePolicy::new(bounds, 1);
+        let r = VirtualExecutor::new(5).run_sync(&bb, &init, 45, &mut policy);
+        assert!(r.best_value() > 0.85, "MACE best {}", r.best_value());
+        assert_eq!(policy.fallbacks(), 0);
+    }
+
+    #[test]
+    fn batch_size_is_always_honored() {
+        let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        let mut data = Dataset::new();
+        for i in 0..6 {
+            data.push(vec![i as f64 / 5.0], (i as f64).cos());
+        }
+        let mut policy = MacePolicy::new(bounds.clone(), 2);
+        for b in [1usize, 3, 8] {
+            let batch = policy.select_batch(&data, b);
+            assert_eq!(batch.len(), b);
+            assert!(batch.iter().all(|x| bounds.contains(x)));
+        }
+    }
+}

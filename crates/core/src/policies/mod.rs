@@ -1,0 +1,116 @@
+//! Batch-selection policies: EasyBO and every baseline from the paper.
+//!
+//! Each policy implements [`easybo_exec::SyncBatchPolicy`] (barrier-
+//! synchronized batches) and/or [`easybo_exec::AsyncPolicy`] (one point per
+//! idle worker, with busy-point visibility):
+//!
+//! | Paper label | Type | Mode | Penalization |
+//! |---|---|---|---|
+//! | EI / LCB / EasyBO (sequential) | [`SequentialBoPolicy`] | 1 worker | – |
+//! | pBO | [`PboPolicy`] (`high_coverage = false`) | sync | none |
+//! | pHCBO | [`PboPolicy`] (`high_coverage = true`) | sync | Eq. 6 distance term |
+//! | EasyBO-S | [`EasyBoSyncPolicy`] (`penalize = false`) | sync | none |
+//! | EasyBO-SP | [`EasyBoSyncPolicy`] (`penalize = true`) | sync | hallucinated σ̂ |
+//! | EasyBO-A | [`EasyBoAsyncPolicy`] (`penalize = false`) | async | none |
+//! | **EasyBO** | [`EasyBoAsyncPolicy`] (`penalize = true`) | async | hallucinated σ̂ |
+//! | BUCB (extension) | [`BucbPolicy`] | sync | hallucinated σ̂ |
+//! | Local Penalization (extension) | [`LocalPenalizationPolicy`] | sync | Lipschitz cones |
+//! | MACE (§II-C baseline) | [`MacePolicy`] | sync | Pareto-front diversity |
+
+mod asynchronous;
+mod extensions;
+mod mace;
+mod penalization;
+mod portfolio;
+mod sequential;
+mod sync;
+
+pub use asynchronous::EasyBoAsyncPolicy;
+pub use extensions::{BucbPolicy, LocalPenalizationPolicy};
+pub use mace::MacePolicy;
+pub use penalization::PenalizationMode;
+pub use portfolio::{PortfolioPolicy, ThompsonSamplingPolicy};
+pub use sequential::{SequentialAcquisition, SequentialBoPolicy};
+pub use sync::{EasyBoSyncPolicy, PboPolicy};
+
+use easybo_opt::{Bounds, MultiStartMaximizer};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Sizing of the inner acquisition maximization (random probes + local
+/// Nelder–Mead refinement over the unit cube).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcqOptConfig {
+    /// Random probe count (default `max(256, 48·d)` via [`AcqOptConfig::for_dim`]).
+    pub probes: usize,
+    /// Local refinements of the top seeds (default 3).
+    pub starts: usize,
+    /// Nelder–Mead evaluations per refinement (default 120).
+    pub refine_evals: usize,
+}
+
+impl Default for AcqOptConfig {
+    fn default() -> Self {
+        AcqOptConfig {
+            probes: 384,
+            starts: 3,
+            refine_evals: 120,
+        }
+    }
+}
+
+impl AcqOptConfig {
+    /// Scales probe count and refinement budget with dimensionality; the
+    /// setting every built-in policy constructor uses.
+    pub fn for_dim(d: usize) -> Self {
+        AcqOptConfig {
+            probes: 320.max(44 * d),
+            starts: 3,
+            refine_evals: 100.max(14 * d),
+        }
+    }
+}
+
+/// Shared acquisition-maximization helper: all policies optimize over the
+/// unit cube the GP is trained on.
+pub(crate) struct AcqMaximizer {
+    unit: Bounds,
+    inner: MultiStartMaximizer,
+}
+
+impl AcqMaximizer {
+    pub(crate) fn new(dim: usize, config: AcqOptConfig) -> Self {
+        AcqMaximizer {
+            unit: Bounds::unit_cube(dim).expect("dim > 0"),
+            inner: MultiStartMaximizer::new(config.probes, config.starts, config.refine_evals),
+        }
+    }
+
+    /// Maximizes `f` over the unit cube; returns unit coordinates.
+    pub(crate) fn maximize(&self, rng: &mut StdRng, f: impl Fn(&[f64]) -> f64) -> Vec<f64> {
+        self.inner.maximize(&self.unit, rng, f).x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn acq_opt_config_scales_with_dim() {
+        let small = AcqOptConfig::for_dim(2);
+        let large = AcqOptConfig::for_dim(12);
+        assert!(large.probes > small.probes);
+        assert_eq!(small.starts, 3);
+    }
+
+    #[test]
+    fn maximizer_finds_unit_cube_peak() {
+        let m = AcqMaximizer::new(2, AcqOptConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = m.maximize(&mut rng, |p| -(p[0] - 0.8).powi(2) - (p[1] - 0.2).powi(2));
+        assert!((x[0] - 0.8).abs() < 1e-2);
+        assert!((x[1] - 0.2).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Sequential (one-point-at-a-time) Bayesian optimization policies: the
+//! paper's EI, LCB and sequential-EasyBO baselines.
+
+use easybo_exec::{AsyncPolicy, BusyPoint, Dataset};
+use easybo_opt::Bounds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::acquisition;
+use crate::policies::{AcqMaximizer, AcqOptConfig};
+use crate::surrogate::{SurrogateConfig, SurrogateManager};
+use crate::weight::sample_kappa_weight;
+
+/// Which sequential acquisition to use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SequentialAcquisition {
+    /// Expected improvement (Mockus et al.).
+    Ei,
+    /// Probability of improvement (Kushner).
+    Pi,
+    /// GP-UCB, the paper's "LCB" optimistic strategy.
+    Ucb {
+        /// Exploration multiplier κ.
+        kappa: f64,
+    },
+    /// EasyBO's randomized-weight acquisition (Eq. 8) in sequential mode.
+    EasyBo {
+        /// κ sampling range `[0, λ]` (paper: 6.0).
+        lambda: f64,
+    },
+}
+
+/// Sequential BO policy: drives [`easybo_exec::VirtualExecutor::run_sequential`]
+/// (or any 1-worker executor).
+///
+/// # Example
+///
+/// ```
+/// use easybo::policies::{SequentialAcquisition, SequentialBoPolicy};
+/// use easybo_exec::{CostedFunction, SimTimeModel, VirtualExecutor};
+/// use easybo_opt::{sampling, Bounds};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let bounds = Bounds::new(vec![(-2.0, 2.0)])?;
+/// let time = SimTimeModel::new(&bounds, 10.0, 0.1, 0);
+/// let bb = CostedFunction::new("parabola", bounds.clone(), time, |x: &[f64]| {
+///     -(x[0] - 0.7) * (x[0] - 0.7)
+/// });
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let init = sampling::latin_hypercube(&bounds, 6, &mut rng);
+/// let mut policy = SequentialBoPolicy::new(bounds, SequentialAcquisition::Ei, 42);
+/// let result = VirtualExecutor::run_sequential(&bb, &init, 25, &mut policy);
+/// assert!(result.best_value() > -0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SequentialBoPolicy {
+    surrogate: SurrogateManager,
+    acquisition: SequentialAcquisition,
+    maximizer: AcqMaximizer,
+    rng: StdRng,
+    fallbacks: usize,
+}
+
+impl SequentialBoPolicy {
+    /// Creates a sequential policy with default surrogate settings.
+    pub fn new(bounds: Bounds, acquisition: SequentialAcquisition, seed: u64) -> Self {
+        let dim = bounds.dim();
+        Self::with_configs(
+            bounds,
+            acquisition,
+            seed,
+            SurrogateConfig::default(),
+            AcqOptConfig::for_dim(dim),
+        )
+    }
+
+    /// Creates a sequential policy with explicit surrogate and acquisition-
+    /// optimizer settings.
+    pub fn with_configs(
+        bounds: Bounds,
+        acquisition: SequentialAcquisition,
+        seed: u64,
+        surrogate: SurrogateConfig,
+        acq_opt: AcqOptConfig,
+    ) -> Self {
+        let dim = bounds.dim();
+        let surrogate = SurrogateManager::new(
+            bounds,
+            SurrogateConfig {
+                seed,
+                ..surrogate
+            },
+        );
+        SequentialBoPolicy {
+            surrogate,
+            acquisition,
+            maximizer: AcqMaximizer::new(dim, acq_opt),
+            rng: StdRng::seed_from_u64(seed ^ 0xa5a5_1234),
+            fallbacks: 0,
+        }
+    }
+
+    /// How many times the policy had to fall back to random sampling
+    /// because the surrogate could not be fitted (should stay 0).
+    pub fn fallbacks(&self) -> usize {
+        self.fallbacks
+    }
+}
+
+impl AsyncPolicy for SequentialBoPolicy {
+    fn select_next(&mut self, data: &Dataset, _busy: &[BusyPoint]) -> Vec<f64> {
+        if data.is_empty() {
+            // More workers than initial points: nothing observed yet.
+            return self.surrogate.bounds().sample_uniform(&mut self.rng);
+        }
+        let gp = match self.surrogate.surrogate(data) {
+            Ok(gp) => gp.clone(),
+            Err(_) => {
+                self.fallbacks += 1;
+                return self.surrogate.bounds().sample_uniform(&mut self.rng);
+            }
+        };
+        let best = data.best_value();
+        let acq = self.acquisition;
+        let w = match acq {
+            SequentialAcquisition::EasyBo { lambda } => {
+                sample_kappa_weight(lambda, &mut self.rng)
+            }
+            _ => 0.0,
+        };
+        let u = self.maximizer.maximize(&mut self.rng, |p| match acq {
+            SequentialAcquisition::Ei => acquisition::expected_improvement(&gp, p, best),
+            SequentialAcquisition::Pi => acquisition::probability_of_improvement(&gp, p, best),
+            SequentialAcquisition::Ucb { kappa } => acquisition::ucb(&gp, p, kappa),
+            SequentialAcquisition::EasyBo { .. } => acquisition::weighted(&gp, p, w),
+        });
+        self.surrogate.from_unit(&u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easybo_exec::{CostedFunction, SimTimeModel, VirtualExecutor};
+    use easybo_opt::sampling;
+
+    fn run(acq: SequentialAcquisition, seed: u64) -> f64 {
+        let bounds = Bounds::new(vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        let time = SimTimeModel::new(&bounds, 10.0, 0.1, 0);
+        let bb = CostedFunction::new("peak", bounds.clone(), time, |x: &[f64]| {
+            // Single smooth peak at (0.5, -0.5).
+            (-((x[0] - 0.5).powi(2) + (x[1] + 0.5).powi(2))).exp()
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = sampling::latin_hypercube(&bounds, 8, &mut rng);
+        let mut policy = SequentialBoPolicy::new(bounds, acq, seed);
+        let r = VirtualExecutor::run_sequential(&bb, &init, 35, &mut policy);
+        assert_eq!(policy.fallbacks(), 0);
+        r.best_value()
+    }
+
+    #[test]
+    fn ei_converges_to_peak() {
+        assert!(run(SequentialAcquisition::Ei, 3) > 0.95);
+    }
+
+    #[test]
+    fn ucb_converges_to_peak() {
+        assert!(run(SequentialAcquisition::Ucb { kappa: 2.0 }, 4) > 0.95);
+    }
+
+    #[test]
+    fn easybo_sequential_converges_to_peak() {
+        assert!(run(SequentialAcquisition::EasyBo { lambda: 6.0 }, 5) > 0.95);
+    }
+
+    #[test]
+    fn pi_makes_progress() {
+        // PI is greedier; just require clear improvement over random init.
+        assert!(run(SequentialAcquisition::Pi, 6) > 0.8);
+    }
+
+    #[test]
+    fn bo_beats_random_search_at_equal_budget() {
+        let bounds = Bounds::new(vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        let f = |x: &[f64]| (-((x[0] - 0.5).powi(2) + (x[1] + 0.5).powi(2))).exp();
+        let mut rng = StdRng::seed_from_u64(11);
+        let random_best = (0..35)
+            .map(|_| f(&bounds.sample_uniform(&mut rng)))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let bo_best = run(SequentialAcquisition::Ei, 11);
+        assert!(
+            bo_best >= random_best,
+            "BO {bo_best} vs random {random_best}"
+        );
+    }
+}

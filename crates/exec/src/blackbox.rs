@@ -1,0 +1,126 @@
+use easybo_opt::Bounds;
+
+use crate::sim_time::SimTimeModel;
+
+/// The outcome of one black-box evaluation: the observed objective value and
+/// the (virtual) seconds of simulator time it consumed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Observed objective value (maximization).
+    pub value: f64,
+    /// Simulation cost in seconds.
+    pub cost: f64,
+}
+
+/// An expensive black-box objective: the only interface the optimizers see,
+/// mirroring how the paper's algorithms see HSPICE.
+pub trait BlackBox: Send + Sync {
+    /// The design space.
+    fn bounds(&self) -> &Bounds;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "black-box"
+    }
+
+    /// Evaluates the objective at `x`, reporting value and simulation cost.
+    fn evaluate(&self, x: &[f64]) -> Evaluation;
+}
+
+/// Adapts a plain `Fn(&[f64]) -> f64` objective plus a [`SimTimeModel`]
+/// into a [`BlackBox`].
+///
+/// # Example
+///
+/// ```
+/// use easybo_exec::{BlackBox, CostedFunction, SimTimeModel};
+/// use easybo_opt::Bounds;
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let bounds = Bounds::unit_cube(2)?;
+/// let time = SimTimeModel::new(&bounds, 40.0, 0.17, 7);
+/// let bb = CostedFunction::new("sphere", bounds, time, |x: &[f64]| {
+///     -(x[0] * x[0] + x[1] * x[1])
+/// });
+/// let e = bb.evaluate(&[0.3, 0.4]);
+/// assert_eq!(e.value, -0.25);
+/// assert!(e.cost > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CostedFunction<F> {
+    name: String,
+    bounds: Bounds,
+    time: SimTimeModel,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> f64 + Send + Sync> CostedFunction<F> {
+    /// Wraps `f` with the given bounds and cost model.
+    pub fn new(name: impl Into<String>, bounds: Bounds, time: SimTimeModel, f: F) -> Self {
+        CostedFunction {
+            name: name.into(),
+            bounds,
+            time,
+            f,
+        }
+    }
+
+    /// The cost model in use.
+    pub fn time_model(&self) -> &SimTimeModel {
+        &self.time
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64 + Send + Sync> BlackBox for CostedFunction<F> {
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        Evaluation {
+            value: (self.f)(x),
+            cost: self.time.cost(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costed_function_reports_name_and_bounds() {
+        let bounds = Bounds::unit_cube(1).unwrap();
+        let time = SimTimeModel::new(&bounds, 10.0, 0.1, 1);
+        let bb = CostedFunction::new("toy", bounds.clone(), time, |x: &[f64]| x[0]);
+        assert_eq!(bb.name(), "toy");
+        assert_eq!(bb.bounds(), &bounds);
+        let e = bb.evaluate(&[0.5]);
+        assert_eq!(e.value, 0.5);
+        assert!(e.cost > 5.0 && e.cost < 15.0);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let bounds = Bounds::unit_cube(3).unwrap();
+        let time = SimTimeModel::new(&bounds, 30.0, 0.2, 9);
+        let bb = CostedFunction::new("det", bounds, time, |x: &[f64]| x.iter().sum());
+        let a = bb.evaluate(&[0.1, 0.2, 0.3]);
+        let b = bb.evaluate(&[0.1, 0.2, 0.3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blackbox_is_object_safe() {
+        let bounds = Bounds::unit_cube(1).unwrap();
+        let time = SimTimeModel::new(&bounds, 1.0, 0.0, 0);
+        let bb = CostedFunction::new("obj", bounds, time, |x: &[f64]| x[0]);
+        let dyn_bb: &dyn BlackBox = &bb;
+        assert_eq!(dyn_bb.evaluate(&[1.0]).value, 1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Evaluation executors for batch Bayesian optimization.
+//!
+//! The paper's central claim is about **wall-clock time**: synchronous batch
+//! BO wastes hardware because every worker waits for the slowest simulation
+//! in the batch, while EasyBO issues a new query the moment a worker idles
+//! (§III-A, Fig. 1). Reproducing Tables I/II therefore needs faithful
+//! schedule accounting, which this crate provides twice over:
+//!
+//! * [`VirtualExecutor`] — a deterministic discrete-event engine over a
+//!   virtual clock. Simulation durations come from a parameter-dependent
+//!   [`SimTimeModel`] (HSPICE runtimes vary with the design point); the
+//!   sync/sequential/async drivers reproduce exactly the scheduling
+//!   arithmetic of the paper's testbed in microseconds of real time.
+//! * [`ThreadedExecutor`] — a real multi-threaded executor (crossbeam
+//!   channels + OS threads) for production use of the library, where the
+//!   black box is genuinely expensive.
+//!
+//! Selection logic stays out of this crate: drivers call back into
+//! [`SyncBatchPolicy`] / [`AsyncPolicy`] implementations (provided by the
+//! `easybo` core crate) whenever they need new query points.
+
+mod blackbox;
+mod dataset;
+mod schedule;
+mod sim_time;
+mod threaded;
+mod trace;
+mod virtual_exec;
+
+pub use blackbox::{BlackBox, CostedFunction, Evaluation};
+pub use dataset::{BusyPoint, Dataset};
+pub use schedule::{Schedule, TaskSpan};
+pub use sim_time::SimTimeModel;
+pub use threaded::ThreadedExecutor;
+pub use trace::{RunTrace, TracePoint};
+pub use virtual_exec::{AsyncPolicy, RunResult, SyncBatchPolicy, VirtualExecutor};

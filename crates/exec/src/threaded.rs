@@ -1,0 +1,275 @@
+//! Real multi-threaded asynchronous executor.
+//!
+//! The [`crate::VirtualExecutor`] reproduces the paper's wall-clock
+//! arithmetic in microseconds; this executor is the production path, where
+//! the black box is genuinely expensive (an actual simulator invocation).
+//! Worker threads pull jobs from a crossbeam channel; the coordinator runs
+//! the policy and keeps at most one job in flight per worker.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+
+use crate::{BlackBox, BusyPoint, Dataset, RunResult, RunTrace, Schedule};
+use crate::virtual_exec::AsyncPolicy;
+
+/// Multi-threaded asynchronous executor.
+///
+/// `time_scale` (seconds of real sleep per second of reported evaluation
+/// cost) lets tests and demos emulate heterogeneous simulator runtimes
+/// without actually burning them; pass `0.0` to run at full speed.
+///
+/// # Example
+///
+/// ```
+/// use easybo_exec::{CostedFunction, Dataset, BusyPoint, SimTimeModel, ThreadedExecutor};
+/// use easybo_exec::AsyncPolicy;
+/// use easybo_opt::Bounds;
+///
+/// struct Center;
+/// impl AsyncPolicy for Center {
+///     fn select_next(&mut self, _d: &Dataset, _b: &[BusyPoint]) -> Vec<f64> {
+///         vec![0.5]
+///     }
+/// }
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let bounds = Bounds::unit_cube(1)?;
+/// let time = SimTimeModel::new(&bounds, 10.0, 0.2, 1);
+/// let bb = CostedFunction::new("toy", bounds, time, |x: &[f64]| x[0]);
+/// let exec = ThreadedExecutor::new(4, 1e-5); // 10µs per virtual second
+/// let result = exec.run_async(&bb, &[vec![0.9]], 8, &mut Center);
+/// assert_eq!(result.data.len(), 8);
+/// assert!(result.best_value() >= 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadedExecutor {
+    workers: usize,
+    time_scale: f64,
+}
+
+/// Job sent to a worker thread.
+struct Job {
+    task: usize,
+    x: Vec<f64>,
+}
+
+/// Result returned by a worker thread.
+struct Done {
+    worker: usize,
+    task: usize,
+    x: Vec<f64>,
+    value: f64,
+    started_at: Duration,
+    finished_at: Duration,
+}
+
+impl ThreadedExecutor {
+    /// Creates an executor with `workers` OS threads and the given
+    /// real-time scale for evaluation costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `time_scale` is negative/non-finite.
+    pub fn new(workers: usize, time_scale: f64) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(
+            time_scale.is_finite() && time_scale >= 0.0,
+            "time_scale must be a non-negative finite number"
+        );
+        ThreadedExecutor {
+            workers,
+            time_scale,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs asynchronous optimization on real threads. Semantics match
+    /// [`crate::VirtualExecutor::run_async`], except times in the returned
+    /// trace/schedule are *real elapsed seconds* and
+    /// [`BusyPoint::finish_time`] is `NaN` (unknown until completion).
+    pub fn run_async(
+        &self,
+        bb: &(dyn BlackBox + Sync),
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn AsyncPolicy,
+    ) -> RunResult {
+        let epoch = Instant::now();
+        let mut data = Dataset::new();
+        let mut trace = RunTrace::new();
+        let mut schedule = Schedule::new(self.workers);
+        let mut busy: Vec<BusyPoint> = Vec::new();
+        let mut pending: std::collections::VecDeque<Vec<f64>> =
+            init.iter().take(max_evals).cloned().collect();
+        let mut issued = 0usize;
+        let mut completed = 0usize;
+
+        let (job_tx, job_rx) = channel::unbounded::<Job>();
+        let (done_tx, done_rx) = channel::unbounded::<Done>();
+
+        crossbeam::scope(|scope| {
+            for w in 0..self.workers {
+                let job_rx = job_rx.clone();
+                let done_tx = done_tx.clone();
+                let scale = self.time_scale;
+                scope.spawn(move |_| {
+                    while let Ok(job) = job_rx.recv() {
+                        let started_at = epoch.elapsed();
+                        let e = bb.evaluate(&job.x);
+                        if scale > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(e.cost * scale));
+                        }
+                        let finished_at = epoch.elapsed();
+                        if done_tx
+                            .send(Done {
+                                worker: w,
+                                task: job.task,
+                                x: job.x,
+                                value: e.value,
+                                started_at,
+                                finished_at,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(done_tx); // workers hold the remaining clones
+
+            // Prime the pipeline: one in-flight job per worker.
+            let issue =
+                |data: &Dataset,
+                 busy: &mut Vec<BusyPoint>,
+                 pending: &mut std::collections::VecDeque<Vec<f64>>,
+                 issued: &mut usize,
+                 policy: &mut dyn AsyncPolicy| {
+                    let x = pending
+                        .pop_front()
+                        .unwrap_or_else(|| policy.select_next(data, busy));
+                    busy.push(BusyPoint {
+                        x: x.clone(),
+                        worker: *issued % self.workers, // slot hint
+                        finish_time: f64::NAN,
+                    });
+                    job_tx
+                        .send(Job { task: *issued, x })
+                        .expect("workers alive while issuing");
+                    *issued += 1;
+                };
+            for _ in 0..self.workers.min(max_evals) {
+                issue(&data, &mut busy, &mut pending, &mut issued, policy);
+            }
+
+            while completed < issued {
+                let done = done_rx.recv().expect("a worker finished");
+                busy.retain(|bp| bp.x != done.x || bp.x.is_empty());
+                schedule.add(
+                    done.worker,
+                    done.task,
+                    done.started_at.as_secs_f64(),
+                    done.finished_at.as_secs_f64(),
+                );
+                data.push(done.x, done.value);
+                // Real threads can complete out of order in real time; the
+                // trace requires monotone timestamps, so clamp.
+                let t = done.finished_at.as_secs_f64().max(trace.total_time());
+                trace.record(t, done.value);
+                completed += 1;
+                if issued < max_evals {
+                    issue(&data, &mut busy, &mut pending, &mut issued, policy);
+                }
+            }
+            drop(job_tx); // signal workers to exit
+        })
+        .expect("no worker thread panicked");
+
+        RunResult {
+            data,
+            trace,
+            schedule,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostedFunction, SimTimeModel};
+    use easybo_opt::Bounds;
+
+    struct Walker(f64);
+    impl AsyncPolicy for Walker {
+        fn select_next(&mut self, _d: &Dataset, _b: &[BusyPoint]) -> Vec<f64> {
+            self.0 = (self.0 + 0.1) % 1.0;
+            vec![self.0]
+        }
+    }
+
+    fn bb() -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync> {
+        let bounds = Bounds::unit_cube(1).unwrap();
+        let time = SimTimeModel::new(&bounds, 100.0, 0.4, 3);
+        CostedFunction::new("toy", bounds, time, |x: &[f64]| 1.0 - (x[0] - 0.7).abs())
+    }
+
+    #[test]
+    fn runs_exact_count_and_finds_values() {
+        let exec = ThreadedExecutor::new(4, 0.0);
+        let r = exec.run_async(&bb(), &[vec![0.7]], 13, &mut Walker(0.0));
+        assert_eq!(r.data.len(), 13);
+        assert_eq!(r.trace.len(), 13);
+        assert!((r.best_value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn honors_max_evals_below_worker_count() {
+        let exec = ThreadedExecutor::new(8, 0.0);
+        let r = exec.run_async(&bb(), &[], 3, &mut Walker(0.0));
+        assert_eq!(r.data.len(), 3);
+    }
+
+    #[test]
+    fn sleep_scale_emulates_heterogeneous_times() {
+        // With a scale of 50µs per virtual second and costs of ~60-140s,
+        // the run takes a measurable but tiny amount of real time.
+        let exec = ThreadedExecutor::new(2, 5e-5);
+        let start = std::time::Instant::now();
+        let r = exec.run_async(&bb(), &[], 6, &mut Walker(0.0));
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(r.data.len(), 6);
+        assert!(elapsed > 5e-3, "sleeps should be observable: {elapsed}");
+        assert!(r.schedule.makespan() > 0.0);
+    }
+
+    #[test]
+    fn policy_sees_busy_points_in_threaded_mode() {
+        struct Spy(Vec<usize>);
+        impl AsyncPolicy for Spy {
+            fn select_next(&mut self, _d: &Dataset, b: &[BusyPoint]) -> Vec<f64> {
+                self.0.push(b.len());
+                vec![0.4]
+            }
+        }
+        let exec = ThreadedExecutor::new(3, 1e-5);
+        let mut spy = Spy(Vec::new());
+        let _ = exec.run_async(&bb(), &[vec![0.1], vec![0.2], vec![0.3]], 9, &mut spy);
+        assert!(!spy.0.is_empty());
+        // At selection time the other workers are (still) busy.
+        assert!(spy.0.iter().all(|&n| n <= 3));
+        assert!(spy.0.iter().any(|&n| n >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = ThreadedExecutor::new(0, 0.0);
+    }
+}

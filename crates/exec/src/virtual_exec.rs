@@ -1,0 +1,467 @@
+//! Deterministic discrete-event executors over a virtual clock.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::{BlackBox, BusyPoint, Dataset, RunTrace, Schedule};
+
+/// Batch-selection callback for the synchronous driver: given everything
+/// observed so far, propose the next batch of query points.
+pub trait SyncBatchPolicy {
+    /// Proposes up to `batch_size` query points. Returning fewer than
+    /// `batch_size` points is allowed; returning an empty batch ends the run.
+    fn select_batch(&mut self, data: &Dataset, batch_size: usize) -> Vec<Vec<f64>>;
+}
+
+/// Point-selection callback for the asynchronous driver: called whenever a
+/// worker becomes idle, with the observed data *and* the points still under
+/// evaluation (for penalization).
+pub trait AsyncPolicy {
+    /// Proposes the next query point for the idle worker.
+    fn select_next(&mut self, data: &Dataset, busy: &[BusyPoint]) -> Vec<f64>;
+}
+
+/// Blanket impl so closures can serve as synchronous policies in tests.
+impl<F: FnMut(&Dataset, usize) -> Vec<Vec<f64>>> SyncBatchPolicy for F {
+    fn select_batch(&mut self, data: &Dataset, batch_size: usize) -> Vec<Vec<f64>> {
+        self(data, batch_size)
+    }
+}
+
+/// Outcome of an executor run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// All completed observations in completion order.
+    pub data: Dataset,
+    /// Best-so-far timeline.
+    pub trace: RunTrace,
+    /// Worker occupancy record.
+    pub schedule: Schedule,
+}
+
+impl RunResult {
+    /// Best observed value.
+    pub fn best_value(&self) -> f64 {
+        self.data.best_value()
+    }
+
+    /// Total virtual wall-clock of the run (seconds).
+    pub fn total_time(&self) -> f64 {
+        self.schedule.makespan()
+    }
+}
+
+/// Discrete-event executor over a virtual clock with a fixed worker pool.
+///
+/// # Example
+///
+/// ```
+/// use easybo_exec::{CostedFunction, SimTimeModel, VirtualExecutor, Dataset};
+/// use easybo_opt::Bounds;
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let bounds = Bounds::unit_cube(1)?;
+/// let time = SimTimeModel::new(&bounds, 10.0, 0.3, 5);
+/// let bb = CostedFunction::new("toy", bounds.clone(), time, |x: &[f64]| x[0]);
+/// let exec = VirtualExecutor::new(3);
+/// // A trivial "policy": always query the center.
+/// let mut policy = |_data: &Dataset, b: usize| vec![vec![0.5]; b];
+/// let init = vec![vec![0.1], vec![0.9]];
+/// let result = exec.run_sync(&bb, &init, 8, &mut policy);
+/// assert_eq!(result.data.len(), 8);
+/// assert!(result.best_value() >= 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualExecutor {
+    workers: usize,
+}
+
+/// Heap entry for the async driver, ordered earliest-first with worker-id
+/// tie-breaking for determinism.
+#[derive(Debug)]
+struct FinishEvent {
+    time: f64,
+    worker: usize,
+    task: usize,
+    x: Vec<f64>,
+    value: f64,
+}
+
+impl PartialEq for FinishEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for FinishEvent {}
+impl PartialOrd for FinishEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FinishEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.worker.cmp(&self.worker))
+            .then(other.task.cmp(&self.task))
+    }
+}
+
+impl VirtualExecutor {
+    /// Creates an executor with the given number of parallel workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        VirtualExecutor { workers }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs **synchronous batch** optimization: evaluates `init` points in
+    /// barrier-synchronized rounds, then repeatedly asks the policy for a
+    /// batch, evaluates it in parallel, and advances the clock by the
+    /// *slowest* evaluation of each round. Results become visible to the
+    /// policy only at the barrier.
+    ///
+    /// `max_evals` counts total evaluations including the initial design.
+    pub fn run_sync(
+        &self,
+        bb: &dyn BlackBox,
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn SyncBatchPolicy,
+    ) -> RunResult {
+        let b = self.workers;
+        let mut data = Dataset::new();
+        let mut trace = RunTrace::new();
+        let mut schedule = Schedule::new(b);
+        let mut t = 0.0f64;
+        let mut task = 0usize;
+        let mut pending: VecDeque<Vec<f64>> =
+            init.iter().take(max_evals).cloned().collect();
+
+        while data.len() < max_evals {
+            let remaining = max_evals - data.len();
+            let round: Vec<Vec<f64>> = if pending.is_empty() {
+                policy.select_batch(&data, b.min(remaining))
+            } else {
+                let take = b.min(remaining).min(pending.len());
+                pending.drain(..take).collect()
+            };
+            if round.is_empty() {
+                break;
+            }
+            let evals: Vec<crate::Evaluation> =
+                round.iter().map(|x| bb.evaluate(x)).collect();
+            let round_time = evals.iter().map(|e| e.cost).fold(0.0, f64::max);
+            for (w, (x, e)) in round.iter().zip(evals.iter()).enumerate() {
+                schedule.add(w % b, task, t, t + e.cost);
+                task += 1;
+                let _ = x;
+            }
+            t += round_time;
+            // Results are revealed at the barrier.
+            for (x, e) in round.into_iter().zip(evals) {
+                data.push(x, e.value);
+                trace.record(t, e.value);
+            }
+            // Mark the barrier in the schedule by stretching nothing — the
+            // idle gap is implicit in the next round's start time.
+        }
+        RunResult {
+            data,
+            trace,
+            schedule,
+        }
+    }
+
+    /// Runs **asynchronous batch** optimization: whenever any worker
+    /// finishes, its result is committed and the policy immediately proposes
+    /// a replacement point (seeing the current busy set for penalization).
+    ///
+    /// `max_evals` counts total evaluations including the initial design.
+    pub fn run_async(
+        &self,
+        bb: &dyn BlackBox,
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn AsyncPolicy,
+    ) -> RunResult {
+        let b = self.workers;
+        let mut data = Dataset::new();
+        let mut trace = RunTrace::new();
+        let mut schedule = Schedule::new(b);
+        let mut pending: VecDeque<Vec<f64>> =
+            init.iter().take(max_evals).cloned().collect();
+        let mut busy: Vec<BusyPoint> = Vec::new();
+        let mut heap: BinaryHeap<FinishEvent> = BinaryHeap::new();
+        let mut issued = 0usize;
+
+        let start =
+            |worker: usize,
+             now: f64,
+             data: &Dataset,
+             busy: &mut Vec<BusyPoint>,
+             pending: &mut VecDeque<Vec<f64>>,
+             heap: &mut BinaryHeap<FinishEvent>,
+             schedule: &mut Schedule,
+             issued: &mut usize,
+             policy: &mut dyn AsyncPolicy| {
+                let x = pending
+                    .pop_front()
+                    .unwrap_or_else(|| policy.select_next(data, busy));
+                let e = bb.evaluate(&x);
+                let finish = now + e.cost;
+                schedule.add(worker, *issued, now, finish);
+                busy.push(BusyPoint {
+                    x: x.clone(),
+                    worker,
+                    finish_time: finish,
+                });
+                heap.push(FinishEvent {
+                    time: finish,
+                    worker,
+                    task: *issued,
+                    x,
+                    value: e.value,
+                });
+                *issued += 1;
+            };
+
+        for w in 0..b {
+            if issued >= max_evals {
+                break;
+            }
+            start(
+                w,
+                0.0,
+                &data,
+                &mut busy,
+                &mut pending,
+                &mut heap,
+                &mut schedule,
+                &mut issued,
+                policy,
+            );
+        }
+        while let Some(ev) = heap.pop() {
+            busy.retain(|bp| bp.worker != ev.worker);
+            data.push(ev.x, ev.value);
+            trace.record(ev.time, ev.value);
+            if issued < max_evals {
+                start(
+                    ev.worker,
+                    ev.time,
+                    &data,
+                    &mut busy,
+                    &mut pending,
+                    &mut heap,
+                    &mut schedule,
+                    &mut issued,
+                    policy,
+                );
+            }
+        }
+        RunResult {
+            data,
+            trace,
+            schedule,
+        }
+    }
+
+    /// Runs **sequential** optimization (one worker, one point at a time):
+    /// equivalent to [`VirtualExecutor::run_async`] with a single worker.
+    pub fn run_sequential(
+        bb: &dyn BlackBox,
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn AsyncPolicy,
+    ) -> RunResult {
+        VirtualExecutor::new(1).run_async(bb, init, max_evals, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostedFunction, SimTimeModel};
+    use easybo_opt::Bounds;
+
+    fn toy_bb(spread: f64) -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync> {
+        let bounds = Bounds::unit_cube(1).unwrap();
+        let time = SimTimeModel::new(&bounds, 10.0, spread, 5);
+        CostedFunction::new("toy", bounds, time, |x: &[f64]| x[0])
+    }
+
+    struct CenterPolicy;
+    impl AsyncPolicy for CenterPolicy {
+        fn select_next(&mut self, _d: &Dataset, _b: &[BusyPoint]) -> Vec<f64> {
+            vec![0.5]
+        }
+    }
+
+    /// Policy that records the busy sets it is shown.
+    struct SpyPolicy {
+        seen_busy_sizes: Vec<usize>,
+    }
+    impl AsyncPolicy for SpyPolicy {
+        fn select_next(&mut self, _d: &Dataset, busy: &[BusyPoint]) -> Vec<f64> {
+            self.seen_busy_sizes.push(busy.len());
+            vec![0.25]
+        }
+    }
+
+    #[test]
+    fn sync_runs_exact_eval_count() {
+        let bb = toy_bb(0.3);
+        let exec = VirtualExecutor::new(4);
+        let mut policy = |_d: &Dataset, b: usize| vec![vec![0.5]; b];
+        let init = vec![vec![0.1], vec![0.2], vec![0.3]];
+        let r = exec.run_sync(&bb, &init, 11, &mut policy);
+        assert_eq!(r.data.len(), 11);
+        assert_eq!(r.trace.len(), 11);
+        assert_eq!(r.schedule.spans().len(), 11);
+    }
+
+    #[test]
+    fn sync_clock_advances_by_round_maximum() {
+        let bb = toy_bb(0.3);
+        let exec = VirtualExecutor::new(2);
+        let mut policy = |_d: &Dataset, b: usize| {
+            (0..b).map(|i| vec![i as f64 / 10.0]).collect::<Vec<_>>()
+        };
+        let r = exec.run_sync(&bb, &[], 4, &mut policy);
+        // Two rounds; the barrier time of each round is the max of its costs.
+        let times: Vec<f64> = r.trace.points().iter().map(|p| p.time).collect();
+        assert_eq!(times[0], times[1], "round 1 results share a barrier");
+        assert_eq!(times[2], times[3], "round 2 results share a barrier");
+        assert!(times[2] > times[0]);
+    }
+
+    #[test]
+    fn async_runs_exact_eval_count() {
+        let bb = toy_bb(0.3);
+        let exec = VirtualExecutor::new(4);
+        let mut policy = CenterPolicy;
+        let r = exec.run_async(&bb, &[vec![0.1]], 9, &mut policy);
+        assert_eq!(r.data.len(), 9);
+        assert_eq!(r.trace.len(), 9);
+    }
+
+    #[test]
+    fn async_is_never_slower_than_sync_for_same_work() {
+        // Same black box, same number of evals, heterogeneous costs.
+        let bb = toy_bb(0.3);
+        let init: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 / 5.0]).collect();
+        let exec = VirtualExecutor::new(5);
+        let mut sync_policy = |_d: &Dataset, b: usize| {
+            (0..b).map(|i| vec![(i as f64 + 0.3) / 10.0]).collect::<Vec<_>>()
+        };
+        let sync = exec.run_sync(&bb, &init, 40, &mut sync_policy);
+        struct Seq(usize);
+        impl AsyncPolicy for Seq {
+            fn select_next(&mut self, _d: &Dataset, _b: &[BusyPoint]) -> Vec<f64> {
+                self.0 += 1;
+                vec![((self.0 % 10) as f64 + 0.3) / 10.0]
+            }
+        }
+        let asyn = exec.run_async(&bb, &init, 40, &mut Seq(0));
+        assert!(
+            asyn.total_time() <= sync.total_time() + 1e-9,
+            "async {} vs sync {}",
+            asyn.total_time(),
+            sync.total_time()
+        );
+        // And utilization is at least as good.
+        assert!(asyn.schedule.utilization() >= sync.schedule.utilization() - 1e-9);
+    }
+
+    #[test]
+    fn async_policy_sees_busy_points() {
+        let bb = toy_bb(0.3);
+        let exec = VirtualExecutor::new(3);
+        let mut spy = SpyPolicy {
+            seen_busy_sizes: Vec::new(),
+        };
+        let r = exec.run_async(&bb, &[vec![0.1], vec![0.2], vec![0.3]], 9, &mut spy);
+        assert_eq!(r.data.len(), 9);
+        // Each selection happens while the other 2 workers are busy.
+        assert!(!spy.seen_busy_sizes.is_empty());
+        assert!(spy.seen_busy_sizes.iter().all(|&n| n == 2), "{:?}", spy.seen_busy_sizes);
+    }
+
+    #[test]
+    fn async_with_one_worker_is_sequential() {
+        let bb = toy_bb(0.3);
+        let mut policy = CenterPolicy;
+        let r = VirtualExecutor::run_sequential(&bb, &[vec![0.0]], 5, &mut policy);
+        assert_eq!(r.data.len(), 5);
+        // Sequential total time = sum of individual costs.
+        let sum: f64 = r
+            .schedule
+            .spans()
+            .iter()
+            .map(|s| s.end - s.start)
+            .sum();
+        assert!((r.total_time() - sum).abs() < 1e-9);
+        assert!((r.schedule.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_times_are_monotone_in_async_mode() {
+        let bb = toy_bb(0.3);
+        let exec = VirtualExecutor::new(4);
+        let r = exec.run_async(&bb, &[vec![0.9]], 20, &mut CenterPolicy);
+        let times: Vec<f64> = r.trace.points().iter().map(|p| p.time).collect();
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn empty_batch_from_policy_terminates_sync() {
+        let bb = toy_bb(0.0);
+        let exec = VirtualExecutor::new(2);
+        let mut policy = |_d: &Dataset, _b: usize| Vec::<Vec<f64>>::new();
+        let r = exec.run_sync(&bb, &[vec![0.5]], 10, &mut policy);
+        assert_eq!(r.data.len(), 1, "only the init point runs");
+    }
+
+    #[test]
+    fn init_larger_than_budget_is_truncated() {
+        let bb = toy_bb(0.0);
+        let exec = VirtualExecutor::new(2);
+        let init: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 10.0]).collect();
+        let r = exec.run_sync(&bb, &init, 3, &mut |_d: &Dataset, b: usize| {
+            vec![vec![0.5]; b]
+        });
+        assert_eq!(r.data.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = VirtualExecutor::new(0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let bb = toy_bb(0.3);
+        let exec = VirtualExecutor::new(3);
+        let init = vec![vec![0.4], vec![0.6]];
+        let a = exec.run_async(&bb, &init, 12, &mut CenterPolicy);
+        let b = exec.run_async(&bb, &init, 12, &mut CenterPolicy);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.trace, b.trace);
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use easybo_linalg::LinalgError;
+
+/// Error type for Gaussian-process construction and fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Input rows had inconsistent dimensionality, or `x.len() != y.len()`.
+    InconsistentData {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// Training targets or inputs contained NaN/inf.
+    NonFiniteData {
+        /// Where the bad value was found.
+        context: String,
+    },
+    /// The covariance matrix could not be factored (propagated from the
+    /// linear algebra layer).
+    Linalg(LinalgError),
+    /// A hyperparameter vector had the wrong length for the kernel/dim.
+    BadHyperParameters {
+        /// Expected number of hyperparameters.
+        expected: usize,
+        /// Supplied number of hyperparameters.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::EmptyTrainingSet => write!(f, "training set must contain at least one point"),
+            GpError::InconsistentData { detail } => write!(f, "inconsistent training data: {detail}"),
+            GpError::NonFiniteData { context } => {
+                write!(f, "non-finite value in training data ({context})")
+            }
+            GpError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            GpError::BadHyperParameters { expected, actual } => write!(
+                f,
+                "hyperparameter vector has length {actual}, kernel expects {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for GpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for GpError {
+    fn from(e: LinalgError) -> Self {
+        GpError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = GpError::from(LinalgError::NotSquare { rows: 1, cols: 2 });
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(e.source().is_some());
+        assert!(GpError::EmptyTrainingSet.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpError>();
+    }
+}

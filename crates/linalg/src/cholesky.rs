@@ -1,0 +1,475 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{LinalgError, Matrix, Vector};
+
+/// Jitter ladder: relative jitter magnitudes tried in order when the plain
+/// factorization fails (covariance matrices from clustered GP inputs are
+/// frequently on the edge of positive definiteness).
+const JITTER_LADDER: [f64; 7] = [0.0, 1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-4];
+
+/// Lower-triangular Cholesky factorization `A = L L^T` of a symmetric
+/// positive-definite matrix.
+///
+/// This is the single most important kernel in the Gaussian-process stack:
+/// posterior means/variances, log marginal likelihood, log-determinants and
+/// the pseudo-point augmentation of the EasyBO penalization scheme all run
+/// through it.
+///
+/// # Example
+///
+/// ```
+/// use easybo_linalg::{Cholesky, Matrix, Vector};
+///
+/// # fn main() -> Result<(), easybo_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// let x = chol.solve_vec(&Vector::from(vec![2.0, 1.0]));
+/// assert!((a.matvec(&x)[0] - 2.0).abs() < 1e-12);
+/// assert!((chol.log_det() - (4.0f64 * 3.0 - 4.0).ln()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cholesky {
+    l: Matrix,
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factorizes `a`, escalating the diagonal jitter if the plain
+    /// factorization breaks down numerically.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN/inf.
+    /// * [`LinalgError::NotPositiveDefinite`] if the factorization fails even
+    ///   with the maximum jitter.
+    pub fn new(a: &Matrix) -> crate::Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        a.ensure_finite("Cholesky input")?;
+        let n = a.rows();
+        let diag_scale = if n == 0 {
+            1.0
+        } else {
+            ((0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64).max(1e-300)
+        };
+        let mut last_err = LinalgError::NotPositiveDefinite {
+            pivot: 0,
+            value: 0.0,
+        };
+        for &rel in JITTER_LADDER.iter() {
+            let jitter = rel * diag_scale;
+            match Self::factorize(a, jitter) {
+                Ok(l) => return Ok(Cholesky { l, jitter }),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Factorizes without any jitter escalation; fails on the first bad pivot.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cholesky::new`], except no jitter ladder is attempted.
+    pub fn new_exact(a: &Matrix) -> crate::Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        a.ensure_finite("Cholesky input")?;
+        Self::factorize(a, 0.0).map(|l| Cholesky { l, jitter: 0.0 })
+    }
+
+    fn factorize(a: &Matrix, jitter: f64) -> crate::Result<Matrix> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)] + jitter;
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite {
+                    pivot: j,
+                    value: diag,
+                });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(l)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Diagonal jitter that was added to achieve positive definiteness
+    /// (0.0 when the plain factorization succeeded).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_lower(&self, b: &Vector) -> Vector {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower dimension mismatch");
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut v = b[i];
+            let row = self.l.row(i);
+            for k in 0..i {
+                v -= row[k] * y[k];
+            }
+            y[i] = v / row[i];
+        }
+        y
+    }
+
+    /// Solves `L^T x = b` (backward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_lower_transpose(&self, b: &Vector) -> Vector {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower_transpose dimension mismatch");
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut v = b[i];
+            for k in (i + 1)..n {
+                v -= self.l[(k, i)] * x[k];
+            }
+            x[i] = v / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` where `A = L L^T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_vec(&self, b: &Vector) -> Vector {
+        self.solve_lower_transpose(&self.solve_lower(b))
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != dim()`.
+    pub fn solve_mat(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.dim(), "solve_mat dimension mismatch");
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve_vec(&b.col(j));
+            for i in 0..b.rows() {
+                out[(i, j)] = col[i];
+            }
+        }
+        out
+    }
+
+    /// Log-determinant of the factored matrix: `2 * sum(log L_ii)`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+
+    /// Explicit inverse `A^{-1}`. O(n^3); used only for the log marginal
+    /// likelihood gradient where the full inverse is genuinely needed.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_mat(&Matrix::identity(self.dim()))
+    }
+
+    /// Quadratic form `b^T A^{-1} b` without forming the inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn quad_form(&self, b: &Vector) -> f64 {
+        let y = self.solve_lower(b);
+        y.dot(&y)
+    }
+
+    /// Extends the factorization with one appended row/column of the
+    /// underlying matrix (an O(n^2) incremental update).
+    ///
+    /// If `A' = [[A, c], [c^T, d]]` then `L' = [[L, 0], [w^T, s]]` with
+    /// `w = L^{-1} c` and `s = sqrt(d - w^T w)`. This powers the EasyBO
+    /// penalization scheme, which appends hallucinated pseudo-points to the
+    /// GP one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if the Schur complement
+    /// `d - w^T w` is not positive (after retrying with the stored jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cross.len() != dim()`.
+    pub fn extend(&mut self, cross: &Vector, diag: f64) -> crate::Result<()> {
+        let n = self.dim();
+        assert_eq!(cross.len(), n, "extend: cross-covariance length mismatch");
+        let w = self.solve_lower(cross);
+        let mut s2 = diag + self.jitter - w.dot(&w);
+        if s2 <= 0.0 || !s2.is_finite() {
+            // One more chance with a pragmatic floor: the pseudo-point is
+            // numerically on top of an existing point.
+            let floor = 1e-10 * diag.abs().max(1.0);
+            if s2 > -floor {
+                s2 = floor;
+            } else {
+                return Err(LinalgError::NotPositiveDefinite {
+                    pivot: n,
+                    value: s2,
+                });
+            }
+        }
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                grown[(i, j)] = self.l[(i, j)];
+            }
+        }
+        for j in 0..n {
+            grown[(n, j)] = w[j];
+        }
+        grown[(n, n)] = s2.sqrt();
+        self.l = grown;
+        Ok(())
+    }
+
+    /// Reconstructs `L L^T` (for tests and diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        self.l.matmul(&self.l.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a random SPD matrix `M M^T + n*I` from a deterministic seed.
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let m = Matrix::from_fn(n, n, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(j as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(1442695040888963407);
+            ((h >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        let mut a = m.matmul(&m.transpose());
+        a.add_diagonal(n as f64);
+        a
+    }
+
+    #[test]
+    fn factorizes_known_matrix() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
+        let c = Cholesky::new_exact(&a).unwrap();
+        let l = c.factor();
+        assert_eq!(l[(0, 0)], 5.0);
+        assert_eq!(l[(1, 0)], 3.0);
+        assert_eq!(l[(1, 1)], 3.0);
+        assert_eq!(l[(2, 0)], -1.0);
+        assert_eq!(l[(2, 1)], 1.0);
+        assert_eq!(l[(2, 2)], 3.0);
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        // Eigenvalues 3 and -1: no reasonable jitter can fix this.
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_recovers_near_singular() {
+        // Rank-1 matrix: plain factorization fails, jitter ladder succeeds.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        assert!(c.jitter() > 0.0);
+        assert!(Cholesky::new_exact(&a).is_err());
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = spd(6, 42);
+        let c = Cholesky::new(&a).unwrap();
+        let x_true = Vector::from_iter((0..6).map(|i| (i as f64) - 2.5));
+        let b = a.matvec(&x_true);
+        let x = c.solve_vec(&b);
+        assert!((&x - &x_true).norm() < 1e-9);
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise() {
+        let a = spd(4, 7);
+        let c = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(4, 2, |i, j| (i + 2 * j) as f64);
+        let x = c.solve_mat(&b);
+        for j in 0..2 {
+            let col = c.solve_vec(&b.col(j));
+            for i in 0..4 {
+                assert!((x[(i, j)] - col[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn log_det_matches_2x2_analytic() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let c = Cholesky::new_exact(&a).unwrap();
+        assert!((c.log_det() - 8f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd(5, 3);
+        let c = Cholesky::new(&a).unwrap();
+        let inv = c.inverse();
+        let prod = a.matmul(&inv);
+        assert!((&prod - &Matrix::identity(5)).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn quad_form_matches_solve() {
+        let a = spd(5, 11);
+        let c = Cholesky::new(&a).unwrap();
+        let b = Vector::from_iter((0..5).map(|i| i as f64 * 0.3 - 1.0));
+        let direct = b.dot(&c.solve_vec(&b));
+        assert!((c.quad_form(&b) - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn extend_matches_full_factorization() {
+        let big = spd(7, 19);
+        // Factor the leading 6x6 block, then extend by the last row/col.
+        let lead = Matrix::from_fn(6, 6, |i, j| big[(i, j)]);
+        let mut c = Cholesky::new_exact(&lead).unwrap();
+        let cross = Vector::from_iter((0..6).map(|i| big[(i, 6)]));
+        c.extend(&cross, big[(6, 6)]).unwrap();
+        let full = Cholesky::new_exact(&big).unwrap();
+        assert!((&c.reconstruct() - &full.reconstruct()).frobenius_norm() < 1e-9);
+        assert!((c.log_det() - full.log_det()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extend_handles_duplicate_point() {
+        // Extending with an identical row makes the Schur complement ~0;
+        // the floor should keep the factorization alive.
+        let a = spd(3, 5);
+        let mut c = Cholesky::new(&a).unwrap();
+        let cross = Vector::from_iter((0..3).map(|i| a[(i, 0)]));
+        c.extend(&cross, a[(0, 0)]).unwrap();
+        assert_eq!(c.dim(), 4);
+        assert!(c.factor()[(3, 3)] > 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_factored() {
+        let a = Matrix::zeros(0, 0);
+        let c = Cholesky::new(&a).unwrap();
+        assert_eq!(c.dim(), 0);
+        assert_eq!(c.log_det(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_reconstruction_accuracy(n in 1usize..12, seed in 0u64..500) {
+            let a = spd(n, seed);
+            let c = Cholesky::new(&a).unwrap();
+            let rel = (&c.reconstruct() - &a).frobenius_norm() / a.frobenius_norm();
+            prop_assert!(rel < 1e-10, "relative reconstruction error {rel}");
+        }
+
+        #[test]
+        fn prop_solve_residual_small(n in 1usize..12, seed in 0u64..500) {
+            let a = spd(n, seed);
+            let c = Cholesky::new(&a).unwrap();
+            let b = Vector::from_iter((0..n).map(|i| (i as f64 * 1.7).sin()));
+            let x = c.solve_vec(&b);
+            let r = (&a.matvec(&x) - &b).norm();
+            prop_assert!(r < 1e-8 * (1.0 + b.norm()));
+        }
+
+        #[test]
+        fn prop_log_det_positive_for_dominant(n in 1usize..10, seed in 0u64..200) {
+            // spd() adds n*I so eigenvalues exceed ~1 for n >= 1; log det > 0.
+            let a = spd(n, seed);
+            let c = Cholesky::new(&a).unwrap();
+            prop_assert!(c.log_det() > 0.0);
+        }
+
+        #[test]
+        fn prop_extend_chain_matches_batch(n in 2usize..9, seed in 0u64..200) {
+            let a = spd(n, seed);
+            let lead = Matrix::from_fn(1, 1, |_, _| a[(0, 0)]);
+            let mut c = Cholesky::new_exact(&lead).unwrap();
+            for k in 1..n {
+                let cross = Vector::from_iter((0..k).map(|i| a[(i, k)]));
+                c.extend(&cross, a[(k, k)]).unwrap();
+            }
+            let full = Cholesky::new_exact(&a).unwrap();
+            prop_assert!((c.log_det() - full.log_det()).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible linear algebra operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries `(expected, actual)` shape descriptions.
+    ShapeMismatch {
+        /// Shape the operation required.
+        expected: String,
+        /// Shape that was actually supplied.
+        actual: String,
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Cholesky factorization failed even after the maximum jitter was added;
+    /// the matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Pivot index where the factorization broke down.
+        pivot: usize,
+        /// Value of the failing diagonal pivot.
+        value: f64,
+    },
+    /// Input rows had inconsistent lengths when building a matrix.
+    RaggedRows {
+        /// Length of the first row.
+        first: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Length of the offending row.
+        len: usize,
+    },
+    /// A non-finite (NaN or infinite) value was encountered where finite
+    /// input is required.
+    NonFinite {
+        /// Human-readable location of the offending value.
+        context: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot} = {value:e})"
+            ),
+            LinalgError::RaggedRows { first, row, len } => write!(
+                f,
+                "ragged input rows: row 0 has {first} entries but row {row} has {len}"
+            ),
+            LinalgError::NonFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            expected: "3x3".into(),
+            actual: "2x3".into(),
+        };
+        assert_eq!(e.to_string(), "shape mismatch: expected 3x3, got 2x3");
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare { rows: 2, cols: 5 };
+        assert_eq!(e.to_string(), "matrix must be square, got 2x5");
+    }
+
+    #[test]
+    fn display_not_positive_definite_mentions_pivot() {
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 3,
+            value: -1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("positive definite"));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

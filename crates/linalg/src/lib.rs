@@ -1,0 +1,38 @@
+//! Dense linear algebra substrate for the EasyBO Gaussian-process stack.
+//!
+//! This crate hand-rolls exactly the numerical kernels that Gaussian process
+//! regression needs — dense row-major matrices, Cholesky factorization with
+//! adaptive jitter, triangular solves, and incremental Cholesky updates for
+//! appending pseudo-points — with no external BLAS/LAPACK dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use easybo_linalg::{Matrix, Vector, Cholesky};
+//!
+//! # fn main() -> Result<(), easybo_linalg::LinalgError> {
+//! // Solve the SPD system A x = b via a Cholesky factorization.
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+//! let b = Vector::from(vec![1.0, 2.0]);
+//! let chol = Cholesky::new(&a)?;
+//! let x = chol.solve_vec(&b);
+//! let r = &a.matvec(&x) - &b;
+//! assert!(r.norm() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cholesky;
+mod error;
+mod matrix;
+mod stats;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use stats::{mean, population_std, sample_std};
+pub use vector::Vector;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,576 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LinalgError, Vector};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// Sized for the Gaussian-process workloads in this repository: covariance
+/// matrices of a few hundred rows. All storage is a single contiguous
+/// `Vec<f64>`; element `(i, j)` lives at `i * cols + j`.
+///
+/// # Example
+///
+/// ```
+/// use easybo_linalg::Matrix;
+///
+/// # fn main() -> Result<(), easybo_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = a.transpose();
+/// assert_eq!(b[(0, 1)], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    ///
+    /// ```
+    /// use easybo_linalg::Matrix;
+    /// let i = Matrix::identity(3);
+    /// assert_eq!(i[(1, 1)], 1.0);
+    /// assert_eq!(i[(1, 2)], 0.0);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::RaggedRows`] if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> crate::Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(LinalgError::RaggedRows {
+                    first: ncols,
+                    row: i,
+                    len: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> crate::Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("{rows}x{cols} = {} entries", rows * cols),
+                actual: format!("{} entries", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new [`Vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vector {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        Vector::from_iter((0..self.rows).map(|i| self[(i, j)]))
+    }
+
+    /// Flat row-major view of the underlying data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &Vector) -> Vector {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec: vector length {} does not match matrix cols {}",
+            x.len(),
+            self.cols
+        );
+        let xs = x.as_slice();
+        Vector::from_iter((0..self.rows).map(|i| {
+            self.row(i)
+                .iter()
+                .zip(xs.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        }))
+    }
+
+    /// Matrix-matrix product `A B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimensions {} and {} differ",
+            self.cols, other.rows
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps inner accesses contiguous for row-major data.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds `value` to every diagonal entry in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn add_diagonal(&mut self, value: f64) {
+        assert!(self.is_square(), "add_diagonal requires a square matrix");
+        for i in 0..self.rows {
+            self[(i, i)] += value;
+        }
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Elementwise `sum(self .* other)` — the trace of `self^T other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn frobenius_dot(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "frobenius_dot shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Appends a row to the bottom of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols` (unless the matrix is empty, in which
+    /// case the row defines the column count).
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "push_row: row length {} does not match cols {}",
+            row.len(),
+            self.cols
+        );
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Returns `self` scaled by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * alpha).collect(),
+        }
+    }
+
+    /// Checks that the matrix is symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks every entry is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NonFinite`] naming `context` if any entry is
+    /// NaN or infinite.
+    pub fn ensure_finite(&self, context: &str) -> crate::Result<()> {
+        if self.data.iter().all(|v| v.is_finite()) {
+            Ok(())
+        } else {
+            Err(LinalgError::NonFinite {
+                context: context.to_string(),
+            })
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scaled(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(!m.is_square());
+        assert!(Matrix::identity(2).is_square());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let m = sample();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn row_and_col_views() {
+        let m = sample();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1).as_slice(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = sample();
+        let x = Vector::from(vec![1.0, 0.0, -1.0]);
+        assert_eq!(m.matvec(&x).as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matmul_against_identity() {
+        let m = sample();
+        let i3 = Matrix::identity(3);
+        assert_eq!(m.matmul(&i3), m);
+        let i2 = Matrix::identity(2);
+        assert_eq!(i2.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn add_diagonal_and_trace() {
+        let mut m = Matrix::identity(3);
+        m.add_diagonal(2.0);
+        assert_eq!(m.trace(), 9.0);
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut m = Matrix::zeros(0, 0);
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_row")]
+    fn push_row_wrong_width_panics() {
+        let mut m = Matrix::zeros(1, 3);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        assert!(s.is_symmetric(0.0));
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 2.0]]).unwrap();
+        assert!(!a.is_symmetric(1e-12));
+        assert!(!sample().is_symmetric(1.0));
+    }
+
+    #[test]
+    fn frobenius_ops() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert_eq!(m.frobenius_norm(), 5.0);
+        assert_eq!(m.frobenius_dot(&m), 25.0);
+    }
+
+    #[test]
+    fn elementwise_add_sub_scale() {
+        let a = Matrix::identity(2);
+        let b = a.scaled(3.0);
+        assert_eq!((&a + &b)[(0, 0)], 4.0);
+        assert_eq!((&b - &a)[(1, 1)], 2.0);
+        assert_eq!((&a * 5.0)[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn ensure_finite_flags_bad_entries() {
+        let mut m = Matrix::identity(2);
+        assert!(m.ensure_finite("k").is_ok());
+        m[(0, 1)] = f64::INFINITY;
+        assert!(m.ensure_finite("k").is_err());
+    }
+
+    #[test]
+    fn display_contains_shape() {
+        let s = format!("{}", Matrix::identity(2));
+        assert!(s.contains("2x2"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_involution(
+            rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000
+        ) {
+            let m = Matrix::from_fn(rows, cols, |i, j| {
+                ((i * 31 + j * 17 + seed as usize) % 97) as f64 - 48.0
+            });
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn prop_matmul_associative(n in 1usize..5, seed in 0u64..100) {
+            let gen = |off: usize| {
+                Matrix::from_fn(n, n, move |i, j| {
+                    (((i * 7 + j * 13 + off + seed as usize) % 11) as f64 - 5.0) / 3.0
+                })
+            };
+            let (a, b, c) = (gen(0), gen(3), gen(5));
+            let left = a.matmul(&b).matmul(&c);
+            let right = a.matmul(&b.matmul(&c));
+            prop_assert!((&left - &right).frobenius_norm() < 1e-9);
+        }
+
+        #[test]
+        fn prop_matvec_linear(n in 1usize..6, alpha in -3.0..3.0f64) {
+            let m = Matrix::from_fn(n, n, |i, j| (i as f64 - j as f64) * 0.5 + 1.0);
+            let x = Vector::from_iter((0..n).map(|i| i as f64 + 0.5));
+            let lhs = m.matvec(&x.scaled(alpha));
+            let rhs = m.matvec(&x).scaled(alpha);
+            prop_assert!((&lhs - &rhs).norm() < 1e-9 * (1.0 + rhs.norm()));
+        }
+    }
+}

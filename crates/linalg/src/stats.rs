@@ -1,0 +1,95 @@
+//! Small statistics helpers shared by the GP normalizers and the benchmark
+//! report code.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+///
+/// ```
+/// assert_eq!(easybo_linalg::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(easybo_linalg::mean(&[]), 0.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (divide by `n`); `0.0` for fewer than one
+/// element.
+///
+/// ```
+/// let s = easybo_linalg::population_std(&[2.0, 4.0]);
+/// assert!((s - 1.0).abs() < 1e-12);
+/// ```
+pub fn population_std(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Sample standard deviation (divide by `n - 1`); `0.0` for fewer than two
+/// elements. This is the statistic reported in the paper's Tables I/II.
+///
+/// ```
+/// let s = easybo_linalg::sample_std(&[2.0, 4.0]);
+/// assert!((s - std::f64::consts::SQRT_2).abs() < 1e-12);
+/// ```
+pub fn sample_std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_of_constants() {
+        assert_eq!(mean(&[5.0; 10]), 5.0);
+    }
+
+    #[test]
+    fn stds_of_constant_are_zero() {
+        assert_eq!(population_std(&[3.0; 4]), 0.0);
+        assert_eq!(sample_std(&[3.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        assert_eq!(mean(&[7.0]), 7.0);
+        assert_eq!(population_std(&[7.0]), 0.0);
+        assert_eq!(sample_std(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn sample_std_exceeds_population_std() {
+        let xs = [1.0, 2.0, 3.0, 8.0];
+        assert!(sample_std(&xs) > population_std(&xs));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_bounded_by_extremes(xs in proptest::collection::vec(-1e6..1e6f64, 1..50)) {
+            let m = mean(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+
+        #[test]
+        fn prop_shift_invariance_of_std(
+            xs in proptest::collection::vec(-1e3..1e3f64, 2..40),
+            shift in -1e3..1e3f64
+        ) {
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            prop_assert!((sample_std(&xs) - sample_std(&shifted)).abs() < 1e-6);
+        }
+    }
+}

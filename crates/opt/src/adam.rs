@@ -1,0 +1,260 @@
+//! Adam first-order optimizer for smooth unconstrained (or box-clamped)
+//! minimization; used to train GP hyperparameters from analytic gradients.
+
+use serde::{Deserialize, Serialize};
+
+use crate::OptError;
+
+/// Configuration for [`Adam`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Step size (default 0.05 — tuned for log-hyperparameter training).
+    pub learning_rate: f64,
+    /// First-moment decay (default 0.9).
+    pub beta1: f64,
+    /// Second-moment decay (default 0.999).
+    pub beta2: f64,
+    /// Numerical fuzz in the denominator (default 1e-8).
+    pub epsilon: f64,
+    /// Maximum number of iterations (default 200).
+    pub max_iters: usize,
+    /// Stop when the gradient infinity-norm drops below this (default 1e-6).
+    pub grad_tol: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            learning_rate: 0.05,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            max_iters: 200,
+            grad_tol: 1e-6,
+        }
+    }
+}
+
+impl AdamConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidConfig`] for non-positive learning rate,
+    /// betas outside `(0, 1)`, or zero iterations.
+    pub fn validate(&self) -> crate::Result<()> {
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(OptError::InvalidConfig {
+                parameter: "learning_rate",
+                reason: format!("must be positive and finite, got {}", self.learning_rate),
+            });
+        }
+        for (name, b) in [("beta1", self.beta1), ("beta2", self.beta2)] {
+            if !(0.0..1.0).contains(&b) {
+                return Err(OptError::InvalidConfig {
+                    parameter: name,
+                    reason: format!("must be in [0, 1), got {b}"),
+                });
+            }
+        }
+        if self.max_iters == 0 {
+            return Err(OptError::InvalidConfig {
+                parameter: "max_iters",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) for **minimization** of a smooth
+/// function given a value-and-gradient oracle.
+///
+/// # Example
+///
+/// ```
+/// use easybo_opt::{Adam, AdamConfig};
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let adam = Adam::new(AdamConfig { max_iters: 500, ..Default::default() })?;
+/// // Minimize (x-1)^2 + (y+2)^2.
+/// let (x, f) = adam.minimize(vec![0.0, 0.0], |x, grad| {
+///     grad[0] = 2.0 * (x[0] - 1.0);
+///     grad[1] = 2.0 * (x[1] + 2.0);
+///     (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2)
+/// });
+/// assert!((x[0] - 1.0).abs() < 1e-2 && (x[1] + 2.0).abs() < 1e-2);
+/// assert!(f < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    config: AdamConfig,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidConfig`] if the configuration is invalid;
+    /// see [`AdamConfig::validate`].
+    pub fn new(config: AdamConfig) -> crate::Result<Self> {
+        config.validate()?;
+        Ok(Adam { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AdamConfig {
+        &self.config
+    }
+
+    /// Minimizes `f`, which must write the gradient into its second argument
+    /// and return the objective value. Returns the best `(x, f(x))` seen.
+    ///
+    /// Non-finite objective values abort the run and return the best finite
+    /// iterate found so far.
+    pub fn minimize<F>(&self, x0: Vec<f64>, mut f: F) -> (Vec<f64>, f64)
+    where
+        F: FnMut(&[f64], &mut [f64]) -> f64,
+    {
+        let n = x0.len();
+        let mut x = x0;
+        let mut m = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        let mut grad = vec![0.0; n];
+        let mut best_x = x.clone();
+        let mut best_f = f64::INFINITY;
+        let c = &self.config;
+        for t in 1..=c.max_iters {
+            let fx = f(&x, &mut grad);
+            if fx.is_finite() && fx < best_f {
+                best_f = fx;
+                best_x.copy_from_slice(&x);
+            }
+            if !fx.is_finite() || grad.iter().any(|g| !g.is_finite()) {
+                break;
+            }
+            let gmax = grad.iter().fold(0.0f64, |a, &g| a.max(g.abs()));
+            if gmax < c.grad_tol {
+                break;
+            }
+            let b1t = 1.0 - c.beta1.powi(t as i32);
+            let b2t = 1.0 - c.beta2.powi(t as i32);
+            for i in 0..n {
+                m[i] = c.beta1 * m[i] + (1.0 - c.beta1) * grad[i];
+                v[i] = c.beta2 * v[i] + (1.0 - c.beta2) * grad[i] * grad[i];
+                let mhat = m[i] / b1t;
+                let vhat = v[i] / b2t;
+                x[i] -= c.learning_rate * mhat / (vhat.sqrt() + c.epsilon);
+            }
+        }
+        // Final evaluation in case the last step improved.
+        let fx = f(&x, &mut grad);
+        if fx.is_finite() && fx < best_f {
+            best_f = fx;
+            best_x.copy_from_slice(&x);
+        }
+        (best_x, best_f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(center: &[f64]) -> impl FnMut(&[f64], &mut [f64]) -> f64 + '_ {
+        move |x, grad| {
+            let mut fx = 0.0;
+            for i in 0..x.len() {
+                let d = x[i] - center[i];
+                fx += d * d;
+                grad[i] = 2.0 * d;
+            }
+            fx
+        }
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let adam = Adam::new(AdamConfig {
+            max_iters: 2000,
+            ..Default::default()
+        })
+        .unwrap();
+        let center = [3.0, -1.0, 0.5];
+        let (x, fval) = adam.minimize(vec![0.0; 3], quadratic(&center));
+        for i in 0..3 {
+            assert!((x[i] - center[i]).abs() < 1e-2, "dim {i}: {}", x[i]);
+        }
+        assert!(fval < 1e-3);
+    }
+
+    #[test]
+    fn stops_on_small_gradient() {
+        let adam = Adam::new(AdamConfig::default()).unwrap();
+        let mut calls = 0usize;
+        // Start exactly at the optimum: should stop after one gradient check.
+        let (_, fval) = adam.minimize(vec![1.0], |x, g| {
+            calls += 1;
+            g[0] = 2.0 * (x[0] - 1.0);
+            (x[0] - 1.0).powi(2)
+        });
+        assert_eq!(fval, 0.0);
+        assert!(calls <= 2, "expected early stop, got {calls} calls");
+    }
+
+    #[test]
+    fn survives_non_finite_objective() {
+        let adam = Adam::new(AdamConfig::default()).unwrap();
+        let (x, fval) = adam.minimize(vec![0.5], |x, g| {
+            g[0] = 1.0;
+            if x[0] < 0.4 {
+                f64::NAN
+            } else {
+                x[0]
+            }
+        });
+        assert!(fval.is_finite());
+        assert!(!x[0].is_nan());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(Adam::new(AdamConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Adam::new(AdamConfig {
+            beta1: 1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Adam::new(AdamConfig {
+            max_iters: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn handles_rosenbrock_descent() {
+        // Rosenbrock is hard for plain gradient descent; Adam should at least
+        // reach the parabolic valley (f < 1 from a poor start).
+        let adam = Adam::new(AdamConfig {
+            max_iters: 3000,
+            learning_rate: 0.02,
+            ..Default::default()
+        })
+        .unwrap();
+        let (x, fval) = adam.minimize(vec![-1.2, 1.0], |x, g| {
+            let (a, b) = (x[0], x[1]);
+            g[0] = -2.0 * (1.0 - a) - 400.0 * a * (b - a * a);
+            g[1] = 200.0 * (b - a * a);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        });
+        assert!(fval < 1.0, "f = {fval} at {x:?}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Simulated annealing — the other classic simulation-based sizing family
+//! the paper's introduction surveys (refs. \[10\]–\[12\], e.g. ANACONDA-style
+//! stochastic pattern search ancestors).
+//!
+//! Standard Metropolis annealing with a geometric cooling schedule and
+//! per-dimension Gaussian proposal steps that shrink with temperature.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Bounds, OptError};
+
+/// Configuration for [`SimulatedAnnealing`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Initial temperature, in units of objective spread (default 1.0).
+    pub t_initial: f64,
+    /// Final temperature (default 1e-3).
+    pub t_final: f64,
+    /// Initial proposal step, as a fraction of each bound width
+    /// (default 0.25); cools proportionally with temperature.
+    pub step_fraction: f64,
+    /// Total objective-evaluation budget (default 10000).
+    pub max_evals: usize,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            t_initial: 1.0,
+            t_final: 1e-3,
+            step_fraction: 0.25,
+            max_evals: 10_000,
+        }
+    }
+}
+
+impl SaConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidConfig`] for non-positive temperatures,
+    /// `t_final >= t_initial`, a step fraction outside `(0, 1]`, or a zero
+    /// budget.
+    pub fn validate(&self) -> crate::Result<()> {
+        if !(self.t_initial > 0.0 && self.t_final > 0.0 && self.t_final < self.t_initial) {
+            return Err(OptError::InvalidConfig {
+                parameter: "t_initial/t_final",
+                reason: format!(
+                    "need 0 < t_final < t_initial, got {} and {}",
+                    self.t_final, self.t_initial
+                ),
+            });
+        }
+        if !(self.step_fraction > 0.0 && self.step_fraction <= 1.0) {
+            return Err(OptError::InvalidConfig {
+                parameter: "step_fraction",
+                reason: format!("must be in (0, 1], got {}", self.step_fraction),
+            });
+        }
+        if self.max_evals < 2 {
+            return Err(OptError::InvalidConfig {
+                parameter: "max_evals",
+                reason: "must be at least 2".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a simulated-annealing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaReport {
+    /// Best design found.
+    pub x: Vec<f64>,
+    /// Objective value at `x` (maximization).
+    pub value: f64,
+    /// Objective evaluations used.
+    pub evals: usize,
+    /// Best-so-far value after each evaluation.
+    pub history: Vec<f64>,
+}
+
+/// Metropolis simulated-annealing **maximizer**.
+///
+/// The acceptance temperature is scaled adaptively by the running estimate
+/// of the objective's spread, so `t_initial = 1` means "accept downhill
+/// moves about one spread large" at the start.
+///
+/// # Example
+///
+/// ```
+/// use easybo_opt::{Bounds, annealing::{SaConfig, SimulatedAnnealing}};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let bounds = Bounds::new(vec![(-5.0, 5.0); 2])?;
+/// let sa = SimulatedAnnealing::new(SaConfig { max_evals: 4000, ..Default::default() })?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let report = sa.maximize(&bounds, &mut rng, |x| -(x[0] * x[0] + x[1] * x[1]));
+/// assert!(report.value > -0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedAnnealing {
+    config: SaConfig,
+}
+
+impl SimulatedAnnealing {
+    /// Creates a simulated-annealing optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidConfig`] if the configuration is invalid;
+    /// see [`SaConfig::validate`].
+    pub fn new(config: SaConfig) -> crate::Result<Self> {
+        config.validate()?;
+        Ok(SimulatedAnnealing { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SaConfig {
+        &self.config
+    }
+
+    /// Maximizes `f` over `bounds` within the evaluation budget.
+    /// Non-finite objective values are treated as `-inf`.
+    pub fn maximize<R, F>(&self, bounds: &Bounds, rng: &mut R, mut f: F) -> SaReport
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&[f64]) -> f64,
+    {
+        let c = &self.config;
+        let d = bounds.dim();
+        let widths = bounds.widths();
+        let n = c.max_evals;
+        // Geometric cooling: T_k = T0 * (Tf/T0)^(k/n).
+        let cool = (c.t_final / c.t_initial).powf(1.0 / n as f64);
+
+        let mut history = Vec::with_capacity(n);
+        let safe = |v: f64| if v.is_finite() { v } else { f64::NEG_INFINITY };
+
+        let mut current = bounds.sample_uniform(rng);
+        let mut current_v = safe(f(&current));
+        let mut best = current.clone();
+        let mut best_v = current_v;
+        history.push(best_v);
+        let mut evals = 1usize;
+
+        // Running spread estimate for temperature scaling.
+        let mut spread = 1.0f64;
+        let mut seen_lo = current_v;
+        let mut seen_hi = current_v;
+        let mut temp = c.t_initial;
+
+        while evals < n {
+            temp *= cool;
+            let frac = c.step_fraction * (temp / c.t_initial).max(0.02);
+            let proposal: Vec<f64> = (0..d)
+                .map(|j| {
+                    let step = gaussian(rng) * widths[j] * frac;
+                    (current[j] + step).clamp(bounds.pair(j).0, bounds.pair(j).1)
+                })
+                .collect();
+            let v = safe(f(&proposal));
+            evals += 1;
+            if v.is_finite() {
+                seen_lo = seen_lo.min(v);
+                seen_hi = seen_hi.max(v);
+                spread = (seen_hi - seen_lo).max(1e-12);
+            }
+            let accept = v >= current_v || {
+                let delta = (v - current_v) / spread; // negative
+                rng.gen::<f64>() < (delta / temp.max(1e-12)).exp()
+            };
+            if accept {
+                current = proposal;
+                current_v = v;
+            }
+            if v > best_v {
+                best_v = v;
+                best = current.clone();
+            }
+            history.push(best_v);
+        }
+
+        SaReport {
+            x: best,
+            value: best_v,
+            evals,
+            history,
+        }
+    }
+}
+
+/// Box–Muller standard normal draw.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn maximizes_negative_sphere() {
+        let bounds = Bounds::new(vec![(-5.0, 5.0); 2]).unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig {
+            max_evals: 6000,
+            ..Default::default()
+        })
+        .unwrap();
+        let r = sa.maximize(&bounds, &mut rng(1), |x| {
+            -x.iter().map(|v| v * v).sum::<f64>()
+        });
+        assert!(r.value > -0.02, "best {}", r.value);
+    }
+
+    #[test]
+    fn budget_and_history() {
+        let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig {
+            max_evals: 99,
+            ..Default::default()
+        })
+        .unwrap();
+        let r = sa.maximize(&bounds, &mut rng(2), |x| x[0]);
+        assert_eq!(r.evals, 99);
+        assert_eq!(r.history.len(), 99);
+        for w in r.history.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn proposals_respect_bounds() {
+        let bounds = Bounds::new(vec![(2.0, 3.0), (-7.0, -6.0)]).unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig {
+            max_evals: 500,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut violations = 0;
+        let _ = sa.maximize(&bounds, &mut rng(3), |x| {
+            if !bounds.contains(x) {
+                violations += 1;
+            }
+            -x[0] * x[1]
+        });
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn crosses_barrier_on_bimodal() {
+        // Start anywhere; the global peak at x = 0.8 is separated from a
+        // local one at x = 0.2 by a valley. SA should land globally.
+        let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig {
+            max_evals: 5000,
+            ..Default::default()
+        })
+        .unwrap();
+        let f = |x: &[f64]| {
+            0.6 * (-200.0 * (x[0] - 0.2f64).powi(2)).exp()
+                + (-200.0 * (x[0] - 0.8f64).powi(2)).exp()
+        };
+        let r = sa.maximize(&bounds, &mut rng(4), f);
+        assert!((r.x[0] - 0.8).abs() < 0.05, "landed at {}", r.x[0]);
+    }
+
+    #[test]
+    fn handles_nan_objective() {
+        let bounds = Bounds::new(vec![(-1.0, 1.0)]).unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig {
+            max_evals: 400,
+            ..Default::default()
+        })
+        .unwrap();
+        let r = sa.maximize(&bounds, &mut rng(5), |x| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                x[0]
+            }
+        });
+        assert!(r.value.is_finite());
+        assert!(r.value > 0.5);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(SimulatedAnnealing::new(SaConfig {
+            t_initial: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(SimulatedAnnealing::new(SaConfig {
+            t_final: 2.0,
+            t_initial: 1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(SimulatedAnnealing::new(SaConfig {
+            step_fraction: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(SimulatedAnnealing::new(SaConfig {
+            max_evals: 1,
+            ..Default::default()
+        })
+        .is_err());
+    }
+}

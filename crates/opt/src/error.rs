@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for design-space and optimizer construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// A bound pair had `lower >= upper` or a non-finite endpoint.
+    InvalidBounds {
+        /// Dimension index of the offending pair.
+        dim: usize,
+        /// Lower endpoint supplied.
+        lower: f64,
+        /// Upper endpoint supplied.
+        upper: f64,
+    },
+    /// A zero-dimensional design space was requested.
+    EmptySpace,
+    /// A point had the wrong dimensionality for the space it was used with.
+    DimensionMismatch {
+        /// Dimensionality of the space.
+        expected: usize,
+        /// Dimensionality of the point.
+        actual: usize,
+    },
+    /// An optimizer configuration parameter was out of range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::InvalidBounds { dim, lower, upper } => {
+                write!(f, "invalid bounds in dimension {dim}: [{lower}, {upper}]")
+            }
+            OptError::EmptySpace => write!(f, "design space must have at least one dimension"),
+            OptError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: space is {expected}-d, point is {actual}-d")
+            }
+            OptError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for `{parameter}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = OptError::InvalidBounds {
+            dim: 2,
+            lower: 1.0,
+            upper: 0.0,
+        };
+        assert!(e.to_string().contains("dimension 2"));
+        assert!(OptError::EmptySpace.to_string().contains("at least one"));
+        let d = OptError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(d.to_string().contains("3-d"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptError>();
+    }
+}

@@ -1,0 +1,175 @@
+//! Multi-start acquisition maximizer: dense random probing followed by
+//! Nelder–Mead refinement of the top seeds.
+//!
+//! Acquisition surfaces are cheap to evaluate (a GP posterior lookup) but
+//! multimodal; the standard recipe — and the one used throughout this
+//! reproduction — is to scatter a large number of probes, keep the best few,
+//! and polish each with a local derivative-free search.
+
+use rand::Rng;
+
+use crate::nelder_mead::{NelderMead, NelderMeadConfig};
+use crate::sampling;
+use crate::Bounds;
+
+/// Result of a maximization: the argmax and the attained value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Optimum {
+    /// Location of the best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+}
+
+/// Random-probe + local-refinement **maximizer** for acquisition functions.
+///
+/// # Example
+///
+/// ```
+/// use easybo_opt::{Bounds, MultiStartMaximizer};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let bounds = Bounds::new(vec![(-3.0, 3.0)])?;
+/// let maximizer = MultiStartMaximizer::new(128, 3, 80);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let best = maximizer.maximize(&bounds, &mut rng, |x| -(x[0] - 1.5).powi(2));
+/// assert!((best.x[0] - 1.5).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStartMaximizer {
+    probes: usize,
+    starts: usize,
+    refine_evals: usize,
+}
+
+impl MultiStartMaximizer {
+    /// Creates a maximizer that scatters `probes` random points, then
+    /// refines the best `starts` of them with Nelder–Mead runs of
+    /// `refine_evals` evaluations each.
+    ///
+    /// Zero values are clipped up to 1.
+    pub fn new(probes: usize, starts: usize, refine_evals: usize) -> Self {
+        MultiStartMaximizer {
+            probes: probes.max(1),
+            starts: starts.max(1),
+            refine_evals: refine_evals.max(1),
+        }
+    }
+
+    /// A good default for acquisition maximization in `d` dimensions:
+    /// `max(512, 100·d)` probes, 5 starts, `40·d` refinement evaluations.
+    pub fn for_dim(d: usize) -> Self {
+        MultiStartMaximizer::new(512.max(100 * d), 5, 40 * d.max(1))
+    }
+
+    /// Number of random probes per call.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// Maximizes `f` over `bounds`, returning the best point found.
+    ///
+    /// Non-finite objective values are treated as `-inf`.
+    pub fn maximize<R, F>(&self, bounds: &Bounds, rng: &mut R, mut f: F) -> Optimum
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&[f64]) -> f64,
+    {
+        let safe = |v: f64| if v.is_finite() { v } else { f64::NEG_INFINITY };
+
+        // Probe phase: Latin hypercube for coverage + pure uniform for tails.
+        let mut candidates = sampling::latin_hypercube(bounds, self.probes / 2, rng);
+        candidates.extend(sampling::uniform(bounds, self.probes - candidates.len(), rng));
+        let mut scored: Vec<(Vec<f64>, f64)> = candidates
+            .into_iter()
+            .map(|x| {
+                let v = safe(f(&x));
+                (x, v)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(self.starts);
+
+        // Refinement phase: Nelder-Mead on the negated objective.
+        let nm = NelderMead::new(NelderMeadConfig {
+            max_evals: self.refine_evals,
+            initial_step: 0.02,
+            ..Default::default()
+        })
+        .expect("static Nelder-Mead config is valid");
+        let mut best = Optimum {
+            x: scored[0].0.clone(),
+            value: scored[0].1,
+        };
+        for (x0, _) in scored {
+            let (x, neg_v) = nm.minimize(bounds, x0, |p| -safe(f(p)));
+            let v = -neg_v;
+            if v > best.value {
+                best = Optimum { x, value: v };
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn finds_global_peak_among_two() {
+        let bounds = Bounds::new(vec![(-4.0, 4.0)]).unwrap();
+        // Two Gaussian bumps; the taller is at x = 2.
+        let f = |x: &[f64]| {
+            0.8 * (-(x[0] + 2.0).powi(2)).exp() + 1.0 * (-(x[0] - 2.0).powi(2)).exp()
+        };
+        let m = MultiStartMaximizer::new(256, 5, 100);
+        let best = m.maximize(&bounds, &mut rng(1), f);
+        assert!((best.x[0] - 2.0).abs() < 1e-2, "x = {}", best.x[0]);
+    }
+
+    #[test]
+    fn result_always_inside_bounds() {
+        let bounds = Bounds::new(vec![(0.0, 1.0), (5.0, 6.0)]).unwrap();
+        let m = MultiStartMaximizer::new(64, 3, 40);
+        // Gradient pushes toward the corner (1, 6).
+        let best = m.maximize(&bounds, &mut rng(2), |x| x[0] + x[1]);
+        assert!(bounds.contains(&best.x));
+        assert!((best.x[0] - 1.0).abs() < 1e-6);
+        assert!((best.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_all_nan_objective() {
+        let bounds = Bounds::unit_cube(2).unwrap();
+        let m = MultiStartMaximizer::new(16, 2, 10);
+        let best = m.maximize(&bounds, &mut rng(3), |_| f64::NAN);
+        assert!(bounds.contains(&best.x));
+        assert_eq!(best.value, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn for_dim_scales_probes() {
+        let small = MultiStartMaximizer::for_dim(1);
+        let large = MultiStartMaximizer::for_dim(10);
+        assert!(large.probes() >= small.probes());
+    }
+
+    #[test]
+    fn refinement_beats_pure_probing() {
+        // Very narrow peak: random probing alone rarely lands within 1e-3.
+        let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        let f = |x: &[f64]| -(x[0] - 0.41234).powi(2);
+        let m = MultiStartMaximizer::new(64, 3, 120);
+        let best = m.maximize(&bounds, &mut rng(4), f);
+        assert!(best.value > -1e-8, "refined value {}", best.value);
+    }
+}

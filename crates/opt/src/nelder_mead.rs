@@ -1,0 +1,321 @@
+//! Bounded Nelder–Mead simplex search, used as the derivative-free local
+//! refinement stage of the multi-start acquisition maximizer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bounds, OptError};
+
+/// Configuration for [`NelderMead`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NelderMeadConfig {
+    /// Maximum number of objective evaluations (default 200).
+    pub max_evals: usize,
+    /// Stop when the simplex function-value spread drops below this
+    /// (default 1e-10).
+    pub f_tol: f64,
+    /// Initial simplex edge, as a fraction of each bound width (default 0.05).
+    pub initial_step: f64,
+    /// Reflection coefficient (default 1.0).
+    pub alpha: f64,
+    /// Expansion coefficient (default 2.0).
+    pub gamma: f64,
+    /// Contraction coefficient (default 0.5).
+    pub rho: f64,
+    /// Shrink coefficient (default 0.5).
+    pub sigma: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            max_evals: 200,
+            f_tol: 1e-10,
+            initial_step: 0.05,
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+        }
+    }
+}
+
+impl NelderMeadConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidConfig`] for zero evaluations or a
+    /// non-positive initial step.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.max_evals == 0 {
+            return Err(OptError::InvalidConfig {
+                parameter: "max_evals",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if !(self.initial_step > 0.0 && self.initial_step <= 1.0) {
+            return Err(OptError::InvalidConfig {
+                parameter: "initial_step",
+                reason: format!("must be in (0, 1], got {}", self.initial_step),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Bounded Nelder–Mead simplex **minimizer**.
+///
+/// All candidate points are clamped to the box before evaluation, which is
+/// the pragmatic standard for bound-constrained simplex search.
+///
+/// # Example
+///
+/// ```
+/// use easybo_opt::{Bounds, NelderMead, NelderMeadConfig};
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let bounds = Bounds::new(vec![(-5.0, 5.0), (-5.0, 5.0)])?;
+/// let nm = NelderMead::new(NelderMeadConfig::default())?;
+/// let (x, f) = nm.minimize(&bounds, vec![4.0, -4.0], |p| {
+///     (p[0] - 1.0).powi(2) + (p[1] - 2.0).powi(2)
+/// });
+/// assert!(f < 1e-6);
+/// assert!((x[0] - 1.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMead {
+    config: NelderMeadConfig,
+}
+
+impl NelderMead {
+    /// Creates a Nelder–Mead optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidConfig`] if the configuration is invalid;
+    /// see [`NelderMeadConfig::validate`].
+    pub fn new(config: NelderMeadConfig) -> crate::Result<Self> {
+        config.validate()?;
+        Ok(NelderMead { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NelderMeadConfig {
+        &self.config
+    }
+
+    /// Minimizes `f` over `bounds` starting from `x0`.
+    ///
+    /// Returns the best `(x, f(x))` found. Non-finite objective values are
+    /// treated as `+inf` so the simplex walks away from them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != bounds.dim()`.
+    pub fn minimize<F>(&self, bounds: &Bounds, x0: Vec<f64>, mut f: F) -> (Vec<f64>, f64)
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        let n = bounds.dim();
+        assert_eq!(x0.len(), n, "start point dimension mismatch");
+        let c = &self.config;
+        let mut evals = 0usize;
+        let eval = |p: &[f64], f: &mut F, evals: &mut usize| -> f64 {
+            *evals += 1;
+            let v = f(p);
+            if v.is_finite() {
+                v
+            } else {
+                f64::INFINITY
+            }
+        };
+
+        // Initial simplex: x0 plus a step along each axis (flipped if it
+        // would leave the box).
+        let widths = bounds.widths();
+        let x0 = bounds.clamp(&x0);
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let f0 = eval(&x0, &mut f, &mut evals);
+        simplex.push((x0.clone(), f0));
+        for i in 0..n {
+            let mut p = x0.clone();
+            let step = c.initial_step * widths[i];
+            let (lo, hi) = bounds.pair(i);
+            p[i] = if p[i] + step <= hi {
+                p[i] + step
+            } else {
+                (p[i] - step).max(lo)
+            };
+            let fp = eval(&p, &mut f, &mut evals);
+            simplex.push((p, fp));
+        }
+
+        while evals < c.max_evals {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let f_best = simplex[0].1;
+            let f_worst = simplex[n].1;
+            // Converge only when BOTH the function spread and the simplex
+            // diameter are small: an equal-valued simplex straddling a
+            // minimum must keep contracting.
+            if (f_worst - f_best).abs() <= c.f_tol * (1.0 + f_best.abs()) {
+                let mut diam = 0.0f64;
+                for i in 0..n {
+                    let lo = simplex.iter().map(|(p, _)| p[i]).fold(f64::INFINITY, f64::min);
+                    let hi = simplex
+                        .iter()
+                        .map(|(p, _)| p[i])
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    diam = diam.max((hi - lo) / widths[i]);
+                }
+                if diam <= 1e-8 {
+                    break;
+                }
+            }
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for (p, _) in simplex.iter().take(n) {
+                for i in 0..n {
+                    centroid[i] += p[i] / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+            let reflect: Vec<f64> = bounds.clamp(
+                &(0..n)
+                    .map(|i| centroid[i] + c.alpha * (centroid[i] - worst.0[i]))
+                    .collect::<Vec<_>>(),
+            );
+            let f_r = eval(&reflect, &mut f, &mut evals);
+
+            if f_r < simplex[0].1 {
+                // Try expansion.
+                let expand: Vec<f64> = bounds.clamp(
+                    &(0..n)
+                        .map(|i| centroid[i] + c.gamma * (reflect[i] - centroid[i]))
+                        .collect::<Vec<_>>(),
+                );
+                let f_e = eval(&expand, &mut f, &mut evals);
+                simplex[n] = if f_e < f_r {
+                    (expand, f_e)
+                } else {
+                    (reflect, f_r)
+                };
+            } else if f_r < simplex[n - 1].1 {
+                simplex[n] = (reflect, f_r);
+            } else {
+                // Contraction (outside if the reflection improved the worst,
+                // inside otherwise).
+                let toward = if f_r < worst.1 { &reflect } else { &worst.0 };
+                let contract: Vec<f64> = bounds.clamp(
+                    &(0..n)
+                        .map(|i| centroid[i] + c.rho * (toward[i] - centroid[i]))
+                        .collect::<Vec<_>>(),
+                );
+                let f_c = eval(&contract, &mut f, &mut evals);
+                if f_c < worst.1.min(f_r) {
+                    simplex[n] = (contract, f_c);
+                } else {
+                    // Shrink toward the best vertex.
+                    let best = simplex[0].0.clone();
+                    for vertex in simplex.iter_mut().skip(1) {
+                        for i in 0..n {
+                            vertex.0[i] = best[i] + c.sigma * (vertex.0[i] - best[i]);
+                        }
+                        vertex.1 = eval(&vertex.0, &mut f, &mut evals);
+                        if evals >= c.max_evals {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        simplex.swap_remove(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm(max_evals: usize) -> NelderMead {
+        NelderMead::new(NelderMeadConfig {
+            max_evals,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn minimizes_shifted_sphere() {
+        let b = Bounds::new(vec![(-10.0, 10.0); 3]).unwrap();
+        let (x, fval) = nm(600).minimize(&b, vec![8.0, 8.0, 8.0], |p| {
+            p.iter()
+                .zip([1.0, -2.0, 3.0])
+                .map(|(v, c)| (v - c) * (v - c))
+                .sum()
+        });
+        assert!(fval < 1e-6, "f = {fval}");
+        assert!((x[0] - 1.0).abs() < 1e-2);
+        assert!((x[1] + 2.0).abs() < 1e-2);
+        assert!((x[2] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn respects_bounds_when_optimum_outside() {
+        let b = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        // True optimum at x = 2, outside the box: should converge to x = 1.
+        let (x, _) = nm(200).minimize(&b, vec![0.5], |p| (p[0] - 2.0).powi(2));
+        assert!((x[0] - 1.0).abs() < 1e-6, "x = {}", x[0]);
+        assert!(b.contains(&x));
+    }
+
+    #[test]
+    fn handles_nan_regions() {
+        let b = Bounds::new(vec![(-2.0, 2.0)]).unwrap();
+        let (x, fval) = nm(200).minimize(&b, vec![1.5], |p| {
+            if p[0] < -1.0 {
+                f64::NAN
+            } else {
+                (p[0] - 0.5).powi(2)
+            }
+        });
+        assert!(fval < 1e-6);
+        assert!((x[0] - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn start_outside_bounds_is_clamped() {
+        let b = Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let (x, _) = nm(200).minimize(&b, vec![5.0, -5.0], |p| p[0] * p[0] + p[1] * p[1]);
+        assert!(b.contains(&x));
+    }
+
+    #[test]
+    fn eval_budget_is_respected() {
+        let b = Bounds::new(vec![(-1.0, 1.0); 4]).unwrap();
+        let mut count = 0usize;
+        let _ = nm(50).minimize(&b, vec![0.9; 4], |p| {
+            count += 1;
+            p.iter().map(|v| v * v).sum()
+        });
+        // Simplex setup is n+1 evals; shrink steps may add a few beyond the
+        // check, but never more than one simplex worth.
+        assert!(count <= 50 + 5, "used {count} evaluations");
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(NelderMead::new(NelderMeadConfig {
+            max_evals: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(NelderMead::new(NelderMeadConfig {
+            initial_step: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+}

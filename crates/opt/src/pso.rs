@@ -1,0 +1,368 @@
+//! Particle swarm optimization — one of the classic simulation-based
+//! sizing algorithms the paper's introduction surveys (refs. \[14\]–\[17\]).
+//!
+//! Standard global-best PSO with inertia weight and velocity clamping.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Bounds, OptError};
+
+/// Configuration for [`ParticleSwarm`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsoConfig {
+    /// Swarm size (default 30; at least 2).
+    pub particles: usize,
+    /// Inertia weight ω (default 0.72).
+    pub inertia: f64,
+    /// Cognitive coefficient c₁ (default 1.49).
+    pub cognitive: f64,
+    /// Social coefficient c₂ (default 1.49).
+    pub social: f64,
+    /// Velocity clamp as a fraction of each bound width (default 0.5).
+    pub max_velocity: f64,
+    /// Total objective-evaluation budget, including the initial swarm
+    /// (default 10000).
+    pub max_evals: usize,
+}
+
+impl Default for PsoConfig {
+    fn default() -> Self {
+        PsoConfig {
+            particles: 30,
+            inertia: 0.72,
+            cognitive: 1.49,
+            social: 1.49,
+            max_velocity: 0.5,
+            max_evals: 10_000,
+        }
+    }
+}
+
+impl PsoConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidConfig`] for a swarm below 2, non-positive
+    /// coefficients, a velocity clamp outside `(0, 1]`, or a budget smaller
+    /// than the swarm.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.particles < 2 {
+            return Err(OptError::InvalidConfig {
+                parameter: "particles",
+                reason: format!("must be at least 2, got {}", self.particles),
+            });
+        }
+        if !(self.inertia > 0.0 && self.inertia < 1.0) {
+            return Err(OptError::InvalidConfig {
+                parameter: "inertia",
+                reason: format!("must be in (0, 1), got {}", self.inertia),
+            });
+        }
+        for (name, v) in [("cognitive", self.cognitive), ("social", self.social)] {
+            if v <= 0.0 {
+                return Err(OptError::InvalidConfig {
+                    parameter: name,
+                    reason: format!("must be positive, got {v}"),
+                });
+            }
+        }
+        if !(self.max_velocity > 0.0 && self.max_velocity <= 1.0) {
+            return Err(OptError::InvalidConfig {
+                parameter: "max_velocity",
+                reason: format!("must be in (0, 1], got {}", self.max_velocity),
+            });
+        }
+        if self.max_evals < self.particles {
+            return Err(OptError::InvalidConfig {
+                parameter: "max_evals",
+                reason: format!(
+                    "budget {} smaller than swarm {}",
+                    self.max_evals, self.particles
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a PSO run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsoReport {
+    /// Best design found.
+    pub x: Vec<f64>,
+    /// Objective value at `x` (maximization).
+    pub value: f64,
+    /// Objective evaluations used.
+    pub evals: usize,
+    /// Best-so-far value after each evaluation.
+    pub history: Vec<f64>,
+}
+
+/// Global-best particle swarm **maximizer**.
+///
+/// # Example
+///
+/// ```
+/// use easybo_opt::{Bounds, pso::{ParticleSwarm, PsoConfig}};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let bounds = Bounds::new(vec![(-5.0, 5.0); 2])?;
+/// let pso = ParticleSwarm::new(PsoConfig { max_evals: 3000, ..Default::default() })?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let report = pso.maximize(&bounds, &mut rng, |x| -(x[0] * x[0] + x[1] * x[1]));
+/// assert!(report.value > -1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticleSwarm {
+    config: PsoConfig,
+}
+
+impl ParticleSwarm {
+    /// Creates a PSO optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidConfig`] if the configuration is invalid;
+    /// see [`PsoConfig::validate`].
+    pub fn new(config: PsoConfig) -> crate::Result<Self> {
+        config.validate()?;
+        Ok(ParticleSwarm { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PsoConfig {
+        &self.config
+    }
+
+    /// Maximizes `f` over `bounds` within the evaluation budget.
+    /// Non-finite objective values are treated as `-inf`.
+    pub fn maximize<R, F>(&self, bounds: &Bounds, rng: &mut R, mut f: F) -> PsoReport
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&[f64]) -> f64,
+    {
+        let c = &self.config;
+        let d = bounds.dim();
+        let widths = bounds.widths();
+        let vmax: Vec<f64> = widths.iter().map(|w| w * c.max_velocity).collect();
+
+        let mut evals = 0usize;
+        let mut history = Vec::with_capacity(c.max_evals);
+        let mut gbest_x = bounds.center();
+        let mut gbest_v = f64::NEG_INFINITY;
+
+        let eval = |x: &[f64],
+                        f: &mut F,
+                        evals: &mut usize,
+                        history: &mut Vec<f64>,
+                        gbest_x: &mut Vec<f64>,
+                        gbest_v: &mut f64|
+         -> f64 {
+            *evals += 1;
+            let raw = f(x);
+            let v = if raw.is_finite() {
+                raw
+            } else {
+                f64::NEG_INFINITY
+            };
+            if v > *gbest_v {
+                *gbest_v = v;
+                gbest_x.clear();
+                gbest_x.extend_from_slice(x);
+            }
+            history.push(*gbest_v);
+            v
+        };
+
+        // Initialize swarm.
+        let mut pos: Vec<Vec<f64>> = (0..c.particles)
+            .map(|_| bounds.sample_uniform(rng))
+            .collect();
+        let mut vel: Vec<Vec<f64>> = (0..c.particles)
+            .map(|_| {
+                (0..d)
+                    .map(|j| rng.gen_range(-vmax[j]..vmax[j]))
+                    .collect()
+            })
+            .collect();
+        let mut pbest: Vec<Vec<f64>> = pos.clone();
+        let mut pbest_v: Vec<f64> = pos
+            .iter()
+            .map(|x| eval(x, &mut f, &mut evals, &mut history, &mut gbest_x, &mut gbest_v))
+            .collect();
+
+        'outer: loop {
+            for i in 0..c.particles {
+                if evals >= c.max_evals {
+                    break 'outer;
+                }
+                for j in 0..d {
+                    let r1: f64 = rng.gen();
+                    let r2: f64 = rng.gen();
+                    vel[i][j] = c.inertia * vel[i][j]
+                        + c.cognitive * r1 * (pbest[i][j] - pos[i][j])
+                        + c.social * r2 * (gbest_x[j] - pos[i][j]);
+                    vel[i][j] = vel[i][j].clamp(-vmax[j], vmax[j]);
+                    pos[i][j] += vel[i][j];
+                    // Reflect at the walls (kills boundary sticking).
+                    let (lo, hi) = bounds.pair(j);
+                    if pos[i][j] < lo {
+                        pos[i][j] = lo + (lo - pos[i][j]).min(hi - lo);
+                        vel[i][j] = -vel[i][j];
+                    } else if pos[i][j] > hi {
+                        pos[i][j] = hi - (pos[i][j] - hi).min(hi - lo);
+                        vel[i][j] = -vel[i][j];
+                    }
+                }
+                let v = eval(
+                    &pos[i],
+                    &mut f,
+                    &mut evals,
+                    &mut history,
+                    &mut gbest_x,
+                    &mut gbest_v,
+                );
+                if v > pbest_v[i] {
+                    pbest_v[i] = v;
+                    pbest[i] = pos[i].clone();
+                }
+            }
+        }
+
+        PsoReport {
+            x: gbest_x,
+            value: gbest_v,
+            evals,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn maximizes_negative_sphere() {
+        let bounds = Bounds::new(vec![(-5.0, 5.0); 3]).unwrap();
+        let pso = ParticleSwarm::new(PsoConfig {
+            max_evals: 6000,
+            ..Default::default()
+        })
+        .unwrap();
+        let r = pso.maximize(&bounds, &mut rng(1), |x| {
+            -x.iter().map(|v| v * v).sum::<f64>()
+        });
+        assert!(r.value > -1e-4, "best {}", r.value);
+    }
+
+    #[test]
+    fn history_is_monotone_and_budget_respected() {
+        let bounds = Bounds::new(vec![(0.0, 1.0); 2]).unwrap();
+        let pso = ParticleSwarm::new(PsoConfig {
+            particles: 10,
+            max_evals: 137,
+            ..Default::default()
+        })
+        .unwrap();
+        let r = pso.maximize(&bounds, &mut rng(2), |x| x[0] * x[1]);
+        assert_eq!(r.evals, 137);
+        assert_eq!(r.history.len(), 137);
+        for w in r.history.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_bounds() {
+        let bounds = Bounds::new(vec![(-1.0, 0.0), (10.0, 11.0)]).unwrap();
+        let pso = ParticleSwarm::new(PsoConfig {
+            max_evals: 500,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut violations = 0;
+        let _ = pso.maximize(&bounds, &mut rng(3), |x| {
+            if !bounds.contains(x) {
+                violations += 1;
+            }
+            x[0] + x[1]
+        });
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn escapes_local_optimum_on_multimodal() {
+        // Two peaks, taller at (2, 2): PSO should find it from random start.
+        let bounds = Bounds::new(vec![(-4.0, 4.0); 2]).unwrap();
+        let pso = ParticleSwarm::new(PsoConfig {
+            max_evals: 4000,
+            ..Default::default()
+        })
+        .unwrap();
+        let r = pso.maximize(&bounds, &mut rng(4), |x| {
+            0.7 * (-((x[0] + 2.0).powi(2) + (x[1] + 2.0).powi(2))).exp()
+                + (-((x[0] - 2.0).powi(2) + (x[1] - 2.0).powi(2))).exp()
+        });
+        assert!((r.x[0] - 2.0).abs() < 0.3, "{:?}", r.x);
+        assert!((r.x[1] - 2.0).abs() < 0.3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn handles_nan_regions() {
+        let bounds = Bounds::new(vec![(-1.0, 1.0)]).unwrap();
+        let pso = ParticleSwarm::new(PsoConfig {
+            max_evals: 400,
+            ..Default::default()
+        })
+        .unwrap();
+        let r = pso.maximize(&bounds, &mut rng(5), |x| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                1.0 - x[0]
+            }
+        });
+        assert!(r.value > 0.9);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(ParticleSwarm::new(PsoConfig {
+            particles: 1,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(ParticleSwarm::new(PsoConfig {
+            inertia: 1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(ParticleSwarm::new(PsoConfig {
+            cognitive: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(ParticleSwarm::new(PsoConfig {
+            max_velocity: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(ParticleSwarm::new(PsoConfig {
+            particles: 30,
+            max_evals: 10,
+            ..Default::default()
+        })
+        .is_err());
+    }
+}

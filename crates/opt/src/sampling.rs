@@ -1,0 +1,326 @@
+//! Space-filling designs: Latin hypercube, Sobol and plain uniform sampling.
+//!
+//! Bayesian optimization quality is sensitive to the initial design; the
+//! paper seeds every BO run with 20 random points. We provide Latin
+//! hypercube sampling (used as the default initial design) plus a
+//! direction-number-free Sobol implementation (Gray-code construction with
+//! the classic Joe–Kuo style primitive polynomials for up to 16 dimensions)
+//! for low-discrepancy sweeps.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::Bounds;
+
+/// Draws `n` uniform random points inside `bounds`.
+///
+/// # Example
+///
+/// ```
+/// use easybo_opt::{Bounds, sampling};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let b = Bounds::unit_cube(3)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let pts = sampling::uniform(&b, 10, &mut rng);
+/// assert_eq!(pts.len(), 10);
+/// assert!(pts.iter().all(|p| b.contains(p)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn uniform<R: Rng + ?Sized>(bounds: &Bounds, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    (0..n).map(|_| bounds.sample_uniform(rng)).collect()
+}
+
+/// Latin hypercube sample of `n` points inside `bounds`.
+///
+/// Each dimension is divided into `n` equal strata; every stratum is hit
+/// exactly once, with a uniform jitter inside each cell and an independent
+/// random permutation per dimension.
+///
+/// # Example
+///
+/// ```
+/// use easybo_opt::{Bounds, sampling};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// let b = Bounds::unit_cube(2)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let pts = sampling::latin_hypercube(&b, 5, &mut rng);
+/// // One point per stratum in every dimension.
+/// for d in 0..2 {
+///     let mut strata: Vec<usize> = pts.iter().map(|p| (p[d] * 5.0) as usize).collect();
+///     strata.sort_unstable();
+///     assert_eq!(strata, vec![0, 1, 2, 3, 4]);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn latin_hypercube<R: Rng + ?Sized>(bounds: &Bounds, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = bounds.dim();
+    // For each dimension, a permutation of the strata 0..n.
+    let mut strata: Vec<Vec<usize>> = Vec::with_capacity(d);
+    for _ in 0..d {
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(rng);
+        strata.push(perm);
+    }
+    (0..n)
+        .map(|i| {
+            let unit: Vec<f64> = (0..d)
+                .map(|j| (strata[j][i] as f64 + rng.gen::<f64>()) / n as f64)
+                .collect();
+            bounds.from_unit(&unit)
+        })
+        .collect()
+}
+
+/// Maximum dimension supported by [`SobolSequence`].
+pub const SOBOL_MAX_DIM: usize = 16;
+
+/// Primitive polynomial degrees for Sobol dimensions 2..=16
+/// (dimension 1 is the van der Corput sequence).
+const SOBOL_POLY_DEG: [u32; 15] = [1, 2, 3, 3, 4, 4, 5, 5, 5, 5, 5, 5, 6, 6, 6];
+/// Encoded primitive polynomial coefficients a_1..a_{deg-1} for each row of
+/// `SOBOL_POLY_DEG` (standard Joe–Kuo table, first 16 dimensions).
+const SOBOL_POLY_A: [u32; 15] = [0, 1, 1, 2, 1, 4, 2, 4, 7, 11, 13, 14, 1, 13, 16];
+/// Initial direction numbers m_1..m_deg per dimension (Joe–Kuo new-joe-kuo-6).
+const SOBOL_M_INIT: [&[u32]; 15] = [
+    &[1],
+    &[1, 3],
+    &[1, 3, 1],
+    &[1, 1, 1],
+    &[1, 1, 3, 3],
+    &[1, 3, 5, 13],
+    &[1, 1, 5, 5, 17],
+    &[1, 1, 5, 5, 5],
+    &[1, 1, 7, 11, 19],
+    &[1, 1, 5, 1, 1],
+    &[1, 1, 1, 3, 11],
+    &[1, 3, 5, 5, 31],
+    &[1, 3, 3, 9, 7, 49],
+    &[1, 1, 1, 15, 21, 21],
+    &[1, 3, 1, 13, 27, 49],
+];
+
+/// A Sobol low-discrepancy sequence over the unit cube, using the Gray-code
+/// construction (Antonov–Saleev).
+///
+/// # Example
+///
+/// ```
+/// use easybo_opt::sampling::SobolSequence;
+///
+/// let mut sobol = SobolSequence::new(2).expect("dim <= 16");
+/// let first: Vec<Vec<f64>> = (0..4).map(|_| sobol.next_point()).collect();
+/// // The first Sobol point is the origin-adjacent 0.5-centered point set.
+/// assert_eq!(first[0], vec![0.5, 0.5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SobolSequence {
+    dim: usize,
+    /// direction numbers, 32 per dimension, as 32-bit fixed-point fractions.
+    v: Vec<[u32; 32]>,
+    /// current XOR state per dimension.
+    state: Vec<u32>,
+    /// index of the next point (0-based; point 0 is returned as all-0.5 by
+    /// convention of skipping the origin).
+    index: u64,
+}
+
+impl SobolSequence {
+    /// Creates a Sobol sequence of dimension `dim`.
+    ///
+    /// Returns `None` if `dim == 0` or `dim > SOBOL_MAX_DIM`.
+    pub fn new(dim: usize) -> Option<Self> {
+        if dim == 0 || dim > SOBOL_MAX_DIM {
+            return None;
+        }
+        let mut v = Vec::with_capacity(dim);
+        // Dimension 1: van der Corput, m_k = 1 for all k.
+        let mut v0 = [0u32; 32];
+        for (k, slot) in v0.iter_mut().enumerate() {
+            *slot = 1u32 << (31 - k);
+        }
+        v.push(v0);
+        for d in 1..dim {
+            let deg = SOBOL_POLY_DEG[d - 1] as usize;
+            let a = SOBOL_POLY_A[d - 1];
+            let m_init = SOBOL_M_INIT[d - 1];
+            let mut m = [0u64; 32];
+            for k in 0..deg {
+                m[k] = m_init[k] as u64;
+            }
+            for k in deg..32 {
+                // Recurrence: m_k = 2 a_1 m_{k-1} XOR 4 a_2 m_{k-2} XOR ...
+                //             XOR 2^deg m_{k-deg} XOR m_{k-deg}
+                let mut val = m[k - deg] ^ (m[k - deg] << deg);
+                for j in 1..deg {
+                    if (a >> (deg - 1 - j)) & 1 == 1 {
+                        val ^= m[k - j] << j;
+                    }
+                }
+                m[k] = val;
+            }
+            let mut vd = [0u32; 32];
+            for k in 0..32 {
+                vd[k] = (m[k] as u32) << (31 - k);
+            }
+            v.push(vd);
+        }
+        Some(SobolSequence {
+            dim,
+            v,
+            state: vec![0; dim],
+            index: 0,
+        })
+    }
+
+    /// Dimension of the sequence.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns the next point of the sequence in `[0, 1)^dim`.
+    ///
+    /// Uses the Antonov–Saleev Gray-code recurrence
+    /// `state_n = state_{n-1} XOR v[ctz(n)]`, skipping the all-zero origin,
+    /// so the first emitted point is `(0.5, ..., 0.5)`.
+    pub fn next_point(&mut self) -> Vec<f64> {
+        self.index += 1;
+        let c = self.index.trailing_zeros() as usize;
+        for d in 0..self.dim {
+            self.state[d] ^= self.v[d][c];
+        }
+        self.state
+            .iter()
+            .map(|&s| s as f64 / (1u64 << 32) as f64)
+            .collect()
+    }
+
+    /// Generates `n` points mapped into `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.dim() != self.dim()`.
+    pub fn sample(&mut self, bounds: &Bounds, n: usize) -> Vec<Vec<f64>> {
+        assert_eq!(bounds.dim(), self.dim, "Sobol dimension mismatch");
+        (0..n).map(|_| bounds.from_unit(&self.next_point())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn uniform_count_and_containment() {
+        let b = Bounds::new(vec![(0.0, 1.0), (-5.0, 5.0)]).unwrap();
+        let pts = uniform(&b, 50, &mut rng());
+        assert_eq!(pts.len(), 50);
+        assert!(pts.iter().all(|p| b.contains(p)));
+    }
+
+    #[test]
+    fn lhs_stratification_in_every_dimension() {
+        let b = Bounds::unit_cube(4).unwrap();
+        let n = 16;
+        let pts = latin_hypercube(&b, n, &mut rng());
+        assert_eq!(pts.len(), n);
+        for d in 0..4 {
+            let mut hits = vec![false; n];
+            for p in &pts {
+                let s = ((p[d] * n as f64) as usize).min(n - 1);
+                assert!(!hits[s], "stratum {s} in dim {d} hit twice");
+                hits[s] = true;
+            }
+            assert!(hits.iter().all(|&h| h));
+        }
+    }
+
+    #[test]
+    fn lhs_respects_bounds() {
+        let b = Bounds::new(vec![(10.0, 20.0), (-3.0, -2.0)]).unwrap();
+        let pts = latin_hypercube(&b, 9, &mut rng());
+        assert!(pts.iter().all(|p| b.contains(p)));
+    }
+
+    #[test]
+    fn lhs_zero_points() {
+        let b = Bounds::unit_cube(2).unwrap();
+        assert!(latin_hypercube(&b, 0, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn sobol_dimension_limits() {
+        assert!(SobolSequence::new(0).is_none());
+        assert!(SobolSequence::new(SOBOL_MAX_DIM).is_some());
+        assert!(SobolSequence::new(SOBOL_MAX_DIM + 1).is_none());
+    }
+
+    #[test]
+    fn sobol_first_point_is_half() {
+        let mut s = SobolSequence::new(3).unwrap();
+        assert_eq!(s.next_point(), vec![0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn sobol_points_distinct_and_in_unit_cube() {
+        let mut s = SobolSequence::new(5).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let p = s.next_point();
+            assert!(p.iter().all(|&v| (0.0..1.0).contains(&v)), "{p:?}");
+            let key: Vec<u64> = p.iter().map(|v| v.to_bits()).collect();
+            assert!(seen.insert(key), "duplicate Sobol point {p:?}");
+        }
+    }
+
+    #[test]
+    fn sobol_low_discrepancy_beats_worst_case() {
+        // In 1-d, the first 2^k Sobol points are exactly the dyadic grid; the
+        // empirical CDF error should be below 2/n.
+        let mut s = SobolSequence::new(1).unwrap();
+        let n = 64;
+        let mut pts: Vec<f64> = (0..n).map(|_| s.next_point()[0]).collect();
+        pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, p) in pts.iter().enumerate() {
+            let cdf = (i + 1) as f64 / n as f64;
+            assert!((cdf - p).abs() <= 2.0 / n as f64, "i={i} p={p}");
+        }
+    }
+
+    #[test]
+    fn sobol_sample_maps_to_bounds() {
+        let b = Bounds::new(vec![(100.0, 200.0), (0.0, 1.0)]).unwrap();
+        let mut s = SobolSequence::new(2).unwrap();
+        let pts = s.sample(&b, 10);
+        assert_eq!(pts.len(), 10);
+        assert!(pts.iter().all(|p| b.contains(p)));
+    }
+
+    #[test]
+    fn sobol_2d_balance() {
+        // First 2^k points of a 2-d Sobol sequence put exactly n/4 points in
+        // each quadrant.
+        let mut s = SobolSequence::new(2).unwrap();
+        let n = 64;
+        let mut quad = [0usize; 4];
+        for _ in 0..n {
+            let p = s.next_point();
+            let q = (p[0] >= 0.5) as usize * 2 + (p[1] >= 0.5) as usize;
+            quad[q] += 1;
+        }
+        assert_eq!(quad, [16, 16, 16, 16]);
+    }
+}

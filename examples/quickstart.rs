@@ -1,0 +1,44 @@
+//! Quickstart: maximize a black-box function with EasyBO in a dozen lines.
+//!
+//! ```sh
+//! cargo run --release -p easybo-integration --example quickstart
+//! ```
+
+use easybo::EasyBo;
+use easybo_opt::Bounds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2-d design space.
+    let bounds = Bounds::new(vec![(-3.0, 3.0), (-3.0, 3.0)])?;
+
+    // An expensive black box (here: a cheap stand-in with two peaks; the
+    // taller one is at (1.5, -0.5)).
+    let objective = |x: &[f64]| {
+        0.8 * (-((x[0] + 1.0).powi(2) + (x[1] - 1.0).powi(2))).exp()
+            + (-((x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2))).exp()
+    };
+
+    // Asynchronous batch Bayesian optimization, 4 parallel workers,
+    // 60 evaluations total (12 initial Latin-hypercube points).
+    let result = EasyBo::new(bounds)
+        .batch_size(4)
+        .initial_points(12)
+        .max_evals(60)
+        .seed(7)
+        .run(objective)?;
+
+    println!("best value: {:.4}", result.best_value);
+    println!(
+        "best point: ({:.3}, {:.3})  [true optimum: (1.5, -0.5)]",
+        result.best_x[0], result.best_x[1]
+    );
+    println!(
+        "evaluations: {}, virtual wall-clock: {:.0}s, worker utilization: {:.1}%",
+        result.data.len(),
+        result.trace.total_time(),
+        100.0 * result.schedule.utilization()
+    );
+
+    assert!(result.best_value > 0.95, "should find the taller peak");
+    Ok(())
+}

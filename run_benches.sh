@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper into bench_output.txt.
+set -x
+export EASYBO_REPS=${EASYBO_REPS:-5}
+cargo bench -p easybo-bench --bench fig2_acquisition
+cargo bench -p easybo-bench --bench fig1_schedule
+cargo bench -p easybo-bench --bench table1_opamp
+cargo bench -p easybo-bench --bench fig4_opamp_trace
+cargo bench -p easybo-bench --bench table2_class_e
+cargo bench -p easybo-bench --bench fig6_class_e_trace
+cargo bench -p easybo-bench --bench micro

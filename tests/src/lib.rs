@@ -1,0 +1,1 @@
+//! Integration test crate for the EasyBO workspace; see `tests/` files.

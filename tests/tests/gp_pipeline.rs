@@ -1,0 +1,133 @@
+//! Cross-crate integration of the surrogate stack: GP quality on real
+//! circuit response surfaces, and the pseudo-point machinery the EasyBO
+//! penalization depends on.
+
+use easybo_circuits::{class_e::ClassEPa, opamp::TwoStageOpAmp, Circuit};
+use easybo_gp::{Gp, GpConfig};
+use easybo_opt::{sampling, Bounds};
+use rand::SeedableRng;
+
+/// Fits a GP to circuit data in unit coordinates; returns (gp, test set).
+fn fit_circuit_gp(
+    circuit: &dyn Circuit,
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> (Gp, Vec<(Vec<f64>, f64)>) {
+    let bounds = circuit.bounds().clone();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let train = sampling::latin_hypercube(&bounds, n_train, &mut rng);
+    let xs: Vec<Vec<f64>> = train.iter().map(|x| bounds.to_unit(x)).collect();
+    let ys: Vec<f64> = train.iter().map(|x| circuit.fom(x)).collect();
+    let gp = Gp::fit(xs, ys, GpConfig::default()).expect("GP fits circuit data");
+    let test: Vec<(Vec<f64>, f64)> = sampling::uniform(&bounds, n_test, &mut rng)
+        .into_iter()
+        .map(|x| (bounds.to_unit(&x), circuit.fom(&x)))
+        .collect();
+    (gp, test)
+}
+
+fn rmse(gp: &Gp, test: &[(Vec<f64>, f64)]) -> f64 {
+    let se: f64 = test
+        .iter()
+        .map(|(u, y)| (gp.predict(u).mean - y).powi(2))
+        .sum();
+    (se / test.len() as f64).sqrt()
+}
+
+#[test]
+fn gp_accuracy_improves_with_training_data_on_opamp() {
+    let amp = TwoStageOpAmp::new();
+    let (gp_small, test) = fit_circuit_gp(&amp, 25, 60, 42);
+    let (gp_large, _) = fit_circuit_gp(&amp, 100, 60, 42);
+    let e_small = rmse(&gp_small, &test);
+    let e_large = rmse(&gp_large, &test);
+    assert!(
+        e_large < e_small,
+        "more data should reduce RMSE: {e_small} -> {e_large}"
+    );
+}
+
+#[test]
+fn gp_beats_constant_predictor_on_class_e() {
+    let pa = ClassEPa::new();
+    let (gp, test) = fit_circuit_gp(&pa, 120, 60, 7);
+    let mean_y = easybo_linalg::mean(&test.iter().map(|&(_, y)| y).collect::<Vec<_>>());
+    let e_gp = rmse(&gp, &test);
+    let e_const = (test
+        .iter()
+        .map(|(_, y)| (mean_y - y).powi(2))
+        .sum::<f64>()
+        / test.len() as f64)
+        .sqrt();
+    assert!(
+        e_gp < e_const,
+        "GP RMSE {e_gp} should beat constant predictor {e_const}"
+    );
+}
+
+#[test]
+fn uncertainty_is_calibrated_enough_for_ucb() {
+    // At least ~60% of held-out values should fall inside the 2-sigma band
+    // (a loose calibration floor; exact GPs on deterministic functions are
+    // often overconfident in sparse regions).
+    let amp = TwoStageOpAmp::new();
+    let (gp, test) = fit_circuit_gp(&amp, 80, 80, 3);
+    let covered = test
+        .iter()
+        .filter(|(u, y)| {
+            let p = gp.predict(u);
+            (y - p.mean).abs() <= 2.0 * p.std() + 1e-9
+        })
+        .count();
+    let frac = covered as f64 / test.len() as f64;
+    assert!(frac > 0.6, "2-sigma coverage only {frac}");
+}
+
+#[test]
+fn augmentation_chain_matches_batch_augmentation() {
+    // Augmenting one-by-one must equal augmenting all at once: the
+    // incremental Cholesky path vs the repeated path.
+    let bounds = Bounds::unit_cube(3).expect("cube");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let xs = sampling::latin_hypercube(&bounds, 15, &mut rng);
+    let ys: Vec<f64> = xs.iter().map(|p| p.iter().sum()).collect();
+    let gp = Gp::fit(xs, ys, GpConfig::default()).expect("fits");
+    let busy = sampling::uniform(&bounds, 3, &mut rng);
+
+    let all_at_once = gp.augment(&busy).expect("augments");
+    let mut chained = gp.clone();
+    for b in &busy {
+        chained = chained.augment(std::slice::from_ref(b)).expect("augments");
+    }
+    for q in sampling::uniform(&bounds, 10, &mut rng) {
+        let a = all_at_once.predict(&q);
+        let c = chained.predict(&q);
+        assert!((a.mean - c.mean).abs() < 1e-6, "{} vs {}", a.mean, c.mean);
+        assert!(
+            (a.variance - c.variance).abs() < 1e-6,
+            "{} vs {}",
+            a.variance,
+            c.variance
+        );
+    }
+}
+
+#[test]
+fn hallucination_never_increases_variance_anywhere() {
+    let bounds = Bounds::unit_cube(2).expect("cube");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let xs = sampling::latin_hypercube(&bounds, 12, &mut rng);
+    let ys: Vec<f64> = xs.iter().map(|p| (4.0 * p[0]).sin() + p[1]).collect();
+    let gp = Gp::fit(xs, ys, GpConfig::default()).expect("fits");
+    let busy = sampling::uniform(&bounds, 4, &mut rng);
+    let aug = gp.augment(&busy).expect("augments");
+    for q in sampling::uniform(&bounds, 50, &mut rng) {
+        let v0 = gp.predict(&q).variance;
+        let v1 = aug.predict(&q).variance;
+        assert!(
+            v1 <= v0 + 1e-9,
+            "conditioning on more points cannot raise variance: {v0} -> {v1} at {q:?}"
+        );
+    }
+}
