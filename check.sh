@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the EasyBO workspace.
+#
+# Run from the repository root before merging anything:
+#
+#   ./check.sh
+#
+# Passes iff the release build, the full test suite, formatting, and
+# clippy (warnings denied) all pass. CI runs exactly this script.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

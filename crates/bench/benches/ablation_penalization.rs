@@ -27,21 +27,20 @@ fn main() {
         "Penalization-mode & lambda ablation: op-amp, B={batch}, {reps} reps, {max_evals} sims"
     );
 
-    let run_with =
-        |mode: PenalizationMode, lambda: f64, seed: u64| -> easybo_exec::RunResult {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let init = sampling::latin_hypercube(bb.bounds(), n_init, &mut rng);
-            let mut policy = EasyBoAsyncPolicy::with_configs(
-                bb.bounds().clone(),
-                true,
-                lambda,
-                seed,
-                SurrogateConfig::default(),
-                AcqOptConfig::for_dim(bb.bounds().dim()),
-            );
-            policy.penalization_mode(mode);
-            VirtualExecutor::new(batch).run_async(&bb, &init, max_evals, &mut policy)
-        };
+    let run_with = |mode: PenalizationMode, lambda: f64, seed: u64| -> easybo_exec::RunResult {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = sampling::latin_hypercube(bb.bounds(), n_init, &mut rng);
+        let mut policy = EasyBoAsyncPolicy::with_configs(
+            bb.bounds().clone(),
+            true,
+            lambda,
+            seed,
+            SurrogateConfig::default(),
+            AcqOptConfig::for_dim(bb.bounds().dim()),
+        );
+        policy.penalization_mode(mode);
+        VirtualExecutor::new(batch).run_async(&bb, &init, max_evals, &mut policy)
+    };
 
     let mut rows = Vec::new();
     for mode in PenalizationMode::all() {
@@ -58,5 +57,8 @@ fn main() {
         rows.push(summarize(format!("lambda={lambda}"), &runs));
         eprintln!("done: lambda {lambda}");
     }
-    print_table("ABLATION: penalization mode and lambda (op-amp, B=10)", &rows);
+    print_table(
+        "ABLATION: penalization mode and lambda (op-amp, B=10)",
+        &rows,
+    );
 }

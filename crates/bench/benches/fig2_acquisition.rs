@@ -56,7 +56,13 @@ fn main() {
     for (i, &c) in hist.iter().enumerate() {
         let lo = i as f64 / 20.0;
         let bar = "#".repeat((c as f64 / max_count * 60.0).round() as usize);
-        println!("w in [{:>4.2},{:>4.2}): {:>6.3} {}", lo, lo + 0.05, c as f64 / n as f64, bar);
+        println!(
+            "w in [{:>4.2},{:>4.2}): {:>6.3} {}",
+            lo,
+            lo + 0.05,
+            c as f64 / n as f64,
+            bar
+        );
     }
     println!("(density rises toward w_max = 6/7 ≈ 0.857 — matching the paper's Fig. 2)");
 }

@@ -33,13 +33,13 @@ fn main() {
     // across algorithms). The 100% level is reached by its defining
     // algorithm only at the very end, so the 90/95% levels are the
     // informative mid-run comparison.
-    let target_full = finals
-        .iter()
-        .map(|&(_, v)| v)
-        .fold(f64::INFINITY, f64::min);
+    let target_full = finals.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
     for frac in [0.90, 0.95, 1.0] {
         let target = target_full * frac - 1e-9;
-        println!("\n--- time to reach {:.0}% of common target (FOM {target:.3}) ---", frac * 100.0);
+        println!(
+            "\n--- time to reach {:.0}% of common target (FOM {target:.3}) ---",
+            frac * 100.0
+        );
         let mut easybo_t = None;
         let mut others = Vec::new();
         for (label, trace) in &traces {

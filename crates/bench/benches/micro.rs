@@ -26,7 +26,12 @@ fn training_data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let xs = sampling::latin_hypercube(&bounds, n, &mut rng);
     let ys: Vec<f64> = xs
         .iter()
-        .map(|p| p.iter().enumerate().map(|(i, v)| (v * (i + 1) as f64).sin()).sum())
+        .map(|p| {
+            p.iter()
+                .enumerate()
+                .map(|(i, v)| (v * (i + 1) as f64).sin())
+                .sum()
+        })
         .collect();
     (xs, ys)
 }

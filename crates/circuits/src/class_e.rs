@@ -24,7 +24,7 @@
 
 use easybo_opt::Bounds;
 
-use crate::mosfet::{Mosfet, MosType};
+use crate::mosfet::{MosType, Mosfet};
 use crate::{Circuit, Performances};
 
 /// Operating frequency (Hz).
@@ -293,22 +293,22 @@ mod tests {
     fn good_design() -> Vec<f64> {
         let w0 = 2.0 * std::f64::consts::PI * F0_HZ;
         // Choose the match for R_eff ≈ 5Ω, then the class-E values around it.
-        let c_match = ((R_LOAD / 5.0 - 1.0) as f64).sqrt() / (w0 * R_LOAD);
+        let c_match = (R_LOAD / 5.0 - 1.0_f64).sqrt() / (w0 * R_LOAD);
         let r_eff = 5.0;
         let c_opt = CLASS_E_SHUNT / (w0 * r_eff);
         vec![
-            1500e-6,        // w_sw
-            0.18e-6,        // l_sw
-            200e-6,         // w_drv
-            0.18e-6,        // l_drv
-            20e-9,          // l_choke
+            1500e-6,                         // w_sw
+            0.18e-6,                         // l_sw
+            200e-6,                          // w_drv
+            0.18e-6,                         // l_drv
+            20e-9,                           // l_choke
             (c_opt - 1.6e-12).max(0.15e-12), // c_shunt (minus device output cap)
-            3e-9,           // l0
-            1.0 / (w0 * w0 * 3e-9), // c0 tuned to f0
-            1.0e-9,         // l_match (partially cancels match reactance)
-            c_match,        // c_match
-            1.6,            // vdd
-            0.5,            // duty
+            3e-9,                            // l0
+            1.0 / (w0 * w0 * 3e-9),          // c0 tuned to f0
+            1.0e-9,                          // l_match (partially cancels match reactance)
+            c_match,                         // c_match
+            1.6,                             // vdd
+            0.5,                             // duty
         ]
     }
 
@@ -348,9 +348,7 @@ mod tests {
         let tuned = good_design();
         let mut detuned = tuned.clone();
         detuned[ClassEVar::C0 as usize] *= 2.0;
-        assert!(
-            pa.analyze(&detuned).drain_efficiency < pa.analyze(&tuned).drain_efficiency
-        );
+        assert!(pa.analyze(&detuned).drain_efficiency < pa.analyze(&tuned).drain_efficiency);
     }
 
     #[test]
@@ -367,10 +365,7 @@ mod tests {
         let pa = pa();
         let mut skewed = good_design();
         skewed[ClassEVar::Duty as usize] = 0.75;
-        assert!(
-            pa.analyze(&skewed).drain_efficiency
-                < pa.analyze(&good_design()).drain_efficiency
-        );
+        assert!(pa.analyze(&skewed).drain_efficiency < pa.analyze(&good_design()).drain_efficiency);
     }
 
     #[test]

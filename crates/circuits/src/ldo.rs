@@ -18,7 +18,7 @@
 
 use easybo_opt::Bounds;
 
-use crate::mosfet::{Mosfet, MosType, VDD_180NM};
+use crate::mosfet::{MosType, Mosfet, VDD_180NM};
 use crate::{Circuit, Performances};
 
 /// Load current the regulator is evaluated at (A).
@@ -206,10 +206,8 @@ impl Circuit for Ldo {
     fn fom(&self, x: &[f64]) -> f64 {
         let a = self.analyze(x);
         let stability = 1.0 / (1.0 + (-(a.pm_deg - 45.0) / 6.0).exp());
-        let quality = -20.0 * a.dropout_v
-            - 0.5 * a.load_reg_mv
-            - 0.05 * a.droop_mv
-            - 50.0 * (a.i_q_a * 1e3);
+        let quality =
+            -20.0 * a.dropout_v - 0.5 * a.load_reg_mv - 0.05 * a.droop_mv - 50.0 * (a.i_q_a * 1e3);
         10.0 * stability + quality
     }
 }

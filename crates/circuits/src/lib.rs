@@ -113,7 +113,9 @@ mod tests {
 
     #[test]
     fn performances_builder_and_lookup() {
-        let p = Performances::new().with("gain_db", 60.0).with("pm_deg", 55.0);
+        let p = Performances::new()
+            .with("gain_db", 60.0)
+            .with("pm_deg", 55.0);
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
         assert_eq!(p.get("gain_db"), Some(60.0));

@@ -23,7 +23,7 @@
 
 use easybo_opt::Bounds;
 
-use crate::mosfet::{parallel, Mosfet, MosType, VDD_180NM};
+use crate::mosfet::{parallel, MosType, Mosfet, VDD_180NM};
 use crate::{Circuit, Performances};
 
 /// Fixed load capacitance at the output (F).
@@ -146,7 +146,7 @@ impl TwoStageOpAmp {
         let c1 = m6.cgs() + m1.cdb() + m3.cdb() + m3.cgd();
         let c2 = C_LOAD + m6.cdb() + m7.cdb();
         let fu = gm1 / (2.0 * std::f64::consts::PI * cc); // Miller-dominant UGF
-        // Nondominant pole (exact two-stage expression).
+                                                          // Nondominant pole (exact two-stage expression).
         let fp2 = gm6 * cc / (2.0 * std::f64::consts::PI * (c1 * c2 + cc * (c1 + c2)));
         // Mirror pole at the M3/M4 gate node.
         let fp3 = m3.gm_eff(i1) / (2.0 * std::f64::consts::PI * 2.0 * m3.cgs());

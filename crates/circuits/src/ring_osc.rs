@@ -18,7 +18,7 @@
 
 use easybo_opt::Bounds;
 
-use crate::mosfet::{Mosfet, MosType, VDD_180NM};
+use crate::mosfet::{MosType, Mosfet, VDD_180NM};
 use crate::{Circuit, Performances};
 
 /// Target oscillation frequency (Hz).
@@ -74,13 +74,13 @@ impl RingOscillator {
     /// Creates the benchmark with the standard design-variable bounds.
     pub fn new() -> Self {
         let bounds = Bounds::new(vec![
-            (1e-6, 20e-6),    // wn
-            (2e-6, 50e-6),    // wp
-            (0.18e-6, 0.5e-6),// l
-            (10e-6, 500e-6),  // i_starve
-            (3.0, 15.0),      // stages
-            (1e-15, 50e-15),  // c_load
-            (0.5, 1.0),       // v_swing
+            (1e-6, 20e-6),     // wn
+            (2e-6, 50e-6),     // wp
+            (0.18e-6, 0.5e-6), // l
+            (10e-6, 500e-6),   // i_starve
+            (3.0, 15.0),       // stages
+            (1e-15, 50e-15),   // c_load
+            (0.5, 1.0),        // v_swing
         ])
         .expect("static ring-oscillator bounds are valid");
         RingOscillator { bounds }
@@ -127,8 +127,8 @@ impl RingOscillator {
 
         // Phase-noise proxy (lower = better): thermal-noise-limited jitter
         // improves with swing, per-stage current and stage count.
-        let noise_proxy = 1.0
-            / (v_sw * v_sw * (i_starve / 1e-6) * (stages as f64).sqrt()).max(1e-12);
+        let noise_proxy =
+            1.0 / (v_sw * v_sw * (i_starve / 1e-6) * (stages as f64).sqrt()).max(1e-12);
 
         RingOscAnalysis {
             freq_hz: freq,

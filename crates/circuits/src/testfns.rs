@@ -46,19 +46,12 @@ impl SyntheticCircuit {
     /// Creates the named synthetic benchmark with its standard domain.
     pub fn new(function: TestFunction) -> Self {
         let (bounds, name) = match function {
-            TestFunction::Branin => (
-                Bounds::new(vec![(-5.0, 10.0), (0.0, 15.0)]),
-                "branin",
-            ),
+            TestFunction::Branin => (Bounds::new(vec![(-5.0, 10.0), (0.0, 15.0)]), "branin"),
             TestFunction::Hartmann6 => (Bounds::new(vec![(0.0, 1.0); 6]), "hartmann6"),
-            TestFunction::Ackley(d) => (
-                Bounds::new(vec![(-32.768, 32.768); d.max(1)]),
-                "ackley",
-            ),
-            TestFunction::Rosenbrock(d) => (
-                Bounds::new(vec![(-2.048, 2.048); d.max(1)]),
-                "rosenbrock",
-            ),
+            TestFunction::Ackley(d) => (Bounds::new(vec![(-32.768, 32.768); d.max(1)]), "ackley"),
+            TestFunction::Rosenbrock(d) => {
+                (Bounds::new(vec![(-2.048, 2.048); d.max(1)]), "rosenbrock")
+            }
             TestFunction::Levy(d) => (Bounds::new(vec![(-10.0, 10.0); d.max(1)]), "levy"),
         };
         SyntheticCircuit {
@@ -168,8 +161,8 @@ fn levy(x: &[f64]) -> f64 {
     let w: Vec<f64> = x.iter().map(|v| 1.0 + (v - 1.0) / 4.0).collect();
     let n = w.len();
     let mut sum = (PI * w[0]).sin().powi(2);
-    for i in 0..n - 1 {
-        sum += (w[i] - 1.0).powi(2) * (1.0 + 10.0 * (PI * w[i] + 1.0).sin().powi(2));
+    for wi in w.iter().take(n - 1) {
+        sum += (wi - 1.0).powi(2) * (1.0 + 10.0 * (PI * wi + 1.0).sin().powi(2));
     }
     sum + (w[n - 1] - 1.0).powi(2) * (1.0 + (2.0 * PI * w[n - 1]).sin().powi(2))
 }

@@ -105,8 +105,14 @@ mod tests {
         let y = vec![0.0, 0.7, 1.0, 0.7, 0.0];
         let mut theta = vec![-1.2, 0.0];
         theta[1] = 0.0;
-        Gp::fit_with_params(x, y, KernelFamily::SquaredExponential, theta, (1e-6f64).ln())
-            .unwrap()
+        Gp::fit_with_params(
+            x,
+            y,
+            KernelFamily::SquaredExponential,
+            theta,
+            (1e-6f64).ln(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -194,8 +194,7 @@ impl Algorithm {
                 run_metaheuristic(*self, bb, de_evals, seed)
             }
             Algorithm::Ei => {
-                let mut p =
-                    SequentialBoPolicy::new(bounds, SequentialAcquisition::Ei, seed);
+                let mut p = SequentialBoPolicy::new(bounds, SequentialAcquisition::Ei, seed);
                 VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
             }
             Algorithm::Lcb => {
@@ -332,7 +331,7 @@ fn run_metaheuristic(algo: Algorithm, bb: &dyn BlackBox, budget: usize, seed: u6
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use easybo_exec::{CostedFunction, SimTimeModel};
     use easybo_opt::Bounds;
 

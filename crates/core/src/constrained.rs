@@ -22,11 +22,14 @@ use crate::surrogate::{SurrogateConfig, SurrogateManager};
 use crate::weight::{sample_kappa_weight, DEFAULT_LAMBDA};
 use crate::{EasyBo, EasyBoError, OptimizationResult};
 
+/// A borrowed objective or constraint function.
+type ObjectiveFn<'a> = &'a (dyn Fn(&[f64]) -> f64 + Sync);
+
 /// A constrained objective: maximize `objective` subject to
 /// `constraint_j(x) ≥ 0` for every constraint.
 pub struct ConstrainedProblem<'a> {
-    objective: &'a (dyn Fn(&[f64]) -> f64 + Sync),
-    constraints: Vec<&'a (dyn Fn(&[f64]) -> f64 + Sync)>,
+    objective: ObjectiveFn<'a>,
+    constraints: Vec<ObjectiveFn<'a>>,
 }
 
 impl<'a> ConstrainedProblem<'a> {
@@ -211,11 +214,12 @@ impl EasyBo {
         let objective = |x: &[f64]| problem.evaluate(x).0;
         let bb = CostedFunction::new("constrained-objective", bounds.clone(), time, objective);
         let mut policy = ConstrainedPolicy::new(problem, bounds, self.seed_value());
-        let result = VirtualExecutor::new(self.batch_size_value()).run_async(
+        let result = VirtualExecutor::new(self.batch_size_value()).run_async_with(
             &bb,
             &self.initial_design(),
             self.max_evals_value(),
             &mut policy,
+            self.telemetry_handle(),
         );
         policy.sync_slacks(&result.data);
         // The incumbent must be feasible.
@@ -232,12 +236,22 @@ impl EasyBo {
             }
         }
         let (best_x, best_value) = best.ok_or(EasyBoError::DegenerateObjective)?;
+        let telemetry = self.telemetry_handle();
+        telemetry.flush();
+        let report = easybo_telemetry::RunReport::new(
+            result.schedule.makespan(),
+            result.schedule.workers(),
+            result.schedule.utilization(),
+            result.data.len(),
+            telemetry.summary(),
+        );
         Ok(OptimizationResult {
             best_x,
             best_value,
             data: result.data,
             trace: result.trace,
             schedule: result.schedule,
+            report,
         })
     }
 }

@@ -35,7 +35,10 @@ impl fmt::Display for EasyBoError {
                 "evaluation budget {max_evals} must exceed the initial design size {initial_points}"
             ),
             EasyBoError::DegenerateObjective => {
-                write!(f, "objective returned no finite values during initialization")
+                write!(
+                    f,
+                    "objective returned no finite values during initialization"
+                )
             }
         }
     }

@@ -54,6 +54,9 @@ mod weight;
 
 pub use algorithms::{Algorithm, AlgorithmMode};
 pub use constrained::ConstrainedProblem;
+pub use easybo_telemetry::{
+    Event, JsonlSink, Recorder, RunReport, Telemetry, TimedEvent, TraceCsvSink,
+};
 pub use error::EasyBoError;
 pub use optimizer::{EasyBo, OptimizationResult};
 pub use surrogate::{SurrogateConfig, SurrogateManager};

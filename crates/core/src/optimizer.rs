@@ -5,6 +5,7 @@ use easybo_exec::{
     VirtualExecutor,
 };
 use easybo_opt::{sampling, Bounds};
+use easybo_telemetry::{RunReport, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,6 +28,10 @@ pub struct OptimizationResult {
     pub trace: RunTrace,
     /// Worker occupancy record.
     pub schedule: Schedule,
+    /// Where the run's time went: utilization/idle split from the
+    /// schedule, plus GP-fit and acquisition overhead shares when the run
+    /// had telemetry attached (see [`EasyBo::telemetry`]).
+    pub report: RunReport,
 }
 
 /// The EasyBO optimizer: asynchronous batch Bayesian optimization with
@@ -63,6 +68,7 @@ pub struct EasyBo {
     penalize: bool,
     surrogate: SurrogateConfig,
     acq_opt: AcqOptConfig,
+    telemetry: Telemetry,
 }
 
 impl EasyBo {
@@ -81,7 +87,17 @@ impl EasyBo {
             penalize: true,
             surrogate: SurrogateConfig::default(),
             acq_opt: AcqOptConfig::for_dim(dim),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle to the run: the executor, policy, and
+    /// GP training all emit structured events and metrics through it, and
+    /// the returned [`OptimizationResult::report`] gains the model-
+    /// overhead breakdown. Default: disabled (zero overhead).
+    pub fn telemetry(&mut self, telemetry: Telemetry) -> &mut Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of parallel workers (batch size B). Default 5.
@@ -157,19 +173,25 @@ impl EasyBo {
         self.batch_size
     }
 
+    pub(crate) fn telemetry_handle(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     pub(crate) fn max_evals_value(&self) -> usize {
         self.max_evals
     }
 
     fn build_policy(&self) -> EasyBoAsyncPolicy {
-        EasyBoAsyncPolicy::with_configs(
+        let mut policy = EasyBoAsyncPolicy::with_configs(
             self.bounds.clone(),
             self.penalize,
             self.lambda,
             self.seed,
             self.surrogate.clone(),
             self.acq_opt,
-        )
+        );
+        policy.set_telemetry(self.telemetry.clone());
+        policy
     }
 
     pub(crate) fn initial_design(&self) -> Vec<Vec<f64>> {
@@ -177,7 +199,7 @@ impl EasyBo {
         sampling::latin_hypercube(&self.bounds, self.initial_points, &mut rng)
     }
 
-    fn finish(result: easybo_exec::RunResult) -> crate::Result<OptimizationResult> {
+    fn finish(&self, result: easybo_exec::RunResult) -> crate::Result<OptimizationResult> {
         let (best_x, best_value) = result
             .data
             .best()
@@ -186,12 +208,21 @@ impl EasyBo {
         if !best_value.is_finite() {
             return Err(EasyBoError::DegenerateObjective);
         }
+        self.telemetry.flush();
+        let report = RunReport::new(
+            result.schedule.makespan(),
+            result.schedule.workers(),
+            result.schedule.utilization(),
+            result.data.len(),
+            self.telemetry.summary(),
+        );
         Ok(OptimizationResult {
             best_x,
             best_value,
             data: result.data,
             trace: result.trace,
             schedule: result.schedule,
+            report,
         })
     }
 
@@ -221,13 +252,14 @@ impl EasyBo {
     pub fn run_blackbox(&self, bb: &dyn BlackBox) -> crate::Result<OptimizationResult> {
         self.validate()?;
         let mut policy = self.build_policy();
-        let result = VirtualExecutor::new(self.batch_size).run_async(
+        let result = VirtualExecutor::new(self.batch_size).run_async_with(
             bb,
             &self.initial_design(),
             self.max_evals,
             &mut policy,
+            &self.telemetry,
         );
-        Self::finish(result)
+        self.finish(result)
     }
 
     /// Maximizes a [`BlackBox`] on real OS threads — the production path
@@ -244,13 +276,14 @@ impl EasyBo {
     ) -> crate::Result<OptimizationResult> {
         self.validate()?;
         let mut policy = self.build_policy();
-        let result = ThreadedExecutor::new(self.batch_size, time_scale).run_async(
+        let result = ThreadedExecutor::new(self.batch_size, time_scale).run_async_with(
             bb,
             &self.initial_design(),
             self.max_evals,
             &mut policy,
+            &self.telemetry,
         );
-        Self::finish(result)
+        self.finish(result)
     }
 }
 

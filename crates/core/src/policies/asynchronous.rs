@@ -14,8 +14,11 @@
 //! scheduling and randomized weights, but the busy points are invisible,
 //! so concurrent workers can pile onto the same region.
 
+use std::cell::Cell;
+
 use easybo_exec::{AsyncPolicy, BusyPoint, Dataset};
 use easybo_opt::Bounds;
+use easybo_telemetry::{Event, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -58,6 +61,8 @@ pub struct EasyBoAsyncPolicy {
     mode: PenalizationMode,
     lambda: f64,
     fallbacks: usize,
+    acq_restarts: usize,
+    telemetry: Telemetry,
 }
 
 impl EasyBoAsyncPolicy {
@@ -92,7 +97,19 @@ impl EasyBoAsyncPolicy {
             mode: PenalizationMode::default(),
             lambda,
             fallbacks: 0,
+            acq_restarts: acq_opt.starts,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: each selection emits `AcqOptimized`
+    /// (and `PseudoPointAdded` when penalization hallucinates busy
+    /// points), and GP retrainings emit `GpRefit`. Events are stamped
+    /// with the run clock the executor advances on the same handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) -> &mut Self {
+        self.surrogate.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
     }
 
     /// Overrides how busy points are hallucinated (default: predictive
@@ -134,43 +151,95 @@ impl AsyncPolicy for EasyBoAsyncPolicy {
                 .iter()
                 .map(|bp| self.surrogate.to_unit(&bp.x))
                 .collect();
-            let (y_lo, y_hi) = data.ys().iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), &y| (lo.min(y), hi.max(y)),
-            );
-            match self.mode.augment(&gp, &busy_units, y_lo, y_hi) {
+            let (y_lo, y_hi) = data
+                .ys()
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
+                    (lo.min(y), hi.max(y))
+                });
+            match self
+                .mode
+                .augment_traced(&gp, &busy_units, y_lo, y_hi, &self.telemetry)
+            {
                 Ok(aug) => {
                     // Eq. 9 (hallucinated mean): μ from the base GP, σ̂ from
                     // the augmented one (the augmented mean is identical in
                     // exact arithmetic). Constant-liar modes *deliberately*
                     // bias the mean near busy points, so they must read both
                     // moments from the augmented model.
-                    let use_aug_mean =
-                        self.mode != PenalizationMode::HallucinateMean;
+                    let use_aug_mean = self.mode != PenalizationMode::HallucinateMean;
                     let (base, aug_ref) = (&gp, &aug);
-                    self.maximizer.maximize(&mut self.rng, |p| {
-                        if use_aug_mean {
-                            acquisition::weighted(aug_ref, p, w)
-                        } else {
-                            acquisition::weighted_penalized(base, aug_ref, p, w)
-                        }
-                    })
+                    maximize_traced(
+                        &self.maximizer,
+                        &mut self.rng,
+                        &self.telemetry,
+                        self.acq_restarts,
+                        |p| {
+                            if use_aug_mean {
+                                acquisition::weighted(aug_ref, p, w)
+                            } else {
+                                acquisition::weighted_penalized(base, aug_ref, p, w)
+                            }
+                        },
+                    )
                 }
                 Err(_) => {
                     // Numerically degenerate augmentation (duplicated busy
                     // points): fall back to the unpenalized acquisition.
                     let base = &gp;
-                    self.maximizer
-                        .maximize(&mut self.rng, |p| acquisition::weighted(base, p, w))
+                    maximize_traced(
+                        &self.maximizer,
+                        &mut self.rng,
+                        &self.telemetry,
+                        self.acq_restarts,
+                        |p| acquisition::weighted(base, p, w),
+                    )
                 }
             }
         } else {
             let base = &gp;
-            self.maximizer
-                .maximize(&mut self.rng, |p| acquisition::weighted(base, p, w))
+            maximize_traced(
+                &self.maximizer,
+                &mut self.rng,
+                &self.telemetry,
+                self.acq_restarts,
+                |p| acquisition::weighted(base, p, w),
+            )
         };
         self.surrogate.from_unit(&u)
     }
+}
+
+/// Runs one acquisition maximization, counting acquisition-function
+/// evaluations and timing the search; emits an `AcqOptimized` event. On a
+/// disabled handle this is a direct call with no wrapper at all.
+fn maximize_traced(
+    maximizer: &AcqMaximizer,
+    rng: &mut StdRng,
+    telemetry: &Telemetry,
+    restarts: usize,
+    f: impl Fn(&[f64]) -> f64,
+) -> Vec<f64> {
+    if !telemetry.enabled() {
+        return maximizer.maximize(rng, f);
+    }
+    let evals = Cell::new(0usize);
+    let t0 = std::time::Instant::now();
+    let u = maximizer.maximize(rng, |p| {
+        evals.set(evals.get() + 1);
+        f(p)
+    });
+    let duration = t0.elapsed().as_secs_f64();
+    let evals = evals.get();
+    telemetry.incr("acq_restarts", restarts as u64);
+    telemetry.incr("acq_evals", evals as u64);
+    telemetry.observe("acq_opt_s", duration);
+    telemetry.emit(Event::AcqOptimized {
+        restarts,
+        evals,
+        duration,
+    });
+    u
 }
 
 #[cfg(test)]
@@ -245,6 +314,7 @@ mod tests {
         }
         let busy = vec![BusyPoint {
             x: vec![0.5],
+            task: 0,
             worker: 0,
             finish_time: 100.0,
         }];
@@ -273,6 +343,7 @@ mod tests {
         let busy: Vec<BusyPoint> = (0..4)
             .map(|w| BusyPoint {
                 x: vec![0.5],
+                task: w,
                 worker: w,
                 finish_time: 10.0,
             })

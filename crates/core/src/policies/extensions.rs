@@ -158,8 +158,16 @@ impl SyncBatchPolicy for LocalPenalizationPolicy {
                     .collect();
             }
         };
-        let units: Vec<Vec<f64>> = data.xs().iter().map(|x| self.surrogate.to_unit(x)).collect();
-        let zs: Vec<f64> = data.ys().iter().map(|&y| gp.scaler().transform(y)).collect();
+        let units: Vec<Vec<f64>> = data
+            .xs()
+            .iter()
+            .map(|x| self.surrogate.to_unit(x))
+            .collect();
+        let zs: Vec<f64> = data
+            .ys()
+            .iter()
+            .map(|&y| gp.scaler().transform(y))
+            .collect();
         let lipschitz = Self::lipschitz_estimate(&units, &zs);
         let best = data.best_value();
         let best_z = gp.scaler().transform(best);
@@ -171,7 +179,9 @@ impl SyncBatchPolicy for LocalPenalizationPolicy {
             let gp_ref = &gp;
             let sel = &selected;
             let u = self.maximizer.maximize(&mut self.rng, |p| {
-                let mut acq = acquisition::expected_improvement(gp_ref, p, best).max(1e-300).ln();
+                let mut acq = acquisition::expected_improvement(gp_ref, p, best)
+                    .max(1e-300)
+                    .ln();
                 for (xj, mu_j, sigma_j) in sel {
                     let dist: f64 = xj
                         .iter()

@@ -79,8 +79,7 @@ impl MacePolicy {
 /// column).
 pub(crate) fn pareto_front(scores: &[[f64; 3]]) -> Vec<usize> {
     let dominates = |a: &[f64; 3], b: &[f64; 3]| {
-        a.iter().zip(b.iter()).all(|(x, y)| x >= y)
-            && a.iter().zip(b.iter()).any(|(x, y)| x > y)
+        a.iter().zip(b.iter()).all(|(x, y)| x >= y) && a.iter().zip(b.iter()).any(|(x, y)| x > y)
     };
     (0..scores.len())
         .filter(|&i| {

@@ -7,6 +7,7 @@
 //! this module implements all three so the benches can compare them.
 
 use easybo_gp::Gp;
+use easybo_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// How a busy (in-flight) query point is converted into a pseudo-observation.
@@ -47,6 +48,29 @@ impl PenalizationMode {
             PenalizationMode::ConstantLiarMin => lie(gp, busy_units, y_lo),
             PenalizationMode::ConstantLiarMax => lie(gp, busy_units, y_hi),
         }
+    }
+
+    /// [`PenalizationMode::augment`] with a telemetry handle: emits one
+    /// `PseudoPointAdded` event (with the number of hallucinated points)
+    /// per successful augmentation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PenalizationMode::augment`].
+    pub fn augment_traced(
+        &self,
+        gp: &Gp,
+        busy_units: &[Vec<f64>],
+        y_lo: f64,
+        y_hi: f64,
+        telemetry: &Telemetry,
+    ) -> Result<Gp, easybo_gp::GpError> {
+        let aug = self.augment(gp, busy_units, y_lo, y_hi)?;
+        telemetry.emit_with(|| Event::PseudoPointAdded {
+            count: busy_units.len(),
+        });
+        telemetry.incr("pseudo_points_added", busy_units.len() as u64);
+        Ok(aug)
     }
 
     /// All modes, for ablation sweeps.
@@ -156,6 +180,9 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             PenalizationMode::all().iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), 3);
-        assert_eq!(PenalizationMode::default(), PenalizationMode::HallucinateMean);
+        assert_eq!(
+            PenalizationMode::default(),
+            PenalizationMode::HallucinateMean
+        );
     }
 }

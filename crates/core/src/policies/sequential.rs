@@ -87,13 +87,7 @@ impl SequentialBoPolicy {
         acq_opt: AcqOptConfig,
     ) -> Self {
         let dim = bounds.dim();
-        let surrogate = SurrogateManager::new(
-            bounds,
-            SurrogateConfig {
-                seed,
-                ..surrogate
-            },
-        );
+        let surrogate = SurrogateManager::new(bounds, SurrogateConfig { seed, ..surrogate });
         SequentialBoPolicy {
             surrogate,
             acquisition,
@@ -126,9 +120,7 @@ impl AsyncPolicy for SequentialBoPolicy {
         let best = data.best_value();
         let acq = self.acquisition;
         let w = match acq {
-            SequentialAcquisition::EasyBo { lambda } => {
-                sample_kappa_weight(lambda, &mut self.rng)
-            }
+            SequentialAcquisition::EasyBo { lambda } => sample_kappa_weight(lambda, &mut self.rng),
             _ => 0.0,
         };
         let u = self.maximizer.maximize(&mut self.rng, |p| match acq {

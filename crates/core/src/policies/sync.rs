@@ -323,12 +323,16 @@ mod tests {
 
     #[test]
     fn penalized_batches_are_more_diverse() {
-        // Measure the mean pairwise distance of selected batches on a flat
-        // stretch of data: penalization must spread the members out.
+        // Measure the mean pairwise distance of selected batches when the
+        // training data covers only the left strip of the domain: the
+        // posterior σ is large (and varied) on the unexplored right side, so
+        // high-weight members chase it — all to the same argmax without
+        // penalization, spread across it with σ̂-penalization.
         let bounds = Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let strip = Bounds::new(vec![(0.0, 0.45), (0.0, 1.0)]).unwrap();
         let mut data = Dataset::new();
         let mut rng = StdRng::seed_from_u64(7);
-        for p in sampling::latin_hypercube(&bounds, 12, &mut rng) {
+        for p in sampling::latin_hypercube(&strip, 10, &mut rng) {
             let y = -(p[0] - 0.5f64).powi(2) - (p[1] - 0.5f64).powi(2);
             data.push(p, y);
         }
@@ -349,15 +353,25 @@ mod tests {
             }
             total / pairs as f64
         };
-        // Average over several batches to smooth out the random weights.
+        // A huge λ drives every weight to w ≈ 1 (pure exploration), so all
+        // plain members chase the same σ argmax while penalization must
+        // spread them; average a few batches to smooth maximizer noise.
+        let policy = |penalize: bool, seed: u64| {
+            EasyBoSyncPolicy::with_configs(
+                bounds.clone(),
+                penalize,
+                1e6,
+                seed,
+                SurrogateConfig::default(),
+                AcqOptConfig::for_dim(2),
+            )
+        };
         let trials = 8;
         let mut pen_total = 0.0;
         let mut plain_total = 0.0;
         for t in 0..trials {
-            let mut pen = EasyBoSyncPolicy::new(bounds.clone(), true, 100 + t);
-            let mut plain = EasyBoSyncPolicy::new(bounds.clone(), false, 100 + t);
-            pen_total += spread(&pen.select_batch(&data, 5));
-            plain_total += spread(&plain.select_batch(&data, 5));
+            pen_total += spread(&policy(true, 100 + t).select_batch(&data, 5));
+            plain_total += spread(&policy(false, 100 + t).select_batch(&data, 5));
         }
         assert!(
             pen_total > plain_total,

@@ -10,6 +10,7 @@
 use easybo_exec::Dataset;
 use easybo_gp::{Gp, GpConfig, KernelFamily, TrainConfig};
 use easybo_opt::Bounds;
+use easybo_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`SurrogateManager`].
@@ -86,6 +87,7 @@ pub struct SurrogateManager {
     warm: Option<Vec<f64>>,
     /// Lower winsorization fence for targets (set at each retraining).
     fence: f64,
+    telemetry: Telemetry,
 }
 
 impl SurrogateManager {
@@ -99,7 +101,14 @@ impl SurrogateManager {
             last_trained_n: 0,
             warm: None,
             fence: f64::NEG_INFINITY,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every hyperparameter retraining emits
+    /// a `GpRefit` event and feeds the GP training counters.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The design space.
@@ -134,7 +143,10 @@ impl SurrogateManager {
 
         if need_retrain {
             let active = self.active_set(data);
-            let xs: Vec<Vec<f64>> = active.iter().map(|&i| self.to_unit(&data.xs()[i])).collect();
+            let xs: Vec<Vec<f64>> = active
+                .iter()
+                .map(|&i| self.to_unit(&data.xs()[i]))
+                .collect();
             // Winsorize catastrophic outliers from the low side (heavily
             // penalized infeasible designs can sit orders of magnitude below
             // the bulk and would wreck the GP's standardization and
@@ -159,7 +171,7 @@ impl SurrogateManager {
                 },
                 ..Default::default()
             };
-            let gp = Gp::fit(xs, ys, gp_config)?;
+            let gp = Gp::fit_traced(xs, ys, gp_config, &self.telemetry)?;
             let mut warm = gp.theta().to_vec();
             warm.push(gp.log_noise());
             self.warm = Some(warm);

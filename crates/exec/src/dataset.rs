@@ -78,6 +78,10 @@ impl Dataset {
 pub struct BusyPoint {
     /// The design under evaluation.
     pub x: Vec<f64>,
+    /// Executor-wide task id (issue order). Uniquely identifies this
+    /// in-flight evaluation even when several workers run identical
+    /// `x` vectors.
+    pub task: usize,
     /// Which worker is running it.
     pub worker: usize,
     /// Virtual time at which it will finish.

@@ -193,4 +193,41 @@ mod tests {
         let mut s = Schedule::new(1);
         s.add(1, 0, 0.0, 1.0);
     }
+
+    #[test]
+    fn aggregates_are_insertion_order_invariant() {
+        // Real threads report completions out of order; every aggregate
+        // must be a pure function of the span *set*, not the insertion
+        // sequence.
+        let spans = [
+            (0usize, 0usize, 0.0, 4.0),
+            (1, 1, 0.0, 7.0),
+            (2, 2, 0.0, 10.0),
+            (0, 3, 4.0, 9.0),
+            (1, 4, 7.0, 13.0),
+            (2, 5, 10.0, 13.0),
+            (0, 6, 9.0, 16.0),
+        ];
+        let mut ordered = Schedule::new(3);
+        for &(w, t, a, b) in &spans {
+            ordered.add(w, t, a, b);
+        }
+        // A deterministic shuffle: stride through the list coprime to
+        // its length.
+        let mut shuffled = Schedule::new(3);
+        for i in 0..spans.len() {
+            let (w, t, a, b) = spans[(i * 3) % spans.len()];
+            shuffled.add(w, t, a, b);
+        }
+        assert_eq!(shuffled.makespan(), ordered.makespan());
+        assert_eq!(shuffled.busy_time(), ordered.busy_time());
+        assert_eq!(shuffled.utilization(), ordered.utilization());
+        assert_eq!(shuffled.idle_time(), ordered.idle_time());
+        for w in 0..3 {
+            assert_eq!(
+                shuffled.worker_spans(w).len(),
+                ordered.worker_spans(w).len()
+            );
+        }
+    }
 }

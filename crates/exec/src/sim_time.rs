@@ -134,7 +134,6 @@ impl SimTimeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn model(spread: f64) -> (Bounds, SimTimeModel) {
         let bounds = Bounds::unit_cube(5).unwrap();
@@ -149,7 +148,7 @@ mod tests {
         for _ in 0..500 {
             let x = bounds.sample_uniform(&mut rng);
             let c = m.cost(&x);
-            assert!(c >= 40.0 * 0.8 - 1e-9 && c <= 40.0 * 1.2 + 1e-9, "{c}");
+            assert!((40.0 * 0.8 - 1e-9..=40.0 * 1.2 + 1e-9).contains(&c), "{c}");
         }
     }
 

@@ -6,12 +6,14 @@
 //! Worker threads pull jobs from a crossbeam channel; the coordinator runs
 //! the policy and keeps at most one job in flight per worker.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
+use easybo_telemetry::{Event, Telemetry};
 
+use crate::virtual_exec::{finish_run_metrics, AsyncPolicy};
 use crate::{BlackBox, BusyPoint, Dataset, RunResult, RunTrace, Schedule};
-use crate::virtual_exec::AsyncPolicy;
 
 /// Multi-threaded asynchronous executor.
 ///
@@ -66,6 +68,19 @@ struct Done {
     finished_at: Duration,
 }
 
+/// Message from a worker thread to the coordinator. `Started` always
+/// precedes the matching `Done` on the (FIFO) channel, letting the
+/// coordinator attribute each in-flight point to the worker that
+/// actually picked it up rather than a slot guess.
+enum WorkerMsg {
+    Started {
+        worker: usize,
+        task: usize,
+        at: Duration,
+    },
+    Done(Done),
+}
+
 impl ThreadedExecutor {
     /// Creates an executor with `workers` OS threads and the given
     /// real-time scale for evaluation costs.
@@ -101,6 +116,24 @@ impl ThreadedExecutor {
         max_evals: usize,
         policy: &mut dyn AsyncPolicy,
     ) -> RunResult {
+        self.run_async_with(bb, init, max_evals, policy, &Telemetry::disabled())
+    }
+
+    /// [`ThreadedExecutor::run_async`] with a telemetry handle: the run
+    /// clock is real seconds since the run began. `QueryIssued` fires
+    /// when the coordinator enqueues a job (its `worker` is a slot hint
+    /// — the job has not been claimed yet), `EvalStarted`/`EvalFinished`
+    /// carry the id of the thread that actually ran it, `WorkerIdle`
+    /// reports each gap between a worker's consecutive jobs, and the
+    /// `queue_wait_s` histogram records enqueue-to-start latency.
+    pub fn run_async_with(
+        &self,
+        bb: &(dyn BlackBox + Sync),
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn AsyncPolicy,
+        telemetry: &Telemetry,
+    ) -> RunResult {
         let epoch = Instant::now();
         let mut data = Dataset::new();
         let mut trace = RunTrace::new();
@@ -110,32 +143,46 @@ impl ThreadedExecutor {
             init.iter().take(max_evals).cloned().collect();
         let mut issued = 0usize;
         let mut completed = 0usize;
+        // Enqueue time per task, for the queue-wait histogram.
+        let mut issued_at: HashMap<usize, f64> = HashMap::new();
+        // Per-worker last-finish time, for idle-gap events.
+        let mut last_done: Vec<f64> = vec![0.0; self.workers];
 
         let (job_tx, job_rx) = channel::unbounded::<Job>();
-        let (done_tx, done_rx) = channel::unbounded::<Done>();
+        let (msg_tx, msg_rx) = channel::unbounded::<WorkerMsg>();
 
         crossbeam::scope(|scope| {
             for w in 0..self.workers {
                 let job_rx = job_rx.clone();
-                let done_tx = done_tx.clone();
+                let msg_tx = msg_tx.clone();
                 let scale = self.time_scale;
                 scope.spawn(move |_| {
                     while let Ok(job) = job_rx.recv() {
                         let started_at = epoch.elapsed();
+                        if msg_tx
+                            .send(WorkerMsg::Started {
+                                worker: w,
+                                task: job.task,
+                                at: started_at,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
                         let e = bb.evaluate(&job.x);
                         if scale > 0.0 {
                             std::thread::sleep(Duration::from_secs_f64(e.cost * scale));
                         }
                         let finished_at = epoch.elapsed();
-                        if done_tx
-                            .send(Done {
+                        if msg_tx
+                            .send(WorkerMsg::Done(Done {
                                 worker: w,
                                 task: job.task,
                                 x: job.x,
                                 value: e.value,
                                 started_at,
                                 finished_at,
-                            })
+                            }))
                             .is_err()
                         {
                             break;
@@ -143,55 +190,110 @@ impl ThreadedExecutor {
                     }
                 });
             }
-            drop(done_tx); // workers hold the remaining clones
+            drop(msg_tx); // workers hold the remaining clones
 
             // Prime the pipeline: one in-flight job per worker.
-            let issue =
-                |data: &Dataset,
-                 busy: &mut Vec<BusyPoint>,
-                 pending: &mut std::collections::VecDeque<Vec<f64>>,
-                 issued: &mut usize,
-                 policy: &mut dyn AsyncPolicy| {
-                    let x = pending
-                        .pop_front()
-                        .unwrap_or_else(|| policy.select_next(data, busy));
-                    busy.push(BusyPoint {
-                        x: x.clone(),
-                        worker: *issued % self.workers, // slot hint
-                        finish_time: f64::NAN,
-                    });
-                    job_tx
-                        .send(Job { task: *issued, x })
-                        .expect("workers alive while issuing");
-                    *issued += 1;
-                };
+            let issue = |data: &Dataset,
+                         busy: &mut Vec<BusyPoint>,
+                         pending: &mut std::collections::VecDeque<Vec<f64>>,
+                         issued: &mut usize,
+                         issued_at: &mut HashMap<usize, f64>,
+                         policy: &mut dyn AsyncPolicy| {
+                let now = epoch.elapsed().as_secs_f64();
+                telemetry.set_now(now);
+                let x = pending
+                    .pop_front()
+                    .unwrap_or_else(|| policy.select_next(data, busy));
+                let task = *issued;
+                // Slot hint only: the real worker id arrives with the
+                // `Started` message and overwrites this field.
+                let worker = task % self.workers;
+                telemetry.emit_at_with(now, || Event::QueryIssued { task, worker });
+                issued_at.insert(task, now);
+                busy.push(BusyPoint {
+                    x: x.clone(),
+                    task,
+                    worker,
+                    finish_time: f64::NAN,
+                });
+                job_tx
+                    .send(Job { task, x })
+                    .expect("workers alive while issuing");
+                *issued += 1;
+            };
             for _ in 0..self.workers.min(max_evals) {
-                issue(&data, &mut busy, &mut pending, &mut issued, policy);
+                issue(
+                    &data,
+                    &mut busy,
+                    &mut pending,
+                    &mut issued,
+                    &mut issued_at,
+                    policy,
+                );
             }
 
             while completed < issued {
-                let done = done_rx.recv().expect("a worker finished");
-                busy.retain(|bp| bp.x != done.x || bp.x.is_empty());
-                schedule.add(
-                    done.worker,
-                    done.task,
-                    done.started_at.as_secs_f64(),
-                    done.finished_at.as_secs_f64(),
-                );
-                data.push(done.x, done.value);
-                // Real threads can complete out of order in real time; the
-                // trace requires monotone timestamps, so clamp.
-                let t = done.finished_at.as_secs_f64().max(trace.total_time());
-                trace.record(t, done.value);
-                completed += 1;
-                if issued < max_evals {
-                    issue(&data, &mut busy, &mut pending, &mut issued, policy);
+                match msg_rx.recv().expect("a worker is alive") {
+                    WorkerMsg::Started { worker, task, at } => {
+                        let at_s = at.as_secs_f64();
+                        telemetry.set_now(at_s);
+                        if let Some(bp) = busy.iter_mut().find(|bp| bp.task == task) {
+                            bp.worker = worker;
+                        }
+                        if let Some(&t0) = issued_at.get(&task) {
+                            telemetry.observe("queue_wait_s", (at_s - t0).max(0.0));
+                        }
+                        let gap = at_s - last_done[worker];
+                        if gap > 0.0 {
+                            telemetry.emit_at_with(at_s, || Event::WorkerIdle { worker, gap });
+                        }
+                        telemetry.emit_at_with(at_s, || Event::EvalStarted { task, worker });
+                    }
+                    WorkerMsg::Done(done) => {
+                        // Remove exactly the completed task: in-flight points
+                        // are keyed by task id, so duplicate `x` vectors on
+                        // other workers stay in the busy set.
+                        busy.retain(|bp| bp.task != done.task);
+                        issued_at.remove(&done.task);
+                        let finished = done.finished_at.as_secs_f64();
+                        last_done[done.worker] = finished;
+                        schedule.add(
+                            done.worker,
+                            done.task,
+                            done.started_at.as_secs_f64(),
+                            finished,
+                        );
+                        // Real threads can complete out of order in real
+                        // time; the trace requires monotone timestamps, so
+                        // clamp (and stamp the event identically).
+                        let t = finished.max(trace.total_time());
+                        telemetry.set_now(t);
+                        telemetry.emit_at_with(t, || Event::EvalFinished {
+                            task: done.task,
+                            worker: done.worker,
+                            value: done.value,
+                        });
+                        data.push(done.x, done.value);
+                        trace.record(t, done.value);
+                        completed += 1;
+                        if issued < max_evals {
+                            issue(
+                                &data,
+                                &mut busy,
+                                &mut pending,
+                                &mut issued,
+                                &mut issued_at,
+                                policy,
+                            );
+                        }
+                    }
                 }
             }
             drop(job_tx); // signal workers to exit
         })
         .expect("no worker thread panicked");
 
+        finish_run_metrics(telemetry, &schedule);
         RunResult {
             data,
             trace,

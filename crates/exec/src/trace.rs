@@ -215,6 +215,43 @@ mod tests {
     }
 
     #[test]
+    fn clamped_recording_handles_shuffled_finish_times() {
+        // The threaded executor receives completions in real-thread
+        // order, which can disagree with finish-time order; it clamps
+        // each timestamp forward (`t.max(total_time())`) before
+        // recording. Verify that discipline keeps the trace valid and
+        // the best-so-far curve identical to the sorted ground truth.
+        let finishes: [(f64, f64); 5] = [
+            (30.0, 0.5),
+            (10.0, 2.0), // arrives late despite finishing first
+            (20.0, 1.0),
+            (55.0, 3.0),
+            (40.0, 2.5),
+        ];
+        let mut clamped = RunTrace::new();
+        for &(t, v) in &finishes {
+            clamped.record(t.max(clamped.total_time()), v);
+        }
+        // Monotone times, monotone best.
+        for w in clamped.points().windows(2) {
+            assert!(w[1].time >= w[0].time);
+            assert!(w[1].best_so_far >= w[0].best_so_far);
+        }
+        assert_eq!(clamped.len(), finishes.len());
+        assert_eq!(clamped.final_best(), Some(3.0));
+        // The final state agrees with an in-order replay of the same
+        // completions; only intermediate timestamps were clamped.
+        let mut sorted = finishes;
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut ordered = RunTrace::new();
+        for &(t, v) in &sorted {
+            ordered.record(t, v);
+        }
+        assert_eq!(clamped.total_time(), ordered.total_time());
+        assert_eq!(clamped.final_best(), ordered.final_best());
+    }
+
+    #[test]
     fn sampled_curve() {
         let t = sample();
         let s = t.sampled(9);

@@ -3,6 +3,8 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
+use easybo_telemetry::{Event, Telemetry};
+
 use crate::{BlackBox, BusyPoint, Dataset, RunTrace, Schedule};
 
 /// Batch-selection callback for the synchronous driver: given everything
@@ -141,17 +143,34 @@ impl VirtualExecutor {
         max_evals: usize,
         policy: &mut dyn SyncBatchPolicy,
     ) -> RunResult {
+        self.run_sync_with(bb, init, max_evals, policy, &Telemetry::disabled())
+    }
+
+    /// [`VirtualExecutor::run_sync`] with a telemetry handle: the run
+    /// clock is advanced in virtual seconds, `QueryIssued`/`EvalStarted`
+    /// events fire at round start, `EvalFinished` at the barrier (the
+    /// same timestamp `RunTrace` records, so a JSONL sink reconstructs
+    /// the trace exactly), and `WorkerIdle` reports each member's gap to
+    /// the round's slowest evaluation.
+    pub fn run_sync_with(
+        &self,
+        bb: &dyn BlackBox,
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn SyncBatchPolicy,
+        telemetry: &Telemetry,
+    ) -> RunResult {
         let b = self.workers;
         let mut data = Dataset::new();
         let mut trace = RunTrace::new();
         let mut schedule = Schedule::new(b);
         let mut t = 0.0f64;
         let mut task = 0usize;
-        let mut pending: VecDeque<Vec<f64>> =
-            init.iter().take(max_evals).cloned().collect();
+        let mut pending: VecDeque<Vec<f64>> = init.iter().take(max_evals).cloned().collect();
 
         while data.len() < max_evals {
             let remaining = max_evals - data.len();
+            telemetry.set_now(t);
             let round: Vec<Vec<f64>> = if pending.is_empty() {
                 policy.select_batch(&data, b.min(remaining))
             } else {
@@ -161,23 +180,43 @@ impl VirtualExecutor {
             if round.is_empty() {
                 break;
             }
-            let evals: Vec<crate::Evaluation> =
-                round.iter().map(|x| bb.evaluate(x)).collect();
+            let evals: Vec<crate::Evaluation> = round.iter().map(|x| bb.evaluate(x)).collect();
             let round_time = evals.iter().map(|e| e.cost).fold(0.0, f64::max);
+            let first_task = task;
             for (w, (x, e)) in round.iter().zip(evals.iter()).enumerate() {
                 schedule.add(w % b, task, t, t + e.cost);
+                telemetry.emit_at_with(t, || Event::QueryIssued {
+                    task,
+                    worker: w % b,
+                });
+                telemetry.emit_at_with(t, || Event::EvalStarted {
+                    task,
+                    worker: w % b,
+                });
                 task += 1;
                 let _ = x;
             }
             t += round_time;
-            // Results are revealed at the barrier.
-            for (x, e) in round.into_iter().zip(evals) {
+            telemetry.set_now(t);
+            // Results are revealed at the barrier; `EvalFinished` carries
+            // the barrier timestamp to match `trace.record` below.
+            for (w, (x, e)) in round.into_iter().zip(evals).enumerate() {
+                telemetry.emit_at_with(t, || Event::EvalFinished {
+                    task: first_task + w,
+                    worker: w % b,
+                    value: e.value,
+                });
+                let gap = round_time - e.cost;
+                if gap > 0.0 {
+                    telemetry.emit_at_with(t, || Event::WorkerIdle { worker: w % b, gap });
+                }
                 data.push(x, e.value);
                 trace.record(t, e.value);
             }
             // Mark the barrier in the schedule by stretching nothing — the
             // idle gap is implicit in the next round's start time.
         }
+        finish_run_metrics(telemetry, &schedule);
         RunResult {
             data,
             trace,
@@ -197,46 +236,65 @@ impl VirtualExecutor {
         max_evals: usize,
         policy: &mut dyn AsyncPolicy,
     ) -> RunResult {
+        self.run_async_with(bb, init, max_evals, policy, &Telemetry::disabled())
+    }
+
+    /// [`VirtualExecutor::run_async`] with a telemetry handle: the run
+    /// clock tracks the discrete-event clock, `QueryIssued`/`EvalStarted`
+    /// fire when a worker picks up a point, `EvalFinished` at the
+    /// completion time `RunTrace` records, and one `WorkerIdle` per
+    /// worker reports its total idle seconds at the end of the run.
+    pub fn run_async_with(
+        &self,
+        bb: &dyn BlackBox,
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn AsyncPolicy,
+        telemetry: &Telemetry,
+    ) -> RunResult {
         let b = self.workers;
         let mut data = Dataset::new();
         let mut trace = RunTrace::new();
         let mut schedule = Schedule::new(b);
-        let mut pending: VecDeque<Vec<f64>> =
-            init.iter().take(max_evals).cloned().collect();
+        let mut pending: VecDeque<Vec<f64>> = init.iter().take(max_evals).cloned().collect();
         let mut busy: Vec<BusyPoint> = Vec::new();
         let mut heap: BinaryHeap<FinishEvent> = BinaryHeap::new();
         let mut issued = 0usize;
 
-        let start =
-            |worker: usize,
-             now: f64,
-             data: &Dataset,
-             busy: &mut Vec<BusyPoint>,
-             pending: &mut VecDeque<Vec<f64>>,
-             heap: &mut BinaryHeap<FinishEvent>,
-             schedule: &mut Schedule,
-             issued: &mut usize,
-             policy: &mut dyn AsyncPolicy| {
-                let x = pending
-                    .pop_front()
-                    .unwrap_or_else(|| policy.select_next(data, busy));
-                let e = bb.evaluate(&x);
-                let finish = now + e.cost;
-                schedule.add(worker, *issued, now, finish);
-                busy.push(BusyPoint {
-                    x: x.clone(),
-                    worker,
-                    finish_time: finish,
-                });
-                heap.push(FinishEvent {
-                    time: finish,
-                    worker,
-                    task: *issued,
-                    x,
-                    value: e.value,
-                });
-                *issued += 1;
-            };
+        let start = |worker: usize,
+                     now: f64,
+                     data: &Dataset,
+                     busy: &mut Vec<BusyPoint>,
+                     pending: &mut VecDeque<Vec<f64>>,
+                     heap: &mut BinaryHeap<FinishEvent>,
+                     schedule: &mut Schedule,
+                     issued: &mut usize,
+                     policy: &mut dyn AsyncPolicy| {
+            telemetry.set_now(now);
+            let x = pending
+                .pop_front()
+                .unwrap_or_else(|| policy.select_next(data, busy));
+            let task = *issued;
+            telemetry.emit_at_with(now, || Event::QueryIssued { task, worker });
+            telemetry.emit_at_with(now, || Event::EvalStarted { task, worker });
+            let e = bb.evaluate(&x);
+            let finish = now + e.cost;
+            schedule.add(worker, task, now, finish);
+            busy.push(BusyPoint {
+                x: x.clone(),
+                task,
+                worker,
+                finish_time: finish,
+            });
+            heap.push(FinishEvent {
+                time: finish,
+                worker,
+                task,
+                x,
+                value: e.value,
+            });
+            *issued += 1;
+        };
 
         for w in 0..b {
             if issued >= max_evals {
@@ -255,7 +313,13 @@ impl VirtualExecutor {
             );
         }
         while let Some(ev) = heap.pop() {
-            busy.retain(|bp| bp.worker != ev.worker);
+            busy.retain(|bp| bp.task != ev.task);
+            telemetry.set_now(ev.time);
+            telemetry.emit_at_with(ev.time, || Event::EvalFinished {
+                task: ev.task,
+                worker: ev.worker,
+                value: ev.value,
+            });
             data.push(ev.x, ev.value);
             trace.record(ev.time, ev.value);
             if issued < max_evals {
@@ -272,6 +336,21 @@ impl VirtualExecutor {
                 );
             }
         }
+        if telemetry.enabled() {
+            let makespan = schedule.makespan();
+            for w in 0..b {
+                let busy_w: f64 = schedule
+                    .worker_spans(w)
+                    .iter()
+                    .map(|s| s.end - s.start)
+                    .sum();
+                let gap = makespan - busy_w;
+                if gap > 0.0 {
+                    telemetry.emit_at(makespan, Event::WorkerIdle { worker: w, gap });
+                }
+            }
+        }
+        finish_run_metrics(telemetry, &schedule);
         RunResult {
             data,
             trace,
@@ -288,6 +367,28 @@ impl VirtualExecutor {
         policy: &mut dyn AsyncPolicy,
     ) -> RunResult {
         VirtualExecutor::new(1).run_async(bb, init, max_evals, policy)
+    }
+}
+
+/// Records end-of-run scheduling gauges shared by every executor.
+pub(crate) fn finish_run_metrics(telemetry: &Telemetry, schedule: &Schedule) {
+    if !telemetry.enabled() {
+        return;
+    }
+    let makespan = schedule.makespan();
+    telemetry.set_now(makespan);
+    telemetry.gauge_set("run_makespan_s", makespan);
+    telemetry.gauge_set("run_utilization", schedule.utilization());
+    telemetry.gauge_set("run_idle_s", schedule.idle_time());
+    if makespan > 0.0 {
+        for w in 0..schedule.workers() {
+            let busy_w: f64 = schedule
+                .worker_spans(w)
+                .iter()
+                .map(|s| s.end - s.start)
+                .sum();
+            telemetry.observe("worker_utilization", busy_w / makespan);
+        }
     }
 }
 
@@ -337,9 +438,8 @@ mod tests {
     fn sync_clock_advances_by_round_maximum() {
         let bb = toy_bb(0.3);
         let exec = VirtualExecutor::new(2);
-        let mut policy = |_d: &Dataset, b: usize| {
-            (0..b).map(|i| vec![i as f64 / 10.0]).collect::<Vec<_>>()
-        };
+        let mut policy =
+            |_d: &Dataset, b: usize| (0..b).map(|i| vec![i as f64 / 10.0]).collect::<Vec<_>>();
         let r = exec.run_sync(&bb, &[], 4, &mut policy);
         // Two rounds; the barrier time of each round is the max of its costs.
         let times: Vec<f64> = r.trace.points().iter().map(|p| p.time).collect();
@@ -365,7 +465,9 @@ mod tests {
         let init: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 / 5.0]).collect();
         let exec = VirtualExecutor::new(5);
         let mut sync_policy = |_d: &Dataset, b: usize| {
-            (0..b).map(|i| vec![(i as f64 + 0.3) / 10.0]).collect::<Vec<_>>()
+            (0..b)
+                .map(|i| vec![(i as f64 + 0.3) / 10.0])
+                .collect::<Vec<_>>()
         };
         let sync = exec.run_sync(&bb, &init, 40, &mut sync_policy);
         struct Seq(usize);
@@ -397,7 +499,11 @@ mod tests {
         assert_eq!(r.data.len(), 9);
         // Each selection happens while the other 2 workers are busy.
         assert!(!spy.seen_busy_sizes.is_empty());
-        assert!(spy.seen_busy_sizes.iter().all(|&n| n == 2), "{:?}", spy.seen_busy_sizes);
+        assert!(
+            spy.seen_busy_sizes.iter().all(|&n| n == 2),
+            "{:?}",
+            spy.seen_busy_sizes
+        );
     }
 
     #[test]
@@ -407,12 +513,7 @@ mod tests {
         let r = VirtualExecutor::run_sequential(&bb, &[vec![0.0]], 5, &mut policy);
         assert_eq!(r.data.len(), 5);
         // Sequential total time = sum of individual costs.
-        let sum: f64 = r
-            .schedule
-            .spans()
-            .iter()
-            .map(|s| s.end - s.start)
-            .sum();
+        let sum: f64 = r.schedule.spans().iter().map(|s| s.end - s.start).sum();
         assert!((r.total_time() - sum).abs() < 1e-9);
         assert!((r.schedule.utilization() - 1.0).abs() < 1e-12);
     }

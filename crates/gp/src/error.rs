@@ -34,7 +34,9 @@ impl fmt::Display for GpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GpError::EmptyTrainingSet => write!(f, "training set must contain at least one point"),
-            GpError::InconsistentData { detail } => write!(f, "inconsistent training data: {detail}"),
+            GpError::InconsistentData { detail } => {
+                write!(f, "inconsistent training data: {detail}")
+            }
             GpError::NonFiniteData { context } => {
                 write!(f, "non-finite value in training data ({context})")
             }

@@ -124,9 +124,7 @@ impl ArdKernel {
                 let s = 3f64.sqrt() * r;
                 sf2 * (1.0 + s) * (-s).exp()
             }
-            KernelFamily::RationalQuadratic => {
-                sf2 * (1.0 + r2 / (2.0 * RQ_ALPHA)).powf(-RQ_ALPHA)
-            }
+            KernelFamily::RationalQuadratic => sf2 * (1.0 + r2 / (2.0 * RQ_ALPHA)).powf(-RQ_ALPHA),
         }
     }
 
@@ -137,7 +135,11 @@ impl ArdKernel {
     ///
     /// Panics if any slice has the wrong length.
     pub fn eval_with_grad(&self, theta: &[f64], a: &[f64], b: &[f64], grad: &mut [f64]) -> f64 {
-        assert_eq!(grad.len(), self.n_theta(), "gradient buffer length mismatch");
+        assert_eq!(
+            grad.len(),
+            self.n_theta(),
+            "gradient buffer length mismatch"
+        );
         let k = self.eval(theta, a, b);
         let d = self.dim;
         // Per-dimension scaled squared differences u_i = (Δ_i / ℓ_i)².

@@ -1,4 +1,5 @@
 use easybo_linalg::{Cholesky, Matrix, Vector};
+use easybo_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::kernel::{ArdKernel, KernelFamily};
@@ -100,10 +101,48 @@ impl Gp {
     /// * [`GpError::NonFiniteData`] for NaN/inf entries.
     /// * [`GpError::Linalg`] if the covariance cannot be factored.
     pub fn fit(x: Vec<Vec<f64>>, y: Vec<f64>, config: GpConfig) -> crate::Result<Self> {
+        Self::fit_traced(x, y, config, &Telemetry::disabled())
+    }
+
+    /// [`Gp::fit`] with a telemetry handle: emits a
+    /// [`Event::GpRefit`] carrying the training-set size, the learned
+    /// `[θ…, log σ_n²]`, and the real seconds spent, and counts negative-
+    /// log-likelihood evaluations, Cholesky factorizations, and kernel
+    /// evaluations consumed by hyperparameter training.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gp::fit`].
+    pub fn fit_traced(
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        config: GpConfig,
+        telemetry: &Telemetry,
+    ) -> crate::Result<Self> {
+        let t0 = std::time::Instant::now();
         let (x, z, scaler, kernel) = Self::prepare(x, &y, config.kernel)?;
-        let (theta, log_noise) =
-            train::train(&kernel, &x, &z, &config.train, config.noise_floor);
-        Self::assemble(kernel, theta, log_noise, x, z, scaler)
+        let (theta, log_noise) = train::train(
+            &kernel,
+            &x,
+            &z,
+            &config.train,
+            config.noise_floor,
+            telemetry,
+        );
+        let gp = Self::assemble(kernel, theta, log_noise, x, z, scaler)?;
+        telemetry.incr("gp_cholesky_factorizations", 1);
+        let duration = t0.elapsed().as_secs_f64();
+        telemetry.observe("gp_fit_s", duration);
+        telemetry.emit_with(|| {
+            let mut hyperparams = gp.theta().to_vec();
+            hyperparams.push(gp.log_noise());
+            Event::GpRefit {
+                n: gp.n_train(),
+                hyperparams,
+                duration,
+            }
+        });
+        Ok(gp)
     }
 
     /// Fits a GP with fixed, caller-supplied hyperparameters (no training).
@@ -253,11 +292,7 @@ impl Gp {
     /// Panics if `x.len() != dim()`.
     pub fn predict_standardized(&self, x: &[f64]) -> (f64, f64) {
         assert_eq!(x.len(), self.dim(), "query dimension mismatch");
-        let kstar = Vector::from_iter(
-            self.x
-                .iter()
-                .map(|xi| self.kernel.eval(&self.theta, x, xi)),
-        );
+        let kstar = Vector::from_iter(self.x.iter().map(|xi| self.kernel.eval(&self.theta, x, xi)));
         let mean = kstar.dot(&self.alpha);
         let v = self.chol.solve_lower(&kstar);
         let prior = self.kernel.eval(&self.theta, x, x);
@@ -276,11 +311,7 @@ impl Gp {
     /// Panics if `x.len() != dim()`.
     pub fn posterior_cross_weights(&self, x: &[f64]) -> Vector {
         assert_eq!(x.len(), self.dim(), "query dimension mismatch");
-        let kstar = Vector::from_iter(
-            self.x
-                .iter()
-                .map(|xi| self.kernel.eval(&self.theta, x, xi)),
-        );
+        let kstar = Vector::from_iter(self.x.iter().map(|xi| self.kernel.eval(&self.theta, x, xi)));
         self.chol.solve_lower(&kstar)
     }
 
@@ -315,10 +346,7 @@ impl Gp {
                 let kii = kinv[(i, i)].max(1e-300);
                 let resid_z = self.alpha[i] / kii;
                 let std_z = (1.0 / kii).sqrt();
-                (
-                    resid_z * self.scaler.std(),
-                    std_z * self.scaler.std(),
-                )
+                (resid_z * self.scaler.std(), std_z * self.scaler.std())
             })
             .collect()
     }
@@ -474,7 +502,11 @@ mod tests {
             Err(GpError::InconsistentData { .. })
         ));
         assert!(matches!(
-            Gp::fit(vec![vec![0.0], vec![1.0, 2.0]], vec![1.0, 2.0], GpConfig::default()),
+            Gp::fit(
+                vec![vec![0.0], vec![1.0, 2.0]],
+                vec![1.0, 2.0],
+                GpConfig::default()
+            ),
             Err(GpError::InconsistentData { .. })
         ));
         assert!(matches!(
@@ -497,7 +529,10 @@ mod tests {
                 vec![0.0; 5],
                 -10.0
             ),
-            Err(GpError::BadHyperParameters { expected: 2, actual: 5 })
+            Err(GpError::BadHyperParameters {
+                expected: 2,
+                actual: 5
+            })
         ));
     }
 
@@ -617,7 +652,12 @@ mod tests {
         for q in [0.1, 0.5, 0.77, 0.9] {
             let a = ext.predict(&[q]);
             let b = refit.predict(&[q]);
-            assert!((a.mean - b.mean).abs() < 5e-2, "mean at {q}: {} vs {}", a.mean, b.mean);
+            assert!(
+                (a.mean - b.mean).abs() < 5e-2,
+                "mean at {q}: {} vs {}",
+                a.mean,
+                b.mean
+            );
         }
         assert_eq!(ext.n_real(), 11);
     }
@@ -679,7 +719,7 @@ mod tests {
         let gp = fixed_gp(x.clone(), y.clone());
         let loo = gp.loo_residuals();
         assert_eq!(loo.len(), x.len());
-        for i in 0..x.len() {
+        for (i, &(resid, std)) in loo.iter().enumerate() {
             let mut xs = x.clone();
             let mut ys = y.clone();
             let xi = xs.remove(i);
@@ -697,7 +737,6 @@ mod tests {
             .unwrap();
             let pred = reduced.predict(&xi);
             let explicit_resid = yi - pred.mean;
-            let (resid, std) = loo[i];
             assert!(
                 (resid - explicit_resid).abs() < 0.15 * (1.0 + explicit_resid.abs()),
                 "point {i}: closed-form {resid} vs explicit {explicit_resid}"

@@ -31,7 +31,7 @@ impl YScaler {
     pub fn fit(ys: &[f64]) -> Self {
         let mean = easybo_linalg::mean(ys);
         let mut std = easybo_linalg::population_std(ys);
-        if !(std > 1e-12) {
+        if std.is_nan() || std <= 1e-12 {
             std = 1.0;
         }
         YScaler { mean, std }
@@ -39,7 +39,10 @@ impl YScaler {
 
     /// The identity scaler (mean 0, std 1).
     pub fn identity() -> Self {
-        YScaler { mean: 0.0, std: 1.0 }
+        YScaler {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// Mean removed by the transform.

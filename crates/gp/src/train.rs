@@ -2,6 +2,7 @@
 //! log marginal likelihood, with analytic gradients.
 
 use easybo_linalg::{Cholesky, Matrix, Vector};
+use easybo_telemetry::Telemetry;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,7 @@ pub(crate) fn train(
     z: &Vector,
     config: &TrainConfig,
     noise_floor: f64,
+    telemetry: &Telemetry,
 ) -> (Vec<f64>, f64) {
     let n_kernel = kernel.n_theta();
     let n_params = n_kernel + 1; // + log noise
@@ -105,11 +107,37 @@ pub(crate) fn train(
     })
     .expect("static L-BFGS config is valid");
 
+    // Cached metric handles so the hot objective pays one atomic add per
+    // call, and nothing at all when telemetry is disabled.
+    let nll_evals = telemetry.counter("gp_nll_evals");
+    let chol_factorizations = telemetry.counter("gp_cholesky_factorizations");
+    let kernel_evals = telemetry.counter("gp_kernel_evals");
+    // Per objective call: n(n+1)/2 kernel evaluations for the covariance
+    // plus the same again (with gradients) for ∂K/∂θ.
+    let kernel_evals_per_nll = (xs.len() * (xs.len() + 1)) as u64;
+
     let mut best_params = default_start;
     let mut best_obj = f64::INFINITY;
     for start in starts {
         let (p, obj) = lbfgs.minimize(start, |params, grad| {
-            penalized_nll(kernel, &xs, &zs, params, &prior_center, config.prior_strength, grad)
+            if let Some(c) = &nll_evals {
+                c.incr();
+            }
+            if let Some(c) = &chol_factorizations {
+                c.incr();
+            }
+            if let Some(c) = &kernel_evals {
+                c.add(kernel_evals_per_nll);
+            }
+            penalized_nll(
+                kernel,
+                &xs,
+                &zs,
+                params,
+                &prior_center,
+                config.prior_strength,
+                grad,
+            )
         });
         if obj < best_obj && p.iter().all(|v| v.is_finite()) {
             best_obj = obj;
@@ -270,14 +298,29 @@ mod tests {
         let (x, z) = data();
         let kernel = ArdKernel::new(KernelFamily::SquaredExponential, 1);
         let config = TrainConfig::default();
-        let (theta, log_noise) = train(&kernel, &x, &z, &config, 1e-8);
+        let (theta, log_noise) = train(&kernel, &x, &z, &config, 1e-8, &Telemetry::disabled());
         let mut grad = vec![0.0; 3];
         let center = vec![(0.5f64).ln(), 0.0, (1e-4f64).ln()];
         let mut params = theta.clone();
         params.push(log_noise);
-        let trained = penalized_nll(&kernel, &x, &z, &params, &center, config.prior_strength, &mut grad);
-        let at_default =
-            penalized_nll(&kernel, &x, &z, &center, &center, config.prior_strength, &mut grad);
+        let trained = penalized_nll(
+            &kernel,
+            &x,
+            &z,
+            &params,
+            &center,
+            config.prior_strength,
+            &mut grad,
+        );
+        let at_default = penalized_nll(
+            &kernel,
+            &x,
+            &z,
+            &center,
+            &center,
+            config.prior_strength,
+            &mut grad,
+        );
         assert!(trained <= at_default + 1e-9, "{trained} vs {at_default}");
     }
 
@@ -285,7 +328,14 @@ mod tests {
     fn noise_respects_floor() {
         let (x, z) = data();
         let kernel = ArdKernel::new(KernelFamily::SquaredExponential, 1);
-        let (_, log_noise) = train(&kernel, &x, &z, &TrainConfig::default(), 1e-6);
+        let (_, log_noise) = train(
+            &kernel,
+            &x,
+            &z,
+            &TrainConfig::default(),
+            1e-6,
+            &Telemetry::disabled(),
+        );
         assert!(log_noise >= (1e-6f64).ln() - 1e-12);
         assert!(log_noise <= 0.0);
     }
@@ -295,7 +345,14 @@ mod tests {
         let (x, z) = data();
         let kernel = ArdKernel::new(KernelFamily::SquaredExponential, 1);
         // First train normally.
-        let (theta, log_noise) = train(&kernel, &x, &z, &TrainConfig::default(), 1e-8);
+        let (theta, log_noise) = train(
+            &kernel,
+            &x,
+            &z,
+            &TrainConfig::default(),
+            1e-8,
+            &Telemetry::disabled(),
+        );
         let mut warm = theta.clone();
         warm.push(log_noise);
         // Retrain with zero restarts and tiny budget using the warm start:
@@ -306,10 +363,13 @@ mod tests {
             warm_start: Some(warm),
             ..Default::default()
         };
-        let (theta2, _) = train(&kernel, &x, &z, &cfg, 1e-8);
+        let (theta2, _) = train(&kernel, &x, &z, &cfg, 1e-8, &Telemetry::disabled());
         // Warm-started result should be close to the previous optimum.
         for (a, b) in theta.iter().zip(theta2.iter()) {
-            assert!((a - b).abs() < 1.0, "warm start drifted: {theta:?} vs {theta2:?}");
+            assert!(
+                (a - b).abs() < 1.0,
+                "warm start drifted: {theta:?} vs {theta2:?}"
+            );
         }
     }
 
@@ -326,7 +386,7 @@ mod tests {
             ..Default::default()
         };
         // Just checks it runs and produces finite results on the subset path.
-        let (theta, log_noise) = train(&kernel, &x, &z, &cfg, 1e-8);
+        let (theta, log_noise) = train(&kernel, &x, &z, &cfg, 1e-8, &Telemetry::disabled());
         assert!(theta.iter().all(|v| v.is_finite()));
         assert!(log_noise.is_finite());
     }

@@ -199,10 +199,7 @@ impl Cholesky {
 
     /// Log-determinant of the factored matrix: `2 * sum(log L_ii)`.
     pub fn log_det(&self) -> f64 {
-        (0..self.dim())
-            .map(|i| self.l[(i, i)].ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
 
     /// Explicit inverse `A^{-1}`. O(n^3); used only for the log marginal

@@ -46,6 +46,9 @@ impl Vector {
     }
 
     /// Creates a vector from an iterator of values.
+    // An inherent `from_iter` keeps existing `Vector::from_iter(..)` call
+    // sites working alongside the `FromIterator` impl below.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         Vector {
             data: iter.into_iter().collect(),

@@ -141,10 +141,9 @@ impl CmaEs {
         let cc = (4.0 + mu_eff / dn) / (dn + 4.0 + 2.0 * mu_eff / dn);
         let cs = (mu_eff + 2.0) / (dn + mu_eff + 5.0);
         let c1 = 2.0 / ((dn + 1.3).powi(2) + mu_eff);
-        let cmu = (1.0 - c1)
-            .min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((dn + 2.0).powi(2) + mu_eff));
-        let damps =
-            1.0 + 2.0 * ((mu_eff - 1.0) / (dn + 1.0)).sqrt().max(0.0) + cs;
+        let cmu =
+            (1.0 - c1).min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((dn + 2.0).powi(2) + mu_eff));
+        let damps = 1.0 + 2.0 * ((mu_eff - 1.0) / (dn + 1.0)).sqrt().max(0.0) + cs;
         let chi_n = dn.sqrt() * (1.0 - 1.0 / (4.0 * dn) + 1.0 / (21.0 * dn * dn));
 
         // State.
@@ -190,7 +189,11 @@ impl CmaEs {
                     .collect();
                 let x = bounds.from_unit(&u);
                 let raw = f(&x);
-                let v = if raw.is_finite() { raw } else { f64::NEG_INFINITY };
+                let v = if raw.is_finite() {
+                    raw
+                } else {
+                    f64::NEG_INFINITY
+                };
                 evals += 1;
                 if v > best_v {
                     best_v = v;
@@ -199,9 +202,7 @@ impl CmaEs {
                 history.push(best_v);
                 // Store the *clamped* displacement so the update matches
                 // what was actually evaluated.
-                let y_eff = Vector::from_iter(
-                    (0..d).map(|i| (u[i] - mean[i]) / sigma.max(1e-12)),
-                );
+                let y_eff = Vector::from_iter((0..d).map(|i| (u[i] - mean[i]) / sigma.max(1e-12)));
                 gen.push((y_eff, u, v));
             }
             if gen.len() < 2 {
@@ -231,7 +232,8 @@ impl CmaEs {
             sigma = sigma.clamp(1e-8, 1.0);
 
             // Covariance path and rank-1/rank-µ update.
-            let hsig = ps.norm() / (1.0 - (1.0 - cs).powi(2)).sqrt() / chi_n < 1.4 + 2.0 / (dn + 1.0);
+            let hsig =
+                ps.norm() / (1.0 - (1.0 - cs).powi(2)).sqrt() / chi_n < 1.4 + 2.0 / (dn + 1.0);
             let k_c = (cc * (2.0 - cc) * mu_eff).sqrt();
             for i in 0..d {
                 pc[i] = (1.0 - cc) * pc[i] + if hsig { k_c * y_w[i] } else { 0.0 };

@@ -149,11 +149,11 @@ impl DifferentialEvolution {
         let mut best_val = f64::NEG_INFINITY;
         let mut best_x = bounds.center();
         let eval = |x: &[f64],
-                        f: &mut F,
-                        evals: &mut usize,
-                        history: &mut Vec<f64>,
-                        best_val: &mut f64,
-                        best_x: &mut Vec<f64>|
+                    f: &mut F,
+                    evals: &mut usize,
+                    history: &mut Vec<f64>,
+                    best_val: &mut f64,
+                    best_x: &mut Vec<f64>|
          -> f64 {
             *evals += 1;
             let raw = f(x);
@@ -175,7 +175,16 @@ impl DifferentialEvolution {
         let mut pop: Vec<Vec<f64>> = (0..np).map(|_| bounds.sample_uniform(rng)).collect();
         let mut fitness: Vec<f64> = pop
             .iter()
-            .map(|x| eval(x, &mut f, &mut evals, &mut history, &mut best_val, &mut best_x))
+            .map(|x| {
+                eval(
+                    x,
+                    &mut f,
+                    &mut evals,
+                    &mut history,
+                    &mut best_val,
+                    &mut best_x,
+                )
+            })
             .collect();
 
         'outer: loop {

@@ -39,7 +39,10 @@ impl fmt::Display for OptError {
             }
             OptError::EmptySpace => write!(f, "design space must have at least one dimension"),
             OptError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: space is {expected}-d, point is {actual}-d")
+                write!(
+                    f,
+                    "dimension mismatch: space is {expected}-d, point is {actual}-d"
+                )
             }
             OptError::InvalidConfig { parameter, reason } => {
                 write!(f, "invalid configuration for `{parameter}`: {reason}")

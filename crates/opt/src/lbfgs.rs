@@ -159,7 +159,7 @@ impl Lbfgs {
             }
             let mut dir: Vec<f64> = q.iter().map(|v| -v).collect();
             let mut dg = dot(&dir, &grad);
-            if !(dg < 0.0) || !dg.is_finite() {
+            if dg >= 0.0 || !dg.is_finite() {
                 // Not a descent direction: reset to steepest descent.
                 pairs.clear();
                 dir = grad.iter().map(|g| -g).collect();
@@ -200,7 +200,11 @@ impl Lbfgs {
                 } else if dot(&new_grad, &dir) < c2 * dg {
                     fallback = Some((new_x.clone(), new_grad.clone(), new_f));
                     lo = step;
-                    step = if hi.is_finite() { 0.5 * (lo + hi) } else { 2.0 * lo };
+                    step = if hi.is_finite() {
+                        0.5 * (lo + hi)
+                    } else {
+                        2.0 * lo
+                    };
                 } else {
                     ok = true;
                     break;

@@ -82,7 +82,11 @@ impl MultiStartMaximizer {
 
         // Probe phase: Latin hypercube for coverage + pure uniform for tails.
         let mut candidates = sampling::latin_hypercube(bounds, self.probes / 2, rng);
-        candidates.extend(sampling::uniform(bounds, self.probes - candidates.len(), rng));
+        candidates.extend(sampling::uniform(
+            bounds,
+            self.probes - candidates.len(),
+            rng,
+        ));
         let mut scored: Vec<(Vec<f64>, f64)> = candidates
             .into_iter()
             .map(|x| {
@@ -128,9 +132,8 @@ mod tests {
     fn finds_global_peak_among_two() {
         let bounds = Bounds::new(vec![(-4.0, 4.0)]).unwrap();
         // Two Gaussian bumps; the taller is at x = 2.
-        let f = |x: &[f64]| {
-            0.8 * (-(x[0] + 2.0).powi(2)).exp() + 1.0 * (-(x[0] - 2.0).powi(2)).exp()
-        };
+        let f =
+            |x: &[f64]| 0.8 * (-(x[0] + 2.0).powi(2)).exp() + 1.0 * (-(x[0] - 2.0).powi(2)).exp();
         let m = MultiStartMaximizer::new(256, 5, 100);
         let best = m.maximize(&bounds, &mut rng(1), f);
         assert!((best.x[0] - 2.0).abs() < 1e-2, "x = {}", best.x[0]);

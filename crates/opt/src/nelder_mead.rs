@@ -162,7 +162,10 @@ impl NelderMead {
             if (f_worst - f_best).abs() <= c.f_tol * (1.0 + f_best.abs()) {
                 let mut diam = 0.0f64;
                 for i in 0..n {
-                    let lo = simplex.iter().map(|(p, _)| p[i]).fold(f64::INFINITY, f64::min);
+                    let lo = simplex
+                        .iter()
+                        .map(|(p, _)| p[i])
+                        .fold(f64::INFINITY, f64::min);
                     let hi = simplex
                         .iter()
                         .map(|(p, _)| p[i])
@@ -219,8 +222,8 @@ impl NelderMead {
                     // Shrink toward the best vertex.
                     let best = simplex[0].0.clone();
                     for vertex in simplex.iter_mut().skip(1) {
-                        for i in 0..n {
-                            vertex.0[i] = best[i] + c.sigma * (vertex.0[i] - best[i]);
+                        for (vi, &bi) in vertex.0.iter_mut().zip(&best) {
+                            *vi = bi + c.sigma * (*vi - bi);
                         }
                         vertex.1 = eval(&vertex.0, &mut f, &mut evals);
                         if evals >= c.max_evals {

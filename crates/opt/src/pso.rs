@@ -157,11 +157,11 @@ impl ParticleSwarm {
         let mut gbest_v = f64::NEG_INFINITY;
 
         let eval = |x: &[f64],
-                        f: &mut F,
-                        evals: &mut usize,
-                        history: &mut Vec<f64>,
-                        gbest_x: &mut Vec<f64>,
-                        gbest_v: &mut f64|
+                    f: &mut F,
+                    evals: &mut usize,
+                    history: &mut Vec<f64>,
+                    gbest_x: &mut Vec<f64>,
+                    gbest_v: &mut f64|
          -> f64 {
             *evals += 1;
             let raw = f(x);
@@ -184,16 +184,21 @@ impl ParticleSwarm {
             .map(|_| bounds.sample_uniform(rng))
             .collect();
         let mut vel: Vec<Vec<f64>> = (0..c.particles)
-            .map(|_| {
-                (0..d)
-                    .map(|j| rng.gen_range(-vmax[j]..vmax[j]))
-                    .collect()
-            })
+            .map(|_| (0..d).map(|j| rng.gen_range(-vmax[j]..vmax[j])).collect())
             .collect();
         let mut pbest: Vec<Vec<f64>> = pos.clone();
         let mut pbest_v: Vec<f64> = pos
             .iter()
-            .map(|x| eval(x, &mut f, &mut evals, &mut history, &mut gbest_x, &mut gbest_v))
+            .map(|x| {
+                eval(
+                    x,
+                    &mut f,
+                    &mut evals,
+                    &mut history,
+                    &mut gbest_x,
+                    &mut gbest_v,
+                )
+            })
             .collect();
 
         'outer: loop {

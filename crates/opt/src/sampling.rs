@@ -210,7 +210,9 @@ impl SobolSequence {
     /// Panics if `bounds.dim() != self.dim()`.
     pub fn sample(&mut self, bounds: &Bounds, n: usize) -> Vec<Vec<f64>> {
         assert_eq!(bounds.dim(), self.dim, "Sobol dimension mismatch");
-        (0..n).map(|_| bounds.from_unit(&self.next_point())).collect()
+        (0..n)
+            .map(|_| bounds.from_unit(&self.next_point()))
+            .collect()
     }
 }
 

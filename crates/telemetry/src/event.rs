@@ -1,0 +1,92 @@
+//! Structured events on the run timeline.
+
+/// One structured occurrence inside an optimization run.
+///
+/// Variants cover the places where async-BO behaviour is won or lost:
+/// scheduling (`QueryIssued`/`EvalStarted`/`EvalFinished`/`WorkerIdle`)
+/// and model overhead (`GpRefit`/`AcqOptimized`/`PseudoPointAdded`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The policy proposed a query; `worker` is the worker it was
+    /// issued toward (for the threaded executor this is refined by the
+    /// matching [`Event::EvalStarted`], which reports the worker that
+    /// actually picked the job up).
+    QueryIssued {
+        /// Monotone task id of the query.
+        task: usize,
+        /// Worker the query was issued toward.
+        worker: usize,
+    },
+    /// A worker began evaluating a query.
+    EvalStarted {
+        /// Task id of the query.
+        task: usize,
+        /// Worker performing the evaluation.
+        worker: usize,
+    },
+    /// An evaluation completed with the observed objective value.
+    EvalFinished {
+        /// Task id of the query.
+        task: usize,
+        /// Worker that performed the evaluation.
+        worker: usize,
+        /// Observed objective value.
+        value: f64,
+    },
+    /// The GP surrogate was (re)fit from scratch.
+    GpRefit {
+        /// Number of training points.
+        n: usize,
+        /// Trained hyperparameters (kernel params then log-noise).
+        hyperparams: Vec<f64>,
+        /// Real seconds spent fitting.
+        duration: f64,
+    },
+    /// The acquisition function was maximized for one proposal.
+    AcqOptimized {
+        /// Multi-start restarts used.
+        restarts: usize,
+        /// Acquisition-function evaluations consumed.
+        evals: usize,
+        /// Real seconds spent optimizing.
+        duration: f64,
+    },
+    /// Busy points were hallucinated into the surrogate before
+    /// selection (the paper's §III-C penalization step).
+    PseudoPointAdded {
+        /// Number of pseudo-points added for this selection.
+        count: usize,
+    },
+    /// A worker sat idle between finishing one task and starting the
+    /// next (run-clock seconds).
+    WorkerIdle {
+        /// The idle worker.
+        worker: usize,
+        /// Idle gap in run-clock seconds.
+        gap: f64,
+    },
+}
+
+impl Event {
+    /// Stable variant name used by the JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::QueryIssued { .. } => "QueryIssued",
+            Event::EvalStarted { .. } => "EvalStarted",
+            Event::EvalFinished { .. } => "EvalFinished",
+            Event::GpRefit { .. } => "GpRefit",
+            Event::AcqOptimized { .. } => "AcqOptimized",
+            Event::PseudoPointAdded { .. } => "PseudoPointAdded",
+            Event::WorkerIdle { .. } => "WorkerIdle",
+        }
+    }
+}
+
+/// An [`Event`] stamped with the run clock at emission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Run-clock seconds (virtual or real depending on the executor).
+    pub time: f64,
+    /// The event payload.
+    pub event: Event,
+}

@@ -1,0 +1,60 @@
+//! Structured run telemetry for the EasyBO stack.
+//!
+//! The paper's headline claims are *timeline* claims — asynchronous
+//! batching wins because it overlaps simulations and keeps workers busy
+//! (Fig. 1, Figs. 4/6, Tables I/II wall-clock columns). This crate is
+//! the observability substrate that makes those timelines visible
+//! inside a run rather than only after it:
+//!
+//! - [`Event`] — a structured event log (queries issued, evaluations
+//!   started/finished, GP refits, acquisition optimizations,
+//!   pseudo-point penalization, worker idle gaps), timestamped with the
+//!   run's own clock: virtual seconds under the discrete-event
+//!   executor, real seconds under the threaded executor.
+//! - [`Metrics`] — a lightweight registry of counters, gauges, and
+//!   streaming histograms (Cholesky solves, kernel evaluations,
+//!   acquisition restarts, queue wait, per-worker utilization) with
+//!   RAII [`ScopedTimer`] guards.
+//! - Pluggable sinks — the disabled handle compiles to an `Option`
+//!   check with **no heap allocation per event**; [`Recorder`] captures
+//!   events in memory for tests; [`JsonlSink`] / [`TraceCsvSink`]
+//!   stream JSONL / Fig. 4-style CSV that can regenerate the paper's
+//!   traces and timing columns directly from the event stream (see
+//!   [`replay`]).
+//! - [`RunReport`] — an end-of-run summary (utilization, idle
+//!   fraction, GP-fit and acquisition share of makespan) attached to
+//!   optimization results upstream.
+//!
+//! The crate is `std`-only by design: the workspace builds in an
+//! offline environment, and instrumentation this central must not pull
+//! in dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use easybo_telemetry::{Event, Telemetry};
+//!
+//! let (telemetry, recorder) = Telemetry::recording();
+//! telemetry.set_now(12.5);
+//! telemetry.emit(Event::EvalFinished { task: 0, worker: 1, value: 0.8 });
+//! telemetry.incr("cholesky_solves", 3);
+//! assert_eq!(recorder.events().len(), 1);
+//! assert_eq!(telemetry.metrics_snapshot().unwrap().counter("cholesky_solves"), 3);
+//! ```
+
+mod event;
+mod metrics;
+mod report;
+mod sink;
+mod telemetry;
+
+pub mod replay;
+
+pub use event::{Event, TimedEvent};
+pub use metrics::{
+    CounterHandle, GaugeHandle, HistogramHandle, HistogramSummary, Metrics, MetricsSnapshot,
+    ScopedTimer,
+};
+pub use report::{RunReport, SummaryData};
+pub use sink::{EventSink, JsonlSink, Recorder, TraceCsvSink};
+pub use telemetry::Telemetry;

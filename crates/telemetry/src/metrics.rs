@@ -1,0 +1,303 @@
+//! Lightweight metrics registry: counters, gauges, streaming
+//! histograms, and RAII scoped timers.
+//!
+//! Handles returned by the registry are cheap `Arc` clones, so hot
+//! loops (e.g. the NLL evaluations inside GP training) can look a
+//! metric up once and increment lock-free afterwards.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Registry of named metrics. Names are `&'static str` by convention —
+/// instrumentation sites use literal names, so registration never
+/// allocates after first use.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Mutex<HistogramSummary>>>>,
+}
+
+/// Cloneable handle to one counter.
+#[derive(Debug, Clone)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+/// Cloneable handle to one gauge (an `f64` stored as bits).
+#[derive(Debug, Clone)]
+pub struct GaugeHandle(Arc<AtomicU64>);
+
+/// Cloneable handle to one streaming histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<Mutex<HistogramSummary>>);
+
+/// Streaming summary of observed samples (no buckets are kept; the
+/// run-level reports only need totals and extremes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl HistogramSummary {
+    /// Mean of observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> CounterHandle {
+        let mut map = self.counters.lock().unwrap();
+        CounterHandle(Arc::clone(map.entry(name).or_default()))
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &'static str) -> GaugeHandle {
+        let mut map = self.gauges.lock().unwrap();
+        GaugeHandle(Arc::clone(map.entry(name).or_default()))
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &'static str) -> HistogramHandle {
+        let mut map = self.histograms.lock().unwrap();
+        HistogramHandle(Arc::clone(map.entry(name).or_default()))
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k, v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k, f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k, v.lock().unwrap().clone()))
+                .collect(),
+        }
+    }
+}
+
+impl CounterHandle {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl GaugeHandle {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        self.0.lock().unwrap().observe(v);
+    }
+
+    /// Current summary.
+    pub fn summary(&self) -> HistogramSummary {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+/// RAII guard that observes its elapsed real time (seconds) into a
+/// histogram when dropped. Obtained from
+/// [`Telemetry::timer`](crate::Telemetry::timer); the disabled handle
+/// yields an inert guard.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    target: Option<(Instant, HistogramHandle)>,
+}
+
+impl ScopedTimer {
+    pub(crate) fn started(histogram: HistogramHandle) -> Self {
+        ScopedTimer {
+            target: Some((Instant::now(), histogram)),
+        }
+    }
+
+    pub(crate) fn inert() -> Self {
+        ScopedTimer { target: None }
+    }
+
+    /// Stops the timer early, returning the elapsed seconds it
+    /// recorded (`None` for an inert guard).
+    pub fn stop(mut self) -> Option<f64> {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Option<f64> {
+        self.target.take().map(|(start, histogram)| {
+            let secs = start.elapsed().as_secs_f64();
+            histogram.observe(secs);
+            secs
+        })
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Point-in-time copy of a [`Metrics`] registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<&'static str, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, `0` if never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, `None` if never set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram summary, `None` if never observed.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_handles() {
+        let m = Metrics::new();
+        let a = m.counter("solves");
+        let b = m.counter("solves");
+        a.incr();
+        b.add(4);
+        assert_eq!(m.snapshot().counter("solves"), 5);
+        assert_eq!(m.snapshot().counter("untouched"), 0);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let m = Metrics::new();
+        m.gauge("utilization").set(0.75);
+        m.gauge("utilization").set(0.5);
+        assert_eq!(m.snapshot().gauge("utilization"), Some(0.5));
+        assert_eq!(m.snapshot().gauge("missing"), None);
+    }
+
+    #[test]
+    fn histograms_track_extremes_and_mean() {
+        let m = Metrics::new();
+        let h = m.histogram("queue_wait");
+        for v in [2.0, 4.0, 9.0] {
+            h.observe(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(HistogramSummary::default().mean(), None);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let m = Metrics::new();
+        {
+            let _t = ScopedTimer::started(m.histogram("span"));
+            std::hint::black_box(0u64);
+        }
+        let s = m.histogram("span").summary();
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 0.0);
+        // Inert guards record nothing.
+        drop(ScopedTimer::inert());
+        assert_eq!(m.histogram("span").summary().count, 1);
+    }
+
+    #[test]
+    fn scoped_timer_stop_returns_elapsed() {
+        let m = Metrics::new();
+        let t = ScopedTimer::started(m.histogram("span"));
+        let secs = t.stop().expect("live timer reports elapsed");
+        assert!(secs >= 0.0);
+        assert_eq!(m.histogram("span").summary().count, 1);
+        assert_eq!(ScopedTimer::inert().stop(), None);
+    }
+}

@@ -1,0 +1,254 @@
+//! Reconstructing run artifacts from a recorded event stream — parse
+//! the JSONL emitted by [`crate::JsonlSink`] back into events, and
+//! regenerate the Fig. 4/6 best-so-far CSV exactly as
+//! `RunTrace::to_csv()` would have produced it.
+
+use crate::event::{Event, TimedEvent};
+
+/// Parses text produced by [`crate::JsonlSink`] (one event per line,
+/// blank lines ignored) back into events.
+///
+/// This is a reader for this crate's own restricted encoding, not a
+/// general JSON parser.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TimedEvent>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| parse_line(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// Rebuilds the best-so-far timeline CSV from `EvalFinished` events,
+/// byte-identical to `RunTrace::to_csv()` for the same run: same
+/// header, same shortest-roundtrip float formatting, same
+/// `best = prev_best.max(value)` clamping.
+pub fn best_so_far_csv(events: &[TimedEvent]) -> String {
+    let mut out = String::from("time_s,completed,value,best_so_far\n");
+    let mut completed = 0usize;
+    let mut best: Option<f64> = None;
+    for ev in events {
+        let Event::EvalFinished { value, .. } = ev.event else {
+            continue;
+        };
+        completed += 1;
+        let b = best.map_or(value, |b| b.max(value));
+        best = Some(b);
+        out.push_str(&format!("{},{},{},{}\n", ev.time, completed, value, b));
+    }
+    out
+}
+
+fn parse_line(line: &str) -> Result<TimedEvent, String> {
+    let time = num_field(line, "t")?;
+    let kind = str_field(line, "event")?;
+    let event = match kind {
+        "QueryIssued" => Event::QueryIssued {
+            task: usize_field(line, "task")?,
+            worker: usize_field(line, "worker")?,
+        },
+        "EvalStarted" => Event::EvalStarted {
+            task: usize_field(line, "task")?,
+            worker: usize_field(line, "worker")?,
+        },
+        "EvalFinished" => Event::EvalFinished {
+            task: usize_field(line, "task")?,
+            worker: usize_field(line, "worker")?,
+            value: num_field(line, "value")?,
+        },
+        "GpRefit" => Event::GpRefit {
+            n: usize_field(line, "n")?,
+            hyperparams: array_field(line, "hyperparams")?,
+            duration: num_field(line, "duration")?,
+        },
+        "AcqOptimized" => Event::AcqOptimized {
+            restarts: usize_field(line, "restarts")?,
+            evals: usize_field(line, "evals")?,
+            duration: num_field(line, "duration")?,
+        },
+        "PseudoPointAdded" => Event::PseudoPointAdded {
+            count: usize_field(line, "count")?,
+        },
+        "WorkerIdle" => Event::WorkerIdle {
+            worker: usize_field(line, "worker")?,
+            gap: num_field(line, "gap")?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(TimedEvent { time, event })
+}
+
+/// Raw text of `"key":<value>`; arrays yield their bracket interior,
+/// strings their quote interior.
+fn raw_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let start = line
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key:?}"))?
+        + pat.len();
+    let rest = &line[start..];
+    if let Some(inner) = rest.strip_prefix('[') {
+        let end = inner
+            .find(']')
+            .ok_or_else(|| format!("unterminated array for {key:?}"))?;
+        Ok(&inner[..end])
+    } else if let Some(inner) = rest.strip_prefix('"') {
+        let end = inner
+            .find('"')
+            .ok_or_else(|| format!("unterminated string for {key:?}"))?;
+        Ok(&inner[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Ok(&rest[..end])
+    }
+}
+
+fn str_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    raw_field(line, key)
+}
+
+fn num_field(line: &str, key: &str) -> Result<f64, String> {
+    let raw = raw_field(line, key)?;
+    raw.parse()
+        .map_err(|_| format!("bad number {raw:?} for {key:?}"))
+}
+
+fn usize_field(line: &str, key: &str) -> Result<usize, String> {
+    let raw = raw_field(line, key)?;
+    raw.parse()
+        .map_err(|_| format!("bad integer {raw:?} for {key:?}"))
+}
+
+fn array_field(line: &str, key: &str) -> Result<Vec<f64>, String> {
+    let raw = raw_field(line, key)?;
+    if raw.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad array element {s:?} for {key:?}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::to_json_line;
+
+    fn roundtrip(ev: TimedEvent) {
+        let line = to_json_line(&ev);
+        let parsed = parse_jsonl(&line).expect("parses own output");
+        assert_eq!(parsed, vec![ev], "line was {line}");
+    }
+
+    #[test]
+    fn every_variant_roundtrips_through_jsonl() {
+        roundtrip(TimedEvent {
+            time: 0.1 + 0.2, // deliberately non-representable sum
+            event: Event::QueryIssued { task: 7, worker: 2 },
+        });
+        roundtrip(TimedEvent {
+            time: 1e-9,
+            event: Event::EvalStarted { task: 0, worker: 0 },
+        });
+        roundtrip(TimedEvent {
+            time: 38.7,
+            event: Event::EvalFinished {
+                task: 3,
+                worker: 1,
+                value: -0.123456789,
+            },
+        });
+        roundtrip(TimedEvent {
+            time: 2.0,
+            event: Event::GpRefit {
+                n: 40,
+                hyperparams: vec![-1.5, 0.333333333333, 2.0],
+                duration: 0.015,
+            },
+        });
+        roundtrip(TimedEvent {
+            time: 2.0,
+            event: Event::GpRefit {
+                n: 0,
+                hyperparams: vec![],
+                duration: 0.0,
+            },
+        });
+        roundtrip(TimedEvent {
+            time: 3.5,
+            event: Event::AcqOptimized {
+                restarts: 3,
+                evals: 1234,
+                duration: 0.25,
+            },
+        });
+        roundtrip(TimedEvent {
+            time: 4.0,
+            event: Event::PseudoPointAdded { count: 5 },
+        });
+        roundtrip(TimedEvent {
+            time: 5.0,
+            event: Event::WorkerIdle {
+                worker: 1,
+                gap: 12.75,
+            },
+        });
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        assert!(parse_jsonl("{\"t\":1.0}").is_err());
+        assert!(parse_jsonl("{\"t\":1.0,\"event\":\"Nope\"}").is_err());
+        assert!(parse_jsonl("{\"t\":x,\"event\":\"PseudoPointAdded\",\"count\":1}").is_err());
+        assert!(parse_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn best_so_far_matches_trace_semantics() {
+        let evs = vec![
+            TimedEvent {
+                time: 10.0,
+                event: Event::EvalFinished {
+                    task: 0,
+                    worker: 0,
+                    value: 1.0,
+                },
+            },
+            TimedEvent {
+                time: 12.0,
+                event: Event::QueryIssued { task: 4, worker: 0 },
+            },
+            TimedEvent {
+                time: 20.0,
+                event: Event::EvalFinished {
+                    task: 1,
+                    worker: 1,
+                    value: 0.5,
+                },
+            },
+            TimedEvent {
+                time: 30.0,
+                event: Event::EvalFinished {
+                    task: 2,
+                    worker: 0,
+                    value: 2.0,
+                },
+            },
+        ];
+        assert_eq!(
+            best_so_far_csv(&evs),
+            "time_s,completed,value,best_so_far\n\
+             10,1,1,1\n\
+             20,2,0.5,1\n\
+             30,3,2,2\n"
+        );
+        assert_eq!(best_so_far_csv(&[]), "time_s,completed,value,best_so_far\n");
+    }
+}

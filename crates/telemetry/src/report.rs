@@ -1,0 +1,264 @@
+//! End-of-run summaries: the built-in event aggregate and the
+//! `RunReport` attached to optimization results.
+
+use std::fmt;
+
+use crate::event::{Event, TimedEvent};
+
+/// Running aggregate over every emitted event, maintained by the
+/// telemetry handle itself so a report is available regardless of which
+/// sinks (if any) were attached.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SummaryData {
+    /// Total events emitted.
+    pub events: usize,
+    /// `QueryIssued` count.
+    pub queries_issued: usize,
+    /// `EvalStarted` count.
+    pub evals_started: usize,
+    /// `EvalFinished` count.
+    pub evals_finished: usize,
+    /// `GpRefit` count.
+    pub gp_refits: usize,
+    /// Real seconds spent in GP refits.
+    pub gp_fit_seconds: f64,
+    /// `AcqOptimized` count.
+    pub acq_optimizations: usize,
+    /// Real seconds spent maximizing the acquisition.
+    pub acq_seconds: f64,
+    /// Acquisition-function evaluations consumed.
+    pub acq_evals: usize,
+    /// Pseudo-points hallucinated across all selections.
+    pub pseudo_points: usize,
+    /// Run-clock seconds of reported worker idleness.
+    pub worker_idle_seconds: f64,
+}
+
+impl SummaryData {
+    pub(crate) fn absorb(&mut self, ev: &TimedEvent) {
+        self.events += 1;
+        match &ev.event {
+            Event::QueryIssued { .. } => self.queries_issued += 1,
+            Event::EvalStarted { .. } => self.evals_started += 1,
+            Event::EvalFinished { .. } => self.evals_finished += 1,
+            Event::GpRefit { duration, .. } => {
+                self.gp_refits += 1;
+                self.gp_fit_seconds += duration;
+            }
+            Event::AcqOptimized {
+                evals, duration, ..
+            } => {
+                self.acq_optimizations += 1;
+                self.acq_evals += evals;
+                self.acq_seconds += duration;
+            }
+            Event::PseudoPointAdded { count } => self.pseudo_points += count,
+            Event::WorkerIdle { gap, .. } => self.worker_idle_seconds += gap,
+        }
+    }
+}
+
+/// Where the run's time went: scheduling quality from the executor's
+/// `Schedule` plus model overhead from telemetry (when enabled).
+///
+/// `gp_fit_share`/`acq_share` divide *real* seconds of model overhead
+/// by the run's makespan. Under the threaded executor both sides are
+/// real seconds; under the virtual executor the makespan is virtual
+/// simulation seconds, so the shares compare actual BO overhead against
+/// the simulated simulator cost — exactly the comparison behind the
+/// paper's claim that model overhead is negligible next to circuit
+/// simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Run makespan in run-clock seconds.
+    pub makespan: f64,
+    /// Workers in the executor.
+    pub workers: usize,
+    /// Fraction of `workers × makespan` spent evaluating, in [0, 1].
+    pub utilization: f64,
+    /// `1 − utilization`.
+    pub idle_fraction: f64,
+    /// Completed evaluations.
+    pub completed: usize,
+    /// Telemetry aggregate (`None` when the run had telemetry
+    /// disabled; the scheduling fields above are always available).
+    pub summary: Option<SummaryData>,
+    /// GP-fit real seconds / makespan (`None` without telemetry or
+    /// with a zero makespan).
+    pub gp_fit_share: Option<f64>,
+    /// Acquisition real seconds / makespan (`None` without telemetry
+    /// or with a zero makespan).
+    pub acq_share: Option<f64>,
+}
+
+impl RunReport {
+    /// Builds a report from schedule-level facts plus the optional
+    /// telemetry aggregate.
+    pub fn new(
+        makespan: f64,
+        workers: usize,
+        utilization: f64,
+        completed: usize,
+        summary: Option<SummaryData>,
+    ) -> Self {
+        let share = |secs: f64| {
+            if makespan > 0.0 {
+                Some(secs / makespan)
+            } else {
+                None
+            }
+        };
+        let gp_fit_share = summary.as_ref().and_then(|s| share(s.gp_fit_seconds));
+        let acq_share = summary.as_ref().and_then(|s| share(s.acq_seconds));
+        RunReport {
+            makespan,
+            workers,
+            utilization,
+            idle_fraction: (1.0 - utilization).max(0.0),
+            completed,
+            summary,
+            gp_fit_share,
+            acq_share,
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run report: {} evals over {:.1}s on {} workers",
+            self.completed, self.makespan, self.workers
+        )?;
+        writeln!(
+            f,
+            "  utilization {:.1}%  idle {:.1}%",
+            100.0 * self.utilization,
+            100.0 * self.idle_fraction
+        )?;
+        match &self.summary {
+            Some(s) => {
+                writeln!(
+                    f,
+                    "  gp refits {} ({:.3}s real{})",
+                    s.gp_refits,
+                    s.gp_fit_seconds,
+                    self.gp_fit_share
+                        .map(|v| format!(", {:.2}% of makespan", 100.0 * v))
+                        .unwrap_or_default()
+                )?;
+                writeln!(
+                    f,
+                    "  acq optimizations {} ({} evals, {:.3}s real{})",
+                    s.acq_optimizations,
+                    s.acq_evals,
+                    s.acq_seconds,
+                    self.acq_share
+                        .map(|v| format!(", {:.2}% of makespan", 100.0 * v))
+                        .unwrap_or_default()
+                )?;
+                write!(f, "  pseudo-points {}", s.pseudo_points)
+            }
+            None => write!(f, "  (telemetry disabled: no model-overhead breakdown)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(time: f64, event: Event) -> TimedEvent {
+        TimedEvent { time, event }
+    }
+
+    #[test]
+    fn summary_aggregates_by_variant() {
+        let mut s = SummaryData::default();
+        s.absorb(&at(0.0, Event::QueryIssued { task: 0, worker: 0 }));
+        s.absorb(&at(0.0, Event::EvalStarted { task: 0, worker: 0 }));
+        s.absorb(&at(
+            1.0,
+            Event::GpRefit {
+                n: 9,
+                hyperparams: vec![0.0],
+                duration: 0.5,
+            },
+        ));
+        s.absorb(&at(
+            1.0,
+            Event::AcqOptimized {
+                restarts: 3,
+                evals: 100,
+                duration: 0.25,
+            },
+        ));
+        s.absorb(&at(1.0, Event::PseudoPointAdded { count: 2 }));
+        s.absorb(&at(
+            2.0,
+            Event::EvalFinished {
+                task: 0,
+                worker: 0,
+                value: 1.0,
+            },
+        ));
+        s.absorb(&at(
+            2.0,
+            Event::WorkerIdle {
+                worker: 1,
+                gap: 3.5,
+            },
+        ));
+        assert_eq!(s.events, 7);
+        assert_eq!(s.queries_issued, 1);
+        assert_eq!(s.evals_started, 1);
+        assert_eq!(s.evals_finished, 1);
+        assert_eq!(s.gp_refits, 1);
+        assert_eq!(s.gp_fit_seconds, 0.5);
+        assert_eq!(s.acq_optimizations, 1);
+        assert_eq!(s.acq_evals, 100);
+        assert_eq!(s.acq_seconds, 0.25);
+        assert_eq!(s.pseudo_points, 2);
+        assert_eq!(s.worker_idle_seconds, 3.5);
+    }
+
+    #[test]
+    fn report_shares_need_telemetry_and_positive_makespan() {
+        let bare = RunReport::new(100.0, 3, 0.8, 18, None);
+        assert_eq!(bare.gp_fit_share, None);
+        assert!((bare.idle_fraction - 0.2).abs() < 1e-12);
+
+        let s = SummaryData {
+            gp_fit_seconds: 2.0,
+            acq_seconds: 1.0,
+            ..SummaryData::default()
+        };
+        let full = RunReport::new(100.0, 3, 0.8, 18, Some(s.clone()));
+        assert_eq!(full.gp_fit_share, Some(0.02));
+        assert_eq!(full.acq_share, Some(0.01));
+
+        let degenerate = RunReport::new(0.0, 3, 1.0, 0, Some(s));
+        assert_eq!(degenerate.gp_fit_share, None);
+        assert_eq!(degenerate.idle_fraction, 0.0);
+    }
+
+    #[test]
+    fn report_renders_both_modes() {
+        let with = RunReport::new(
+            50.0,
+            2,
+            0.9,
+            10,
+            Some(SummaryData {
+                gp_refits: 4,
+                gp_fit_seconds: 0.5,
+                ..SummaryData::default()
+            }),
+        );
+        let text = with.to_string();
+        assert!(text.contains("utilization 90.0%"));
+        assert!(text.contains("gp refits 4"));
+        let without = RunReport::new(50.0, 2, 0.9, 10, None).to_string();
+        assert!(without.contains("telemetry disabled"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Pluggable event sinks: in-memory recorder, JSONL writer, and a
+//! Fig. 4-style best-so-far CSV writer.
+
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, TimedEvent};
+
+/// Destination for emitted events. Implementations take `&self` (the
+/// telemetry handle is shared across threads) and use interior
+/// mutability as needed.
+pub trait EventSink: Send + Sync {
+    /// Receives one timestamped event.
+    fn record(&self, ev: &TimedEvent);
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// In-memory sink for tests: a cloneable handle onto the recorded
+/// event vector.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    events: Arc<Mutex<Vec<TimedEvent>>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Copy of every recorded event, in emission order.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for Recorder {
+    fn record(&self, ev: &TimedEvent) {
+        self.events.lock().unwrap().push(ev.clone());
+    }
+}
+
+/// Encodes one event as a single JSON line.
+///
+/// Numbers are formatted with Rust's shortest-roundtrip `Display`, so
+/// parsing them back with `str::parse::<f64>` reproduces the emitted
+/// value bit-for-bit — the property behind [`crate::replay`]'s exact
+/// trace reconstruction. Non-finite floats (which valid runs never
+/// emit) would fall outside strict JSON.
+pub fn to_json_line(ev: &TimedEvent) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"t\":{},\"event\":\"{}\"", ev.time, ev.event.kind());
+    match &ev.event {
+        Event::QueryIssued { task, worker } | Event::EvalStarted { task, worker } => {
+            let _ = write!(s, ",\"task\":{task},\"worker\":{worker}");
+        }
+        Event::EvalFinished {
+            task,
+            worker,
+            value,
+        } => {
+            let _ = write!(s, ",\"task\":{task},\"worker\":{worker},\"value\":{value}");
+        }
+        Event::GpRefit {
+            n,
+            hyperparams,
+            duration,
+        } => {
+            let _ = write!(s, ",\"n\":{n},\"hyperparams\":[");
+            for (i, h) in hyperparams.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{h}");
+            }
+            let _ = write!(s, "],\"duration\":{duration}");
+        }
+        Event::AcqOptimized {
+            restarts,
+            evals,
+            duration,
+        } => {
+            let _ = write!(
+                s,
+                ",\"restarts\":{restarts},\"evals\":{evals},\"duration\":{duration}"
+            );
+        }
+        Event::PseudoPointAdded { count } => {
+            let _ = write!(s, ",\"count\":{count}");
+        }
+        Event::WorkerIdle { worker, gap } => {
+            let _ = write!(s, ",\"worker\":{worker},\"gap\":{gap}");
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Streams events as JSON lines to any [`Write`] target.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer`; one JSON object per event, newline-terminated.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Consumes the sink, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().unwrap()
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn record(&self, ev: &TimedEvent) {
+        let line = to_json_line(ev);
+        let mut w = self.writer.lock().unwrap();
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+/// Streams the best-so-far timeline as CSV — the same
+/// `time_s,completed,value,best_so_far` format as
+/// `RunTrace::to_csv()`, regenerated live from `EvalFinished` events
+/// (the data behind the paper's Figs. 4/6).
+pub struct TraceCsvSink<W: Write + Send> {
+    state: Mutex<TraceCsvState<W>>,
+}
+
+struct TraceCsvState<W> {
+    writer: W,
+    completed: usize,
+    best: Option<f64>,
+}
+
+impl<W: Write + Send> TraceCsvSink<W> {
+    /// Wraps `writer`; the header row is written on the first event.
+    pub fn new(writer: W) -> Self {
+        TraceCsvSink {
+            state: Mutex::new(TraceCsvState {
+                writer,
+                completed: 0,
+                best: None,
+            }),
+        }
+    }
+
+    /// Consumes the sink, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.state.into_inner().unwrap().writer
+    }
+}
+
+impl<W: Write + Send> EventSink for TraceCsvSink<W> {
+    fn record(&self, ev: &TimedEvent) {
+        let Event::EvalFinished { value, .. } = ev.event else {
+            return;
+        };
+        let mut st = self.state.lock().unwrap();
+        if st.completed == 0 {
+            let _ = writeln!(st.writer, "time_s,completed,value,best_so_far");
+        }
+        st.completed += 1;
+        let best = st.best.map_or(value, |b| b.max(value));
+        st.best = Some(best);
+        let completed = st.completed;
+        let _ = writeln!(st.writer, "{},{},{},{}", ev.time, completed, value, best);
+    }
+
+    fn flush(&self) {
+        let _ = self.state.lock().unwrap().writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finished(time: f64, task: usize, value: f64) -> TimedEvent {
+        TimedEvent {
+            time,
+            event: Event::EvalFinished {
+                task,
+                worker: task % 2,
+                value,
+            },
+        }
+    }
+
+    #[test]
+    fn json_lines_cover_every_variant() {
+        let cases = [
+            TimedEvent {
+                time: 1.5,
+                event: Event::QueryIssued { task: 3, worker: 1 },
+            },
+            TimedEvent {
+                time: 1.5,
+                event: Event::EvalStarted { task: 3, worker: 1 },
+            },
+            finished(40.25, 3, -0.125),
+            TimedEvent {
+                time: 2.0,
+                event: Event::GpRefit {
+                    n: 12,
+                    hyperparams: vec![-0.5, 1.25, -9.0],
+                    duration: 0.03125,
+                },
+            },
+            TimedEvent {
+                time: 2.0,
+                event: Event::AcqOptimized {
+                    restarts: 3,
+                    evals: 420,
+                    duration: 0.0625,
+                },
+            },
+            TimedEvent {
+                time: 2.0,
+                event: Event::PseudoPointAdded { count: 2 },
+            },
+            TimedEvent {
+                time: 9.0,
+                event: Event::WorkerIdle {
+                    worker: 2,
+                    gap: 7.5,
+                },
+            },
+        ];
+        for ev in &cases {
+            let line = to_json_line(ev);
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains(&format!("\"event\":\"{}\"", ev.event.kind())));
+        }
+        assert_eq!(
+            to_json_line(&cases[2]),
+            "{\"t\":40.25,\"event\":\"EvalFinished\",\"task\":3,\"worker\":1,\"value\":-0.125}"
+        );
+    }
+
+    #[test]
+    fn recorder_preserves_order() {
+        let r = Recorder::new();
+        assert!(r.is_empty());
+        r.record(&finished(1.0, 0, 0.5));
+        r.record(&finished(2.0, 1, 0.25));
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].time, 1.0);
+        assert_eq!(evs[1].time, 2.0);
+    }
+
+    #[test]
+    fn trace_csv_matches_run_trace_format() {
+        let sink = TraceCsvSink::new(Vec::new());
+        sink.record(&finished(10.0, 0, 1.0));
+        sink.record(&TimedEvent {
+            time: 12.0,
+            event: Event::QueryIssued { task: 9, worker: 0 },
+        });
+        sink.record(&finished(20.0, 1, 0.5));
+        sink.record(&finished(30.0, 2, 2.0));
+        let csv = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            csv,
+            "time_s,completed,value,best_so_far\n\
+             10,1,1,1\n\
+             20,2,0.5,1\n\
+             30,3,2,2\n"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! The shared telemetry handle threaded through optimizer, policies,
+//! GP training, and executors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::event::{Event, TimedEvent};
+use crate::metrics::{CounterHandle, Metrics, MetricsSnapshot, ScopedTimer};
+use crate::report::SummaryData;
+use crate::sink::{EventSink, Recorder};
+
+/// Cheap, cloneable, thread-safe telemetry handle.
+///
+/// The disabled handle ([`Telemetry::disabled`], also `Default`) is a
+/// `None` — every emission and metric call is a branch on an `Option`
+/// with no allocation, locking, or event construction (use
+/// [`Telemetry::emit_with`] so even the event payload is never built).
+/// An enabled handle carries a run clock, a [`Metrics`] registry, a
+/// built-in [`SummaryData`] aggregate, and any number of sinks.
+///
+/// The run clock is advanced by the executors via [`Telemetry::set_now`]
+/// (virtual seconds under `VirtualExecutor`, real seconds under
+/// `ThreadedExecutor`) so that components with no clock access of their
+/// own — policies, GP training — stamp events consistently.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+struct Inner {
+    sinks: RwLock<Vec<Box<dyn EventSink>>>,
+    metrics: Metrics,
+    summary: Mutex<SummaryData>,
+    /// Run-clock seconds as `f64` bits.
+    now_bits: AtomicU64,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("sinks", &self.sinks.read().unwrap().len())
+            .field(
+                "now",
+                &f64::from_bits(self.now_bits.load(Ordering::Relaxed)),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: every call short-circuits.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with metrics and summary but no sinks yet.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                sinks: RwLock::new(Vec::new()),
+                metrics: Metrics::new(),
+                summary: Mutex::new(SummaryData::default()),
+                now_bits: AtomicU64::new(0f64.to_bits()),
+            })),
+        }
+    }
+
+    /// An enabled handle with an attached in-memory [`Recorder`]
+    /// (convenience for tests).
+    pub fn recording() -> (Self, Recorder) {
+        let t = Telemetry::new();
+        let r = Recorder::new();
+        t.add_sink(r.clone());
+        (t, r)
+    }
+
+    /// Whether events are being collected.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attaches a sink; no-op on a disabled handle.
+    pub fn add_sink<S: EventSink + 'static>(&self, sink: S) {
+        if let Some(inner) = &self.inner {
+            inner.sinks.write().unwrap().push(Box::new(sink));
+        }
+    }
+
+    /// Advances the run clock (seconds). Called by the executors.
+    pub fn set_now(&self, t: f64) {
+        if let Some(inner) = &self.inner {
+            inner.now_bits.store(t.to_bits(), Ordering::Release);
+        }
+    }
+
+    /// Current run-clock seconds (`0.0` when disabled).
+    pub fn now(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map_or(0.0, |i| f64::from_bits(i.now_bits.load(Ordering::Acquire)))
+    }
+
+    /// Emits `event` at the current run-clock time.
+    pub fn emit(&self, event: Event) {
+        if self.inner.is_some() {
+            self.emit_at(self.now(), event);
+        }
+    }
+
+    /// Emits `event` at an explicit run-clock time.
+    pub fn emit_at(&self, time: f64, event: Event) {
+        if let Some(inner) = &self.inner {
+            let ev = TimedEvent { time, event };
+            inner.summary.lock().unwrap().absorb(&ev);
+            for sink in inner.sinks.read().unwrap().iter() {
+                sink.record(&ev);
+            }
+        }
+    }
+
+    /// Emits the event built by `f` at the current run-clock time —
+    /// when disabled, `f` is never called, so hot paths pay only the
+    /// `Option` check (no payload construction, no allocation).
+    pub fn emit_with<F: FnOnce() -> Event>(&self, f: F) {
+        if self.inner.is_some() {
+            self.emit(f());
+        }
+    }
+
+    /// Emits the event built by `f` at an explicit run-clock time;
+    /// like [`Telemetry::emit_with`], `f` is never called when
+    /// disabled.
+    pub fn emit_at_with<F: FnOnce() -> Event>(&self, time: f64, f: F) {
+        if self.inner.is_some() {
+            self.emit_at(time, f());
+        }
+    }
+
+    /// Adds `n` to counter `name`; no-op when disabled.
+    pub fn incr(&self, name: &'static str, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.counter(name).add(n);
+        }
+    }
+
+    /// Cached counter handle for hot loops (`None` when disabled).
+    pub fn counter(&self, name: &'static str) -> Option<CounterHandle> {
+        self.inner.as_ref().map(|i| i.metrics.counter(name))
+    }
+
+    /// Sets gauge `name`; no-op when disabled.
+    pub fn gauge_set(&self, name: &'static str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.gauge(name).set(v);
+        }
+    }
+
+    /// Records one observation into histogram `name`; no-op when
+    /// disabled.
+    pub fn observe(&self, name: &'static str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.histogram(name).observe(v);
+        }
+    }
+
+    /// RAII timer that observes its elapsed real seconds into
+    /// histogram `name` on drop; inert when disabled.
+    pub fn timer(&self, name: &'static str) -> ScopedTimer {
+        match &self.inner {
+            Some(inner) => ScopedTimer::started(inner.metrics.histogram(name)),
+            None => ScopedTimer::inert(),
+        }
+    }
+
+    /// Snapshot of the metrics registry (`None` when disabled).
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.inner.as_ref().map(|i| i.metrics.snapshot())
+    }
+
+    /// Copy of the built-in event aggregate (`None` when disabled).
+    pub fn summary(&self) -> Option<SummaryData> {
+        self.inner
+            .as_ref()
+            .map(|i| i.summary.lock().unwrap().clone())
+    }
+
+    /// Flushes every attached sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in inner.sinks.read().unwrap().iter() {
+                sink.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_short_circuits() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        t.set_now(99.0);
+        assert_eq!(t.now(), 0.0);
+        t.emit_with(|| unreachable!("closure must not run when disabled"));
+        t.emit_at_with(1.0, || unreachable!("closure must not run when disabled"));
+        t.incr("anything", 5);
+        assert!(t.counter("anything").is_none());
+        assert!(t.metrics_snapshot().is_none());
+        assert!(t.summary().is_none());
+        assert!(!Telemetry::default().enabled());
+    }
+
+    #[test]
+    fn clock_is_shared_across_clones() {
+        let (t, r) = Telemetry::recording();
+        let t2 = t.clone();
+        t.set_now(42.5);
+        assert_eq!(t2.now(), 42.5);
+        t2.emit(Event::QueryIssued { task: 0, worker: 0 });
+        let evs = r.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].time, 42.5);
+    }
+
+    #[test]
+    fn emit_at_overrides_clock_and_feeds_summary() {
+        let (t, r) = Telemetry::recording();
+        t.set_now(5.0);
+        t.emit_at(
+            2.0,
+            Event::EvalFinished {
+                task: 0,
+                worker: 0,
+                value: 1.0,
+            },
+        );
+        t.emit_with(|| Event::PseudoPointAdded { count: 3 });
+        assert_eq!(r.events()[0].time, 2.0);
+        assert_eq!(r.events()[1].time, 5.0);
+        let s = t.summary().unwrap();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.evals_finished, 1);
+        assert_eq!(s.pseudo_points, 3);
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<Telemetry>();
+    }
+
+    #[test]
+    fn metrics_through_handle() {
+        let t = Telemetry::new();
+        t.incr("solves", 2);
+        t.counter("solves").unwrap().incr();
+        t.gauge_set("util", 0.9);
+        t.observe("wait", 1.5);
+        {
+            let _timer = t.timer("fit");
+        }
+        let snap = t.metrics_snapshot().unwrap();
+        assert_eq!(snap.counter("solves"), 3);
+        assert_eq!(snap.gauge("util"), Some(0.9));
+        assert_eq!(snap.histogram("wait").unwrap().count, 1);
+        assert_eq!(snap.histogram("fit").unwrap().count, 1);
+    }
+}

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("EasyBO best FOM: {:.3}", result.best_value);
     println!("  PAE:              {:.1} %", analysis.pae * 100.0);
     println!("  output power:     {:.2} W", analysis.pout_w);
-    println!("  drain efficiency: {:.1} %", analysis.drain_efficiency * 100.0);
+    println!(
+        "  drain efficiency: {:.1} %",
+        analysis.drain_efficiency * 100.0
+    );
     println!("  switch Ron:       {:.2} ohm", analysis.ron);
     println!("  peak drain volts: {:.2} V", analysis.v_peak);
     println!(

@@ -54,12 +54,8 @@ fn gp_beats_constant_predictor_on_class_e() {
     let (gp, test) = fit_circuit_gp(&pa, 120, 60, 7);
     let mean_y = easybo_linalg::mean(&test.iter().map(|&(_, y)| y).collect::<Vec<_>>());
     let e_gp = rmse(&gp, &test);
-    let e_const = (test
-        .iter()
-        .map(|(_, y)| (mean_y - y).powi(2))
-        .sum::<f64>()
-        / test.len() as f64)
-        .sqrt();
+    let e_const =
+        (test.iter().map(|(_, y)| (mean_y - y).powi(2)).sum::<f64>() / test.len() as f64).sqrt();
     assert!(
         e_gp < e_const,
         "GP RMSE {e_gp} should beat constant predictor {e_const}"

@@ -1,0 +1,90 @@
+//! Allocation discipline of the disabled telemetry handle.
+//!
+//! The acceptance criterion for the observability layer is that leaving
+//! telemetry off costs nothing on hot paths: every call on a disabled
+//! handle must be a branch on an `Option`, with **zero heap
+//! allocations** — no event construction, no boxed sinks, no metric
+//! lookups. This test binary installs a counting global allocator
+//! (which is why it lives alone in its own file) and measures exactly
+//! that.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use easybo_telemetry::{Event, Telemetry};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+// One #[test] only: the test harness runs tests in parallel threads and
+// the allocation counter is process-global, so a second concurrently
+// running test would break the zero-delta assertion.
+#[test]
+fn disabled_handle_never_allocates_on_the_hot_path() {
+    let telemetry = Telemetry::disabled();
+    let counter = telemetry.counter("gp_nll_evals"); // None when disabled
+
+    // Warm up once so any lazy formatting machinery outside telemetry
+    // is excluded from the measurement window.
+    telemetry.emit_with(|| unreachable!("disabled: closure must not run"));
+
+    let before = allocations();
+    for i in 0..10_000u64 {
+        telemetry.set_now(i as f64);
+        telemetry.emit_with(|| Event::QueryIssued {
+            task: i as usize,
+            worker: 0,
+        });
+        telemetry.emit_at_with(i as f64, || Event::GpRefit {
+            n: 100,
+            // A disabled handle must never run this closure, so the
+            // allocation inside is never reached.
+            hyperparams: vec![0.0; 16],
+            duration: 0.1,
+        });
+        telemetry.incr("gp_kernel_evals", 3);
+        telemetry.gauge_set("run_utilization", 0.5);
+        telemetry.observe("queue_wait_s", 0.1);
+        if let Some(c) = &counter {
+            c.incr();
+        }
+        let _timer = telemetry.timer("gp_fit_s");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry allocated on the hot path"
+    );
+
+    // Counter-check in the same test (see note above): a live handle
+    // through the identical API *does* allocate and does record, so the
+    // zero-delta above is measuring a real code path, not a dead API.
+    let (telemetry, recorder) = Telemetry::recording();
+    let before = allocations();
+    telemetry.emit(Event::PseudoPointAdded { count: 2 });
+    assert!(allocations() > before, "recording should allocate");
+    assert_eq!(recorder.events().len(), 1);
+}

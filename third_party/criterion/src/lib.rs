@@ -1,0 +1,180 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! Offline replacement implementing the surface the EasyBO bench
+//! targets use: [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! simple mean/min over `sample_size` timed samples (no outlier
+//! analysis, no HTML reports) printed to stdout — enough to compare
+//! relative costs, which is all the workspace's acceptance criteria
+//! need.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; all variants behave the
+/// same here (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input.
+    SmallInput,
+    /// Large routine input.
+    LargeInput,
+    /// Fresh setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark, printing mean and min time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|(elapsed, iters)| elapsed.as_secs_f64() / (*iters as f64).max(1.0))
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "bench {id:<40} mean {:>12}  min {:>12}  ({} samples)",
+            format_time(mean),
+            format_time(min),
+            per_iter.len()
+        );
+        self
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if !secs.is_finite() {
+        "n/a".to_string()
+    } else if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    /// `(elapsed, iterations)` per sample.
+    samples: Vec<(Duration, u64)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count (~5 ms per sample, capped) then
+    /// times `sample_size` samples of the routine.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and calibrate.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let iters = per_sample as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| black_box(1u64) + 1));
+        c.bench_function("batched_sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn bench_harness_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        trivial(&mut c);
+    }
+}

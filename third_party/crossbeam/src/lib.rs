@@ -1,0 +1,63 @@
+//! Hermetic stand-in for the `crossbeam` crate.
+//!
+//! Offline replacement implementing the surface the EasyBO workspace
+//! uses: [`channel::unbounded`] MPMC channels with disconnect semantics,
+//! and [`scope`] for borrowing scoped threads. Channels are a
+//! `Mutex<VecDeque>` + `Condvar` (adequate for the executor's
+//! coarse-grained job traffic); `scope` wraps [`std::thread::scope`].
+
+pub mod channel;
+
+use std::thread;
+
+/// Scope handle passed to the [`scope`] closure; spawns scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Placeholder passed to spawned closures (crossbeam passes a scope for
+/// nested spawning; the workspace never uses it).
+pub struct SpawnScope;
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; joined automatically when the scope ends.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&SpawnScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&SpawnScope))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller.
+///
+/// All spawned threads are joined before this returns. Unlike upstream
+/// crossbeam (which returns `Err` on child panic), an unjoined child
+/// panic propagates as a panic from this call — the workspace treats
+/// both as fatal via `.expect`, so behavior is equivalent in practice.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

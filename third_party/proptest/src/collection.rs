@@ -1,0 +1,25 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: core::ops::Range<usize>,
+}
+
+/// `vec(element, len_range)`: vectors with length drawn from
+/// `len_range` and elements from `element`.
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.clone().sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,17 @@
+//! Hermetic stand-in for the `serde` crate.
+//!
+//! The EasyBO workspace derives `Serialize`/`Deserialize` on config and
+//! result types but never actually serializes through serde (telemetry
+//! writes JSONL/CSV by hand). In this offline environment the real
+//! serde is unavailable, so this stub provides marker traits plus no-op
+//! derive macros — enough for every `#[derive(Serialize, Deserialize)]`
+//! in the tree to compile unchanged.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

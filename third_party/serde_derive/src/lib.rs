@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives for the hermetic serde
+//! stand-in: they accept the annotated item and emit nothing, so
+//! existing `#[derive(Serialize, Deserialize)]` attributes compile
+//! without generating serialization code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
