@@ -1,0 +1,206 @@
+//! Hot-path benchmark: batched GP posterior vs scalar prediction, and the
+//! parallel multi-start / parallel training fan-out vs the sequential
+//! legacy path.
+//!
+//! Prints a table and writes `BENCH_hotpath.json` at the repository root
+//! with the measured times, speedups, the host thread count, and a
+//! bit-identity verdict for every parallel comparison. Repetition count
+//! comes from `EASYBO_REPS` (default 5); each cell reports the best
+//! (minimum) wall-clock across repetitions.
+
+use std::time::Instant;
+
+use easybo_gp::{Gp, GpConfig, KernelFamily, TrainConfig};
+use easybo_opt::{sampling, Bounds, MultiStartMaximizer, Parallelism};
+use rand::SeedableRng;
+
+/// Deterministic training data on the unit cube: `n` points, `d` dims.
+fn training_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let bounds = Bounds::unit_cube(d).expect("unit cube");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let xs = sampling::latin_hypercube(&bounds, n, &mut rng);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|p| {
+            p.iter()
+                .enumerate()
+                .map(|(i, v)| (v * (i + 1) as f64).sin())
+                .sum()
+        })
+        .collect();
+    (xs, ys)
+}
+
+fn fitted_gp(n: usize, d: usize) -> Gp {
+    let (xs, ys) = training_data(n, d, 7);
+    Gp::fit_with_params(
+        xs,
+        ys,
+        KernelFamily::SquaredExponential,
+        vec![0.0; d + 1],
+        (1e-4f64).ln(),
+    )
+    .expect("fits")
+}
+
+/// Best-of-`reps` wall-clock of `f`, in seconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+struct Row {
+    name: String,
+    baseline_s: f64,
+    candidate_s: f64,
+    identical: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.baseline_s / self.candidate_s
+    }
+}
+
+/// predict_batch on `m` probes vs `m` scalar `predict` calls.
+fn bench_predict_batch(rows: &mut Vec<Row>, reps: usize, label: &str, n: usize, d: usize) {
+    let gp = fitted_gp(n, d);
+    let bounds = Bounds::unit_cube(d).expect("unit cube");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let probes = sampling::uniform(&bounds, 256, &mut rng);
+
+    let (scalar_s, scalar) = time_best(reps, || {
+        probes.iter().map(|p| gp.predict(p)).collect::<Vec<_>>()
+    });
+    let (batch_s, batch) = time_best(reps, || gp.predict_batch(&probes));
+    let identical = scalar
+        .iter()
+        .zip(&batch)
+        .all(|(a, b)| a.mean.to_bits() == b.mean.to_bits());
+    rows.push(Row {
+        name: format!("predict_batch_vs_scalar_{label}_n{n}_d{d}_m256"),
+        baseline_s: scalar_s,
+        candidate_s: batch_s,
+        identical,
+    });
+}
+
+/// Multi-start acquisition maximization at k=8 vs the sequential path.
+fn bench_parallel_multistart(rows: &mut Vec<Row>, reps: usize, d: usize) {
+    let gp = fitted_gp(200, d);
+    let bounds = Bounds::unit_cube(d).expect("unit cube");
+    let ms = MultiStartMaximizer::new(64.max(44 * d), 8, 100.max(14 * d));
+    let acq = |p: &[f64]| {
+        let pr = gp.predict(p);
+        0.65 * pr.mean + 0.35 * pr.variance.max(0.0).sqrt()
+    };
+    let run = |k: usize| {
+        ms.maximize_batched(
+            &bounds,
+            &mut rand::rngs::StdRng::seed_from_u64(3),
+            Parallelism::new(k),
+            &acq,
+        )
+    };
+    let (seq_s, seq) = time_best(reps, || run(1));
+    let (par_s, par) = time_best(reps, || run(8));
+    rows.push(Row {
+        name: format!("parallel_multistart_k8_vs_k1_d{d}"),
+        baseline_s: seq_s,
+        candidate_s: par_s,
+        identical: seq.x == par.x && seq.value.to_bits() == par.value.to_bits(),
+    });
+}
+
+/// GP hyperparameter training with 8 restart workers vs sequential.
+fn bench_parallel_train(rows: &mut Vec<Row>, reps: usize, n: usize, d: usize) {
+    let (xs, ys) = training_data(n, d, 13);
+    let fit = |k: usize| {
+        let config = GpConfig {
+            train: TrainConfig {
+                restarts: 7,
+                parallelism: Parallelism::new(k),
+                ..TrainConfig::default()
+            },
+            ..GpConfig::default()
+        };
+        Gp::fit(xs.clone(), ys.clone(), config).expect("fits")
+    };
+    let (seq_s, seq) = time_best(reps, || fit(1));
+    let (par_s, par) = time_best(reps, || fit(8));
+    let identical =
+        seq.theta() == par.theta() && seq.log_noise().to_bits() == par.log_noise().to_bits();
+    rows.push(Row {
+        name: format!("parallel_train_k8_vs_k1_n{n}_d{d}"),
+        baseline_s: seq_s,
+        candidate_s: par_s,
+        identical,
+    });
+}
+
+fn main() {
+    let reps: usize = std::env::var("EASYBO_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("Hot-path benchmark: {reps} repetitions, {host_threads} host thread(s)");
+
+    let mut rows = Vec::new();
+    // Table I / Table II problem sizes: 10-d op-amp, 12-d class-E PA.
+    bench_predict_batch(&mut rows, reps, "opamp", 400, 10);
+    bench_predict_batch(&mut rows, reps, "class_e", 400, 12);
+    bench_parallel_multistart(&mut rows, reps, 10);
+    bench_parallel_train(&mut rows, reps, 200, 10);
+
+    println!(
+        "{:<48} {:>12} {:>12} {:>9} {:>10}",
+        "benchmark", "baseline_s", "candidate_s", "speedup", "identical"
+    );
+    for r in &rows {
+        println!(
+            "{:<48} {:>12.6} {:>12.6} {:>8.2}x {:>10}",
+            r.name,
+            r.baseline_s,
+            r.candidate_s,
+            r.speedup(),
+            r.identical
+        );
+    }
+
+    // serde is stubbed in this workspace, so the JSON is formatted by hand.
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"baseline_s\": {:.6},\n      \"candidate_s\": {:.6},\n      \"speedup\": {:.3},\n      \"identical\": {}\n    }}",
+                r.name,
+                r.baseline_s,
+                r.candidate_s,
+                r.speedup(),
+                r.identical
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"reps\": {reps},\n  \"host_threads\": {host_threads},\n  \"note\": \"baseline = scalar/sequential path, candidate = batched/parallel path; best-of-reps wall clock. Thread speedups require host_threads > 1; on a single-core host the parallel rows measure fan-out overhead only, while the predict_batch rows are algorithmic and host-independent.\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    std::fs::write(path, json).expect("write BENCH_hotpath.json");
+    println!("wrote {path}");
+
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "parallel/batched results must be bit-identical to the sequential path"
+    );
+}

@@ -6,6 +6,7 @@
 //! if μ lives around 690 while σ is O(1).
 
 use easybo_gp::Gp;
+use easybo_opt::BatchObjective;
 
 /// `Φ(z)`: standard normal CDF via the Abramowitz–Stegun erf approximation
 /// (max absolute error ≈ 1.5e-7, ample for acquisition ranking).
@@ -93,6 +94,72 @@ pub fn weighted_penalized(base: &Gp, augmented: &Gp, x: &[f64], w: f64) -> f64 {
     let mu_z = base.scaler().transform(base.predict_mean(x));
     let (_, var_hat) = augmented.predict_standardized(x);
     (1.0 - w) * mu_z + w * var_hat.max(0.0).sqrt()
+}
+
+/// Batched [`weighted`] over a whole candidate set: one `K*` assembly and
+/// one multi-RHS triangular solve for the entire batch. Each value is
+/// bit-identical to the scalar call on the same point.
+pub fn weighted_batch(gp: &Gp, xs: &[Vec<f64>], w: f64) -> Vec<f64> {
+    gp.predict_standardized_batch(xs)
+        .into_iter()
+        .map(|(mu_z, var_z)| (1.0 - w) * mu_z + w * var_z.max(0.0).sqrt())
+        .collect()
+}
+
+/// Batched [`weighted_penalized`]: base means via the mean-only batch path,
+/// `σ̂` via the augmented GP's batched posterior. Bit-identical per point to
+/// the scalar call.
+pub fn weighted_penalized_batch(base: &Gp, augmented: &Gp, xs: &[Vec<f64>], w: f64) -> Vec<f64> {
+    let means = base.predict_mean_batch(xs);
+    augmented
+        .predict_standardized_batch(xs)
+        .into_iter()
+        .zip(means)
+        .map(|((_, var_hat), mean)| {
+            let mu_z = base.scaler().transform(mean);
+            (1.0 - w) * mu_z + w * var_hat.max(0.0).sqrt()
+        })
+        .collect()
+}
+
+/// [`weighted`] packaged as a [`BatchObjective`]: the multi-start maximizer
+/// scores its probe batch through [`weighted_batch`] and falls back to the
+/// scalar path inside Nelder–Mead refinement.
+pub struct WeightedAcq<'a> {
+    /// The fitted surrogate.
+    pub gp: &'a Gp,
+    /// Exploration weight `w ∈ [0, 1]`.
+    pub w: f64,
+}
+
+impl BatchObjective for WeightedAcq<'_> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        weighted(self.gp, x, self.w)
+    }
+
+    fn eval_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        weighted_batch(self.gp, xs, self.w)
+    }
+}
+
+/// [`weighted_penalized`] packaged as a [`BatchObjective`].
+pub struct PenalizedAcq<'a> {
+    /// The un-augmented surrogate supplying the predictive mean.
+    pub base: &'a Gp,
+    /// The pseudo-point-augmented surrogate supplying `σ̂`.
+    pub augmented: &'a Gp,
+    /// Exploration weight `w ∈ [0, 1]`.
+    pub w: f64,
+}
+
+impl BatchObjective for PenalizedAcq<'_> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        weighted_penalized(self.base, self.augmented, x, self.w)
+    }
+
+    fn eval_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        weighted_penalized_batch(self.base, self.augmented, xs, self.w)
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +279,36 @@ mod tests {
         let q = [0.3];
         let (mu, _) = gp.predict_standardized(&q);
         assert!((weighted_penalized(&gp, &aug, &q, 0.0) - mu).abs() < 1e-10);
+    }
+
+    #[test]
+    fn batch_acquisitions_bitwise_match_scalar() {
+        let gp = toy_gp();
+        let aug = gp.augment(&[vec![0.4], vec![1.2]]).unwrap();
+        let queries: Vec<Vec<f64>> = (0..11).map(|i| vec![i as f64 * 0.17 - 0.3]).collect();
+        for w in [0.0, 0.35, 1.0] {
+            let wb = weighted_batch(&gp, &queries, w);
+            let pb = weighted_penalized_batch(&gp, &aug, &queries, w);
+            let wa = WeightedAcq { gp: &gp, w };
+            let pa = PenalizedAcq {
+                base: &gp,
+                augmented: &aug,
+                w,
+            };
+            let wa_batch = wa.eval_batch(&queries);
+            let pa_batch = pa.eval_batch(&queries);
+            for (i, q) in queries.iter().enumerate() {
+                // Exact equality: the batch path must not perturb a bit.
+                assert_eq!(wb[i], weighted(&gp, q, w), "weighted at {i}, w = {w}");
+                assert_eq!(
+                    pb[i],
+                    weighted_penalized(&gp, &aug, q, w),
+                    "penalized at {i}, w = {w}"
+                );
+                assert_eq!(wa_batch[i], wa.eval(q));
+                assert_eq!(pa_batch[i], pa.eval(q));
+            }
+        }
     }
 
     #[test]

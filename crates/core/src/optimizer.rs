@@ -4,7 +4,7 @@ use easybo_exec::{
     BlackBox, CostedFunction, Dataset, RunTrace, Schedule, SimTimeModel, ThreadedExecutor,
     VirtualExecutor,
 };
-use easybo_opt::{sampling, Bounds};
+use easybo_opt::{sampling, Bounds, Parallelism};
 use easybo_telemetry::{RunReport, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -147,6 +147,17 @@ impl EasyBo {
     /// Overrides the acquisition-maximizer sizing.
     pub fn acquisition_config(&mut self, config: AcqOptConfig) -> &mut Self {
         self.acq_opt = config;
+        self
+    }
+
+    /// Worker-thread budget for GP hyperparameter training and acquisition
+    /// maximization. Default: available cores; `1` restores the fully
+    /// sequential legacy path. Results are bit-identical at any setting —
+    /// only wall-clock time changes.
+    pub fn parallelism(&mut self, parallelism: impl Into<Parallelism>) -> &mut Self {
+        let p = parallelism.into();
+        self.surrogate.parallelism = p;
+        self.acq_opt.parallelism = p;
         self
     }
 

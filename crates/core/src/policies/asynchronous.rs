@@ -14,15 +14,15 @@
 //! scheduling and randomized weights, but the busy points are invisible,
 //! so concurrent workers can pile onto the same region.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use easybo_exec::{AsyncPolicy, BusyPoint, Dataset};
-use easybo_opt::Bounds;
+use easybo_opt::{BatchObjective, Bounds};
 use easybo_telemetry::{Event, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::acquisition;
+use crate::acquisition::{PenalizedAcq, WeightedAcq};
 use crate::policies::penalization::PenalizationMode;
 use crate::policies::{AcqMaximizer, AcqOptConfig};
 use crate::surrogate::{SurrogateConfig, SurrogateManager};
@@ -167,72 +167,104 @@ impl AsyncPolicy for EasyBoAsyncPolicy {
                     // exact arithmetic). Constant-liar modes *deliberately*
                     // bias the mean near busy points, so they must read both
                     // moments from the augmented model.
-                    let use_aug_mean = self.mode != PenalizationMode::HallucinateMean;
-                    let (base, aug_ref) = (&gp, &aug);
-                    maximize_traced(
-                        &self.maximizer,
-                        &mut self.rng,
-                        &self.telemetry,
-                        self.acq_restarts,
-                        |p| {
-                            if use_aug_mean {
-                                acquisition::weighted(aug_ref, p, w)
-                            } else {
-                                acquisition::weighted_penalized(base, aug_ref, p, w)
-                            }
-                        },
-                    )
+                    if self.mode != PenalizationMode::HallucinateMean {
+                        maximize_traced(
+                            &self.maximizer,
+                            &mut self.rng,
+                            &self.telemetry,
+                            self.acq_restarts,
+                            &WeightedAcq { gp: &aug, w },
+                        )
+                    } else {
+                        maximize_traced(
+                            &self.maximizer,
+                            &mut self.rng,
+                            &self.telemetry,
+                            self.acq_restarts,
+                            &PenalizedAcq {
+                                base: &gp,
+                                augmented: &aug,
+                                w,
+                            },
+                        )
+                    }
                 }
                 Err(_) => {
                     // Numerically degenerate augmentation (duplicated busy
                     // points): fall back to the unpenalized acquisition.
-                    let base = &gp;
                     maximize_traced(
                         &self.maximizer,
                         &mut self.rng,
                         &self.telemetry,
                         self.acq_restarts,
-                        |p| acquisition::weighted(base, p, w),
+                        &WeightedAcq { gp: &gp, w },
                     )
                 }
             }
         } else {
-            let base = &gp;
             maximize_traced(
                 &self.maximizer,
                 &mut self.rng,
                 &self.telemetry,
                 self.acq_restarts,
-                |p| acquisition::weighted(base, p, w),
+                &WeightedAcq { gp: &gp, w },
             )
         };
         self.surrogate.from_unit(&u)
     }
 }
 
+/// Wraps a [`BatchObjective`] with a thread-safe evaluation counter so the
+/// telemetry wrapper can count acquisition evaluations even when probe
+/// scoring and refinement run on worker threads.
+struct CountedObjective<'a, F: ?Sized> {
+    inner: &'a F,
+    evals: AtomicU64,
+}
+
+impl<F: BatchObjective + ?Sized> BatchObjective for CountedObjective<'_, F> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.inner.eval(x)
+    }
+
+    fn eval_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        self.evals.fetch_add(xs.len() as u64, Ordering::Relaxed);
+        self.inner.eval_batch(xs)
+    }
+}
+
 /// Runs one acquisition maximization, counting acquisition-function
-/// evaluations and timing the search; emits an `AcqOptimized` event. On a
-/// disabled handle this is a direct call with no wrapper at all.
-fn maximize_traced(
+/// evaluations and timing the search; emits an `AcqOptimized` event plus
+/// the `acq_batch_size` (probes scored through the batched GP posterior)
+/// and `parallel_starts` (refinement starts fanned out concurrently)
+/// counters. On a disabled handle this is a direct call with no wrapper at
+/// all.
+fn maximize_traced<F: BatchObjective>(
     maximizer: &AcqMaximizer,
     rng: &mut StdRng,
     telemetry: &Telemetry,
     restarts: usize,
-    f: impl Fn(&[f64]) -> f64,
+    f: &F,
 ) -> Vec<f64> {
     if !telemetry.enabled() {
-        return maximizer.maximize(rng, f);
+        return maximizer.maximize_batch(rng, f);
     }
-    let evals = Cell::new(0usize);
+    let counted = CountedObjective {
+        inner: f,
+        evals: AtomicU64::new(0),
+    };
     let t0 = std::time::Instant::now();
-    let u = maximizer.maximize(rng, |p| {
-        evals.set(evals.get() + 1);
-        f(p)
-    });
+    let u = maximizer.maximize_batch(rng, &counted);
     let duration = t0.elapsed().as_secs_f64();
-    let evals = evals.get();
+    let evals = counted.evals.load(Ordering::Relaxed) as usize;
     telemetry.incr("acq_restarts", restarts as u64);
     telemetry.incr("acq_evals", evals as u64);
+    telemetry.incr("acq_batch_size", maximizer.probes() as u64);
+    telemetry.incr(
+        "parallel_starts",
+        restarts.min(maximizer.parallelism().threads()) as u64,
+    );
     telemetry.observe("acq_opt_s", duration);
     telemetry.emit(Event::AcqOptimized {
         restarts,

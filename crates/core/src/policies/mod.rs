@@ -33,7 +33,7 @@ pub use portfolio::{PortfolioPolicy, ThompsonSamplingPolicy};
 pub use sequential::{SequentialAcquisition, SequentialBoPolicy};
 pub use sync::{EasyBoSyncPolicy, PboPolicy};
 
-use easybo_opt::{Bounds, MultiStartMaximizer};
+use easybo_opt::{BatchObjective, Bounds, MultiStartMaximizer, Parallelism};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +47,10 @@ pub struct AcqOptConfig {
     pub starts: usize,
     /// Nelder–Mead evaluations per refinement (default 120).
     pub refine_evals: usize,
+    /// Worker threads for probe scoring and the refinement starts (default:
+    /// available cores; 1 = the legacy sequential path). The selected point
+    /// is bit-identical at any setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for AcqOptConfig {
@@ -55,6 +59,7 @@ impl Default for AcqOptConfig {
             probes: 384,
             starts: 3,
             refine_evals: 120,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -67,6 +72,7 @@ impl AcqOptConfig {
             probes: 320.max(44 * d),
             starts: 3,
             refine_evals: 100.max(14 * d),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -76,6 +82,7 @@ impl AcqOptConfig {
 pub(crate) struct AcqMaximizer {
     unit: Bounds,
     inner: MultiStartMaximizer,
+    parallelism: Parallelism,
 }
 
 impl AcqMaximizer {
@@ -83,12 +90,40 @@ impl AcqMaximizer {
         AcqMaximizer {
             unit: Bounds::unit_cube(dim).expect("dim > 0"),
             inner: MultiStartMaximizer::new(config.probes, config.starts, config.refine_evals),
+            parallelism: config.parallelism,
         }
     }
 
     /// Maximizes `f` over the unit cube; returns unit coordinates.
-    pub(crate) fn maximize(&self, rng: &mut StdRng, f: impl Fn(&[f64]) -> f64) -> Vec<f64> {
-        self.inner.maximize(&self.unit, rng, f).x
+    ///
+    /// Closures go through the batched maximizer too (scored pointwise via
+    /// the blanket [`BatchObjective`] impl, chunk-parallel across probes).
+    pub(crate) fn maximize(&self, rng: &mut StdRng, f: impl Fn(&[f64]) -> f64 + Sync) -> Vec<f64> {
+        self.maximize_batch(rng, &f)
+    }
+
+    /// Maximizes a [`BatchObjective`] over the unit cube; returns unit
+    /// coordinates. Probe scoring runs through `eval_batch` (one GP batch
+    /// posterior for the whole probe set) and refinement starts run on the
+    /// configured worker threads.
+    pub(crate) fn maximize_batch<F: BatchObjective + ?Sized>(
+        &self,
+        rng: &mut StdRng,
+        f: &F,
+    ) -> Vec<f64> {
+        self.inner
+            .maximize_batched(&self.unit, rng, self.parallelism, f)
+            .x
+    }
+
+    /// Random probe count per maximization (the acquisition batch size).
+    pub(crate) fn probes(&self) -> usize {
+        self.inner.probes()
+    }
+
+    /// The configured worker-thread budget.
+    pub(crate) fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 }
 

@@ -8,7 +8,7 @@ use easybo_opt::Bounds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::acquisition;
+use crate::acquisition::{self, PenalizedAcq, WeightedAcq};
 use crate::policies::{AcqMaximizer, AcqOptConfig};
 use crate::surrogate::{SurrogateConfig, SurrogateManager};
 use crate::weight::WeightSchedule;
@@ -242,14 +242,17 @@ impl SyncBatchPolicy for EasyBoSyncPolicy {
         for _ in 0..batch_size {
             let w = crate::weight::sample_kappa_weight(self.lambda, &mut self.rng);
             let u = if self.penalize {
-                let (base, aug) = (&gp, &augmented);
-                self.maximizer.maximize(&mut self.rng, |p| {
-                    acquisition::weighted_penalized(base, aug, p, w)
-                })
+                self.maximizer.maximize_batch(
+                    &mut self.rng,
+                    &PenalizedAcq {
+                        base: &gp,
+                        augmented: &augmented,
+                        w,
+                    },
+                )
             } else {
-                let base = &gp;
                 self.maximizer
-                    .maximize(&mut self.rng, |p| acquisition::weighted(base, p, w))
+                    .maximize_batch(&mut self.rng, &WeightedAcq { gp: &gp, w })
             };
             if self.penalize {
                 // Hallucinate the new member so later members avoid it.

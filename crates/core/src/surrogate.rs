@@ -9,7 +9,7 @@
 
 use easybo_exec::Dataset;
 use easybo_gp::{Gp, GpConfig, KernelFamily, TrainConfig};
-use easybo_opt::Bounds;
+use easybo_opt::{Bounds, Parallelism};
 use easybo_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +35,9 @@ pub struct SurrogateConfig {
     pub max_gp_points: usize,
     /// RNG seed for training restarts.
     pub seed: u64,
+    /// Worker threads for the L-BFGS training restarts (default: available
+    /// cores; 1 = legacy sequential). Bit-identical results at any setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SurrogateConfig {
@@ -47,6 +50,7 @@ impl Default for SurrogateConfig {
             train_max_points: 160,
             max_gp_points: 260,
             seed: 0,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -167,6 +171,7 @@ impl SurrogateManager {
                     seed: self.config.seed ^ n as u64,
                     max_points: self.config.train_max_points,
                     warm_start: self.warm.clone(),
+                    parallelism: self.config.parallelism,
                     ..Default::default()
                 },
                 ..Default::default()

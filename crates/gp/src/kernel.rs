@@ -6,10 +6,23 @@
 //! dimension followed by the log signal variance. The observation noise
 //! lives in the GP model, not the kernel.
 
+use easybo_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Fixed shape parameter of the rational-quadratic kernel.
 const RQ_ALPHA: f64 = 2.0;
+
+/// Scaled squared distance with precomputed inverse length-scales: the same
+/// `(aᵢ-bᵢ)·ℓᵢ⁻¹` arithmetic (and accumulation order) as [`ArdKernel::eval`],
+/// so batched builders produce bit-identical kernel values.
+fn scaled_r2(a: &[f64], b: &[f64], inv_l: &[f64]) -> f64 {
+    let mut r2 = 0.0;
+    for ((&ai, &bi), &il) in a.iter().zip(b).zip(inv_l) {
+        let d = (ai - bi) * il;
+        r2 += d * d;
+    }
+    r2
+}
 
 /// The kernel families available to [`ArdKernel`].
 ///
@@ -101,17 +114,10 @@ impl ArdKernel {
         r2
     }
 
-    /// Evaluates `k(a, b)` under hyperparameters `theta`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `theta`, `a` or `b` have the wrong length.
-    pub fn eval(&self, theta: &[f64], a: &[f64], b: &[f64]) -> f64 {
-        assert_eq!(theta.len(), self.n_theta(), "theta length mismatch");
-        assert_eq!(a.len(), self.dim, "input a dimension mismatch");
-        assert_eq!(b.len(), self.dim, "input b dimension mismatch");
-        let sf2 = theta[self.dim].exp();
-        let r2 = self.r2(theta, a, b);
+    /// Family-specific kernel value from the signal variance and scaled
+    /// squared distance — the single place the radial profile is computed,
+    /// shared by the scalar and batched evaluation paths.
+    fn eval_r2(&self, sf2: f64, r2: f64) -> f64 {
         match self.family {
             KernelFamily::SquaredExponential => sf2 * (-0.5 * r2).exp(),
             KernelFamily::Matern52 => {
@@ -126,6 +132,80 @@ impl ArdKernel {
             }
             KernelFamily::RationalQuadratic => sf2 * (1.0 + r2 / (2.0 * RQ_ALPHA)).powf(-RQ_ALPHA),
         }
+    }
+
+    /// Inverse length-scales `ℓᵢ⁻¹ = e^{-θᵢ}`, hoisted out of batched builds
+    /// so the O(n·m·d) inner loop pays no transcendental calls.
+    fn inv_lengthscales(&self, theta: &[f64]) -> Vec<f64> {
+        theta[..self.dim].iter().map(|t| (-t).exp()).collect()
+    }
+
+    /// Evaluates `k(a, b)` under hyperparameters `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta`, `a` or `b` have the wrong length.
+    pub fn eval(&self, theta: &[f64], a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(theta.len(), self.n_theta(), "theta length mismatch");
+        assert_eq!(a.len(), self.dim, "input a dimension mismatch");
+        assert_eq!(b.len(), self.dim, "input b dimension mismatch");
+        let sf2 = theta[self.dim].exp();
+        let r2 = self.r2(theta, a, b);
+        self.eval_r2(sf2, r2)
+    }
+
+    /// Symmetric noise-free covariance matrix `K[i,j] = k(xs[i], xs[j])`.
+    ///
+    /// Only the lower triangle is evaluated (then mirrored), and the inverse
+    /// length-scales are hoisted out of the pair loop; every entry is
+    /// bit-identical to the corresponding [`ArdKernel::eval`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` or any point has the wrong length.
+    pub fn covariance(&self, theta: &[f64], xs: &[Vec<f64>]) -> Matrix {
+        assert_eq!(theta.len(), self.n_theta(), "theta length mismatch");
+        for x in xs {
+            assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        }
+        let inv_l = self.inv_lengthscales(theta);
+        let sf2 = theta[self.dim].exp();
+        Matrix::symmetric_from_fn(xs.len(), |i, j| {
+            self.eval_r2(sf2, scaled_r2(&xs[i], &xs[j], &inv_l))
+        })
+    }
+
+    /// Cross-covariance block `K[i,j] = k(rows[i], cols[j])` between a
+    /// training set and a batch of query points, built in one pass with the
+    /// query points packed contiguously. Entries are bit-identical to
+    /// per-pair [`ArdKernel::eval`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` or any point has the wrong length.
+    pub fn cross_covariance(&self, theta: &[f64], rows: &[Vec<f64>], cols: &[Vec<f64>]) -> Matrix {
+        assert_eq!(theta.len(), self.n_theta(), "theta length mismatch");
+        for x in rows.iter().chain(cols) {
+            assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        }
+        let inv_l = self.inv_lengthscales(theta);
+        let sf2 = theta[self.dim].exp();
+        let d = self.dim.max(1);
+        // Pack the queries into one contiguous block so the inner loop
+        // streams cache lines instead of chasing per-Vec allocations.
+        let mut packed = Vec::with_capacity(cols.len() * d);
+        for c in cols {
+            packed.extend_from_slice(c);
+            packed.resize(packed.len() + (d - self.dim), 0.0);
+        }
+        let mut k = Matrix::zeros(rows.len(), cols.len());
+        for (i, a) in rows.iter().enumerate() {
+            let out = k.row_mut(i);
+            for (o, q) in out.iter_mut().zip(packed.chunks_exact(d)) {
+                *o = self.eval_r2(sf2, scaled_r2(a, &q[..self.dim], &inv_l));
+            }
+        }
+        k
     }
 
     /// Evaluates `k(a, b)` and writes `∂k/∂θᵢ` (log-space gradients) into
@@ -334,6 +414,59 @@ mod tests {
         let v_52 = m52.eval(&theta, &[0.0], &[r]);
         let v_32 = m32.eval(&theta, &[0.0], &[r]);
         assert!(v_se < v_52 && v_52 < v_32, "{v_se} {v_52} {v_32}");
+    }
+
+    #[test]
+    fn covariance_builders_bitwise_match_eval() {
+        let pts: Vec<Vec<f64>> = (0..7)
+            .map(|i| {
+                (0..3)
+                    .map(|j| ((i * 5 + j * 11) as f64 * 0.29).sin())
+                    .collect()
+            })
+            .collect();
+        let queries: Vec<Vec<f64>> = (0..4)
+            .map(|i| {
+                (0..3)
+                    .map(|j| ((i * 13 + j * 3) as f64 * 0.41).cos())
+                    .collect()
+            })
+            .collect();
+        let theta = [0.3, -0.5, 0.1, 0.4];
+        for fam in FAMILIES {
+            let k = ArdKernel::new(fam, 3);
+            let cov = k.covariance(&theta, &pts);
+            for i in 0..pts.len() {
+                for j in 0..pts.len() {
+                    assert_eq!(
+                        cov[(i, j)],
+                        k.eval(&theta, &pts[i], &pts[j]),
+                        "{fam:?} covariance ({i}, {j})"
+                    );
+                }
+            }
+            let cross = k.cross_covariance(&theta, &pts, &queries);
+            assert_eq!(cross.shape(), (7, 4));
+            for i in 0..pts.len() {
+                for j in 0..queries.len() {
+                    assert_eq!(
+                        cross[(i, j)],
+                        k.eval(&theta, &pts[i], &queries[j]),
+                        "{fam:?} cross ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_builders_handle_empty_sets() {
+        let k = ArdKernel::new(KernelFamily::SquaredExponential, 2);
+        let theta = k.default_theta();
+        assert_eq!(k.covariance(&theta, &[]).shape(), (0, 0));
+        let pts = vec![vec![0.1, 0.2]];
+        assert_eq!(k.cross_covariance(&theta, &pts, &[]).shape(), (1, 0));
+        assert_eq!(k.cross_covariance(&theta, &[], &pts).shape(), (0, 1));
     }
 
     proptest! {

@@ -300,6 +300,87 @@ impl Gp {
         (mean, var)
     }
 
+    /// Posterior predictions for a whole batch of query points (raw units).
+    ///
+    /// Assembles the `n × m` cross-covariance `K*` once and runs a single
+    /// multi-RHS forward substitution instead of `m` scalar solves; each
+    /// entry is bit-identical to [`Gp::predict`] on the same point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point has the wrong dimension.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        self.predict_standardized_batch(xs)
+            .into_iter()
+            .map(|(mean_z, var_z)| Prediction {
+                mean: self.scaler.inverse(mean_z),
+                variance: self.scaler.inverse_variance(var_z),
+            })
+            .collect()
+    }
+
+    /// Batched posterior `(mean, variance)` in standardized target space —
+    /// the batch counterpart of [`Gp::predict_standardized`], bit-identical
+    /// per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point has the wrong dimension.
+    pub fn predict_standardized_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let m = xs.len();
+        let kstar = self.kernel.cross_covariance(&self.theta, &self.x, xs);
+        let v = self.chol.solve_lower_multi(&kstar);
+        // Row-wise accumulation: column j sees the same i-ascending order
+        // as the scalar `kstar.dot(alpha)` / `v.dot(v)` reductions.
+        let mut means = vec![0.0; m];
+        let mut vss = vec![0.0; m];
+        for i in 0..self.n_train() {
+            let a = self.alpha[i];
+            for (mu, &k) in means.iter_mut().zip(kstar.row(i)) {
+                *mu += k * a;
+            }
+            for (s, &vij) in vss.iter_mut().zip(v.row(i)) {
+                *s += vij * vij;
+            }
+        }
+        // k(x, x) reduces to σ_f² exactly for every stationary family here
+        // (the radial factor is exactly 1.0 at r² = 0), matching the scalar
+        // path's `kernel.eval(x, x)` prior bit for bit.
+        let prior = self.kernel.signal_variance(&self.theta);
+        means
+            .into_iter()
+            .zip(vss)
+            .map(|(mu, s)| (mu, (prior - s).max(0.0)))
+            .collect()
+    }
+
+    /// Batched posterior means only (raw units) — the batch counterpart of
+    /// [`Gp::predict_mean`], skipping the triangular solves entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point has the wrong dimension.
+    pub fn predict_mean_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let kstar = self.kernel.cross_covariance(&self.theta, &self.x, xs);
+        let mut means = vec![0.0; xs.len()];
+        for i in 0..self.n_train() {
+            let a = self.alpha[i];
+            for (mu, &k) in means.iter_mut().zip(kstar.row(i)) {
+                *mu += k * a;
+            }
+        }
+        means
+            .into_iter()
+            .map(|mu| self.scaler.inverse(mu))
+            .collect()
+    }
+
     /// Cross-covariance weights `v = L⁻¹ k*(x)` of a query point.
     ///
     /// Joint posterior covariances follow as
@@ -446,24 +527,17 @@ impl Gp {
     }
 }
 
-/// Builds `K = K_f + σ_n² I` for the given inputs.
+/// Builds `K = K_f + σ_n² I` for the given inputs via the batched symmetric
+/// kernel builder (lower triangle evaluated once, inverse length-scales
+/// hoisted out of the pair loop).
 pub(crate) fn covariance_matrix(
     kernel: &ArdKernel,
     theta: &[f64],
     log_noise: f64,
     x: &[Vec<f64>],
 ) -> Matrix {
-    let n = x.len();
-    let noise = log_noise.exp();
-    let mut k = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..=i {
-            let v = kernel.eval(theta, &x[i], &x[j]);
-            k[(i, j)] = v;
-            k[(j, i)] = v;
-        }
-        k[(i, i)] += noise;
-    }
+    let mut k = kernel.covariance(theta, x);
+    k.add_diagonal(log_noise.exp());
     k
 }
 
@@ -587,6 +661,39 @@ mod tests {
         )
         .unwrap();
         assert!(trained.log_marginal_likelihood() > clumsy.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn predict_batch_bitwise_matches_scalar() {
+        let (x, y) = toy_1d();
+        let gp = fixed_gp(x, y);
+        let queries: Vec<Vec<f64>> = (0..17).map(|i| vec![i as f64 / 16.0 - 0.1]).collect();
+        let batch = gp.predict_batch(&queries);
+        let mean_batch = gp.predict_mean_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let scalar = gp.predict(q);
+            // Exact equality: the batch path performs the same operations
+            // in the same order per query point.
+            assert_eq!(batch[i].mean, scalar.mean, "mean at query {i}");
+            assert_eq!(batch[i].variance, scalar.variance, "variance at query {i}");
+            assert_eq!(mean_batch[i], gp.predict_mean(q), "mean-only at query {i}");
+        }
+        assert!(gp.predict_batch(&[]).is_empty());
+        assert!(gp.predict_mean_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn predict_batch_bitwise_matches_scalar_on_augmented_gp() {
+        let (x, y) = toy_1d();
+        let gp = fixed_gp(x, y);
+        let aug = gp.augment(&[vec![0.25], vec![0.85]]).unwrap();
+        let queries: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 / 8.0]).collect();
+        for (pred, q) in aug.predict_batch(&queries).iter().zip(&queries) {
+            let scalar = aug.predict(q);
+            assert_eq!(pred.mean, scalar.mean);
+            assert_eq!(pred.variance, scalar.variance);
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! log marginal likelihood, with analytic gradients.
 
 use easybo_linalg::{Cholesky, Matrix, Vector};
+use easybo_opt::Parallelism;
 use easybo_telemetry::Telemetry;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -31,6 +32,11 @@ pub struct TrainConfig {
     /// Warm start: reuse these hyperparameters `[θ…, log σ_n²]` as the
     /// first starting point (used by BO drivers across refits).
     pub warm_start: Option<Vec<f64>>,
+    /// Worker threads for the L-BFGS restarts (default: available cores;
+    /// 1 = the legacy sequential path). The learned hyperparameters are
+    /// bit-identical at any setting: every start is generated before the
+    /// fan-out and the reduction scans results in start order.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TrainConfig {
@@ -42,6 +48,7 @@ impl Default for TrainConfig {
             prior_strength: 0.5 / 9.0,
             max_points: 200,
             warm_start: None,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -116,10 +123,12 @@ pub(crate) fn train(
     // plus the same again (with gradients) for ∂K/∂θ.
     let kernel_evals_per_nll = (xs.len() * (xs.len() + 1)) as u64;
 
-    let mut best_params = default_start;
-    let mut best_obj = f64::INFINITY;
-    for start in starts {
-        let (p, obj) = lbfgs.minimize(start, |params, grad| {
+    // All starts are fixed before the fan-out (the RNG is never touched by
+    // a worker), each L-BFGS run is independent, and the reduction below
+    // scans results in start order with a strict-improvement test — so the
+    // winner is bit-identical at any parallelism level.
+    let results = easybo_opt::parallel_map(config.parallelism, starts, |_, start| {
+        lbfgs.minimize(start, |params, grad| {
             if let Some(c) = &nll_evals {
                 c.incr();
             }
@@ -138,7 +147,11 @@ pub(crate) fn train(
                 config.prior_strength,
                 grad,
             )
-        });
+        })
+    });
+    let mut best_params = default_start;
+    let mut best_obj = f64::INFINITY;
+    for (p, obj) in results {
         if obj < best_obj && p.iter().all(|v| v.is_finite()) {
             best_obj = obj;
             best_params = p;
@@ -389,6 +402,54 @@ mod tests {
         let (theta, log_noise) = train(&kernel, &x, &z, &cfg, 1e-8, &Telemetry::disabled());
         assert!(theta.iter().all(|v| v.is_finite()));
         assert!(log_noise.is_finite());
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_across_parallelism() {
+        let (x, z) = data();
+        let kernel = ArdKernel::new(KernelFamily::SquaredExponential, 1);
+        let base = TrainConfig {
+            restarts: 3,
+            seed: 17,
+            parallelism: Parallelism::sequential(),
+            ..Default::default()
+        };
+        let (theta_ref, noise_ref) = train(&kernel, &x, &z, &base, 1e-8, &Telemetry::disabled());
+        for k in [2usize, 8] {
+            let cfg = TrainConfig {
+                parallelism: Parallelism::new(k),
+                ..base.clone()
+            };
+            let (theta, noise) = train(&kernel, &x, &z, &cfg, 1e-8, &Telemetry::disabled());
+            // Exact equality: parallel restarts must not perturb training.
+            for (a, b) in theta.iter().zip(&theta_ref) {
+                assert_eq!(a.to_bits(), b.to_bits(), "theta differs at k = {k}");
+            }
+            assert_eq!(
+                noise.to_bits(),
+                noise_ref.to_bits(),
+                "noise differs at k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_training_keeps_telemetry_counts() {
+        let (x, z) = data();
+        let kernel = ArdKernel::new(KernelFamily::SquaredExponential, 1);
+        let counts = |k: usize| {
+            let t = Telemetry::new();
+            let cfg = TrainConfig {
+                restarts: 2,
+                parallelism: Parallelism::new(k),
+                ..Default::default()
+            };
+            train(&kernel, &x, &z, &cfg, 1e-8, &t);
+            t.metrics_snapshot().unwrap().counter("gp_nll_evals")
+        };
+        let seq = counts(1);
+        assert!(seq > 0);
+        assert_eq!(seq, counts(4), "eval counts must not depend on threading");
     }
 
     #[test]

@@ -108,6 +108,21 @@ impl Matrix {
         m
     }
 
+    /// Builds a symmetric `n x n` matrix by evaluating `f(i, j)` only on the
+    /// lower triangle (`j <= i`) and mirroring — half the kernel evaluations
+    /// of [`Matrix::from_fn`] for symmetric builders.
+    pub fn symmetric_from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = f(i, j);
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -161,6 +176,11 @@ impl Matrix {
     /// Flat row-major view of the underlying data.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Mutable flat row-major view of the underlying data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// Returns the transpose.
@@ -524,6 +544,29 @@ mod tests {
         assert_eq!((&a + &b)[(0, 0)], 4.0);
         assert_eq!((&b - &a)[(1, 1)], 2.0);
         assert_eq!((&a * 5.0)[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn symmetric_from_fn_mirrors_lower_triangle() {
+        let mut evals = 0usize;
+        let m = Matrix::symmetric_from_fn(4, |i, j| {
+            evals += 1;
+            assert!(j <= i, "builder must only see the lower triangle");
+            (i * 10 + j) as f64
+        });
+        // n(n+1)/2 evaluations, not n².
+        assert_eq!(evals, 10);
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m[(2, 1)], 21.0);
+        assert_eq!(m[(1, 2)], 21.0);
+        assert_eq!(Matrix::symmetric_from_fn(0, |_, _| 1.0).shape(), (0, 0));
+    }
+
+    #[test]
+    fn as_mut_slice_writes_through() {
+        let mut m = Matrix::zeros(2, 2);
+        m.as_mut_slice()[3] = 7.0;
+        assert_eq!(m[(1, 1)], 7.0);
     }
 
     #[test]

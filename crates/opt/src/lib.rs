@@ -45,6 +45,7 @@ pub mod error;
 pub mod lbfgs;
 pub mod multistart;
 pub mod nelder_mead;
+pub mod parallel;
 pub mod pso;
 pub mod sampling;
 
@@ -55,8 +56,9 @@ pub use cmaes::{CmaEs, CmaEsConfig};
 pub use de::{DeConfig, DeReport, DifferentialEvolution};
 pub use error::OptError;
 pub use lbfgs::{Lbfgs, LbfgsConfig};
-pub use multistart::{MultiStartMaximizer, Optimum};
+pub use multistart::{BatchObjective, MultiStartMaximizer, Optimum};
 pub use nelder_mead::{NelderMead, NelderMeadConfig};
+pub use parallel::{parallel_map, split_seeds, Parallelism};
 pub use pso::{ParticleSwarm, PsoConfig};
 
 /// Convenience result alias used across the crate.
