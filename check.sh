@@ -17,6 +17,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fault-injection chaos suite (PROPTEST_CASES=64)"
+PROPTEST_CASES=64 cargo test -q -p easybo-integration --test fault_injection
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -1,0 +1,104 @@
+//! Fault-tolerance overhead micro-benchmarks.
+//!
+//! The retry layer's contract mirrors telemetry's: "free when off". A
+//! clean black box driven through `run_async_resilient` with
+//! `RetryPolicy::none()` must run at the speed of the legacy entry
+//! point, and even the full default policy (3 attempts, backoff,
+//! outcome classification) should cost only the per-attempt bookkeeping
+//! when no fault ever fires. A third workload prices a realistic chaos
+//! regime for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easybo_exec::{
+    AsyncPolicy, BusyPoint, CostedFunction, Dataset, FaultPlan, FaultyBlackBox, RetryPolicy,
+    SimTimeModel, VirtualExecutor,
+};
+use easybo_opt::Bounds;
+use easybo_telemetry::Telemetry;
+
+/// Trivial policy: isolates the executor's retry bookkeeping from model
+/// costs.
+struct Walker(f64);
+impl AsyncPolicy for Walker {
+    fn select_next(&mut self, _d: &Dataset, _b: &[BusyPoint]) -> Vec<f64> {
+        self.0 = (self.0 + 0.31) % 1.0;
+        vec![self.0]
+    }
+}
+
+fn cheap_blackbox() -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync> {
+    let bounds = Bounds::unit_cube(1).unwrap();
+    let time = SimTimeModel::new(&bounds, 25.0, 0.3, 9);
+    CostedFunction::new("cheap", bounds, time, |x: &[f64]| 1.0 - (x[0] - 0.6).abs())
+}
+
+const EVALS: usize = 400;
+
+fn bench_retry_path_overhead(c: &mut Criterion) {
+    let bb = cheap_blackbox();
+    let init = [vec![0.4]];
+
+    // Seed entry point: no retry machinery anywhere.
+    c.bench_function("executor_hot_loop_legacy", |b| {
+        b.iter(|| VirtualExecutor::new(4).run_async(&bb, &init, EVALS, &mut Walker(0.0)))
+    });
+
+    // Resilient driver, `none` policy: the bit-identical compatibility
+    // mode every existing caller now routes through.
+    c.bench_function("executor_hot_loop_retry_none", |b| {
+        b.iter(|| {
+            VirtualExecutor::new(4).run_async_resilient(
+                &bb,
+                &init,
+                EVALS,
+                &mut Walker(0.0),
+                &RetryPolicy::none(),
+                &Telemetry::disabled(),
+            )
+        })
+    });
+
+    // Full default policy on a clean black box: fault rate 0, so this
+    // prices exactly the retry-path bookkeeping (outcome
+    // classification, attempt counting, timeout checks).
+    c.bench_function("executor_hot_loop_retry_default_clean", |b| {
+        b.iter(|| {
+            VirtualExecutor::new(4).run_async_resilient(
+                &bb,
+                &init,
+                EVALS,
+                &mut Walker(0.0),
+                &RetryPolicy::default(),
+                &Telemetry::disabled(),
+            )
+        })
+    });
+
+    // A realistic chaos regime, for scale: 10% failures retried with
+    // backoff through the deterministic fault injector.
+    let plan = FaultPlan {
+        seed: 13,
+        fail_rate: 0.1,
+        ..FaultPlan::default()
+    };
+    let faulty = FaultyBlackBox::new(cheap_blackbox(), plan);
+    c.bench_function("executor_hot_loop_faults_10pct", |b| {
+        b.iter(|| {
+            VirtualExecutor::new(4).run_async_resilient(
+                &faulty,
+                &init,
+                EVALS,
+                &mut Walker(0.0),
+                &RetryPolicy::default().backoff(5.0, 2.0),
+                &Telemetry::disabled(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_retry_path_overhead
+}
+criterion_main!(benches);

@@ -54,6 +54,7 @@ mod weight;
 
 pub use algorithms::{Algorithm, AlgorithmMode};
 pub use constrained::ConstrainedProblem;
+pub use easybo_exec::{FailureAction, FaultPlan, FaultyBlackBox, RetryPolicy};
 pub use easybo_opt::Parallelism;
 pub use easybo_telemetry::{
     Event, JsonlSink, Recorder, RunReport, Telemetry, TimedEvent, TraceCsvSink,

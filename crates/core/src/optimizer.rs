@@ -1,8 +1,8 @@
 //! The high-level EasyBO optimizer API for end users.
 
 use easybo_exec::{
-    BlackBox, CostedFunction, Dataset, RunTrace, Schedule, SimTimeModel, ThreadedExecutor,
-    VirtualExecutor,
+    BlackBox, CostedFunction, Dataset, RetryPolicy, RunTrace, Schedule, SimTimeModel,
+    ThreadedExecutor, VirtualExecutor,
 };
 use easybo_opt::{sampling, Bounds, Parallelism};
 use easybo_telemetry::{RunReport, Telemetry};
@@ -69,6 +69,7 @@ pub struct EasyBo {
     surrogate: SurrogateConfig,
     acq_opt: AcqOptConfig,
     telemetry: Telemetry,
+    retry: RetryPolicy,
 }
 
 impl EasyBo {
@@ -88,6 +89,7 @@ impl EasyBo {
             surrogate: SurrogateConfig::default(),
             acq_opt: AcqOptConfig::for_dim(dim),
             telemetry: Telemetry::disabled(),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -147,6 +149,19 @@ impl EasyBo {
     /// Overrides the acquisition-maximizer sizing.
     pub fn acquisition_config(&mut self, config: AcqOptConfig) -> &mut Self {
         self.acq_opt = config;
+        self
+    }
+
+    /// Failure handling for black-box evaluations: how often to retry a
+    /// crashed/non-finite/timed-out attempt, with what backoff, and what
+    /// to do when attempts run out (see [`RetryPolicy`]). The default,
+    /// [`RetryPolicy::none`], records every raw value exactly as before
+    /// — runs with well-behaved objectives are bit-identical whether or
+    /// not this is set. A common robust choice is
+    /// `RetryPolicy::default()` (3 attempts, exponential backoff, failed
+    /// tasks dropped so non-finite values never reach the GP).
+    pub fn retry_policy(&mut self, retry: RetryPolicy) -> &mut Self {
+        self.retry = retry;
         self
     }
 
@@ -263,11 +278,12 @@ impl EasyBo {
     pub fn run_blackbox(&self, bb: &dyn BlackBox) -> crate::Result<OptimizationResult> {
         self.validate()?;
         let mut policy = self.build_policy();
-        let result = VirtualExecutor::new(self.batch_size).run_async_with(
+        let result = VirtualExecutor::new(self.batch_size).run_async_resilient(
             bb,
             &self.initial_design(),
             self.max_evals,
             &mut policy,
+            &self.retry,
             &self.telemetry,
         );
         self.finish(result)
@@ -287,13 +303,14 @@ impl EasyBo {
     ) -> crate::Result<OptimizationResult> {
         self.validate()?;
         let mut policy = self.build_policy();
-        let result = ThreadedExecutor::new(self.batch_size, time_scale).run_async_with(
+        let result = ThreadedExecutor::new(self.batch_size, time_scale).run_async_resilient(
             bb,
             &self.initial_design(),
             self.max_evals,
             &mut policy,
+            &self.retry,
             &self.telemetry,
-        );
+        )?;
         self.finish(result)
     }
 }

@@ -51,11 +51,16 @@ impl Dataset {
         &self.y
     }
 
-    /// Best (maximum) observation, if any, as `(x, y)`.
+    /// Best (maximum) *finite* observation, if any, as `(x, y)`.
+    ///
+    /// Non-finite values (NaN and ±Inf, e.g. non-convergent simulator
+    /// runs recorded verbatim) are never candidates: an `+Inf` "best"
+    /// would make every improvement test vacuous and a `-Inf` one would
+    /// poison incumbent-based acquisitions.
     pub fn best(&self) -> Option<(&[f64], f64)> {
         let mut best: Option<(usize, f64)> = None;
         for (i, &v) in self.y.iter().enumerate() {
-            if v.is_nan() {
+            if !v.is_finite() {
                 continue;
             }
             match best {
@@ -117,6 +122,34 @@ mod tests {
         d.push(vec![0.0], f64::NAN);
         d.push(vec![1.0], 1.0);
         assert_eq!(d.best_value(), 1.0);
+    }
+
+    #[test]
+    fn best_skips_positive_infinity() {
+        let mut d = Dataset::new();
+        d.push(vec![0.0], f64::INFINITY);
+        d.push(vec![1.0], 2.0);
+        let (x, y) = d.best().unwrap();
+        assert_eq!(x, &[1.0]);
+        assert_eq!(y, 2.0);
+    }
+
+    #[test]
+    fn best_skips_negative_infinity() {
+        let mut d = Dataset::new();
+        d.push(vec![0.0], f64::NEG_INFINITY);
+        d.push(vec![1.0], -5.0);
+        assert_eq!(d.best_value(), -5.0);
+    }
+
+    #[test]
+    fn all_non_finite_dataset_has_no_best() {
+        let mut d = Dataset::new();
+        d.push(vec![0.0], f64::NAN);
+        d.push(vec![1.0], f64::INFINITY);
+        d.push(vec![2.0], f64::NEG_INFINITY);
+        assert_eq!(d.best(), None);
+        assert_eq!(d.best_value(), f64::NEG_INFINITY);
     }
 
     #[test]

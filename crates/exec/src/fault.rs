@@ -1,0 +1,392 @@
+//! Deterministic fault injection for chaos-testing the executors.
+//!
+//! [`FaultPlan`] describes a failure regime (crash rate, non-finite FOM
+//! rate, stragglers, hangs, panics, per-worker death schedules) and
+//! [`FaultyBlackBox`] applies it to any inner [`BlackBox`]. Every fault
+//! draw is a pure function of `(plan seed, task, attempt)` through the
+//! same splitmix64 stream as [`easybo_opt::parallel::split_seeds`], so
+//! a seeded chaos run is exactly reproducible: same seed → same faults
+//! on the same tasks, independent of thread count or wall-clock.
+
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use easybo_opt::parallel::split_seeds;
+use easybo_opt::Bounds;
+
+use crate::blackbox::{AttemptContext, BlackBox, EvalOutcome, Evaluation};
+
+/// Panic payload marking a scheduled worker death. The threaded
+/// executor's workers recognise it and exit their loop for good (the
+/// crash is reported as [`easybo_telemetry::Event::WorkerCrashed`]);
+/// any other panic payload is treated as an ordinary failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerDeath {
+    /// The worker that dies.
+    pub worker: usize,
+}
+
+/// The fault injected into one evaluation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// No fault: the inner evaluation is returned unchanged.
+    None,
+    /// The simulation crashes: NaN value, `Failed` outcome.
+    Fail,
+    /// The simulation "succeeds" with a NaN figure of merit.
+    NaNValue,
+    /// The simulation "succeeds" with a `+Inf` figure of merit.
+    PosInf,
+    /// The simulation "succeeds" with a `-Inf` figure of merit.
+    NegInf,
+    /// The simulation hangs: the cost balloons to `hang_cost` and the
+    /// attempt fails unless a timeout abandons it first.
+    Hang,
+    /// The evaluation panics (caught by the threaded executor's
+    /// workers; surfaced as a failed attempt by the virtual one).
+    Panic,
+    /// A straggler: the evaluation succeeds but takes
+    /// `straggler_factor ×` the normal cost.
+    Straggle,
+}
+
+/// A seeded, fully deterministic failure regime.
+///
+/// Rates are probabilities in `[0, 1]` checked in a fixed priority
+/// order (fail, non-finite, hang, panic, straggle) against one uniform
+/// draw per `(task, attempt)`; their sum is effectively saturated at 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault stream.
+    pub seed: u64,
+    /// Probability an attempt fails outright.
+    pub fail_rate: f64,
+    /// Probability an attempt returns a non-finite FOM (NaN, +Inf or
+    /// -Inf, chosen deterministically from the same draw).
+    pub nonfinite_rate: f64,
+    /// Probability an attempt hangs.
+    pub hang_rate: f64,
+    /// Cost assigned to hung attempts (virtual seconds).
+    pub hang_cost: f64,
+    /// Probability an attempt panics.
+    pub panic_rate: f64,
+    /// Probability an attempt straggles.
+    pub straggler_rate: f64,
+    /// Cost multiplier for stragglers.
+    pub straggler_factor: f64,
+    /// Per-worker death schedule: `crash_after[w] = Some(n)` kills
+    /// worker `w` on its `(n+1)`-th evaluation. Call-order dependent,
+    /// so only meaningful where worker assignment is deterministic.
+    pub crash_after: Vec<Option<usize>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            fail_rate: 0.0,
+            nonfinite_rate: 0.0,
+            hang_rate: 0.0,
+            hang_cost: 1e9,
+            panic_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_factor: 4.0,
+            crash_after: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Uniform bits for `(task, attempt)`: last element of a per-task
+    /// splitmix64 stream re-split per attempt — a pure function of its
+    /// inputs, shared with the parallel-seeding infrastructure.
+    fn draw(&self, task: usize, attempt: usize) -> u64 {
+        let task_seed = *split_seeds(self.seed, task + 1).last().expect("n >= 1");
+        *split_seeds(task_seed, attempt.max(1))
+            .last()
+            .expect("n >= 1")
+    }
+
+    /// The fault injected into attempt `attempt` (1-based) of `task`.
+    pub fn decide(&self, task: usize, attempt: usize) -> InjectedFault {
+        let bits = self.draw(task, attempt);
+        let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        let mut edge = self.fail_rate;
+        if u < edge {
+            return InjectedFault::Fail;
+        }
+        edge += self.nonfinite_rate;
+        if u < edge {
+            // Sub-select the non-finite flavour from untouched low bits.
+            return match bits % 3 {
+                0 => InjectedFault::NaNValue,
+                1 => InjectedFault::PosInf,
+                _ => InjectedFault::NegInf,
+            };
+        }
+        edge += self.hang_rate;
+        if u < edge {
+            return InjectedFault::Hang;
+        }
+        edge += self.panic_rate;
+        if u < edge {
+            return InjectedFault::Panic;
+        }
+        edge += self.straggler_rate;
+        if u < edge {
+            return InjectedFault::Straggle;
+        }
+        InjectedFault::None
+    }
+}
+
+/// Wraps any [`BlackBox`] and injects the faults a [`FaultPlan`]
+/// prescribes. Faults are keyed on `(task, attempt)`, so retries of the
+/// same task redraw — a task that failed once can succeed on attempt 2,
+/// exactly like a flaky simulator.
+pub struct FaultyBlackBox<B> {
+    inner: B,
+    plan: FaultPlan,
+    name: String,
+    /// Evaluations completed per worker, for the crash schedule.
+    per_worker_evals: Mutex<Vec<usize>>,
+    /// Fallback task counter for callers of plain `evaluate`.
+    serial: AtomicUsize,
+}
+
+impl<B: BlackBox> FaultyBlackBox<B> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        let name = format!("faulty({})", inner.name());
+        FaultyBlackBox {
+            inner,
+            plan,
+            name,
+            per_worker_evals: Mutex::new(Vec::new()),
+            serial: AtomicUsize::new(0),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The wrapped black box.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Whether `ctx.worker`'s scheduled death has arrived; bumps the
+    /// worker's evaluation counter either way.
+    fn crash_due(&self, worker: usize) -> bool {
+        let Some(&Some(after)) = self.plan.crash_after.get(worker) else {
+            return false;
+        };
+        let mut counts = self.per_worker_evals.lock().unwrap();
+        if counts.len() <= worker {
+            counts.resize(worker + 1, 0);
+        }
+        let seen = counts[worker];
+        counts[worker] += 1;
+        seen >= after
+    }
+}
+
+impl<B: BlackBox> BlackBox for FaultyBlackBox<B> {
+    fn bounds(&self) -> &Bounds {
+        self.inner.bounds()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let task = self.serial.fetch_add(1, Ordering::Relaxed);
+        self.evaluate_attempt(x, AttemptContext::first(task, 0))
+    }
+
+    fn evaluate_attempt(&self, x: &[f64], ctx: AttemptContext) -> Evaluation {
+        if self.crash_due(ctx.worker) {
+            if ctx.panics_caught {
+                panic_any(WorkerDeath { worker: ctx.worker });
+            }
+            return Evaluation::failed("worker crashed", 0.0);
+        }
+        let e = self.inner.evaluate_attempt(x, ctx);
+        match self.plan.decide(ctx.task, ctx.attempt) {
+            InjectedFault::None => e,
+            InjectedFault::Fail => Evaluation::failed("injected simulator crash", e.cost),
+            InjectedFault::NaNValue => Evaluation::ok(f64::NAN, e.cost),
+            InjectedFault::PosInf => Evaluation::ok(f64::INFINITY, e.cost),
+            InjectedFault::NegInf => Evaluation::ok(f64::NEG_INFINITY, e.cost),
+            InjectedFault::Hang => Evaluation {
+                value: f64::NAN,
+                cost: self.plan.hang_cost,
+                outcome: EvalOutcome::Failed {
+                    reason: "hung".to_string(),
+                },
+            },
+            InjectedFault::Panic => {
+                if ctx.panics_caught {
+                    panic_any("injected evaluation panic");
+                }
+                Evaluation::failed("injected evaluation panic", e.cost)
+            }
+            InjectedFault::Straggle => Evaluation {
+                cost: e.cost * self.plan.straggler_factor,
+                ..e
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim_time::SimTimeModel;
+    use crate::CostedFunction;
+
+    fn toy() -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync> {
+        let bounds = Bounds::unit_cube(1).unwrap();
+        let time = SimTimeModel::new(&bounds, 10.0, 0.2, 3);
+        CostedFunction::new("toy", bounds, time, |x: &[f64]| 1.0 - x[0])
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_seed_task_attempt() {
+        let plan = FaultPlan {
+            seed: 42,
+            fail_rate: 0.3,
+            nonfinite_rate: 0.2,
+            straggler_rate: 0.2,
+            ..FaultPlan::default()
+        };
+        for task in 0..50 {
+            for attempt in 1..=3 {
+                assert_eq!(
+                    plan.decide(task, attempt),
+                    plan.clone().decide(task, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retries_redraw_faults() {
+        let plan = FaultPlan {
+            seed: 7,
+            fail_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        // With a 50% rate some (task, attempt) pair must differ from
+        // its attempt-1 sibling; determinism makes this a fixed fact.
+        let differs = (0..40).any(|t| plan.decide(t, 1) != plan.decide(t, 2));
+        assert!(differs, "attempt number must enter the fault draw");
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let plan = FaultPlan {
+            seed: 3,
+            fail_rate: 0.25,
+            ..FaultPlan::default()
+        };
+        let n = 2000;
+        let fails = (0..n)
+            .filter(|&t| plan.decide(t, 1) == InjectedFault::Fail)
+            .count();
+        let frac = fails as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.05, "observed fail rate {frac}");
+    }
+
+    #[test]
+    fn zero_rate_plan_is_transparent() {
+        let bb = toy();
+        let clean = bb.evaluate(&[0.4]);
+        let faulty = FaultyBlackBox::new(toy(), FaultPlan::none(9));
+        let e = faulty.evaluate_attempt(&[0.4], AttemptContext::first(0, 0));
+        assert_eq!(e, clean);
+    }
+
+    #[test]
+    fn injected_failure_keeps_inner_cost() {
+        let plan = FaultPlan {
+            seed: 1,
+            fail_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let faulty = FaultyBlackBox::new(toy(), plan);
+        let clean_cost = toy().evaluate(&[0.4]).cost;
+        let e = faulty.evaluate_attempt(&[0.4], AttemptContext::first(0, 0));
+        assert!(e.value.is_nan());
+        assert_eq!(e.cost, clean_cost);
+        assert!(!e.resolved_outcome().is_ok());
+    }
+
+    #[test]
+    fn straggler_scales_cost_only() {
+        let plan = FaultPlan {
+            seed: 1,
+            straggler_rate: 1.0,
+            straggler_factor: 8.0,
+            ..FaultPlan::default()
+        };
+        let faulty = FaultyBlackBox::new(toy(), plan);
+        let clean = toy().evaluate(&[0.4]);
+        let e = faulty.evaluate_attempt(&[0.4], AttemptContext::first(0, 0));
+        assert_eq!(e.value, clean.value);
+        assert_eq!(e.cost, clean.cost * 8.0);
+        assert!(e.resolved_outcome().is_ok());
+    }
+
+    #[test]
+    fn crash_schedule_fails_without_panic_when_not_caught() {
+        let plan = FaultPlan {
+            seed: 1,
+            crash_after: vec![Some(2)],
+            ..FaultPlan::default()
+        };
+        let faulty = FaultyBlackBox::new(toy(), plan);
+        for k in 0..2 {
+            let e = faulty.evaluate_attempt(&[0.4], AttemptContext::first(k, 0));
+            assert!(e.resolved_outcome().is_ok(), "eval {k} before the crash");
+        }
+        let e = faulty.evaluate_attempt(&[0.4], AttemptContext::first(2, 0));
+        assert_eq!(e.resolved_outcome().describe(), "worker crashed");
+    }
+
+    #[test]
+    fn crash_schedule_panics_with_worker_death_when_caught() {
+        let plan = FaultPlan {
+            seed: 1,
+            crash_after: vec![Some(0)],
+            ..FaultPlan::default()
+        };
+        let faulty = FaultyBlackBox::new(toy(), plan);
+        let ctx = AttemptContext {
+            task: 0,
+            attempt: 1,
+            worker: 0,
+            panics_caught: true,
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            faulty.evaluate_attempt(&[0.4], ctx)
+        }))
+        .expect_err("scheduled death must panic");
+        assert_eq!(
+            err.downcast_ref::<WorkerDeath>(),
+            Some(&WorkerDeath { worker: 0 })
+        );
+    }
+}

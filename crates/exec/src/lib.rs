@@ -18,17 +18,29 @@
 //! Selection logic stays out of this crate: drivers call back into
 //! [`SyncBatchPolicy`] / [`AsyncPolicy`] implementations (provided by the
 //! `easybo` core crate) whenever they need new query points.
+//!
+//! Real simulator pools also fail: jobs crash, hang, and return
+//! non-convergent FOMs. Both executors therefore drive a shared
+//! [`RetryPolicy`] (requeue with exponential backoff, per-attempt
+//! timeouts, configurable handling of exhausted tasks), and the
+//! [`fault`] module provides a seeded, fully deterministic
+//! fault-injection wrapper ([`FaultyBlackBox`]) for chaos-testing the
+//! whole stack.
 
 mod blackbox;
 mod dataset;
+pub mod fault;
+mod retry;
 mod schedule;
 mod sim_time;
 mod threaded;
 mod trace;
 mod virtual_exec;
 
-pub use blackbox::{BlackBox, CostedFunction, Evaluation};
+pub use blackbox::{AttemptContext, BlackBox, CostedFunction, EvalOutcome, Evaluation};
 pub use dataset::{BusyPoint, Dataset};
+pub use fault::{FaultPlan, FaultyBlackBox};
+pub use retry::{FailureAction, RetryPolicy};
 pub use schedule::{Schedule, TaskSpan};
 pub use sim_time::SimTimeModel;
 pub use threaded::ThreadedExecutor;

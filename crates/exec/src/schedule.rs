@@ -12,6 +12,10 @@ pub struct TaskSpan {
     pub start: f64,
     /// End time (s).
     pub end: f64,
+    /// Whether the span ended in failure (crashed, non-finite,
+    /// abandoned on timeout). Failed spans still occupy the worker but
+    /// are excluded from [`Schedule::utilization`].
+    pub failed: bool,
 }
 
 /// A complete worker schedule for an optimization run, with utilization
@@ -48,12 +52,23 @@ impl Schedule {
         self.workers
     }
 
-    /// Records a task span.
+    /// Records a successful task span.
     ///
     /// # Panics
     ///
     /// Panics if `worker >= workers` or `end < start`.
     pub fn add(&mut self, worker: usize, task: usize, start: f64, end: f64) {
+        self.add_with(worker, task, start, end, false);
+    }
+
+    /// Records a task span, flagging whether the attempt failed
+    /// (crashed, returned a non-finite FOM, or was abandoned on
+    /// timeout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= workers` or `end < start`.
+    pub fn add_with(&mut self, worker: usize, task: usize, start: f64, end: f64, failed: bool) {
         assert!(worker < self.workers, "worker {worker} out of range");
         assert!(end >= start, "task ends before it starts");
         self.spans.push(TaskSpan {
@@ -61,6 +76,7 @@ impl Schedule {
             task,
             start,
             end,
+            failed,
         });
     }
 
@@ -83,19 +99,39 @@ impl Schedule {
         self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
     }
 
-    /// Total busy time across workers.
+    /// Total busy time across workers, failed spans included (a worker
+    /// occupied by a doomed attempt is still occupied).
     pub fn busy_time(&self) -> f64 {
         self.spans.iter().map(|s| s.end - s.start).sum()
     }
 
-    /// Fraction of `workers × makespan` spent busy, in [0, 1].
-    /// Returns 1.0 for an empty schedule.
+    /// Busy time spent on spans that completed successfully.
+    pub fn productive_time(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| !s.failed)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Busy time lost to failed/abandoned spans.
+    pub fn failed_time(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.failed)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Fraction of `workers × makespan` spent on *productive* work, in
+    /// [0, 1]: failed/abandoned spans count as waste, alongside idle
+    /// time. Returns 1.0 for an empty schedule.
     pub fn utilization(&self) -> f64 {
         let span = self.makespan() * self.workers as f64;
         if span <= 0.0 {
             return 1.0;
         }
-        (self.busy_time() / span).min(1.0)
+        (self.productive_time() / span).min(1.0)
     }
 
     /// Renders the schedule as CSV (`worker,task,start_s,end_s`) for
@@ -185,6 +221,42 @@ mod tests {
         assert_eq!(s.makespan(), 0.0);
         assert_eq!(s.utilization(), 1.0);
         assert_eq!(s.idle_time(), 0.0);
+    }
+
+    #[test]
+    fn failed_spans_occupy_but_do_not_produce() {
+        let mut s = Schedule::new(2);
+        s.add(0, 0, 0.0, 10.0);
+        s.add_with(1, 1, 0.0, 5.0, true); // abandoned on timeout
+        s.add(1, 2, 5.0, 10.0);
+        assert_eq!(s.makespan(), 10.0);
+        assert_eq!(s.busy_time(), 20.0);
+        assert_eq!(s.productive_time(), 15.0);
+        assert_eq!(s.failed_time(), 5.0);
+        // Utilization counts only productive work: 15 / (2 × 10).
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
+        let failed: Vec<_> = s.spans().iter().filter(|t| t.failed).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].task, 1);
+    }
+
+    #[test]
+    fn add_records_successful_spans() {
+        let mut s = Schedule::new(1);
+        s.add(0, 0, 0.0, 1.0);
+        assert!(!s.spans()[0].failed);
+        assert_eq!(s.failed_time(), 0.0);
+        assert_eq!(s.productive_time(), s.busy_time());
+    }
+
+    #[test]
+    fn all_failed_schedule_has_zero_utilization() {
+        let mut s = Schedule::new(1);
+        s.add_with(0, 0, 0.0, 4.0, true);
+        s.add_with(0, 1, 4.0, 8.0, true);
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.busy_time(), 8.0);
+        assert_eq!(s.failed_time(), 8.0);
     }
 
     #[test]

@@ -5,15 +5,34 @@
 //! the black box is genuinely expensive (an actual simulator invocation).
 //! Worker threads pull jobs from a crossbeam channel; the coordinator runs
 //! the policy and keeps at most one job in flight per worker.
+//!
+//! Failure handling: worker threads wrap every evaluation in
+//! [`std::panic::catch_unwind`], so a panicking black box costs one
+//! attempt, not the run. A panic whose payload is
+//! [`crate::fault::WorkerDeath`] simulates a worker host dying: the
+//! thread reports `WorkerCrashed` and exits for good. Attempts that
+//! fail (or exceed [`RetryPolicy::timeout`]) are requeued with backoff;
+//! when every worker is dead or stuck the run ends with a structured
+//! [`OptError::ExecutorFailure`] instead of deadlocking.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
+use easybo_opt::OptError;
 use easybo_telemetry::{Event, Telemetry};
 
+use crate::blackbox::{AttemptContext, EvalOutcome, Evaluation};
+use crate::fault::WorkerDeath;
+use crate::retry::{FailureAction, RetryPolicy};
 use crate::virtual_exec::{finish_run_metrics, AsyncPolicy};
 use crate::{BlackBox, BusyPoint, Dataset, RunResult, RunTrace, Schedule};
+
+/// Sleep-slice length for emulated evaluation time, so workers notice
+/// the end-of-run shutdown flag instead of sleeping out a hung job.
+const SLEEP_SLICE_S: f64 = 0.01;
 
 /// Multi-threaded asynchronous executor.
 ///
@@ -35,12 +54,12 @@ use crate::{BlackBox, BusyPoint, Dataset, RunResult, RunTrace, Schedule};
 ///     }
 /// }
 ///
-/// # fn main() -> Result<(), easybo_opt::OptError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let bounds = Bounds::unit_cube(1)?;
 /// let time = SimTimeModel::new(&bounds, 10.0, 0.2, 1);
 /// let bb = CostedFunction::new("toy", bounds, time, |x: &[f64]| x[0]);
 /// let exec = ThreadedExecutor::new(4, 1e-5); // 10µs per virtual second
-/// let result = exec.run_async(&bb, &[vec![0.9]], 8, &mut Center);
+/// let result = exec.run_async(&bb, &[vec![0.9]], 8, &mut Center)?;
 /// assert_eq!(result.data.len(), 8);
 /// assert!(result.best_value() >= 0.9);
 /// # Ok(())
@@ -55,6 +74,7 @@ pub struct ThreadedExecutor {
 /// Job sent to a worker thread.
 struct Job {
     task: usize,
+    attempt: usize,
     x: Vec<f64>,
 }
 
@@ -62,8 +82,8 @@ struct Job {
 struct Done {
     worker: usize,
     task: usize,
-    x: Vec<f64>,
-    value: f64,
+    attempt: usize,
+    eval: Evaluation,
     started_at: Duration,
     finished_at: Duration,
 }
@@ -76,9 +96,86 @@ enum WorkerMsg {
     Started {
         worker: usize,
         task: usize,
+        attempt: usize,
         at: Duration,
     },
     Done(Done),
+    /// The worker died mid-evaluation (a [`WorkerDeath`] panic) and has
+    /// left the pool.
+    Crashed {
+        worker: usize,
+        task: usize,
+        attempt: usize,
+        at: Duration,
+    },
+}
+
+/// One task currently owned by the worker pool.
+struct InFlight {
+    x: Vec<f64>,
+    attempt: usize,
+    /// `(worker, start_s)` once a worker claimed the job.
+    started: Option<(usize, f64)>,
+}
+
+/// A failed task waiting out its backoff before the next attempt.
+struct PendingRetry {
+    due: f64,
+    task: usize,
+    attempt: usize,
+    x: Vec<f64>,
+}
+
+/// Decides retry vs. terminal for a failed attempt: emits `EvalFailed`
+/// (+ counters), queues the retry when attempts remain, and otherwise
+/// returns the point together with the value to commit (if any) per the
+/// exhaustion action. `FailureAction::Record` is handled by the caller
+/// before reaching here.
+#[allow(clippy::too_many_arguments)]
+fn resolve_failed_attempt(
+    retry: &RetryPolicy,
+    telemetry: &Telemetry,
+    now: f64,
+    task: usize,
+    worker: usize,
+    attempt: usize,
+    x: Vec<f64>,
+    outcome: &EvalOutcome,
+    retries: &mut Vec<PendingRetry>,
+) -> Option<(Vec<f64>, Option<f64>)> {
+    let reason = outcome.describe();
+    telemetry.emit_at_with(now, || Event::EvalFailed {
+        task,
+        worker,
+        attempt,
+        reason: reason.clone(),
+    });
+    telemetry.incr("eval_failures", 1);
+    if *outcome == EvalOutcome::TimedOut {
+        telemetry.incr("eval_timeouts", 1);
+    }
+    if attempt < retry.max_attempts {
+        let delay = retry.delay(attempt);
+        let next_attempt = attempt + 1;
+        telemetry.emit_at_with(now, || Event::EvalRetried {
+            task,
+            attempt: next_attempt,
+            delay,
+        });
+        telemetry.incr("eval_retries", 1);
+        retries.push(PendingRetry {
+            due: now + delay,
+            task,
+            attempt: next_attempt,
+            x,
+        });
+        return None;
+    }
+    match retry.on_exhausted {
+        FailureAction::Record => unreachable!("Record resolves as a completion"),
+        FailureAction::Drop => Some((x, None)),
+        FailureAction::Penalty(p) => Some((x, Some(p))),
+    }
 }
 
 impl ThreadedExecutor {
@@ -109,13 +206,18 @@ impl ThreadedExecutor {
     /// [`crate::VirtualExecutor::run_async`], except times in the returned
     /// trace/schedule are *real elapsed seconds* and
     /// [`BusyPoint::finish_time`] is `NaN` (unknown until completion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::ExecutorFailure`] when the worker pool can no
+    /// longer finish the run (every thread dead or stuck).
     pub fn run_async(
         &self,
         bb: &(dyn BlackBox + Sync),
         init: &[Vec<f64>],
         max_evals: usize,
         policy: &mut dyn AsyncPolicy,
-    ) -> RunResult {
+    ) -> Result<RunResult, OptError> {
         self.run_async_with(bb, init, max_evals, policy, &Telemetry::disabled())
     }
 
@@ -126,6 +228,11 @@ impl ThreadedExecutor {
     /// carry the id of the thread that actually ran it, `WorkerIdle`
     /// reports each gap between a worker's consecutive jobs, and the
     /// `queue_wait_s` histogram records enqueue-to-start latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::ExecutorFailure`] when the worker pool can no
+    /// longer finish the run (every thread dead or stuck).
     pub fn run_async_with(
         &self,
         bb: &(dyn BlackBox + Sync),
@@ -133,7 +240,34 @@ impl ThreadedExecutor {
         max_evals: usize,
         policy: &mut dyn AsyncPolicy,
         telemetry: &Telemetry,
-    ) -> RunResult {
+    ) -> Result<RunResult, OptError> {
+        self.run_async_resilient(bb, init, max_evals, policy, &RetryPolicy::none(), telemetry)
+    }
+
+    /// [`ThreadedExecutor::run_async_with`] under a [`RetryPolicy`]:
+    /// failed attempts (panics, failed/non-finite outcomes, timeouts,
+    /// worker deaths) are requeued onto the pool after a real-seconds
+    /// backoff, up to `retry.max_attempts`, then dropped/recorded/
+    /// penalized per [`FailureAction`]. A timed-out attempt is
+    /// abandoned: its busy point is removed immediately (so the policy
+    /// stops penalizing around a dead point, §III-C), its span is
+    /// flagged failed, and its worker is considered stuck until it
+    /// reports back. `max_evals` counts tasks, not attempts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::ExecutorFailure`] when every worker is dead
+    /// or stuck, or the message channel is severed, instead of
+    /// deadlocking on a reply that can never come.
+    pub fn run_async_resilient(
+        &self,
+        bb: &(dyn BlackBox + Sync),
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn AsyncPolicy,
+        retry: &RetryPolicy,
+        telemetry: &Telemetry,
+    ) -> Result<RunResult, OptError> {
         let epoch = Instant::now();
         let mut data = Dataset::new();
         let mut trace = RunTrace::new();
@@ -142,46 +276,84 @@ impl ThreadedExecutor {
         let mut pending: std::collections::VecDeque<Vec<f64>> =
             init.iter().take(max_evals).cloned().collect();
         let mut issued = 0usize;
-        let mut completed = 0usize;
+        let mut resolved = 0usize;
         // Enqueue time per task, for the queue-wait histogram.
         let mut issued_at: HashMap<usize, f64> = HashMap::new();
         // Per-worker last-finish time, for idle-gap events.
         let mut last_done: Vec<f64> = vec![0.0; self.workers];
+        let mut inflight: HashMap<usize, InFlight> = HashMap::new();
+        let mut retries: Vec<PendingRetry> = Vec::new();
+        let mut dead = vec![false; self.workers];
+        let mut stuck = vec![false; self.workers];
+        let shutdown = AtomicBool::new(false);
 
         let (job_tx, job_rx) = channel::unbounded::<Job>();
         let (msg_tx, msg_rx) = channel::unbounded::<WorkerMsg>();
 
-        crossbeam::scope(|scope| {
+        let run: Result<(), OptError> = crossbeam::scope(|scope| {
             for w in 0..self.workers {
                 let job_rx = job_rx.clone();
                 let msg_tx = msg_tx.clone();
                 let scale = self.time_scale;
+                let shutdown = &shutdown;
                 scope.spawn(move |_| {
-                    while let Ok(job) = job_rx.recv() {
+                    'jobs: while let Ok(job) = job_rx.recv() {
                         let started_at = epoch.elapsed();
                         if msg_tx
                             .send(WorkerMsg::Started {
                                 worker: w,
                                 task: job.task,
+                                attempt: job.attempt,
                                 at: started_at,
                             })
                             .is_err()
                         {
                             break;
                         }
-                        let e = bb.evaluate(&job.x);
+                        let ctx = AttemptContext {
+                            task: job.task,
+                            attempt: job.attempt,
+                            worker: w,
+                            panics_caught: true,
+                        };
+                        let eval = match catch_unwind(AssertUnwindSafe(|| {
+                            bb.evaluate_attempt(&job.x, ctx)
+                        })) {
+                            Ok(e) => e,
+                            Err(payload) => {
+                                if payload.is::<WorkerDeath>() {
+                                    let _ = msg_tx.send(WorkerMsg::Crashed {
+                                        worker: w,
+                                        task: job.task,
+                                        attempt: job.attempt,
+                                        at: epoch.elapsed(),
+                                    });
+                                    break; // this worker is gone for good
+                                }
+                                Evaluation::failed("panicked during evaluation", 0.0)
+                            }
+                        };
                         if scale > 0.0 {
-                            std::thread::sleep(Duration::from_secs_f64(e.cost * scale));
+                            // Sleep in slices so a "hung" job (huge cost)
+                            // cannot outlive the run once shutdown is set.
+                            let mut remaining = eval.cost * scale;
+                            while remaining > 0.0 {
+                                if shutdown.load(Ordering::Relaxed) {
+                                    break 'jobs;
+                                }
+                                let chunk = remaining.min(SLEEP_SLICE_S);
+                                std::thread::sleep(Duration::from_secs_f64(chunk));
+                                remaining -= chunk;
+                            }
                         }
-                        let finished_at = epoch.elapsed();
                         if msg_tx
                             .send(WorkerMsg::Done(Done {
                                 worker: w,
                                 task: job.task,
-                                x: job.x,
-                                value: e.value,
+                                attempt: job.attempt,
+                                eval,
                                 started_at,
-                                finished_at,
+                                finished_at: epoch.elapsed(),
                             }))
                             .is_err()
                         {
@@ -191,121 +363,452 @@ impl ThreadedExecutor {
                 });
             }
             drop(msg_tx); // workers hold the remaining clones
+            drop(job_rx); // so sends fail once every worker has exited
 
-            // Prime the pipeline: one in-flight job per worker.
-            let issue = |data: &Dataset,
-                         busy: &mut Vec<BusyPoint>,
-                         pending: &mut std::collections::VecDeque<Vec<f64>>,
-                         issued: &mut usize,
-                         issued_at: &mut HashMap<usize, f64>,
-                         policy: &mut dyn AsyncPolicy| {
-                let now = epoch.elapsed().as_secs_f64();
-                telemetry.set_now(now);
-                let x = pending
-                    .pop_front()
-                    .unwrap_or_else(|| policy.select_next(data, busy));
-                let task = *issued;
-                // Slot hint only: the real worker id arrives with the
-                // `Started` message and overwrites this field.
-                let worker = task % self.workers;
-                telemetry.emit_at_with(now, || Event::QueryIssued { task, worker });
-                issued_at.insert(task, now);
-                busy.push(BusyPoint {
-                    x: x.clone(),
-                    task,
-                    worker,
-                    finish_time: f64::NAN,
-                });
-                job_tx
-                    .send(Job { task, x })
-                    .expect("workers alive while issuing");
-                *issued += 1;
-            };
-            for _ in 0..self.workers.min(max_evals) {
-                issue(
-                    &data,
-                    &mut busy,
-                    &mut pending,
-                    &mut issued,
-                    &mut issued_at,
-                    policy,
-                );
-            }
+            let out = (|| -> Result<(), OptError> {
+                // Enqueues one attempt of a task onto the worker pool.
+                let enqueue = |task: usize,
+                               attempt: usize,
+                               x: Vec<f64>,
+                               busy: &mut Vec<BusyPoint>,
+                               inflight: &mut HashMap<usize, InFlight>,
+                               issued_at: &mut HashMap<usize, f64>| {
+                    let now = epoch.elapsed().as_secs_f64();
+                    telemetry.set_now(now);
+                    // Slot hint only: the real worker id arrives with the
+                    // `Started` message and overwrites this field.
+                    let worker = task % self.workers;
+                    telemetry.emit_at_with(now, || Event::QueryIssued { task, worker });
+                    issued_at.insert(task, now);
+                    busy.push(BusyPoint {
+                        x: x.clone(),
+                        task,
+                        worker,
+                        finish_time: f64::NAN,
+                    });
+                    inflight.insert(
+                        task,
+                        InFlight {
+                            x: x.clone(),
+                            attempt,
+                            started: None,
+                        },
+                    );
+                    // A failed send means every worker exited; the
+                    // capacity check below turns that into an error.
+                    let _ = job_tx.send(Job { task, attempt, x });
+                };
+                // Proposes and enqueues a brand-new task.
+                let issue_new = |busy: &mut Vec<BusyPoint>,
+                                 inflight: &mut HashMap<usize, InFlight>,
+                                 issued_at: &mut HashMap<usize, f64>,
+                                 pending: &mut std::collections::VecDeque<Vec<f64>>,
+                                 issued: &mut usize,
+                                 data: &Dataset,
+                                 policy: &mut dyn AsyncPolicy| {
+                    telemetry.set_now(epoch.elapsed().as_secs_f64());
+                    let x = match pending.pop_front() {
+                        Some(x) => x,
+                        None => policy.select_next(data, busy),
+                    };
+                    let task = *issued;
+                    *issued += 1;
+                    enqueue(task, 1, x, busy, inflight, issued_at);
+                };
 
-            while completed < issued {
-                match msg_rx.recv().expect("a worker is alive") {
-                    WorkerMsg::Started { worker, task, at } => {
-                        let at_s = at.as_secs_f64();
-                        telemetry.set_now(at_s);
-                        if let Some(bp) = busy.iter_mut().find(|bp| bp.task == task) {
-                            bp.worker = worker;
+                // Prime the pipeline: one in-flight job per worker.
+                for _ in 0..self.workers.min(max_evals) {
+                    issue_new(
+                        &mut busy,
+                        &mut inflight,
+                        &mut issued_at,
+                        &mut pending,
+                        &mut issued,
+                        &data,
+                        policy,
+                    );
+                }
+
+                while resolved < issued {
+                    // Fire retries whose backoff has elapsed.
+                    let now = epoch.elapsed().as_secs_f64();
+                    let mut due: Vec<PendingRetry> = Vec::new();
+                    retries.retain_mut(|r| {
+                        if r.due <= now {
+                            due.push(PendingRetry {
+                                due: r.due,
+                                task: r.task,
+                                attempt: r.attempt,
+                                x: std::mem::take(&mut r.x),
+                            });
+                            false
+                        } else {
+                            true
                         }
-                        if let Some(&t0) = issued_at.get(&task) {
-                            telemetry.observe("queue_wait_s", (at_s - t0).max(0.0));
-                        }
-                        let gap = at_s - last_done[worker];
-                        if gap > 0.0 {
-                            telemetry.emit_at_with(at_s, || Event::WorkerIdle { worker, gap });
-                        }
-                        telemetry.emit_at_with(at_s, || Event::EvalStarted { task, worker });
-                    }
-                    WorkerMsg::Done(done) => {
-                        // Remove exactly the completed task: in-flight points
-                        // are keyed by task id, so duplicate `x` vectors on
-                        // other workers stay in the busy set.
-                        busy.retain(|bp| bp.task != done.task);
-                        issued_at.remove(&done.task);
-                        let finished = done.finished_at.as_secs_f64();
-                        last_done[done.worker] = finished;
-                        schedule.add(
-                            done.worker,
-                            done.task,
-                            done.started_at.as_secs_f64(),
-                            finished,
+                    });
+                    due.sort_unstable_by_key(|r| r.task);
+                    for r in due {
+                        enqueue(
+                            r.task,
+                            r.attempt,
+                            r.x,
+                            &mut busy,
+                            &mut inflight,
+                            &mut issued_at,
                         );
-                        // Real threads can complete out of order in real
-                        // time; the trace requires monotone timestamps, so
-                        // clamp (and stamp the event identically).
-                        let t = finished.max(trace.total_time());
-                        telemetry.set_now(t);
-                        telemetry.emit_at_with(t, || Event::EvalFinished {
-                            task: done.task,
-                            worker: done.worker,
-                            value: done.value,
+                    }
+
+                    let live = (0..self.workers).filter(|&w| !dead[w] && !stuck[w]).count();
+                    if live == 0 {
+                        return Err(OptError::ExecutorFailure {
+                            reason: format!(
+                                "no live workers remain ({} of {} dead, {} stuck, {} tasks unresolved)",
+                                dead.iter().filter(|&&d| d).count(),
+                                self.workers,
+                                stuck.iter().filter(|&&s| s).count(),
+                                issued - resolved
+                            ),
                         });
-                        data.push(done.x, done.value);
-                        trace.record(t, done.value);
-                        completed += 1;
-                        if issued < max_evals {
-                            issue(
-                                &data,
-                                &mut busy,
-                                &mut pending,
-                                &mut issued,
-                                &mut issued_at,
-                                policy,
+                    }
+
+                    // Sleep until the next deadline/backoff expiry, or
+                    // indefinitely when neither is pending.
+                    let mut wake: Option<f64> = retries
+                        .iter()
+                        .map(|r| r.due)
+                        .fold(None, |a, d| Some(a.map_or(d, |v: f64| v.min(d))));
+                    if let Some(tmo) = retry.timeout {
+                        for inf in inflight.values() {
+                            if let Some((_, start)) = inf.started {
+                                let d = start + tmo;
+                                wake = Some(wake.map_or(d, |v: f64| v.min(d)));
+                            }
+                        }
+                    }
+                    let severed = || OptError::ExecutorFailure {
+                        reason: "worker message channel severed".to_string(),
+                    };
+                    let msg = match wake {
+                        None => Some(msg_rx.recv().map_err(|_| severed())?),
+                        Some(at) => {
+                            let now = epoch.elapsed().as_secs_f64();
+                            let dur = Duration::from_secs_f64((at - now).max(0.0));
+                            match msg_rx.recv_timeout(dur) {
+                                Ok(m) => Some(m),
+                                Err(channel::RecvTimeoutError::Timeout) => None,
+                                Err(channel::RecvTimeoutError::Disconnected) => {
+                                    return Err(severed())
+                                }
+                            }
+                        }
+                    };
+
+                    match msg {
+                        None => {}
+                        Some(WorkerMsg::Started {
+                            worker,
+                            task,
+                            attempt,
+                            at,
+                        }) => {
+                            // Any sign of life un-sticks a worker.
+                            stuck[worker] = false;
+                            let at_s = at.as_secs_f64();
+                            let current = inflight
+                                .get(&task)
+                                .is_some_and(|inf| inf.attempt == attempt);
+                            if current {
+                                telemetry.set_now(at_s);
+                                if let Some(inf) = inflight.get_mut(&task) {
+                                    inf.started = Some((worker, at_s));
+                                }
+                                if let Some(bp) = busy.iter_mut().find(|bp| bp.task == task) {
+                                    bp.worker = worker;
+                                }
+                                if let Some(&t0) = issued_at.get(&task) {
+                                    telemetry.observe("queue_wait_s", (at_s - t0).max(0.0));
+                                }
+                                let gap = at_s - last_done[worker];
+                                if gap > 0.0 {
+                                    telemetry
+                                        .emit_at_with(at_s, || Event::WorkerIdle { worker, gap });
+                                }
+                                telemetry.emit_at_with(at_s, || Event::EvalStarted { task, worker });
+                            }
+                        }
+                        Some(WorkerMsg::Done(done)) => {
+                            stuck[done.worker] = false;
+                            let finished = done.finished_at.as_secs_f64();
+                            last_done[done.worker] = finished;
+                            let current = inflight
+                                .get(&done.task)
+                                .is_some_and(|inf| inf.attempt == done.attempt);
+                            if !current {
+                                // A superseded attempt (timed out and already
+                                // resolved): the worker is free again, nothing
+                                // else to record.
+                                continue;
+                            }
+                            let inf = inflight.remove(&done.task).expect("checked above");
+                            // Remove exactly the completed task: in-flight
+                            // points are keyed by task id, so duplicate `x`
+                            // vectors on other workers stay in the busy set.
+                            busy.retain(|bp| bp.task != done.task);
+                            issued_at.remove(&done.task);
+                            let outcome = done.eval.resolved_outcome();
+                            schedule.add_with(
+                                done.worker,
+                                done.task,
+                                done.started_at.as_secs_f64(),
+                                finished,
+                                !outcome.is_ok(),
                             );
+                            let terminal = done.attempt >= retry.max_attempts;
+                            let record_anyway = terminal
+                                && retry.on_exhausted == FailureAction::Record;
+                            if outcome.is_ok() || record_anyway {
+                                // Real threads can complete out of order in
+                                // real time; the trace requires monotone
+                                // timestamps, so clamp (and stamp the event
+                                // identically).
+                                let t = finished.max(trace.total_time());
+                                telemetry.set_now(t);
+                                telemetry.emit_at_with(t, || Event::EvalFinished {
+                                    task: done.task,
+                                    worker: done.worker,
+                                    value: done.eval.value,
+                                });
+                                data.push(inf.x, done.eval.value);
+                                trace.record(t, done.eval.value);
+                                resolved += 1;
+                                if issued < max_evals {
+                                    issue_new(
+                                        &mut busy,
+                                        &mut inflight,
+                                        &mut issued_at,
+                                        &mut pending,
+                                        &mut issued,
+                                        &data,
+                                        policy,
+                                    );
+                                }
+                            } else {
+                                telemetry.set_now(finished);
+                                if let Some((x, commit)) = resolve_failed_attempt(
+                                    retry,
+                                    telemetry,
+                                    finished,
+                                    done.task,
+                                    done.worker,
+                                    done.attempt,
+                                    inf.x,
+                                    &outcome,
+                                    &mut retries,
+                                ) {
+                                    if let Some(p) = commit {
+                                        let t = finished.max(trace.total_time());
+                                        telemetry.set_now(t);
+                                        telemetry.emit_at_with(t, || Event::EvalFinished {
+                                            task: done.task,
+                                            worker: done.worker,
+                                            value: p,
+                                        });
+                                        data.push(x, p);
+                                        trace.record(t, p);
+                                    }
+                                    resolved += 1;
+                                    if issued < max_evals {
+                                        issue_new(
+                                            &mut busy,
+                                            &mut inflight,
+                                            &mut issued_at,
+                                            &mut pending,
+                                            &mut issued,
+                                            &data,
+                                            policy,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        Some(WorkerMsg::Crashed {
+                            worker,
+                            task,
+                            attempt,
+                            at,
+                        }) => {
+                            dead[worker] = true;
+                            stuck[worker] = false;
+                            let at_s = at.as_secs_f64();
+                            telemetry.set_now(at_s);
+                            telemetry.emit_at_with(at_s, || Event::WorkerCrashed { worker, task });
+                            telemetry.incr("worker_crashes", 1);
+                            let current = inflight
+                                .get(&task)
+                                .is_some_and(|inf| inf.attempt == attempt);
+                            if current {
+                                let inf = inflight.remove(&task).expect("checked above");
+                                busy.retain(|bp| bp.task != task);
+                                issued_at.remove(&task);
+                                if let Some((w, start)) = inf.started {
+                                    schedule.add_with(w, task, start, at_s.max(start), true);
+                                }
+                                let outcome = EvalOutcome::Failed {
+                                    reason: "worker crashed".to_string(),
+                                };
+                                let terminal = attempt >= retry.max_attempts;
+                                let record_anyway =
+                                    terminal && retry.on_exhausted == FailureAction::Record;
+                                if record_anyway {
+                                    // Nothing came back; record the honest NaN.
+                                    let t = at_s.max(trace.total_time());
+                                    telemetry.set_now(t);
+                                    telemetry.emit_at_with(t, || Event::EvalFinished {
+                                        task,
+                                        worker,
+                                        value: f64::NAN,
+                                    });
+                                    data.push(inf.x, f64::NAN);
+                                    trace.record(t, f64::NAN);
+                                    resolved += 1;
+                                } else if let Some((x, commit)) = resolve_failed_attempt(
+                                    retry,
+                                    telemetry,
+                                    at_s,
+                                    task,
+                                    worker,
+                                    attempt,
+                                    inf.x,
+                                    &outcome,
+                                    &mut retries,
+                                ) {
+                                    if let Some(p) = commit {
+                                        let t = at_s.max(trace.total_time());
+                                        telemetry.set_now(t);
+                                        telemetry.emit_at_with(t, || Event::EvalFinished {
+                                            task,
+                                            worker,
+                                            value: p,
+                                        });
+                                        data.push(x, p);
+                                        trace.record(t, p);
+                                    }
+                                    resolved += 1;
+                                }
+                                if terminal && issued < max_evals {
+                                    issue_new(
+                                        &mut busy,
+                                        &mut inflight,
+                                        &mut issued_at,
+                                        &mut pending,
+                                        &mut issued,
+                                        &data,
+                                        policy,
+                                    );
+                                }
+                            }
+                        }
+                    }
+
+                    // Abandon attempts that blew their deadline.
+                    if let Some(tmo) = retry.timeout {
+                        let now = epoch.elapsed().as_secs_f64();
+                        let mut expired: Vec<usize> = inflight
+                            .iter()
+                            .filter(|(_, inf)| {
+                                inf.started.is_some_and(|(_, start)| now >= start + tmo)
+                            })
+                            .map(|(&t, _)| t)
+                            .collect();
+                        expired.sort_unstable();
+                        for task in expired {
+                            let inf = inflight.remove(&task).expect("collected above");
+                            let (worker, start) = inf.started.expect("filtered on started");
+                            busy.retain(|bp| bp.task != task);
+                            issued_at.remove(&task);
+                            // The abandoned worker is occupied (and useless)
+                            // until it reports back.
+                            stuck[worker] = true;
+                            schedule.add_with(worker, task, start, start + tmo, true);
+                            let deadline = start + tmo;
+                            telemetry.set_now(deadline);
+                            let terminal = inf.attempt >= retry.max_attempts;
+                            let record_anyway =
+                                terminal && retry.on_exhausted == FailureAction::Record;
+                            if record_anyway {
+                                let t = deadline.max(trace.total_time());
+                                telemetry.set_now(t);
+                                telemetry.emit_at_with(t, || Event::EvalFinished {
+                                    task,
+                                    worker,
+                                    value: f64::NAN,
+                                });
+                                data.push(inf.x, f64::NAN);
+                                trace.record(t, f64::NAN);
+                                resolved += 1;
+                            } else if let Some((x, commit)) = resolve_failed_attempt(
+                                retry,
+                                telemetry,
+                                deadline,
+                                task,
+                                worker,
+                                inf.attempt,
+                                inf.x,
+                                &EvalOutcome::TimedOut,
+                                &mut retries,
+                            ) {
+                                if let Some(p) = commit {
+                                    let t = deadline.max(trace.total_time());
+                                    telemetry.set_now(t);
+                                    telemetry.emit_at_with(t, || Event::EvalFinished {
+                                        task,
+                                        worker,
+                                        value: p,
+                                    });
+                                    data.push(x, p);
+                                    trace.record(t, p);
+                                }
+                                resolved += 1;
+                            } else {
+                                continue;
+                            }
+                            if issued < max_evals {
+                                issue_new(
+                                    &mut busy,
+                                    &mut inflight,
+                                    &mut issued_at,
+                                    &mut pending,
+                                    &mut issued,
+                                    &data,
+                                    policy,
+                                );
+                            }
                         }
                     }
                 }
-            }
+                Ok(())
+            })();
+            shutdown.store(true, Ordering::Relaxed);
             drop(job_tx); // signal workers to exit
+            out
         })
-        .expect("no worker thread panicked");
+        .expect("executor scope panicked");
+        run?;
 
         finish_run_metrics(telemetry, &schedule);
-        RunResult {
+        Ok(RunResult {
             data,
             trace,
             schedule,
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CostedFunction, SimTimeModel};
+    use crate::fault::FaultPlan;
+    use crate::{CostedFunction, FaultyBlackBox, SimTimeModel};
     use easybo_opt::Bounds;
 
     struct Walker(f64);
@@ -325,7 +828,9 @@ mod tests {
     #[test]
     fn runs_exact_count_and_finds_values() {
         let exec = ThreadedExecutor::new(4, 0.0);
-        let r = exec.run_async(&bb(), &[vec![0.7]], 13, &mut Walker(0.0));
+        let r = exec
+            .run_async(&bb(), &[vec![0.7]], 13, &mut Walker(0.0))
+            .expect("run succeeds");
         assert_eq!(r.data.len(), 13);
         assert_eq!(r.trace.len(), 13);
         assert!((r.best_value() - 1.0).abs() < 1e-12);
@@ -334,7 +839,9 @@ mod tests {
     #[test]
     fn honors_max_evals_below_worker_count() {
         let exec = ThreadedExecutor::new(8, 0.0);
-        let r = exec.run_async(&bb(), &[], 3, &mut Walker(0.0));
+        let r = exec
+            .run_async(&bb(), &[], 3, &mut Walker(0.0))
+            .expect("run succeeds");
         assert_eq!(r.data.len(), 3);
     }
 
@@ -344,7 +851,9 @@ mod tests {
         // the run takes a measurable but tiny amount of real time.
         let exec = ThreadedExecutor::new(2, 5e-5);
         let start = std::time::Instant::now();
-        let r = exec.run_async(&bb(), &[], 6, &mut Walker(0.0));
+        let r = exec
+            .run_async(&bb(), &[], 6, &mut Walker(0.0))
+            .expect("run succeeds");
         let elapsed = start.elapsed().as_secs_f64();
         assert_eq!(r.data.len(), 6);
         assert!(elapsed > 5e-3, "sleeps should be observable: {elapsed}");
@@ -362,7 +871,9 @@ mod tests {
         }
         let exec = ThreadedExecutor::new(3, 1e-5);
         let mut spy = Spy(Vec::new());
-        let _ = exec.run_async(&bb(), &[vec![0.1], vec![0.2], vec![0.3]], 9, &mut spy);
+        let _ = exec
+            .run_async(&bb(), &[vec![0.1], vec![0.2], vec![0.3]], 9, &mut spy)
+            .expect("run succeeds");
         assert!(!spy.0.is_empty());
         // At selection time the other workers are (still) busy.
         assert!(spy.0.iter().all(|&n| n <= 3));
@@ -373,5 +884,79 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         let _ = ThreadedExecutor::new(0, 0.0);
+    }
+
+    #[test]
+    fn panicking_blackbox_costs_one_attempt_not_the_run() {
+        struct PanicFirst(Bounds);
+        impl BlackBox for PanicFirst {
+            fn bounds(&self) -> &Bounds {
+                &self.0
+            }
+            fn evaluate(&self, x: &[f64]) -> Evaluation {
+                Evaluation::ok(x[0], 1.0)
+            }
+            fn evaluate_attempt(&self, x: &[f64], ctx: AttemptContext) -> Evaluation {
+                if ctx.attempt == 1 {
+                    panic!("flaky simulator");
+                }
+                self.evaluate(x)
+            }
+        }
+        let bb = PanicFirst(Bounds::unit_cube(1).unwrap());
+        let retry = RetryPolicy::default().max_attempts(2).backoff(0.0, 1.0);
+        let r = ThreadedExecutor::new(2, 0.0)
+            .run_async_resilient(
+                &bb,
+                &[],
+                4,
+                &mut Walker(0.0),
+                &retry,
+                &Telemetry::disabled(),
+            )
+            .expect("panics are contained");
+        assert_eq!(r.data.len(), 4);
+        assert!(r.data.ys().iter().all(|y| y.is_finite()));
+    }
+
+    #[test]
+    fn sole_worker_death_returns_structured_error() {
+        // Satellite regression: a killed worker must surface as an
+        // `OptError`, not a deadlock or an executor panic.
+        let plan = FaultPlan {
+            crash_after: vec![Some(1)],
+            ..FaultPlan::default()
+        };
+        let faulty = FaultyBlackBox::new(bb(), plan);
+        let err = ThreadedExecutor::new(1, 0.0)
+            .run_async(&faulty, &[vec![0.5]], 6, &mut Walker(0.0))
+            .expect_err("run cannot finish without workers");
+        assert!(
+            matches!(err, OptError::ExecutorFailure { .. }),
+            "unexpected error: {err:?}"
+        );
+        assert!(err.to_string().contains("no live workers"));
+    }
+
+    #[test]
+    fn worker_death_fails_over_to_survivors() {
+        let plan = FaultPlan {
+            crash_after: vec![Some(2), None, None],
+            ..FaultPlan::default()
+        };
+        let faulty = FaultyBlackBox::new(bb(), plan);
+        let retry = RetryPolicy::default().max_attempts(3).backoff(0.0, 1.0);
+        let r = ThreadedExecutor::new(3, 0.0)
+            .run_async_resilient(
+                &faulty,
+                &[vec![0.1], vec![0.2], vec![0.3]],
+                10,
+                &mut Walker(0.0),
+                &retry,
+                &Telemetry::disabled(),
+            )
+            .expect("survivors finish the run");
+        assert_eq!(r.data.len(), 10);
+        assert!(r.data.ys().iter().all(|y| y.is_finite()));
     }
 }

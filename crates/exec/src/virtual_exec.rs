@@ -5,6 +5,8 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use easybo_telemetry::{Event, Telemetry};
 
+use crate::blackbox::{AttemptContext, EvalOutcome};
+use crate::retry::{FailureAction, RetryPolicy};
 use crate::{BlackBox, BusyPoint, Dataset, RunTrace, Schedule};
 
 /// Batch-selection callback for the synchronous driver: given everything
@@ -80,29 +82,45 @@ pub struct VirtualExecutor {
     workers: usize,
 }
 
-/// Heap entry for the async driver, ordered earliest-first with worker-id
-/// tie-breaking for determinism.
+/// Heap entry for the async driver, ordered earliest-first with
+/// worker/task/sequence tie-breaking for determinism. Under a no-retry
+/// policy the sequence number never decides (each `(time, worker,
+/// task)` triple is unique), so the event order is identical to the
+/// pre-fault-tolerance driver.
 #[derive(Debug)]
-struct FinishEvent {
+struct SimEvent {
     time: f64,
     worker: usize,
     task: usize,
-    x: Vec<f64>,
-    value: f64,
+    seq: usize,
+    kind: SimEventKind,
 }
 
-impl PartialEq for FinishEvent {
+#[derive(Debug)]
+enum SimEventKind {
+    /// An attempt's simulated completion (successful or not).
+    Finish {
+        x: Vec<f64>,
+        value: f64,
+        attempt: usize,
+        outcome: EvalOutcome,
+    },
+    /// A backoff expiry: begin the next attempt of a failed task.
+    Retry { x: Vec<f64>, attempt: usize },
+}
+
+impl PartialEq for SimEvent {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == Ordering::Equal
     }
 }
-impl Eq for FinishEvent {}
-impl PartialOrd for FinishEvent {
+impl Eq for SimEvent {}
+impl PartialOrd for SimEvent {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for FinishEvent {
+impl Ord for SimEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
         other
@@ -110,6 +128,179 @@ impl Ord for FinishEvent {
             .total_cmp(&self.time)
             .then(other.worker.cmp(&self.worker))
             .then(other.task.cmp(&self.task))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Mutable state of one asynchronous resilient run; methods implement
+/// the discrete-event transitions so the driver loop stays linear.
+struct AsyncDriver<'a> {
+    bb: &'a dyn BlackBox,
+    retry: &'a RetryPolicy,
+    telemetry: &'a Telemetry,
+    data: Dataset,
+    trace: RunTrace,
+    schedule: Schedule,
+    pending: VecDeque<Vec<f64>>,
+    busy: Vec<BusyPoint>,
+    heap: BinaryHeap<SimEvent>,
+    /// Tasks issued so far (attempts of the same task share one id).
+    issued_tasks: usize,
+    max_evals: usize,
+    seq: usize,
+}
+
+impl AsyncDriver<'_> {
+    /// Issues a brand-new task to `worker`: next pending init point or a
+    /// fresh policy proposal.
+    fn start_task(&mut self, worker: usize, now: f64, policy: &mut dyn AsyncPolicy) {
+        self.telemetry.set_now(now);
+        let x = match self.pending.pop_front() {
+            Some(x) => x,
+            None => policy.select_next(&self.data, &self.busy),
+        };
+        let task = self.issued_tasks;
+        self.issued_tasks += 1;
+        self.begin_attempt(worker, now, task, x, 1);
+    }
+
+    /// Runs one attempt of `task` on `worker`: evaluates eagerly,
+    /// applies the per-attempt timeout, records the span and busy
+    /// point, and schedules the finish event.
+    fn begin_attempt(&mut self, worker: usize, now: f64, task: usize, x: Vec<f64>, attempt: usize) {
+        self.telemetry.set_now(now);
+        self.telemetry
+            .emit_at_with(now, || Event::QueryIssued { task, worker });
+        self.telemetry
+            .emit_at_with(now, || Event::EvalStarted { task, worker });
+        let e = self.bb.evaluate_attempt(
+            &x,
+            AttemptContext {
+                task,
+                attempt,
+                worker,
+                panics_caught: false,
+            },
+        );
+        let mut outcome = e.resolved_outcome();
+        let mut cost = e.cost;
+        if let Some(deadline) = self.retry.timeout {
+            if cost > deadline {
+                // The job system abandons the attempt at the deadline;
+                // the worker is occupied only until then.
+                cost = deadline;
+                outcome = EvalOutcome::TimedOut;
+            }
+        }
+        let finish = now + cost;
+        self.schedule
+            .add_with(worker, task, now, finish, !outcome.is_ok());
+        self.busy.push(BusyPoint {
+            x: x.clone(),
+            task,
+            worker,
+            finish_time: finish,
+        });
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(SimEvent {
+            time: finish,
+            worker,
+            task,
+            seq,
+            kind: SimEventKind::Finish {
+                x,
+                value: e.value,
+                attempt,
+                outcome,
+            },
+        });
+    }
+
+    /// Resolves one finished attempt: commit, retry with backoff, or
+    /// apply the exhaustion action.
+    #[allow(clippy::too_many_arguments)]
+    fn on_finish(
+        &mut self,
+        time: f64,
+        worker: usize,
+        task: usize,
+        x: Vec<f64>,
+        value: f64,
+        attempt: usize,
+        outcome: EvalOutcome,
+        policy: &mut dyn AsyncPolicy,
+    ) {
+        self.busy.retain(|bp| bp.task != task);
+        self.telemetry.set_now(time);
+        let terminal = attempt >= self.retry.max_attempts;
+        // `Record` keeps the legacy contract: an exhausted task is
+        // committed with whatever value it produced, even non-finite.
+        if outcome.is_ok() || (terminal && self.retry.on_exhausted == FailureAction::Record) {
+            self.commit(time, worker, task, value, x);
+            self.refill(worker, time, policy);
+            return;
+        }
+        let reason = outcome.describe();
+        self.telemetry.emit_at_with(time, || Event::EvalFailed {
+            task,
+            worker,
+            attempt,
+            reason: reason.clone(),
+        });
+        self.telemetry.incr("eval_failures", 1);
+        if outcome == EvalOutcome::TimedOut {
+            self.telemetry.incr("eval_timeouts", 1);
+        }
+        if !terminal {
+            let delay = self.retry.delay(attempt);
+            let next_attempt = attempt + 1;
+            self.telemetry.emit_at_with(time, || Event::EvalRetried {
+                task,
+                attempt: next_attempt,
+                delay,
+            });
+            self.telemetry.incr("eval_retries", 1);
+            let seq = self.seq;
+            self.seq += 1;
+            // The worker backs off with its task: the retry runs on the
+            // same worker once the delay elapses.
+            self.heap.push(SimEvent {
+                time: time + delay,
+                worker,
+                task,
+                seq,
+                kind: SimEventKind::Retry {
+                    x,
+                    attempt: next_attempt,
+                },
+            });
+            return;
+        }
+        if let FailureAction::Penalty(p) = self.retry.on_exhausted {
+            // The synthetic observation is a real completion as far as
+            // the trace and its JSONL reconstruction are concerned.
+            self.commit(time, worker, task, p, x);
+        }
+        self.refill(worker, time, policy);
+    }
+
+    /// Commits an observation: `EvalFinished`, dataset, trace.
+    fn commit(&mut self, time: f64, worker: usize, task: usize, value: f64, x: Vec<f64>) {
+        self.telemetry.emit_at_with(time, || Event::EvalFinished {
+            task,
+            worker,
+            value,
+        });
+        self.data.push(x, value);
+        self.trace.record(time, value);
+    }
+
+    /// Hands `worker` a new task if the budget allows.
+    fn refill(&mut self, worker: usize, now: f64, policy: &mut dyn AsyncPolicy) {
+        if self.issued_tasks < self.max_evals {
+            self.start_task(worker, now, policy);
+        }
     }
 }
 
@@ -252,90 +443,74 @@ impl VirtualExecutor {
         policy: &mut dyn AsyncPolicy,
         telemetry: &Telemetry,
     ) -> RunResult {
-        let b = self.workers;
-        let mut data = Dataset::new();
-        let mut trace = RunTrace::new();
-        let mut schedule = Schedule::new(b);
-        let mut pending: VecDeque<Vec<f64>> = init.iter().take(max_evals).cloned().collect();
-        let mut busy: Vec<BusyPoint> = Vec::new();
-        let mut heap: BinaryHeap<FinishEvent> = BinaryHeap::new();
-        let mut issued = 0usize;
+        // `RetryPolicy::none()` reproduces the legacy driver exactly:
+        // one attempt per task, no timeout, every value recorded.
+        self.run_async_resilient(bb, init, max_evals, policy, &RetryPolicy::none(), telemetry)
+    }
 
-        let start = |worker: usize,
-                     now: f64,
-                     data: &Dataset,
-                     busy: &mut Vec<BusyPoint>,
-                     pending: &mut VecDeque<Vec<f64>>,
-                     heap: &mut BinaryHeap<FinishEvent>,
-                     schedule: &mut Schedule,
-                     issued: &mut usize,
-                     policy: &mut dyn AsyncPolicy| {
-            telemetry.set_now(now);
-            let x = pending
-                .pop_front()
-                .unwrap_or_else(|| policy.select_next(data, busy));
-            let task = *issued;
-            telemetry.emit_at_with(now, || Event::QueryIssued { task, worker });
-            telemetry.emit_at_with(now, || Event::EvalStarted { task, worker });
-            let e = bb.evaluate(&x);
-            let finish = now + e.cost;
-            schedule.add(worker, task, now, finish);
-            busy.push(BusyPoint {
-                x: x.clone(),
-                task,
-                worker,
-                finish_time: finish,
-            });
-            heap.push(FinishEvent {
-                time: finish,
-                worker,
-                task,
-                x,
-                value: e.value,
-            });
-            *issued += 1;
+    /// [`VirtualExecutor::run_async_with`] under a [`RetryPolicy`]:
+    /// attempts whose outcome is not [`EvalOutcome::Ok`] (simulator
+    /// crash, non-finite FOM, timeout) are requeued on the same worker
+    /// after an exponential backoff *on the virtual clock*, up to
+    /// `retry.max_attempts`; exhausted tasks are then dropped, recorded
+    /// raw, or recorded at a penalty per [`FailureAction`].
+    ///
+    /// Failed attempts emit `EvalFailed` (and `EvalRetried` when
+    /// requeued); their spans carry the `failed` flag and are excluded
+    /// from [`Schedule::utilization`]. Their busy points are removed
+    /// during backoff so stale pseudo-points never poison the policy's
+    /// penalization (§III-C). `max_evals` counts *tasks*, not attempts.
+    ///
+    /// Everything stays deterministic: faults, backoff, and scheduling
+    /// are pure functions of the inputs, so a seeded chaos run is
+    /// bit-reproducible.
+    pub fn run_async_resilient(
+        &self,
+        bb: &dyn BlackBox,
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn AsyncPolicy,
+        retry: &RetryPolicy,
+        telemetry: &Telemetry,
+    ) -> RunResult {
+        let b = self.workers;
+        let mut d = AsyncDriver {
+            bb,
+            retry,
+            telemetry,
+            data: Dataset::new(),
+            trace: RunTrace::new(),
+            schedule: Schedule::new(b),
+            pending: init.iter().take(max_evals).cloned().collect(),
+            busy: Vec::new(),
+            heap: BinaryHeap::new(),
+            issued_tasks: 0,
+            max_evals,
+            seq: 0,
         };
 
         for w in 0..b {
-            if issued >= max_evals {
+            if d.issued_tasks >= max_evals {
                 break;
             }
-            start(
-                w,
-                0.0,
-                &data,
-                &mut busy,
-                &mut pending,
-                &mut heap,
-                &mut schedule,
-                &mut issued,
-                policy,
-            );
+            d.start_task(w, 0.0, policy);
         }
-        while let Some(ev) = heap.pop() {
-            busy.retain(|bp| bp.task != ev.task);
-            telemetry.set_now(ev.time);
-            telemetry.emit_at_with(ev.time, || Event::EvalFinished {
-                task: ev.task,
-                worker: ev.worker,
-                value: ev.value,
-            });
-            data.push(ev.x, ev.value);
-            trace.record(ev.time, ev.value);
-            if issued < max_evals {
-                start(
-                    ev.worker,
-                    ev.time,
-                    &data,
-                    &mut busy,
-                    &mut pending,
-                    &mut heap,
-                    &mut schedule,
-                    &mut issued,
-                    policy,
-                );
+        while let Some(ev) = d.heap.pop() {
+            match ev.kind {
+                SimEventKind::Finish {
+                    x,
+                    value,
+                    attempt,
+                    outcome,
+                } => d.on_finish(
+                    ev.time, ev.worker, ev.task, x, value, attempt, outcome, policy,
+                ),
+                SimEventKind::Retry { x, attempt } => {
+                    d.begin_attempt(ev.worker, ev.time, ev.task, x, attempt)
+                }
             }
         }
+        let (data, trace, schedule) = (d.data, d.trace, d.schedule);
         if telemetry.enabled() {
             let makespan = schedule.makespan();
             for w in 0..b {
@@ -564,5 +739,154 @@ mod tests {
         let b = exec.run_async(&bb, &init, 12, &mut CenterPolicy);
         assert_eq!(a.data, b.data);
         assert_eq!(a.trace, b.trace);
+    }
+
+    /// Fails the first `fail_first` attempts of every task, succeeding
+    /// afterwards; attempts are visible through `evaluate_attempt`.
+    struct FlakyBb {
+        inner: CostedFunction<fn(&[f64]) -> f64>,
+        fail_first: usize,
+    }
+    impl BlackBox for FlakyBb {
+        fn bounds(&self) -> &Bounds {
+            self.inner.bounds()
+        }
+        fn evaluate(&self, x: &[f64]) -> crate::Evaluation {
+            self.inner.evaluate(x)
+        }
+        fn evaluate_attempt(&self, x: &[f64], ctx: AttemptContext) -> crate::Evaluation {
+            if ctx.attempt <= self.fail_first {
+                crate::Evaluation::failed("flaky", self.inner.evaluate(x).cost)
+            } else {
+                self.inner.evaluate(x)
+            }
+        }
+    }
+
+    fn flaky_bb(fail_first: usize) -> FlakyBb {
+        fn obj(x: &[f64]) -> f64 {
+            x[0]
+        }
+        let bounds = Bounds::unit_cube(1).unwrap();
+        let time = SimTimeModel::new(&bounds, 10.0, 0.3, 5);
+        FlakyBb {
+            inner: CostedFunction::new("flaky", bounds, time, obj as fn(&[f64]) -> f64),
+            fail_first,
+        }
+    }
+
+    #[test]
+    fn retries_recover_every_task() {
+        let bb = flaky_bb(1); // first attempt always fails
+        let retry = RetryPolicy::default().max_attempts(3).backoff(5.0, 2.0);
+        let r = VirtualExecutor::new(2).run_async_resilient(
+            &bb,
+            &[vec![0.1]],
+            6,
+            &mut CenterPolicy,
+            &retry,
+            &Telemetry::disabled(),
+        );
+        // Every task fails once then succeeds on attempt 2.
+        assert_eq!(r.data.len(), 6);
+        assert!(r.data.ys().iter().all(|y| y.is_finite()));
+        // Each task leaves one failed and one successful span.
+        let failed = r.schedule.spans().iter().filter(|s| s.failed).count();
+        assert_eq!(failed, 6);
+        assert_eq!(r.schedule.spans().len(), 12);
+        // Backoff advances the virtual clock: the retry of a task
+        // starts exactly `delay` after its failed span ends.
+        let spans = r.schedule.spans();
+        let first_fail = spans.iter().find(|s| s.failed).unwrap();
+        let retry_span = spans
+            .iter()
+            .find(|s| s.task == first_fail.task && !s.failed)
+            .unwrap();
+        assert!((retry_span.start - (first_fail.end + 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_tasks_are_dropped_or_penalized() {
+        let bb = flaky_bb(usize::MAX); // never succeeds
+        let drop_policy = RetryPolicy::default().max_attempts(2).backoff(1.0, 2.0);
+        let r = VirtualExecutor::new(2).run_async_resilient(
+            &bb,
+            &[vec![0.1]],
+            4,
+            &mut CenterPolicy,
+            &drop_policy,
+            &Telemetry::disabled(),
+        );
+        assert!(r.data.is_empty(), "dropped tasks leave no observations");
+        assert_eq!(r.trace.len(), 0);
+
+        let pen = drop_policy
+            .clone()
+            .on_exhausted(FailureAction::Penalty(-99.0));
+        let r = VirtualExecutor::new(2).run_async_resilient(
+            &bb,
+            &[vec![0.1]],
+            4,
+            &mut CenterPolicy,
+            &pen,
+            &Telemetry::disabled(),
+        );
+        assert_eq!(r.data.len(), 4);
+        assert!(r.data.ys().iter().all(|&y| y == -99.0));
+    }
+
+    #[test]
+    fn timeout_bounds_hung_attempts() {
+        // A black box whose every evaluation "hangs" for 1e9 seconds.
+        struct Hang(Bounds);
+        impl BlackBox for Hang {
+            fn bounds(&self) -> &Bounds {
+                &self.0
+            }
+            fn evaluate(&self, _x: &[f64]) -> crate::Evaluation {
+                crate::Evaluation::ok(1.0, 1e9)
+            }
+        }
+        let bb = Hang(Bounds::unit_cube(1).unwrap());
+        let retry = RetryPolicy::default()
+            .max_attempts(2)
+            .backoff(10.0, 2.0)
+            .timeout(100.0);
+        let r = VirtualExecutor::new(1).run_async_resilient(
+            &bb,
+            &[vec![0.5]],
+            2,
+            &mut CenterPolicy,
+            &retry,
+            &Telemetry::disabled(),
+        );
+        // 2 tasks × 2 attempts × 100s timeout + backoffs: nowhere near 1e9.
+        assert!(r.total_time() < 1000.0, "makespan {}", r.total_time());
+        assert!(r.data.is_empty());
+        assert!(r.schedule.spans().iter().all(|s| s.failed));
+        assert!(r
+            .schedule
+            .spans()
+            .iter()
+            .all(|s| (s.end - s.start - 100.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn none_policy_is_bit_identical_to_legacy_entry_point() {
+        let bb = toy_bb(0.3);
+        let exec = VirtualExecutor::new(3);
+        let init = vec![vec![0.4], vec![0.6]];
+        let legacy = exec.run_async(&bb, &init, 12, &mut CenterPolicy);
+        let resilient = exec.run_async_resilient(
+            &bb,
+            &init,
+            12,
+            &mut CenterPolicy,
+            &RetryPolicy::none(),
+            &Telemetry::disabled(),
+        );
+        assert_eq!(legacy.data, resilient.data);
+        assert_eq!(legacy.trace, resilient.trace);
+        assert_eq!(legacy.schedule, resilient.schedule);
     }
 }

@@ -29,6 +29,12 @@ pub enum OptError {
         /// Why it was rejected.
         reason: String,
     },
+    /// An executor could not finish the run (e.g. every worker thread
+    /// died or the evaluation channels were severed).
+    ExecutorFailure {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for OptError {
@@ -46,6 +52,9 @@ impl fmt::Display for OptError {
             }
             OptError::InvalidConfig { parameter, reason } => {
                 write!(f, "invalid configuration for `{parameter}`: {reason}")
+            }
+            OptError::ExecutorFailure { reason } => {
+                write!(f, "executor failure: {reason}")
             }
         }
     }

@@ -3,8 +3,9 @@
 /// One structured occurrence inside an optimization run.
 ///
 /// Variants cover the places where async-BO behaviour is won or lost:
-/// scheduling (`QueryIssued`/`EvalStarted`/`EvalFinished`/`WorkerIdle`)
-/// and model overhead (`GpRefit`/`AcqOptimized`/`PseudoPointAdded`).
+/// scheduling (`QueryIssued`/`EvalStarted`/`EvalFinished`/`WorkerIdle`),
+/// model overhead (`GpRefit`/`AcqOptimized`/`PseudoPointAdded`), and
+/// fault handling (`EvalFailed`/`EvalRetried`/`WorkerCrashed`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// The policy proposed a query; `worker` is the worker it was
@@ -65,6 +66,36 @@ pub enum Event {
         /// Idle gap in run-clock seconds.
         gap: f64,
     },
+    /// One evaluation attempt failed: simulator crash, non-finite FOM,
+    /// timeout, or worker crash. `reason` is a short label that must
+    /// stay free of `"` and `\` so the restricted JSONL encoding
+    /// round-trips.
+    EvalFailed {
+        /// Task id of the query.
+        task: usize,
+        /// Worker that ran the failed attempt.
+        worker: usize,
+        /// 1-based attempt number that failed.
+        attempt: usize,
+        /// Short failure label (e.g. `timeout`, `non-finite`).
+        reason: String,
+    },
+    /// A failed attempt was requeued with backoff.
+    EvalRetried {
+        /// Task id of the query.
+        task: usize,
+        /// 1-based attempt number that will run next.
+        attempt: usize,
+        /// Backoff delay before the retry, in run-clock seconds.
+        delay: f64,
+    },
+    /// A worker died mid-evaluation and left the pool for good.
+    WorkerCrashed {
+        /// The dead worker.
+        worker: usize,
+        /// Task it was evaluating when it died.
+        task: usize,
+    },
 }
 
 impl Event {
@@ -78,6 +109,9 @@ impl Event {
             Event::AcqOptimized { .. } => "AcqOptimized",
             Event::PseudoPointAdded { .. } => "PseudoPointAdded",
             Event::WorkerIdle { .. } => "WorkerIdle",
+            Event::EvalFailed { .. } => "EvalFailed",
+            Event::EvalRetried { .. } => "EvalRetried",
+            Event::WorkerCrashed { .. } => "WorkerCrashed",
         }
     }
 }

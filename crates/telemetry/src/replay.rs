@@ -76,6 +76,21 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             worker: usize_field(line, "worker")?,
             gap: num_field(line, "gap")?,
         },
+        "EvalFailed" => Event::EvalFailed {
+            task: usize_field(line, "task")?,
+            worker: usize_field(line, "worker")?,
+            attempt: usize_field(line, "attempt")?,
+            reason: str_field(line, "reason")?.to_string(),
+        },
+        "EvalRetried" => Event::EvalRetried {
+            task: usize_field(line, "task")?,
+            attempt: usize_field(line, "attempt")?,
+            delay: num_field(line, "delay")?,
+        },
+        "WorkerCrashed" => Event::WorkerCrashed {
+            worker: usize_field(line, "worker")?,
+            task: usize_field(line, "task")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(TimedEvent { time, event })
@@ -199,6 +214,27 @@ mod tests {
                 worker: 1,
                 gap: 12.75,
             },
+        });
+        roundtrip(TimedEvent {
+            time: 6.25,
+            event: Event::EvalFailed {
+                task: 9,
+                worker: 2,
+                attempt: 1,
+                reason: "timeout".to_string(),
+            },
+        });
+        roundtrip(TimedEvent {
+            time: 6.5,
+            event: Event::EvalRetried {
+                task: 9,
+                attempt: 2,
+                delay: 2.0,
+            },
+        });
+        roundtrip(TimedEvent {
+            time: 7.0,
+            event: Event::WorkerCrashed { worker: 0, task: 4 },
         });
     }
 

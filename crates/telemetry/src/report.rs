@@ -32,6 +32,12 @@ pub struct SummaryData {
     pub pseudo_points: usize,
     /// Run-clock seconds of reported worker idleness.
     pub worker_idle_seconds: f64,
+    /// `EvalFailed` count (failed attempts, not failed tasks).
+    pub evals_failed: usize,
+    /// `EvalRetried` count (requeued attempts).
+    pub evals_retried: usize,
+    /// `WorkerCrashed` count (workers permanently lost).
+    pub worker_crashes: usize,
 }
 
 impl SummaryData {
@@ -54,6 +60,9 @@ impl SummaryData {
             }
             Event::PseudoPointAdded { count } => self.pseudo_points += count,
             Event::WorkerIdle { gap, .. } => self.worker_idle_seconds += gap,
+            Event::EvalFailed { .. } => self.evals_failed += 1,
+            Event::EvalRetried { .. } => self.evals_retried += 1,
+            Event::WorkerCrashed { .. } => self.worker_crashes += 1,
         }
     }
 }
@@ -157,6 +166,13 @@ impl fmt::Display for RunReport {
                         .map(|v| format!(", {:.2}% of makespan", 100.0 * v))
                         .unwrap_or_default()
                 )?;
+                if s.evals_failed + s.evals_retried + s.worker_crashes > 0 {
+                    writeln!(
+                        f,
+                        "  failed attempts {}  retries {}  worker crashes {}",
+                        s.evals_failed, s.evals_retried, s.worker_crashes
+                    )?;
+                }
                 write!(f, "  pseudo-points {}", s.pseudo_points)
             }
             None => write!(f, "  (telemetry disabled: no model-overhead breakdown)"),
@@ -220,6 +236,37 @@ mod tests {
         assert_eq!(s.acq_seconds, 0.25);
         assert_eq!(s.pseudo_points, 2);
         assert_eq!(s.worker_idle_seconds, 3.5);
+    }
+
+    #[test]
+    fn summary_counts_failure_events() {
+        let mut s = SummaryData::default();
+        s.absorb(&at(
+            1.0,
+            Event::EvalFailed {
+                task: 0,
+                worker: 0,
+                attempt: 1,
+                reason: "injected".to_string(),
+            },
+        ));
+        s.absorb(&at(
+            1.5,
+            Event::EvalRetried {
+                task: 0,
+                attempt: 2,
+                delay: 1.0,
+            },
+        ));
+        s.absorb(&at(2.0, Event::WorkerCrashed { worker: 1, task: 3 }));
+        assert_eq!(s.evals_failed, 1);
+        assert_eq!(s.evals_retried, 1);
+        assert_eq!(s.worker_crashes, 1);
+
+        let report = RunReport::new(10.0, 2, 0.5, 4, Some(s));
+        let text = report.to_string();
+        assert!(text.contains("failed attempts 1"), "report text: {text}");
+        assert!(text.contains("worker crashes 1"), "report text: {text}");
     }
 
     #[test]

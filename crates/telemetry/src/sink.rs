@@ -104,6 +104,30 @@ pub fn to_json_line(ev: &TimedEvent) -> String {
         Event::WorkerIdle { worker, gap } => {
             let _ = write!(s, ",\"worker\":{worker},\"gap\":{gap}");
         }
+        Event::EvalFailed {
+            task,
+            worker,
+            attempt,
+            reason,
+        } => {
+            let _ = write!(
+                s,
+                ",\"task\":{task},\"worker\":{worker},\"attempt\":{attempt},\"reason\":\"{reason}\""
+            );
+        }
+        Event::EvalRetried {
+            task,
+            attempt,
+            delay,
+        } => {
+            let _ = write!(
+                s,
+                ",\"task\":{task},\"attempt\":{attempt},\"delay\":{delay}"
+            );
+        }
+        Event::WorkerCrashed { worker, task } => {
+            let _ = write!(s, ",\"worker\":{worker},\"task\":{task}");
+        }
     }
     s.push('}');
     s

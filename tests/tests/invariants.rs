@@ -96,6 +96,57 @@ proptest! {
         prop_assert!(r.total_time() >= total / workers as f64 - 1e-9);
     }
 
+    /// Attempt conservation under fault injection: every issued query is
+    /// accounted for — it either finished or failed, with nothing left in
+    /// flight once the virtual executor drains its event heap — and the
+    /// policy never sees more busy points than there are workers.
+    #[test]
+    fn attempts_are_conserved_and_busy_points_bounded(
+        seed in 0u64..200, workers in 1usize..6, fail in 0.0f64..0.5
+    ) {
+        use easybo_exec::{FailureAction, FaultPlan, FaultyBlackBox, RetryPolicy};
+        use easybo_telemetry::Telemetry;
+
+        let bounds = Bounds::unit_cube(1).expect("cube");
+        let time = SimTimeModel::new(&bounds, 20.0, 0.3, seed);
+        let inner = CostedFunction::new("toy", bounds, time, |x: &[f64]| x[0]);
+        let plan = FaultPlan { seed, fail_rate: fail, ..FaultPlan::default() };
+        let bb = FaultyBlackBox::new(inner, plan);
+
+        /// Policy that records the largest busy set it was ever shown.
+        struct Spy { next: f64, max_busy: usize }
+        impl easybo_exec::AsyncPolicy for Spy {
+            fn select_next(&mut self, _d: &Dataset, b: &[easybo_exec::BusyPoint]) -> Vec<f64> {
+                self.max_busy = self.max_busy.max(b.len());
+                self.next = (self.next + 0.29) % 1.0;
+                vec![self.next]
+            }
+        }
+
+        let retry = RetryPolicy::default()
+            .max_attempts(3)
+            .backoff(1.0, 2.0)
+            .on_exhausted(FailureAction::Drop);
+        let (telemetry, recorder) = Telemetry::recording();
+        let mut spy = Spy { next: 0.0, max_busy: 0 };
+        let r = VirtualExecutor::new(workers).run_async_resilient(
+            &bb, &[vec![0.5]], 14, &mut spy, &retry, &telemetry,
+        );
+
+        let events = recorder.events();
+        let count = |kind: &str| events.iter().filter(|e| e.event.kind() == kind).count();
+        // Conservation: with `Drop`, each attempt resolves as exactly one
+        // of finished/failed and in-flight-at-termination is zero.
+        prop_assert_eq!(count("QueryIssued"), count("EvalFinished") + count("EvalFailed"));
+        prop_assert_eq!(count("EvalFinished"), r.data.len());
+        // The policy is only consulted when a worker idles, so at most
+        // workers - 1 other points can be pending at selection time.
+        prop_assert!(
+            spy.max_busy <= workers,
+            "policy saw {} busy points with {} workers", spy.max_busy, workers
+        );
+    }
+
     /// Latin hypercube designs are always one-point-per-stratum, for any
     /// size and dimension.
     #[test]

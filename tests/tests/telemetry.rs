@@ -141,13 +141,9 @@ fn jsonl_reconstruction_equals_trace_csv_for_threaded_executor() {
     telemetry.add_sink(JsonlSink::new(buf.clone()));
 
     let bb = toy_blackbox();
-    let result = ThreadedExecutor::new(3, 1e-5).run_async_with(
-        &bb,
-        &init_points(),
-        11,
-        &mut Walker(0.0),
-        &telemetry,
-    );
+    let result = ThreadedExecutor::new(3, 1e-5)
+        .run_async_with(&bb, &init_points(), 11, &mut Walker(0.0), &telemetry)
+        .expect("threaded run succeeds");
     telemetry.flush();
 
     // `EvalFinished` is stamped with the same (monotone-clamped) time
@@ -222,13 +218,9 @@ fn virtual_event_ordering_matches_schedule_spans() {
 fn threaded_event_ordering_matches_schedule_spans() {
     let (telemetry, recorder) = Telemetry::recording();
     let bb = toy_blackbox();
-    let result = ThreadedExecutor::new(3, 1e-5).run_async_with(
-        &bb,
-        &init_points(),
-        10,
-        &mut Walker(0.0),
-        &telemetry,
-    );
+    let result = ThreadedExecutor::new(3, 1e-5)
+        .run_async_with(&bb, &init_points(), 10, &mut Walker(0.0), &telemetry)
+        .expect("threaded run succeeds");
 
     let spans = spans_by_task(&result.schedule);
     let observed = events_by_task(&recorder.events());

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 struct Inner<T> {
     queue: Mutex<VecDeque<T>>,
@@ -50,8 +51,29 @@ impl fmt::Display for RecvError {
     }
 }
 
+/// Error returned by [`Receiver::recv_timeout`], mirroring crossbeam's.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message available.
+    Timeout,
+    /// The channel is empty and every sender has dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
 impl<T: Send> std::error::Error for SendError<T> {}
 impl std::error::Error for RecvError {}
+impl std::error::Error for RecvTimeoutError {}
 
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -95,6 +117,31 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             queue = self.inner.ready.wait(queue).unwrap();
+        }
+    }
+
+    /// Blocks until a message arrives, every sender drops, or `timeout`
+    /// elapses, whichever comes first.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                return Ok(msg);
+            }
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, _) = self
+                .inner
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap();
+            queue = q;
         }
     }
 
@@ -174,6 +221,22 @@ mod tests {
         let (tx, rx) = unbounded::<u32>();
         drop(rx);
         assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -169,14 +169,22 @@ pub mod prelude {
 }
 
 /// Runs `cases` random cases of a property; used by [`proptest!`].
+///
+/// Like upstream proptest, the `PROPTEST_CASES` environment variable
+/// overrides the per-block configuration — CI pins it so chaos suites
+/// run a fixed, reproducible number of cases.
 pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
-    for i in 0..config.cases {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    for i in 0..cases {
         let mut rng = TestRng::for_case(name, i);
         if let Err(e) = case(&mut rng) {
-            panic!("property {name} failed at case {i}/{}: {e}", config.cases);
+            panic!("property {name} failed at case {i}/{cases}: {e}");
         }
     }
 }
