@@ -20,6 +20,9 @@ cargo test -q
 echo "==> fault-injection chaos suite (PROPTEST_CASES=64)"
 PROPTEST_CASES=64 cargo test -q -p easybo-integration --test fault_injection
 
+echo "==> kill-and-resume chaos suite (PROPTEST_CASES=64)"
+PROPTEST_CASES=64 cargo test -q -p easybo-integration --test resume
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

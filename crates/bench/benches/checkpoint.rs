@@ -1,0 +1,167 @@
+//! Checkpoint overhead benchmark.
+//!
+//! Measures what the persistence layer costs along two axes:
+//!
+//! 1. the ask/tell session driver with no hook attached vs the legacy
+//!    resilient loop — both must be bit-identical and within noise of
+//!    each other, since `checkpoint_every = None` routes through the
+//!    legacy entry point in production;
+//! 2. a full `EasyBo` run with snapshots written every completed
+//!    evaluation vs the same run with checkpointing disabled — the
+//!    worst-case (k = 1) write amplification.
+//!
+//! Prints a table and writes `BENCH_checkpoint.json` at the repository
+//! root with the measured times, relative overheads, snapshot size, and
+//! a bit-identity verdict per comparison. Repetition count comes from
+//! `EASYBO_REPS` (default 5); each cell reports the best (minimum)
+//! wall-clock across repetitions.
+
+use std::time::Instant;
+
+use easybo::policies::EasyBoAsyncPolicy;
+use easybo::EasyBo;
+use easybo_exec::{CostedFunction, RetryPolicy, SimTimeModel, VirtualExecutor};
+use easybo_opt::{sampling, Bounds};
+use easybo_telemetry::Telemetry;
+use rand::SeedableRng;
+
+fn objective(x: &[f64]) -> f64 {
+    (-((x[0] - 0.35).powi(2) + (x[1] - 0.65).powi(2))).exp()
+}
+
+/// Best-of-`reps` wall-clock of `f`, in seconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+struct Row {
+    name: String,
+    baseline_s: f64,
+    candidate_s: f64,
+    identical: bool,
+}
+
+impl Row {
+    fn overhead(&self) -> f64 {
+        self.candidate_s / self.baseline_s - 1.0
+    }
+}
+
+/// Session driver with no hook vs the legacy resilient loop, full
+/// EasyBO policy (GP refits included).
+fn bench_session_driver(rows: &mut Vec<Row>, reps: usize) {
+    let bounds = Bounds::unit_cube(2).expect("unit cube");
+    let time = SimTimeModel::new(&bounds, 20.0, 0.3, 5);
+    let bb = CostedFunction::new("toy", bounds.clone(), time, objective);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let init = sampling::latin_hypercube(&bounds, 6, &mut rng);
+    let retry = RetryPolicy::default();
+    let telemetry = Telemetry::disabled();
+
+    let (legacy_s, legacy) = time_best(reps, || {
+        let mut policy = EasyBoAsyncPolicy::new(bounds.clone(), true, 7);
+        VirtualExecutor::new(4).run_async_resilient(&bb, &init, 24, &mut policy, &retry, &telemetry)
+    });
+    let (session_s, session) = time_best(reps, || {
+        let mut policy = EasyBoAsyncPolicy::new(bounds.clone(), true, 7);
+        VirtualExecutor::new(4)
+            .run_session_resilient(&bb, &init, 24, &mut policy, &retry, &telemetry, None)
+            .expect("no hook, no abort")
+    });
+    rows.push(Row {
+        name: "session_driver_nohook_vs_legacy_loop".into(),
+        baseline_s: legacy_s,
+        candidate_s: session_s,
+        identical: legacy.trace.to_csv() == session.trace.to_csv() && legacy.data == session.data,
+    });
+}
+
+/// Full optimizer run, snapshot every completed evaluation (k = 1, the
+/// worst case) vs checkpointing disabled. Returns the snapshot size.
+fn bench_checkpoint_writes(rows: &mut Vec<Row>, reps: usize) -> u64 {
+    let path = std::env::temp_dir().join(format!("easybo-bench-ckpt-{}.snap", std::process::id()));
+    let optimizer = || {
+        let mut opt = EasyBo::new(Bounds::unit_cube(2).expect("unit cube"));
+        opt.batch_size(4).initial_points(6).max_evals(24).seed(11);
+        opt
+    };
+
+    let (off_s, off) = time_best(reps, || optimizer().run(objective).expect("runs"));
+    let (on_s, on) = time_best(reps, || {
+        let mut opt = optimizer();
+        opt.checkpoint_to(&path).checkpoint_every(1);
+        opt.run(objective).expect("runs")
+    });
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    std::fs::remove_file(&path).ok();
+    rows.push(Row {
+        name: "checkpoint_every_1_vs_disabled".into(),
+        baseline_s: off_s,
+        candidate_s: on_s,
+        identical: off.trace.to_csv() == on.trace.to_csv() && off.data == on.data,
+    });
+    snapshot_bytes
+}
+
+fn main() {
+    let reps: usize = std::env::var("EASYBO_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    println!("Checkpoint overhead benchmark: {reps} repetitions");
+
+    let mut rows = Vec::new();
+    bench_session_driver(&mut rows, reps);
+    let snapshot_bytes = bench_checkpoint_writes(&mut rows, reps);
+
+    println!(
+        "{:<40} {:>12} {:>12} {:>10} {:>10}",
+        "benchmark", "baseline_s", "candidate_s", "overhead", "identical"
+    );
+    for r in &rows {
+        println!(
+            "{:<40} {:>12.6} {:>12.6} {:>9.1}% {:>10}",
+            r.name,
+            r.baseline_s,
+            r.candidate_s,
+            r.overhead() * 100.0,
+            r.identical
+        );
+    }
+    println!("snapshot size at max_evals=24, d=2: {snapshot_bytes} bytes");
+
+    // serde is stubbed in this workspace, so the JSON is formatted by hand.
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"baseline_s\": {:.6},\n      \"candidate_s\": {:.6},\n      \"overhead\": {:.4},\n      \"identical\": {}\n    }}",
+                r.name,
+                r.baseline_s,
+                r.candidate_s,
+                r.overhead(),
+                r.identical
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"checkpoint\",\n  \"reps\": {reps},\n  \"snapshot_bytes\": {snapshot_bytes},\n  \"note\": \"baseline = checkpointing disabled (legacy path), candidate = session driver / snapshot-per-eval; best-of-reps wall clock. Identical rows compare the full best-so-far trace and dataset bit for bit.\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checkpoint.json");
+    std::fs::write(path, json).expect("write BENCH_checkpoint.json");
+    println!("wrote {path}");
+
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "checkpoint-instrumented runs must be bit-identical to the plain path"
+    );
+}

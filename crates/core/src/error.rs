@@ -1,11 +1,13 @@
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use easybo_gp::GpError;
 use easybo_opt::OptError;
+use easybo_persist::PersistError;
 
 /// Error type for the EasyBO optimizer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum EasyBoError {
     /// Invalid design space or optimizer configuration.
     Opt(OptError),
@@ -20,6 +22,34 @@ pub enum EasyBoError {
     },
     /// The objective returned only non-finite values during initialization.
     DegenerateObjective,
+    /// Snapshot save/load failure during checkpointing or resume
+    /// (corrupt file, wrong format version, configuration mismatch, I/O).
+    /// Wrapped in [`Arc`] because [`std::io::Error`] is not `Clone`.
+    Persist(Arc<PersistError>),
+}
+
+impl PartialEq for EasyBoError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (EasyBoError::Opt(a), EasyBoError::Opt(b)) => a == b,
+            (EasyBoError::Gp(a), EasyBoError::Gp(b)) => a == b,
+            (
+                EasyBoError::BadBudget {
+                    max_evals: a,
+                    initial_points: b,
+                },
+                EasyBoError::BadBudget {
+                    max_evals: c,
+                    initial_points: d,
+                },
+            ) => a == c && b == d,
+            (EasyBoError::DegenerateObjective, EasyBoError::DegenerateObjective) => true,
+            // PersistError holds an io::Error (no PartialEq); compare by
+            // rendered message, which carries the full classification.
+            (EasyBoError::Persist(a), EasyBoError::Persist(b)) => a.to_string() == b.to_string(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for EasyBoError {
@@ -40,6 +70,7 @@ impl fmt::Display for EasyBoError {
                     "objective returned no finite values during initialization"
                 )
             }
+            EasyBoError::Persist(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -49,6 +80,7 @@ impl Error for EasyBoError {
         match self {
             EasyBoError::Opt(e) => Some(e),
             EasyBoError::Gp(e) => Some(e),
+            EasyBoError::Persist(e) => Some(e.as_ref()),
             _ => None,
         }
     }
@@ -63,6 +95,12 @@ impl From<OptError> for EasyBoError {
 impl From<GpError> for EasyBoError {
     fn from(e: GpError) -> Self {
         EasyBoError::Gp(e)
+    }
+}
+
+impl From<PersistError> for EasyBoError {
+    fn from(e: PersistError) -> Self {
+        EasyBoError::Persist(Arc::new(e))
     }
 }
 
@@ -82,6 +120,22 @@ mod tests {
         };
         assert!(b.to_string().contains("10"));
         assert!(b.source().is_none());
+    }
+
+    #[test]
+    fn persist_conversion_preserves_classification() {
+        use std::error::Error as _;
+        let e = EasyBoError::from(PersistError::ConfigMismatch {
+            expected: 1,
+            actual: 2,
+        });
+        assert!(e.to_string().contains("checkpoint error"));
+        assert!(e.to_string().contains("fingerprint"));
+        assert!(e.source().is_some());
+        assert!(matches!(&e, EasyBoError::Persist(p)
+            if matches!(p.as_ref(), PersistError::ConfigMismatch { .. })));
+        // Clone + PartialEq still hold with the new variant.
+        assert_eq!(e.clone(), e);
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod algorithms;
 mod constrained;
 mod error;
 mod optimizer;
+mod persistence;
 pub mod policies;
 mod surrogate;
 mod weight;
@@ -56,12 +57,13 @@ pub use algorithms::{Algorithm, AlgorithmMode};
 pub use constrained::ConstrainedProblem;
 pub use easybo_exec::{FailureAction, FaultPlan, FaultyBlackBox, RetryPolicy};
 pub use easybo_opt::Parallelism;
+pub use easybo_persist::{load_snapshot, PersistError, RunSnapshot, FORMAT_VERSION};
 pub use easybo_telemetry::{
     Event, JsonlSink, Recorder, RunReport, Telemetry, TimedEvent, TraceCsvSink,
 };
 pub use error::EasyBoError;
 pub use optimizer::{EasyBo, OptimizationResult};
-pub use surrogate::{SurrogateConfig, SurrogateManager};
+pub use surrogate::{SurrogateConfig, SurrogateManager, SurrogateState};
 pub use weight::{sample_kappa_weight, WeightSchedule, DEFAULT_LAMBDA};
 
 /// Convenience result alias used across the crate.

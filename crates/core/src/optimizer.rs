@@ -1,14 +1,18 @@
 //! The high-level EasyBO optimizer API for end users.
 
+use std::path::{Path, PathBuf};
+
 use easybo_exec::{
-    BlackBox, CostedFunction, Dataset, RetryPolicy, RunTrace, Schedule, SimTimeModel,
-    ThreadedExecutor, VirtualExecutor,
+    AsyncPolicy, BlackBox, CheckpointTrigger, CostedFunction, Dataset, HookAction, RetryPolicy,
+    RunTrace, Schedule, SessionState, SimTimeModel, ThreadedExecutor, VirtualExecutor,
 };
 use easybo_opt::{sampling, Bounds, Parallelism};
-use easybo_telemetry::{RunReport, Telemetry};
+use easybo_persist::{load_snapshot, save_snapshot, PersistError, RunSnapshot};
+use easybo_telemetry::{Event, RunReport, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::persistence::{kernel_tag, Fingerprint};
 use crate::policies::{AcqOptConfig, EasyBoAsyncPolicy};
 use crate::surrogate::SurrogateConfig;
 use crate::weight::DEFAULT_LAMBDA;
@@ -70,6 +74,10 @@ pub struct EasyBo {
     acq_opt: AcqOptConfig,
     telemetry: Telemetry,
     retry: RetryPolicy,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every_evals: Option<usize>,
+    checkpoint_every_seconds: Option<f64>,
+    abort_after: Option<usize>,
 }
 
 impl EasyBo {
@@ -90,6 +98,10 @@ impl EasyBo {
             acq_opt: AcqOptConfig::for_dim(dim),
             telemetry: Telemetry::disabled(),
             retry: RetryPolicy::none(),
+            checkpoint_path: None,
+            checkpoint_every_evals: None,
+            checkpoint_every_seconds: None,
+            abort_after: None,
         }
     }
 
@@ -176,6 +188,48 @@ impl EasyBo {
         self
     }
 
+    /// Enables durable checkpointing: versioned, checksummed snapshots of
+    /// the complete run state (dataset, best-so-far trace, committed
+    /// schedule, in-flight attempts, retry backoffs, run clock, RNG
+    /// stream, GP hyperparameters and scalers) are atomically written to
+    /// `path` as the run progresses. A run killed at any point resumes
+    /// from its last snapshot via [`EasyBo::resume_from`] and — on the
+    /// virtual executor — finishes with a trace byte-identical to the
+    /// uninterrupted run.
+    ///
+    /// Default cadence: after every completed evaluation; tune with
+    /// [`EasyBo::checkpoint_every`] and/or [`EasyBo::checkpoint_interval`].
+    pub fn checkpoint_to(&mut self, path: impl Into<PathBuf>) -> &mut Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Checkpoints after every `k` completed evaluations (requires
+    /// [`EasyBo::checkpoint_to`]). Default 1.
+    pub fn checkpoint_every(&mut self, k: usize) -> &mut Self {
+        self.checkpoint_every_evals = Some(k.max(1));
+        self
+    }
+
+    /// Additionally checkpoints whenever `seconds` of run clock pass
+    /// since the last snapshot (virtual seconds on [`EasyBo::run`] /
+    /// [`EasyBo::run_blackbox`], real seconds on
+    /// [`EasyBo::run_threaded`]). Combines with
+    /// [`EasyBo::checkpoint_every`]: whichever fires first wins.
+    pub fn checkpoint_interval(&mut self, seconds: f64) -> &mut Self {
+        self.checkpoint_every_seconds = Some(seconds.max(0.0));
+        self
+    }
+
+    /// Fault injection for chaos tests and the kill-and-resume recipe:
+    /// aborts the run with an executor failure once `n` evaluations have
+    /// completed, as if the coordinator process had been killed. The
+    /// checkpoint file written before the abort is a valid resume point.
+    pub fn abort_after_evals(&mut self, n: usize) -> &mut Self {
+        self.abort_after = Some(n);
+        self
+    }
+
     pub(crate) fn validate(&self) -> crate::Result<()> {
         if self.max_evals == 0 || self.max_evals <= self.initial_points {
             return Err(EasyBoError::BadBudget {
@@ -223,6 +277,162 @@ impl EasyBo {
     pub(crate) fn initial_design(&self) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9e37_79b9));
         sampling::latin_hypercube(&self.bounds, self.initial_points, &mut rng)
+    }
+
+    /// FNV-1a fingerprint of every setting that shapes the optimization
+    /// trajectory. Stamped into each snapshot and checked on resume, so
+    /// a checkpoint cannot silently continue under different bounds,
+    /// seeds, budgets, or policy settings. Thread-count knobs
+    /// ([`EasyBo::parallelism`]) are deliberately excluded: results are
+    /// bit-identical at any setting, so resuming on different hardware
+    /// is allowed.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        use easybo_exec::FailureAction;
+        let mut fp = Fingerprint::new();
+        fp.push_usize(self.bounds.dim());
+        for &(lo, hi) in self.bounds.pairs() {
+            fp.push_f64(lo);
+            fp.push_f64(hi);
+        }
+        fp.push_u64(self.seed);
+        fp.push_usize(self.batch_size);
+        fp.push_usize(self.max_evals);
+        fp.push_usize(self.initial_points);
+        fp.push_f64(self.lambda);
+        fp.push_bool(self.penalize);
+        fp.push_u64(u64::from(kernel_tag(self.surrogate.kernel)));
+        fp.push_f64(self.surrogate.retrain_growth);
+        fp.push_usize(self.surrogate.first_restarts);
+        fp.push_usize(self.surrogate.train_iters);
+        fp.push_usize(self.surrogate.train_max_points);
+        fp.push_usize(self.surrogate.max_gp_points);
+        fp.push_u64(self.surrogate.seed);
+        fp.push_usize(self.acq_opt.probes);
+        fp.push_usize(self.acq_opt.starts);
+        fp.push_usize(self.acq_opt.refine_evals);
+        fp.push_usize(self.retry.max_attempts);
+        fp.push_f64(self.retry.backoff_base);
+        fp.push_f64(self.retry.backoff_factor);
+        match self.retry.timeout {
+            Some(t) => {
+                fp.push_bool(true);
+                fp.push_f64(t);
+            }
+            None => fp.push_bool(false),
+        }
+        match self.retry.on_exhausted {
+            FailureAction::Record => fp.push_u64(0),
+            FailureAction::Drop => fp.push_u64(1),
+            FailureAction::Penalty(p) => {
+                fp.push_u64(2);
+                fp.push_f64(p);
+            }
+        }
+        fp.finish()
+    }
+
+    /// Whether the run needs the hooked session driver at all. When
+    /// neither checkpointing nor fault injection is configured, the
+    /// legacy entry point is used — bit-identical to earlier releases.
+    fn hooks_active(&self) -> bool {
+        self.checkpoint_path.is_some() || self.abort_after.is_some()
+    }
+
+    /// Builds the per-run session hook: fires the checkpoint trigger
+    /// (writing a snapshot + emitting `CheckpointWritten`), then applies
+    /// the `abort_after_evals` fault injection. Pure observer of the
+    /// session — it never perturbs the optimization trajectory.
+    #[allow(clippy::type_complexity)]
+    fn session_hook(
+        &self,
+        baseline: Option<(usize, f64)>,
+    ) -> Box<dyn FnMut(&SessionState, &dyn AsyncPolicy, f64) -> HookAction> {
+        let mut trigger = if self.checkpoint_path.is_some() {
+            CheckpointTrigger::new(
+                Some(self.checkpoint_every_evals.unwrap_or(1)),
+                self.checkpoint_every_seconds,
+            )
+        } else {
+            CheckpointTrigger::new(None, None)
+        };
+        if let Some((completed, clock)) = baseline {
+            trigger.rearm(completed, clock);
+        }
+        let path = self.checkpoint_path.clone();
+        let fingerprint = self.fingerprint();
+        let telemetry = self.telemetry.clone();
+        let abort_after = self.abort_after;
+        Box::new(
+            move |session: &SessionState, policy: &dyn AsyncPolicy, now: f64| {
+                let completed = session.completed();
+                if let Some(path) = &path {
+                    if trigger.fire(completed, now) {
+                        let snap = RunSnapshot {
+                            config_fingerprint: fingerprint,
+                            session: session.to_parts(),
+                            policy: policy.snapshot_state(),
+                        };
+                        match save_snapshot(path, &snap) {
+                            Ok(bytes) => {
+                                telemetry.incr("checkpoints_written", 1);
+                                telemetry
+                                    .emit_at(now, Event::CheckpointWritten { completed, bytes });
+                            }
+                            Err(e) => {
+                                // Checkpointing was explicitly requested;
+                                // failing loudly beats silently losing
+                                // durability for the rest of the run.
+                                return HookAction::Stop {
+                                    reason: format!("checkpoint write failed: {e}"),
+                                };
+                            }
+                        }
+                    }
+                }
+                if let Some(n) = abort_after {
+                    if completed >= n {
+                        return HookAction::Stop {
+                            reason: format!(
+                                "aborted after {completed} completed evaluations \
+                                 (abort_after_evals({n}))"
+                            ),
+                        };
+                    }
+                }
+                HookAction::Continue
+            },
+        )
+    }
+
+    /// Loads a snapshot, checks its configuration fingerprint, restores
+    /// the policy's RNG/surrogate state, and rebuilds the session.
+    fn load_session(&self, path: &Path) -> crate::Result<(SessionState, EasyBoAsyncPolicy)> {
+        let snap = load_snapshot(path)?;
+        let actual = self.fingerprint();
+        if snap.config_fingerprint != actual {
+            return Err(PersistError::ConfigMismatch {
+                expected: snap.config_fingerprint,
+                actual,
+            }
+            .into());
+        }
+        let mut policy = self.build_policy();
+        if let Some(blob) = &snap.policy {
+            policy
+                .restore_state(blob)
+                .map_err(|e| EasyBoError::from(PersistError::decode(e)))?;
+        }
+        let session = SessionState::from_parts(snap.session);
+        self.telemetry.set_now(session.clock());
+        self.telemetry.incr("resumes", 1);
+        self.telemetry.emit_at(
+            session.clock(),
+            Event::RunResumed {
+                completed: session.completed(),
+                inflight: session.inflight().len(),
+            },
+        );
+        Ok((session, policy))
     }
 
     fn finish(&self, result: easybo_exec::RunResult) -> crate::Result<OptimizationResult> {
@@ -278,15 +488,80 @@ impl EasyBo {
     pub fn run_blackbox(&self, bb: &dyn BlackBox) -> crate::Result<OptimizationResult> {
         self.validate()?;
         let mut policy = self.build_policy();
-        let result = VirtualExecutor::new(self.batch_size).run_async_resilient(
+        let exec = VirtualExecutor::new(self.batch_size);
+        let result = if self.hooks_active() {
+            let mut hook = self.session_hook(None);
+            exec.run_session_resilient(
+                bb,
+                &self.initial_design(),
+                self.max_evals,
+                &mut policy,
+                &self.retry,
+                &self.telemetry,
+                Some(&mut *hook),
+            )?
+        } else {
+            exec.run_async_resilient(
+                bb,
+                &self.initial_design(),
+                self.max_evals,
+                &mut policy,
+                &self.retry,
+                &self.telemetry,
+            )
+        };
+        self.finish(result)
+    }
+
+    /// Resumes a virtual-executor run from a snapshot written by a
+    /// checkpointed [`EasyBo::run_blackbox`] (or [`EasyBo::run`]) under
+    /// the *same configuration*. Interrupted in-flight attempts are
+    /// re-issued at their recorded worker and start time through the
+    /// configured [`RetryPolicy`], pending backoffs are rescheduled, and
+    /// the run continues to its original budget — producing a final
+    /// best-so-far trace byte-identical to the uninterrupted run.
+    /// Checkpointing continues on the resumed run if still configured.
+    ///
+    /// # Errors
+    ///
+    /// * [`EasyBoError::Persist`] when the file is missing, corrupt,
+    ///   from another format version, or was captured under a different
+    ///   configuration fingerprint.
+    /// * The same conditions as [`EasyBo::run`] otherwise.
+    pub fn resume_from(
+        &self,
+        path: impl AsRef<Path>,
+        bb: &dyn BlackBox,
+    ) -> crate::Result<OptimizationResult> {
+        self.validate()?;
+        let (session, mut policy) = self.load_session(path.as_ref())?;
+        let baseline = (session.completed(), session.clock());
+        let mut hook = self.session_hook(Some(baseline));
+        let result = VirtualExecutor::new(self.batch_size).resume_session_resilient(
             bb,
-            &self.initial_design(),
-            self.max_evals,
+            session,
             &mut policy,
             &self.retry,
             &self.telemetry,
-        );
+            Some(&mut *hook),
+        )?;
         self.finish(result)
+    }
+
+    /// Convenience resume matching [`EasyBo::run`]: rebuilds the same
+    /// uniform-cost black box around `f` and delegates to
+    /// [`EasyBo::resume_from`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EasyBo::resume_from`].
+    pub fn resume<F>(&self, path: impl AsRef<Path>, f: F) -> crate::Result<OptimizationResult>
+    where
+        F: Fn(&[f64]) -> f64 + Send + Sync,
+    {
+        let time = SimTimeModel::new(&self.bounds, 1.0, 0.0, self.seed);
+        let bb = CostedFunction::new("objective", self.bounds.clone(), time, f);
+        self.resume_from(path, &bb)
     }
 
     /// Maximizes a [`BlackBox`] on real OS threads — the production path
@@ -303,13 +578,58 @@ impl EasyBo {
     ) -> crate::Result<OptimizationResult> {
         self.validate()?;
         let mut policy = self.build_policy();
-        let result = ThreadedExecutor::new(self.batch_size, time_scale).run_async_resilient(
+        let exec = ThreadedExecutor::new(self.batch_size, time_scale);
+        let result = if self.hooks_active() {
+            let mut hook = self.session_hook(None);
+            exec.run_session_resilient(
+                bb,
+                &self.initial_design(),
+                self.max_evals,
+                &mut policy,
+                &self.retry,
+                &self.telemetry,
+                Some(&mut *hook),
+            )?
+        } else {
+            exec.run_async_resilient(
+                bb,
+                &self.initial_design(),
+                self.max_evals,
+                &mut policy,
+                &self.retry,
+                &self.telemetry,
+            )?
+        };
+        self.finish(result)
+    }
+
+    /// Resumes a checkpointed [`EasyBo::run_threaded`] run on a fresh
+    /// thread pool. Interrupted in-flight attempts are re-enqueued and
+    /// pending retry backoffs rebased onto the new run's epoch. Unlike
+    /// the virtual path, real-time scheduling is not bit-reproducible —
+    /// the guarantee here is *no lost work*: every committed observation
+    /// survives and the budget completes exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EasyBo::resume_from`].
+    pub fn resume_threaded(
+        &self,
+        path: impl AsRef<Path>,
+        bb: &(dyn BlackBox + Sync),
+        time_scale: f64,
+    ) -> crate::Result<OptimizationResult> {
+        self.validate()?;
+        let (session, mut policy) = self.load_session(path.as_ref())?;
+        let baseline = (session.completed(), session.clock());
+        let mut hook = self.session_hook(Some(baseline));
+        let result = ThreadedExecutor::new(self.batch_size, time_scale).resume_session_resilient(
             bb,
-            &self.initial_design(),
-            self.max_evals,
+            session,
             &mut policy,
             &self.retry,
             &self.telemetry,
+            Some(&mut *hook),
         )?;
         self.finish(result)
     }
@@ -379,6 +699,79 @@ mod tests {
         let b = run(9);
         assert_eq!(a.data, b.data);
         assert_eq!(a.best_x, b.best_x);
+    }
+
+    fn snap_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "easybo-opt-test-{}-{name}.snap",
+            std::process::id()
+        ))
+    }
+
+    fn objective(x: &[f64]) -> f64 {
+        -(x[0] - 0.3f64).powi(2) - (x[1] - 0.6f64).powi(2)
+    }
+
+    #[test]
+    fn checkpointed_run_is_bit_identical_to_plain_run() {
+        let bounds = Bounds::unit_cube(2).unwrap();
+        let mut plain = EasyBo::new(bounds.clone());
+        plain.batch_size(3).initial_points(6).max_evals(14).seed(4);
+        let a = plain.run(objective).unwrap();
+
+        let path = snap_path("bitident");
+        let mut ckpt = EasyBo::new(bounds);
+        ckpt.batch_size(3).initial_points(6).max_evals(14).seed(4);
+        ckpt.checkpoint_to(&path).checkpoint_every(2);
+        let b = ckpt.run(objective).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.trace.to_csv(), b.trace.to_csv());
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_uninterrupted_trace() {
+        let bounds = Bounds::unit_cube(2).unwrap();
+        let mut opt = EasyBo::new(bounds);
+        opt.batch_size(3).initial_points(6).max_evals(16).seed(5);
+        let baseline = opt.run(objective).unwrap();
+
+        let path = snap_path("killresume");
+        let mut killed = opt.clone();
+        killed.checkpoint_to(&path).checkpoint_every(1);
+        killed.abort_after_evals(9);
+        let err = killed.run(objective).unwrap_err();
+        assert!(matches!(err, EasyBoError::Opt(_)), "{err}");
+
+        let mut resumer = opt.clone();
+        resumer.checkpoint_to(&path);
+        let resumed = resumer.resume(&path, objective).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(resumed.data, baseline.data);
+        assert_eq!(resumed.trace.to_csv(), baseline.trace.to_csv());
+        assert_eq!(resumed.best_x, baseline.best_x);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let bounds = Bounds::unit_cube(2).unwrap();
+        let path = snap_path("mismatch");
+        let mut opt = EasyBo::new(bounds.clone());
+        opt.batch_size(2).initial_points(4).max_evals(10).seed(6);
+        opt.checkpoint_to(&path).abort_after_evals(5);
+        let _ = opt.run(objective).unwrap_err();
+
+        let mut other = EasyBo::new(bounds);
+        other.batch_size(2).initial_points(4).max_evals(10).seed(7); // seed differs
+        let err = other.resume(&path, objective).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(&err, EasyBoError::Persist(p)
+                if matches!(p.as_ref(), easybo_persist::PersistError::ConfigMismatch { .. })),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Core-side snapshot payloads.
+//!
+//! The `easybo-persist` container stores the policy's state as an opaque
+//! byte section so executors stay free of persistence concerns; this
+//! module defines what those bytes *are* for [`EasyBoAsyncPolicy`]: a
+//! versioned little-endian blob carrying the RNG stream, the fallback
+//! counter, and the surrogate manager's exact cached state (GP
+//! factorization included). It also provides the FNV-1a configuration
+//! fingerprint that guards resume against mismatched optimizer settings.
+//!
+//! [`EasyBoAsyncPolicy`]: crate::policies::EasyBoAsyncPolicy
+
+use easybo_gp::{GpState, KernelFamily};
+use easybo_persist::{ByteReader, ByteWriter, PersistError};
+
+use crate::surrogate::SurrogateState;
+
+/// Version stamp of the policy blob layout. Bump on any layout change;
+/// resume refuses blobs from other versions.
+pub(crate) const POLICY_BLOB_VERSION: u32 = 1;
+
+/// Decoded contents of an [`EasyBoAsyncPolicy`] state blob.
+///
+/// [`EasyBoAsyncPolicy`]: crate::policies::EasyBoAsyncPolicy
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PolicyStateBlob {
+    /// xoshiro256** word state of the policy's RNG.
+    pub rng: [u64; 4],
+    /// Surrogate-fit fallback counter.
+    pub fallbacks: usize,
+    /// Surrogate manager state.
+    pub surrogate: SurrogateState,
+}
+
+pub(crate) fn kernel_tag(k: KernelFamily) -> u8 {
+    match k {
+        KernelFamily::SquaredExponential => 0,
+        KernelFamily::Matern52 => 1,
+        KernelFamily::Matern32 => 2,
+        KernelFamily::RationalQuadratic => 3,
+    }
+}
+
+fn kernel_from_tag(tag: u8) -> Result<KernelFamily, PersistError> {
+    Ok(match tag {
+        0 => KernelFamily::SquaredExponential,
+        1 => KernelFamily::Matern52,
+        2 => KernelFamily::Matern32,
+        3 => KernelFamily::RationalQuadratic,
+        t => return Err(PersistError::decode(format!("unknown kernel tag {t}"))),
+    })
+}
+
+fn put_gp_state(w: &mut ByteWriter, s: &GpState) {
+    w.put_u8(kernel_tag(s.kernel));
+    w.put_usize(s.dim);
+    w.put_f64s(&s.theta);
+    w.put_f64(s.log_noise);
+    w.put_usize(s.x.len());
+    for row in &s.x {
+        w.put_f64s(row);
+    }
+    w.put_f64s(&s.z);
+    w.put_f64(s.scaler_mean);
+    w.put_f64(s.scaler_std);
+    w.put_f64s(&s.chol_factor);
+    w.put_f64(s.chol_jitter);
+    w.put_f64s(&s.alpha);
+    w.put_usize(s.n_real);
+}
+
+fn get_gp_state(r: &mut ByteReader<'_>) -> Result<GpState, PersistError> {
+    let kernel = kernel_from_tag(r.get_u8()?)?;
+    let dim = r.get_usize()?;
+    let theta = r.get_f64s()?;
+    let log_noise = r.get_f64()?;
+    let n = r.get_len(8)?;
+    let mut x = Vec::with_capacity(n);
+    for _ in 0..n {
+        x.push(r.get_f64s()?);
+    }
+    Ok(GpState {
+        kernel,
+        dim,
+        theta,
+        log_noise,
+        x,
+        z: r.get_f64s()?,
+        scaler_mean: r.get_f64()?,
+        scaler_std: r.get_f64()?,
+        chol_factor: r.get_f64s()?,
+        chol_jitter: r.get_f64()?,
+        alpha: r.get_f64s()?,
+        n_real: r.get_usize()?,
+    })
+}
+
+/// Encodes the policy's mutable state into the opaque snapshot blob.
+pub(crate) fn encode_policy_state(
+    rng: [u64; 4],
+    fallbacks: usize,
+    surrogate: &SurrogateState,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(POLICY_BLOB_VERSION);
+    for word in rng {
+        w.put_u64(word);
+    }
+    w.put_usize(fallbacks);
+    w.put_usize(surrogate.fitted_n);
+    w.put_usize(surrogate.last_trained_n);
+    w.put_f64(surrogate.fence);
+    match &surrogate.warm {
+        Some(warm) => {
+            w.put_bool(true);
+            w.put_f64s(warm);
+        }
+        None => w.put_bool(false),
+    }
+    match &surrogate.gp {
+        Some(gp) => {
+            w.put_bool(true);
+            put_gp_state(&mut w, gp);
+        }
+        None => w.put_bool(false),
+    }
+    w.into_bytes()
+}
+
+/// Decodes a blob written by [`encode_policy_state`].
+pub(crate) fn decode_policy_state(bytes: &[u8]) -> Result<PolicyStateBlob, PersistError> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.get_u32()?;
+    if version != POLICY_BLOB_VERSION {
+        return Err(PersistError::decode(format!(
+            "policy blob version {version} is not supported (this build reads \
+             version {POLICY_BLOB_VERSION})"
+        )));
+    }
+    let mut rng = [0u64; 4];
+    for word in &mut rng {
+        *word = r.get_u64()?;
+    }
+    let fallbacks = r.get_usize()?;
+    let fitted_n = r.get_usize()?;
+    let last_trained_n = r.get_usize()?;
+    let fence = r.get_f64()?;
+    let warm = if r.get_bool()? {
+        Some(r.get_f64s()?)
+    } else {
+        None
+    };
+    let gp = if r.get_bool()? {
+        Some(get_gp_state(&mut r)?)
+    } else {
+        None
+    };
+    r.finish("policy state blob")?;
+    Ok(PolicyStateBlob {
+        rng,
+        fallbacks,
+        surrogate: SurrogateState {
+            fitted_n,
+            last_trained_n,
+            warm,
+            fence,
+            gp,
+        },
+    })
+}
+
+/// Streaming FNV-1a (64-bit) hasher for the snapshot's configuration
+/// fingerprint. Deterministic across platforms: everything is hashed as
+/// little-endian `u64` words, floats by exact bit pattern.
+#[derive(Debug, Clone)]
+pub(crate) struct Fingerprint(u64);
+
+impl Fingerprint {
+    pub(crate) fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn push_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn push_usize(&mut self, v: usize) {
+        self.push_u64(v as u64);
+    }
+
+    pub(crate) fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
+    pub(crate) fn push_bool(&mut self, v: bool) {
+        self.push_u64(u64::from(v));
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_surrogate_state() -> SurrogateState {
+        SurrogateState {
+            fitted_n: 12,
+            last_trained_n: 10,
+            warm: Some(vec![0.1, -0.2, f64::NAN]),
+            fence: f64::NEG_INFINITY,
+            gp: Some(GpState {
+                kernel: KernelFamily::Matern52,
+                dim: 2,
+                theta: vec![0.5, -0.5, 1.5],
+                log_noise: -6.0,
+                x: vec![vec![0.1, 0.2], vec![0.3, 0.4]],
+                z: vec![-1.0, 1.0],
+                scaler_mean: 0.25,
+                scaler_std: 2.0,
+                chol_factor: vec![1.0, 0.0, 0.5, 0.9],
+                chol_jitter: 1e-10,
+                alpha: vec![0.7, -0.3],
+                n_real: 2,
+            }),
+        }
+    }
+
+    #[test]
+    fn policy_blob_round_trips() {
+        let state = sample_surrogate_state();
+        let bytes = encode_policy_state([1, 2, 3, 4], 7, &state);
+        let blob = decode_policy_state(&bytes).unwrap();
+        assert_eq!(blob.rng, [1, 2, 3, 4]);
+        assert_eq!(blob.fallbacks, 7);
+        // NaN breaks PartialEq; compare via re-encoding.
+        let re = encode_policy_state(blob.rng, blob.fallbacks, &blob.surrogate);
+        assert_eq!(re, bytes);
+    }
+
+    #[test]
+    fn empty_surrogate_round_trips() {
+        let state = SurrogateState {
+            fitted_n: 0,
+            last_trained_n: 0,
+            warm: None,
+            fence: f64::NEG_INFINITY,
+            gp: None,
+        };
+        let bytes = encode_policy_state([9, 9, 9, 9], 0, &state);
+        let blob = decode_policy_state(&bytes).unwrap();
+        assert_eq!(blob.surrogate, state);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let state = sample_surrogate_state();
+        let mut bytes = encode_policy_state([0, 0, 0, 1], 0, &state);
+        bytes[0] = 0xfe;
+        assert!(decode_policy_state(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let state = sample_surrogate_state();
+        let bytes = encode_policy_state([1, 1, 1, 1], 0, &state);
+        assert!(decode_policy_state(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn unknown_kernel_tag_is_rejected() {
+        assert!(kernel_from_tag(200).is_err());
+        for k in [
+            KernelFamily::SquaredExponential,
+            KernelFamily::Matern52,
+            KernelFamily::Matern32,
+            KernelFamily::RationalQuadratic,
+        ] {
+            assert_eq!(kernel_from_tag(kernel_tag(k)).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.push_u64(1);
+        a.push_u64(2);
+        let mut b = Fingerprint::new();
+        b.push_u64(2);
+        b.push_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(Fingerprint::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -212,6 +212,24 @@ impl AsyncPolicy for EasyBoAsyncPolicy {
         };
         self.surrogate.from_unit(&u)
     }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(crate::persistence::encode_policy_state(
+            self.rng.state(),
+            self.fallbacks,
+            &self.surrogate.state(),
+        ))
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), String> {
+        let blob = crate::persistence::decode_policy_state(state).map_err(|e| e.to_string())?;
+        self.surrogate
+            .restore(blob.surrogate)
+            .map_err(|e| e.to_string())?;
+        self.rng = StdRng::from_state(blob.rng);
+        self.fallbacks = blob.fallbacks;
+        Ok(())
+    }
 }
 
 /// Wraps a [`BatchObjective`] with a thread-safe evaluation counter so the
@@ -383,6 +401,47 @@ mod tests {
         let mut policy = EasyBoAsyncPolicy::new(bounds.clone(), true, 9);
         let x = policy.select_next(&data, &busy);
         assert!(bounds.contains(&x));
+    }
+
+    #[test]
+    fn snapshot_restore_continues_decision_stream_bitwise() {
+        let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        let mut data = Dataset::new();
+        for i in 0..9 {
+            data.push(vec![i as f64 / 8.0], (i as f64 * 0.9).sin());
+        }
+        let mut policy = EasyBoAsyncPolicy::new(bounds.clone(), true, 11);
+        let _ = policy.select_next(&data, &[]); // advance RNG, fit the GP
+        let blob = policy.snapshot_state().expect("policy supports capture");
+
+        let mut restored = EasyBoAsyncPolicy::new(bounds, true, 999); // wrong seed on purpose
+        restored.restore_state(&blob).unwrap();
+
+        // Both continue with more data (exercises the incremental GP path)
+        // and a busy point (exercises penalization) — selections must be
+        // bit-identical.
+        data.push(vec![0.55], 0.21);
+        let busy = vec![BusyPoint {
+            x: vec![0.3],
+            task: 9,
+            worker: 1,
+            finish_time: 50.0,
+        }];
+        for _ in 0..3 {
+            let a = policy.select_next(&data, &busy);
+            let b = restored.select_next(&data, &busy);
+            assert_eq!(a.len(), b.len());
+            for (va, vb) in a.iter().zip(&b) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        let mut policy = EasyBoAsyncPolicy::new(bounds, true, 0);
+        assert!(policy.restore_state(&[1, 2, 3]).is_err());
     }
 
     #[test]

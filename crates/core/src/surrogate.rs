@@ -8,7 +8,7 @@
 //! rather than a full marginal-likelihood optimization.
 
 use easybo_exec::Dataset;
-use easybo_gp::{Gp, GpConfig, KernelFamily, TrainConfig};
+use easybo_gp::{Gp, GpConfig, GpState, KernelFamily, TrainConfig};
 use easybo_opt::{Bounds, Parallelism};
 use easybo_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
@@ -212,6 +212,43 @@ impl SurrogateManager {
         self.fence
     }
 
+    /// Captures the manager's mutable state — the fit/retrain schedule
+    /// bookkeeping, warm-start vector, winsorization fence, and the
+    /// cached GP itself — for checkpointing. Configuration (bounds,
+    /// [`SurrogateConfig`]) is *not* captured: it is re-derived from the
+    /// resuming optimizer and guarded by the snapshot's config
+    /// fingerprint.
+    pub fn state(&self) -> SurrogateState {
+        SurrogateState {
+            fitted_n: self.fitted_n,
+            last_trained_n: self.last_trained_n,
+            warm: self.warm.clone(),
+            fence: self.fence,
+            gp: self.gp.as_ref().map(Gp::state),
+        }
+    }
+
+    /// Restores state captured by [`SurrogateManager::state`]. The GP is
+    /// rebuilt from its exact cached factorization, so subsequent
+    /// predictions and incremental extensions are bit-identical to the
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`easybo_gp::GpError`] when the captured GP state is
+    /// internally inconsistent (wrong dimensions).
+    pub fn restore(&mut self, state: SurrogateState) -> crate::Result<()> {
+        self.gp = match state.gp {
+            Some(s) => Some(Gp::from_state(s)?),
+            None => None,
+        };
+        self.fitted_n = state.fitted_n;
+        self.last_trained_n = state.last_trained_n;
+        self.warm = state.warm;
+        self.fence = state.fence;
+        Ok(())
+    }
+
     /// Indices of the observations the GP is built on: everything while
     /// `n <= max_gp_points`; beyond that, the best quarter by objective
     /// value plus the most recent remainder.
@@ -240,6 +277,23 @@ impl SurrogateManager {
         }
         (0..n).filter(|&i| chosen[i]).collect()
     }
+}
+
+/// Plain-data capture of a [`SurrogateManager`]'s mutable state, produced
+/// by [`SurrogateManager::state`] and consumed by
+/// [`SurrogateManager::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateState {
+    /// Observations absorbed into the cached fit.
+    pub fitted_n: usize,
+    /// Observations at the last hyperparameter training.
+    pub last_trained_n: usize,
+    /// Warm-start hyperparameter vector `[θ…, log σ_n²]`.
+    pub warm: Option<Vec<f64>>,
+    /// Lower winsorization fence applied to targets.
+    pub fence: f64,
+    /// The cached GP, exact factorization included.
+    pub gp: Option<GpState>,
 }
 
 /// Tukey-style lower fence `q25 - 3*(q75 - q25)` (no clipping when the
@@ -363,6 +417,38 @@ mod tests {
         let d = dataset(6);
         sm.surrogate(&d).unwrap();
         assert_eq!(sm.fence(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn state_round_trip_continues_bit_identically() {
+        let mut sm = manager();
+        let mut d = dataset(12);
+        sm.surrogate(&d).unwrap();
+        let state = sm.state();
+
+        let mut restored = manager();
+        restored.restore(state).unwrap();
+        assert_eq!(restored.fitted_n(), sm.fitted_n());
+        assert_eq!(restored.last_trained_n(), sm.last_trained_n());
+
+        // Extend both managers past the checkpoint: the incremental path
+        // must produce bitwise-equal predictions.
+        d.push(vec![7.7], 0.3);
+        let q = sm.to_unit(&[4.2]);
+        let p1 = sm.surrogate(&d).unwrap().predict(&q);
+        let p2 = restored.surrogate(&d).unwrap().predict(&q);
+        assert_eq!(p1.mean.to_bits(), p2.mean.to_bits());
+        assert_eq!(p1.variance.to_bits(), p2.variance.to_bits());
+    }
+
+    #[test]
+    fn unfitted_state_restores_to_unfitted() {
+        let sm = manager();
+        let state = sm.state();
+        assert!(state.gp.is_none());
+        let mut restored = manager();
+        restored.restore(state).unwrap();
+        assert_eq!(restored.fitted_n(), 0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ mod dataset;
 pub mod fault;
 mod retry;
 mod schedule;
+mod session;
 mod sim_time;
 mod threaded;
 mod trace;
@@ -42,6 +43,10 @@ pub use dataset::{BusyPoint, Dataset};
 pub use fault::{FaultPlan, FaultyBlackBox};
 pub use retry::{FailureAction, RetryPolicy};
 pub use schedule::{Schedule, TaskSpan};
+pub use session::{
+    CheckpointTrigger, HookAction, InFlightTask, PendingBackoff, SessionHook, SessionParts,
+    SessionState, Suggestion, Told,
+};
 pub use sim_time::SimTimeModel;
 pub use threaded::ThreadedExecutor;
 pub use trace::{RunTrace, TracePoint};

@@ -26,9 +26,10 @@ use easybo_telemetry::{Event, Telemetry};
 
 use crate::blackbox::{AttemptContext, EvalOutcome, Evaluation};
 use crate::fault::WorkerDeath;
-use crate::retry::{FailureAction, RetryPolicy};
+use crate::retry::RetryPolicy;
+use crate::session::{HookAction, SessionHook, SessionState, Told};
 use crate::virtual_exec::{finish_run_metrics, AsyncPolicy};
-use crate::{BlackBox, BusyPoint, Dataset, RunResult, RunTrace, Schedule};
+use crate::{BlackBox, RunResult};
 
 /// Sleep-slice length for emulated evaluation time, so workers notice
 /// the end-of-run shutdown flag instead of sleeping out a hung job.
@@ -108,74 +109,6 @@ enum WorkerMsg {
         attempt: usize,
         at: Duration,
     },
-}
-
-/// One task currently owned by the worker pool.
-struct InFlight {
-    x: Vec<f64>,
-    attempt: usize,
-    /// `(worker, start_s)` once a worker claimed the job.
-    started: Option<(usize, f64)>,
-}
-
-/// A failed task waiting out its backoff before the next attempt.
-struct PendingRetry {
-    due: f64,
-    task: usize,
-    attempt: usize,
-    x: Vec<f64>,
-}
-
-/// Decides retry vs. terminal for a failed attempt: emits `EvalFailed`
-/// (+ counters), queues the retry when attempts remain, and otherwise
-/// returns the point together with the value to commit (if any) per the
-/// exhaustion action. `FailureAction::Record` is handled by the caller
-/// before reaching here.
-#[allow(clippy::too_many_arguments)]
-fn resolve_failed_attempt(
-    retry: &RetryPolicy,
-    telemetry: &Telemetry,
-    now: f64,
-    task: usize,
-    worker: usize,
-    attempt: usize,
-    x: Vec<f64>,
-    outcome: &EvalOutcome,
-    retries: &mut Vec<PendingRetry>,
-) -> Option<(Vec<f64>, Option<f64>)> {
-    let reason = outcome.describe();
-    telemetry.emit_at_with(now, || Event::EvalFailed {
-        task,
-        worker,
-        attempt,
-        reason: reason.clone(),
-    });
-    telemetry.incr("eval_failures", 1);
-    if *outcome == EvalOutcome::TimedOut {
-        telemetry.incr("eval_timeouts", 1);
-    }
-    if attempt < retry.max_attempts {
-        let delay = retry.delay(attempt);
-        let next_attempt = attempt + 1;
-        telemetry.emit_at_with(now, || Event::EvalRetried {
-            task,
-            attempt: next_attempt,
-            delay,
-        });
-        telemetry.incr("eval_retries", 1);
-        retries.push(PendingRetry {
-            due: now + delay,
-            task,
-            attempt: next_attempt,
-            x,
-        });
-        return None;
-    }
-    match retry.on_exhausted {
-        FailureAction::Record => unreachable!("Record resolves as a completion"),
-        FailureAction::Drop => Some((x, None)),
-        FailureAction::Penalty(p) => Some((x, Some(p))),
-    }
 }
 
 impl ThreadedExecutor {
@@ -268,21 +201,89 @@ impl ThreadedExecutor {
         retry: &RetryPolicy,
         telemetry: &Telemetry,
     ) -> Result<RunResult, OptError> {
+        let session = SessionState::new(self.workers, max_evals, init);
+        self.drive(bb, session, policy, retry, telemetry, None, false)
+    }
+
+    /// [`ThreadedExecutor::run_async_resilient`] over an explicit
+    /// [`SessionState`], with an optional [`SessionHook`] invoked after
+    /// every completed observation (the seam checkpoint writers and
+    /// chaos plans plug into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::ExecutorFailure`] when the pool dies, the
+    /// channel is severed, or the hook aborts via [`HookAction::Stop`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_session_resilient(
+        &self,
+        bb: &(dyn BlackBox + Sync),
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn AsyncPolicy,
+        retry: &RetryPolicy,
+        telemetry: &Telemetry,
+        hook: Option<&mut SessionHook<'_>>,
+    ) -> Result<RunResult, OptError> {
+        let session = SessionState::new(self.workers, max_evals, init);
+        self.drive(bb, session, policy, retry, telemetry, hook, false)
+    }
+
+    /// Continues a previously captured session: interrupted in-flight
+    /// attempts are re-enqueued onto the fresh pool, and pending retry
+    /// backoffs are rebased onto this run's epoch (the remaining delay
+    /// is preserved, measured from the capture clock). Real-time
+    /// timestamps restart at zero, but the trace's monotone clamp keeps
+    /// best-so-far times nondecreasing across the splice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::ExecutorFailure`] when the session was
+    /// captured under a different worker count, the pool dies, or the
+    /// hook aborts via [`HookAction::Stop`].
+    pub fn resume_session_resilient(
+        &self,
+        bb: &(dyn BlackBox + Sync),
+        mut session: SessionState,
+        policy: &mut dyn AsyncPolicy,
+        retry: &RetryPolicy,
+        telemetry: &Telemetry,
+        hook: Option<&mut SessionHook<'_>>,
+    ) -> Result<RunResult, OptError> {
+        let clock = session.clock();
+        for b in &mut session.backoffs {
+            b.due = (b.due - clock).max(0.0);
+        }
+        self.drive(bb, session, policy, retry, telemetry, hook, true)
+    }
+
+    /// The coordinator loop shared by fresh and resumed runs.
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn drive(
+        &self,
+        bb: &(dyn BlackBox + Sync),
+        session: SessionState,
+        policy: &mut dyn AsyncPolicy,
+        retry: &RetryPolicy,
+        telemetry: &Telemetry,
+        mut hook: Option<&mut SessionHook<'_>>,
+        resume: bool,
+    ) -> Result<RunResult, OptError> {
+        if session.workers() != self.workers {
+            return Err(OptError::ExecutorFailure {
+                reason: format!(
+                    "session captured with {} workers cannot run on {}",
+                    session.workers(),
+                    self.workers
+                ),
+            });
+        }
         let epoch = Instant::now();
-        let mut data = Dataset::new();
-        let mut trace = RunTrace::new();
-        let mut schedule = Schedule::new(self.workers);
-        let mut busy: Vec<BusyPoint> = Vec::new();
-        let mut pending: std::collections::VecDeque<Vec<f64>> =
-            init.iter().take(max_evals).cloned().collect();
-        let mut issued = 0usize;
-        let mut resolved = 0usize;
+        let mut session = session;
         // Enqueue time per task, for the queue-wait histogram.
         let mut issued_at: HashMap<usize, f64> = HashMap::new();
         // Per-worker last-finish time, for idle-gap events.
         let mut last_done: Vec<f64> = vec![0.0; self.workers];
-        let mut inflight: HashMap<usize, InFlight> = HashMap::new();
-        let mut retries: Vec<PendingRetry> = Vec::new();
         let mut dead = vec![false; self.workers];
         let mut stuck = vec![false; self.workers];
         let shutdown = AtomicBool::new(false);
@@ -370,8 +371,7 @@ impl ThreadedExecutor {
                 let enqueue = |task: usize,
                                attempt: usize,
                                x: Vec<f64>,
-                               busy: &mut Vec<BusyPoint>,
-                               inflight: &mut HashMap<usize, InFlight>,
+                               session: &mut SessionState,
                                issued_at: &mut HashMap<usize, f64>| {
                     let now = epoch.elapsed().as_secs_f64();
                     telemetry.set_now(now);
@@ -380,82 +380,48 @@ impl ThreadedExecutor {
                     let worker = task % self.workers;
                     telemetry.emit_at_with(now, || Event::QueryIssued { task, worker });
                     issued_at.insert(task, now);
-                    busy.push(BusyPoint {
-                        x: x.clone(),
-                        task,
-                        worker,
-                        finish_time: f64::NAN,
-                    });
-                    inflight.insert(
-                        task,
-                        InFlight {
-                            x: x.clone(),
-                            attempt,
-                            started: None,
-                        },
-                    );
+                    // `finish_time` is unknown until completion.
+                    session.begin(task, attempt, x.clone(), worker, None, f64::NAN);
                     // A failed send means every worker exited; the
                     // capacity check below turns that into an error.
                     let _ = job_tx.send(Job { task, attempt, x });
                 };
-                // Proposes and enqueues a brand-new task.
-                let issue_new = |busy: &mut Vec<BusyPoint>,
-                                 inflight: &mut HashMap<usize, InFlight>,
+                // Proposes and enqueues a brand-new task (no-op once the
+                // budget is exhausted).
+                let issue_new = |session: &mut SessionState,
                                  issued_at: &mut HashMap<usize, f64>,
-                                 pending: &mut std::collections::VecDeque<Vec<f64>>,
-                                 issued: &mut usize,
-                                 data: &Dataset,
                                  policy: &mut dyn AsyncPolicy| {
                     telemetry.set_now(epoch.elapsed().as_secs_f64());
-                    let x = match pending.pop_front() {
-                        Some(x) => x,
-                        None => policy.select_next(data, busy),
-                    };
-                    let task = *issued;
-                    *issued += 1;
-                    enqueue(task, 1, x, busy, inflight, issued_at);
+                    if let Some(s) = session.ask(policy) {
+                        enqueue(s.task, s.attempt, s.x, session, issued_at);
+                    }
                 };
 
-                // Prime the pipeline: one in-flight job per worker.
-                for _ in 0..self.workers.min(max_evals) {
-                    issue_new(
-                        &mut busy,
-                        &mut inflight,
-                        &mut issued_at,
-                        &mut pending,
-                        &mut issued,
-                        &data,
-                        policy,
-                    );
+                if resume {
+                    // Re-enqueue every interrupted attempt, then top the
+                    // pipeline back up to one job per worker.
+                    let inflight = std::mem::take(&mut session.inflight);
+                    for inf in inflight {
+                        enqueue(inf.task, inf.attempt, inf.x, &mut session, &mut issued_at);
+                    }
+                    let spare = self.workers.saturating_sub(session.inflight().len());
+                    for _ in 0..spare {
+                        issue_new(&mut session, &mut issued_at, policy);
+                    }
+                } else {
+                    // Prime the pipeline: one in-flight job per worker.
+                    for _ in 0..self.workers.min(session.max_evals()) {
+                        issue_new(&mut session, &mut issued_at, policy);
+                    }
                 }
 
-                while resolved < issued {
+                let mut last_completed = session.completed();
+                while session.resolved() < session.issued() {
                     // Fire retries whose backoff has elapsed.
                     let now = epoch.elapsed().as_secs_f64();
-                    let mut due: Vec<PendingRetry> = Vec::new();
-                    retries.retain_mut(|r| {
-                        if r.due <= now {
-                            due.push(PendingRetry {
-                                due: r.due,
-                                task: r.task,
-                                attempt: r.attempt,
-                                x: std::mem::take(&mut r.x),
-                            });
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    due.sort_unstable_by_key(|r| r.task);
-                    for r in due {
-                        enqueue(
-                            r.task,
-                            r.attempt,
-                            r.x,
-                            &mut busy,
-                            &mut inflight,
-                            &mut issued_at,
-                        );
+                    session.clock = now;
+                    for r in session.take_due_backoffs(now) {
+                        enqueue(r.task, r.attempt, r.x, &mut session, &mut issued_at);
                     }
 
                     let live = (0..self.workers).filter(|&w| !dead[w] && !stuck[w]).count();
@@ -466,19 +432,20 @@ impl ThreadedExecutor {
                                 dead.iter().filter(|&&d| d).count(),
                                 self.workers,
                                 stuck.iter().filter(|&&s| s).count(),
-                                issued - resolved
+                                session.issued() - session.resolved()
                             ),
                         });
                     }
 
                     // Sleep until the next deadline/backoff expiry, or
                     // indefinitely when neither is pending.
-                    let mut wake: Option<f64> = retries
+                    let mut wake: Option<f64> = session
+                        .backoffs()
                         .iter()
                         .map(|r| r.due)
                         .fold(None, |a, d| Some(a.map_or(d, |v: f64| v.min(d))));
                     if let Some(tmo) = retry.timeout {
-                        for inf in inflight.values() {
+                        for inf in session.inflight() {
                             if let Some((_, start)) = inf.started {
                                 let d = start + tmo;
                                 wake = Some(wake.map_or(d, |v: f64| v.min(d)));
@@ -514,15 +481,20 @@ impl ThreadedExecutor {
                             // Any sign of life un-sticks a worker.
                             stuck[worker] = false;
                             let at_s = at.as_secs_f64();
-                            let current = inflight
-                                .get(&task)
-                                .is_some_and(|inf| inf.attempt == attempt);
+                            let current = session
+                                .inflight()
+                                .iter()
+                                .any(|inf| inf.task == task && inf.attempt == attempt);
                             if current {
                                 telemetry.set_now(at_s);
-                                if let Some(inf) = inflight.get_mut(&task) {
+                                if let Some(inf) =
+                                    session.inflight.iter_mut().find(|inf| inf.task == task)
+                                {
                                     inf.started = Some((worker, at_s));
                                 }
-                                if let Some(bp) = busy.iter_mut().find(|bp| bp.task == task) {
+                                if let Some(bp) =
+                                    session.busy.iter_mut().find(|bp| bp.task == task)
+                                {
                                     bp.worker = worker;
                                 }
                                 if let Some(&t0) = issued_at.get(&task) {
@@ -540,94 +512,45 @@ impl ThreadedExecutor {
                             stuck[done.worker] = false;
                             let finished = done.finished_at.as_secs_f64();
                             last_done[done.worker] = finished;
-                            let current = inflight
-                                .get(&done.task)
-                                .is_some_and(|inf| inf.attempt == done.attempt);
+                            let current = session
+                                .inflight()
+                                .iter()
+                                .any(|inf| inf.task == done.task && inf.attempt == done.attempt);
                             if !current {
                                 // A superseded attempt (timed out and already
                                 // resolved): the worker is free again, nothing
                                 // else to record.
                                 continue;
                             }
-                            let inf = inflight.remove(&done.task).expect("checked above");
-                            // Remove exactly the completed task: in-flight
-                            // points are keyed by task id, so duplicate `x`
-                            // vectors on other workers stay in the busy set.
-                            busy.retain(|bp| bp.task != done.task);
+                            // `take_inflight` removes exactly the completed
+                            // task's busy point: in-flight points are keyed
+                            // by task id, so duplicate `x` vectors on other
+                            // workers stay in the busy set.
+                            let inf = session.take_inflight(done.task).expect("checked above");
                             issued_at.remove(&done.task);
                             let outcome = done.eval.resolved_outcome();
-                            schedule.add_with(
+                            session.schedule.add_with(
                                 done.worker,
                                 done.task,
                                 done.started_at.as_secs_f64(),
                                 finished,
                                 !outcome.is_ok(),
                             );
-                            let terminal = done.attempt >= retry.max_attempts;
-                            let record_anyway = terminal
-                                && retry.on_exhausted == FailureAction::Record;
-                            if outcome.is_ok() || record_anyway {
-                                // Real threads can complete out of order in
-                                // real time; the trace requires monotone
-                                // timestamps, so clamp (and stamp the event
-                                // identically).
-                                let t = finished.max(trace.total_time());
-                                telemetry.set_now(t);
-                                telemetry.emit_at_with(t, || Event::EvalFinished {
-                                    task: done.task,
-                                    worker: done.worker,
-                                    value: done.eval.value,
-                                });
-                                data.push(inf.x, done.eval.value);
-                                trace.record(t, done.eval.value);
-                                resolved += 1;
-                                if issued < max_evals {
-                                    issue_new(
-                                        &mut busy,
-                                        &mut inflight,
-                                        &mut issued_at,
-                                        &mut pending,
-                                        &mut issued,
-                                        &data,
-                                        policy,
-                                    );
-                                }
-                            } else {
-                                telemetry.set_now(finished);
-                                if let Some((x, commit)) = resolve_failed_attempt(
-                                    retry,
-                                    telemetry,
-                                    finished,
-                                    done.task,
-                                    done.worker,
-                                    done.attempt,
-                                    inf.x,
-                                    &outcome,
-                                    &mut retries,
-                                ) {
-                                    if let Some(p) = commit {
-                                        let t = finished.max(trace.total_time());
-                                        telemetry.set_now(t);
-                                        telemetry.emit_at_with(t, || Event::EvalFinished {
-                                            task: done.task,
-                                            worker: done.worker,
-                                            value: p,
-                                        });
-                                        data.push(x, p);
-                                        trace.record(t, p);
-                                    }
-                                    resolved += 1;
-                                    if issued < max_evals {
-                                        issue_new(
-                                            &mut busy,
-                                            &mut inflight,
-                                            &mut issued_at,
-                                            &mut pending,
-                                            &mut issued,
-                                            &data,
-                                            policy,
-                                        );
-                                    }
+                            telemetry.set_now(finished);
+                            match session.tell(
+                                retry,
+                                telemetry,
+                                finished,
+                                done.worker,
+                                done.task,
+                                inf.x,
+                                done.eval.value,
+                                done.attempt,
+                                outcome,
+                            ) {
+                                Told::Backoff { .. } => {}
+                                Told::Committed | Told::Dropped => {
+                                    issue_new(&mut session, &mut issued_at, policy);
                                 }
                             }
                         }
@@ -643,68 +566,36 @@ impl ThreadedExecutor {
                             telemetry.set_now(at_s);
                             telemetry.emit_at_with(at_s, || Event::WorkerCrashed { worker, task });
                             telemetry.incr("worker_crashes", 1);
-                            let current = inflight
-                                .get(&task)
-                                .is_some_and(|inf| inf.attempt == attempt);
+                            let current = session
+                                .inflight()
+                                .iter()
+                                .any(|inf| inf.task == task && inf.attempt == attempt);
                             if current {
-                                let inf = inflight.remove(&task).expect("checked above");
-                                busy.retain(|bp| bp.task != task);
+                                let inf = session.take_inflight(task).expect("checked above");
                                 issued_at.remove(&task);
                                 if let Some((w, start)) = inf.started {
-                                    schedule.add_with(w, task, start, at_s.max(start), true);
+                                    session.schedule.add_with(w, task, start, at_s.max(start), true);
                                 }
                                 let outcome = EvalOutcome::Failed {
                                     reason: "worker crashed".to_string(),
                                 };
-                                let terminal = attempt >= retry.max_attempts;
-                                let record_anyway =
-                                    terminal && retry.on_exhausted == FailureAction::Record;
-                                if record_anyway {
-                                    // Nothing came back; record the honest NaN.
-                                    let t = at_s.max(trace.total_time());
-                                    telemetry.set_now(t);
-                                    telemetry.emit_at_with(t, || Event::EvalFinished {
-                                        task,
-                                        worker,
-                                        value: f64::NAN,
-                                    });
-                                    data.push(inf.x, f64::NAN);
-                                    trace.record(t, f64::NAN);
-                                    resolved += 1;
-                                } else if let Some((x, commit)) = resolve_failed_attempt(
+                                // Nothing came back from the dead worker, so
+                                // a `Record` exhaustion commits an honest NaN.
+                                match session.tell(
                                     retry,
                                     telemetry,
                                     at_s,
-                                    task,
                                     worker,
-                                    attempt,
+                                    task,
                                     inf.x,
-                                    &outcome,
-                                    &mut retries,
+                                    f64::NAN,
+                                    attempt,
+                                    outcome,
                                 ) {
-                                    if let Some(p) = commit {
-                                        let t = at_s.max(trace.total_time());
-                                        telemetry.set_now(t);
-                                        telemetry.emit_at_with(t, || Event::EvalFinished {
-                                            task,
-                                            worker,
-                                            value: p,
-                                        });
-                                        data.push(x, p);
-                                        trace.record(t, p);
+                                    Told::Backoff { .. } => {}
+                                    Told::Committed | Told::Dropped => {
+                                        issue_new(&mut session, &mut issued_at, policy);
                                     }
-                                    resolved += 1;
-                                }
-                                if terminal && issued < max_evals {
-                                    issue_new(
-                                        &mut busy,
-                                        &mut inflight,
-                                        &mut issued_at,
-                                        &mut pending,
-                                        &mut issued,
-                                        &data,
-                                        policy,
-                                    );
                                 }
                             }
                         }
@@ -713,75 +604,52 @@ impl ThreadedExecutor {
                     // Abandon attempts that blew their deadline.
                     if let Some(tmo) = retry.timeout {
                         let now = epoch.elapsed().as_secs_f64();
-                        let mut expired: Vec<usize> = inflight
+                        let mut expired: Vec<usize> = session
+                            .inflight()
                             .iter()
-                            .filter(|(_, inf)| {
+                            .filter(|inf| {
                                 inf.started.is_some_and(|(_, start)| now >= start + tmo)
                             })
-                            .map(|(&t, _)| t)
+                            .map(|inf| inf.task)
                             .collect();
                         expired.sort_unstable();
                         for task in expired {
-                            let inf = inflight.remove(&task).expect("collected above");
+                            let inf = session.take_inflight(task).expect("collected above");
                             let (worker, start) = inf.started.expect("filtered on started");
-                            busy.retain(|bp| bp.task != task);
                             issued_at.remove(&task);
                             // The abandoned worker is occupied (and useless)
                             // until it reports back.
                             stuck[worker] = true;
-                            schedule.add_with(worker, task, start, start + tmo, true);
+                            session.schedule.add_with(worker, task, start, start + tmo, true);
                             let deadline = start + tmo;
                             telemetry.set_now(deadline);
-                            let terminal = inf.attempt >= retry.max_attempts;
-                            let record_anyway =
-                                terminal && retry.on_exhausted == FailureAction::Record;
-                            if record_anyway {
-                                let t = deadline.max(trace.total_time());
-                                telemetry.set_now(t);
-                                telemetry.emit_at_with(t, || Event::EvalFinished {
-                                    task,
-                                    worker,
-                                    value: f64::NAN,
-                                });
-                                data.push(inf.x, f64::NAN);
-                                trace.record(t, f64::NAN);
-                                resolved += 1;
-                            } else if let Some((x, commit)) = resolve_failed_attempt(
+                            match session.tell(
                                 retry,
                                 telemetry,
                                 deadline,
-                                task,
                                 worker,
-                                inf.attempt,
+                                task,
                                 inf.x,
-                                &EvalOutcome::TimedOut,
-                                &mut retries,
+                                f64::NAN,
+                                inf.attempt,
+                                EvalOutcome::TimedOut,
                             ) {
-                                if let Some(p) = commit {
-                                    let t = deadline.max(trace.total_time());
-                                    telemetry.set_now(t);
-                                    telemetry.emit_at_with(t, || Event::EvalFinished {
-                                        task,
-                                        worker,
-                                        value: p,
-                                    });
-                                    data.push(x, p);
-                                    trace.record(t, p);
+                                Told::Backoff { .. } => {}
+                                Told::Committed | Told::Dropped => {
+                                    issue_new(&mut session, &mut issued_at, policy);
                                 }
-                                resolved += 1;
-                            } else {
-                                continue;
                             }
-                            if issued < max_evals {
-                                issue_new(
-                                    &mut busy,
-                                    &mut inflight,
-                                    &mut issued_at,
-                                    &mut pending,
-                                    &mut issued,
-                                    &data,
-                                    policy,
-                                );
+                        }
+                    }
+
+                    if session.completed() > last_completed {
+                        last_completed = session.completed();
+                        session.clock = epoch.elapsed().as_secs_f64();
+                        if let Some(h) = hook.as_mut() {
+                            if let HookAction::Stop { reason } =
+                                (**h)(&session, &*policy, session.clock)
+                            {
+                                return Err(OptError::ExecutorFailure { reason });
                             }
                         }
                     }
@@ -795,12 +663,8 @@ impl ThreadedExecutor {
         .expect("executor scope panicked");
         run?;
 
-        finish_run_metrics(telemetry, &schedule);
-        Ok(RunResult {
-            data,
-            trace,
-            schedule,
-        })
+        finish_run_metrics(telemetry, session.schedule());
+        Ok(session.into_result())
     }
 }
 
@@ -808,7 +672,7 @@ impl ThreadedExecutor {
 mod tests {
     use super::*;
     use crate::fault::FaultPlan;
-    use crate::{CostedFunction, FaultyBlackBox, SimTimeModel};
+    use crate::{BusyPoint, CostedFunction, Dataset, FaultyBlackBox, SimTimeModel};
     use easybo_opt::Bounds;
 
     struct Walker(f64);

@@ -3,10 +3,12 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
+use easybo_opt::OptError;
 use easybo_telemetry::{Event, Telemetry};
 
 use crate::blackbox::{AttemptContext, EvalOutcome};
-use crate::retry::{FailureAction, RetryPolicy};
+use crate::retry::RetryPolicy;
+use crate::session::{HookAction, SessionHook, SessionState, Told};
 use crate::{BlackBox, BusyPoint, Dataset, RunTrace, Schedule};
 
 /// Batch-selection callback for the synchronous driver: given everything
@@ -23,6 +25,26 @@ pub trait SyncBatchPolicy {
 pub trait AsyncPolicy {
     /// Proposes the next query point for the idle worker.
     fn select_next(&mut self, data: &Dataset, busy: &[BusyPoint]) -> Vec<f64>;
+
+    /// Serializes the policy's mutable state (RNG stream, surrogate
+    /// caches, …) as opaque bytes for checkpointing. `None` — the
+    /// default — means the policy is stateless or does not support
+    /// durable capture; resuming such a policy restarts it fresh.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state previously captured by
+    /// [`AsyncPolicy::snapshot_state`], continuing the policy's
+    /// decision stream bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the bytes are malformed or the
+    /// policy does not support restore.
+    fn restore_state(&mut self, _state: &[u8]) -> Result<(), String> {
+        Err("this policy does not support state restore".to_string())
+    }
 }
 
 /// Blanket impl so closures can serve as synchronous policies in tests.
@@ -98,15 +120,18 @@ struct SimEvent {
 
 #[derive(Debug)]
 enum SimEventKind {
-    /// An attempt's simulated completion (successful or not).
+    /// An attempt's simulated completion (successful or not). The
+    /// query point lives in the session's in-flight table, keyed by
+    /// task — which is what makes the heap reconstructible from a
+    /// snapshot on resume.
     Finish {
-        x: Vec<f64>,
         value: f64,
         attempt: usize,
         outcome: EvalOutcome,
     },
-    /// A backoff expiry: begin the next attempt of a failed task.
-    Retry { x: Vec<f64>, attempt: usize },
+    /// A backoff expiry: begin the next attempt of a failed task (the
+    /// point and attempt number live in the session's backoff table).
+    Retry,
 }
 
 impl PartialEq for SimEvent {
@@ -133,20 +158,15 @@ impl Ord for SimEvent {
 }
 
 /// Mutable state of one asynchronous resilient run; methods implement
-/// the discrete-event transitions so the driver loop stays linear.
+/// the discrete-event transitions so the driver loop stays linear. All
+/// durable bookkeeping lives in the [`SessionState`]; only the event
+/// heap (reconstructible from the session) is driver-local.
 struct AsyncDriver<'a> {
     bb: &'a dyn BlackBox,
     retry: &'a RetryPolicy,
     telemetry: &'a Telemetry,
-    data: Dataset,
-    trace: RunTrace,
-    schedule: Schedule,
-    pending: VecDeque<Vec<f64>>,
-    busy: Vec<BusyPoint>,
+    session: SessionState,
     heap: BinaryHeap<SimEvent>,
-    /// Tasks issued so far (attempts of the same task share one id).
-    issued_tasks: usize,
-    max_evals: usize,
     seq: usize,
 }
 
@@ -155,13 +175,10 @@ impl AsyncDriver<'_> {
     /// fresh policy proposal.
     fn start_task(&mut self, worker: usize, now: f64, policy: &mut dyn AsyncPolicy) {
         self.telemetry.set_now(now);
-        let x = match self.pending.pop_front() {
-            Some(x) => x,
-            None => policy.select_next(&self.data, &self.busy),
+        let Some(s) = self.session.ask(policy) else {
+            return;
         };
-        let task = self.issued_tasks;
-        self.issued_tasks += 1;
-        self.begin_attempt(worker, now, task, x, 1);
+        self.begin_attempt(worker, now, s.task, s.x, s.attempt);
     }
 
     /// Runs one attempt of `task` on `worker`: evaluates eagerly,
@@ -193,14 +210,11 @@ impl AsyncDriver<'_> {
             }
         }
         let finish = now + cost;
-        self.schedule
+        self.session
+            .schedule
             .add_with(worker, task, now, finish, !outcome.is_ok());
-        self.busy.push(BusyPoint {
-            x: x.clone(),
-            task,
-            worker,
-            finish_time: finish,
-        });
+        self.session
+            .begin(task, attempt, x, worker, Some(now), finish);
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(SimEvent {
@@ -209,7 +223,6 @@ impl AsyncDriver<'_> {
             task,
             seq,
             kind: SimEventKind::Finish {
-                x,
                 value: e.value,
                 attempt,
                 outcome,
@@ -225,82 +238,46 @@ impl AsyncDriver<'_> {
         time: f64,
         worker: usize,
         task: usize,
-        x: Vec<f64>,
         value: f64,
         attempt: usize,
         outcome: EvalOutcome,
         policy: &mut dyn AsyncPolicy,
     ) {
-        self.busy.retain(|bp| bp.task != task);
+        let Some(inf) = self.session.take_inflight(task) else {
+            return;
+        };
         self.telemetry.set_now(time);
-        let terminal = attempt >= self.retry.max_attempts;
-        // `Record` keeps the legacy contract: an exhausted task is
-        // committed with whatever value it produced, even non-finite.
-        if outcome.is_ok() || (terminal && self.retry.on_exhausted == FailureAction::Record) {
-            self.commit(time, worker, task, value, x);
-            self.refill(worker, time, policy);
-            return;
-        }
-        let reason = outcome.describe();
-        self.telemetry.emit_at_with(time, || Event::EvalFailed {
-            task,
+        match self.session.tell(
+            self.retry,
+            self.telemetry,
+            time,
             worker,
-            attempt,
-            reason: reason.clone(),
-        });
-        self.telemetry.incr("eval_failures", 1);
-        if outcome == EvalOutcome::TimedOut {
-            self.telemetry.incr("eval_timeouts", 1);
-        }
-        if !terminal {
-            let delay = self.retry.delay(attempt);
-            let next_attempt = attempt + 1;
-            self.telemetry.emit_at_with(time, || Event::EvalRetried {
-                task,
-                attempt: next_attempt,
-                delay,
-            });
-            self.telemetry.incr("eval_retries", 1);
-            let seq = self.seq;
-            self.seq += 1;
-            // The worker backs off with its task: the retry runs on the
-            // same worker once the delay elapses.
-            self.heap.push(SimEvent {
-                time: time + delay,
-                worker,
-                task,
-                seq,
-                kind: SimEventKind::Retry {
-                    x,
-                    attempt: next_attempt,
-                },
-            });
-            return;
-        }
-        if let FailureAction::Penalty(p) = self.retry.on_exhausted {
-            // The synthetic observation is a real completion as far as
-            // the trace and its JSONL reconstruction are concerned.
-            self.commit(time, worker, task, p, x);
-        }
-        self.refill(worker, time, policy);
-    }
-
-    /// Commits an observation: `EvalFinished`, dataset, trace.
-    fn commit(&mut self, time: f64, worker: usize, task: usize, value: f64, x: Vec<f64>) {
-        self.telemetry.emit_at_with(time, || Event::EvalFinished {
             task,
-            worker,
+            inf.x,
             value,
-        });
-        self.data.push(x, value);
-        self.trace.record(time, value);
+            attempt,
+            outcome,
+        ) {
+            Told::Committed | Told::Dropped => self.refill(worker, time, policy),
+            Told::Backoff { due } => {
+                let seq = self.seq;
+                self.seq += 1;
+                // The worker backs off with its task: the retry runs on
+                // the same worker once the delay elapses.
+                self.heap.push(SimEvent {
+                    time: due,
+                    worker,
+                    task,
+                    seq,
+                    kind: SimEventKind::Retry,
+                });
+            }
+        }
     }
 
     /// Hands `worker` a new task if the budget allows.
     fn refill(&mut self, worker: usize, now: f64, policy: &mut dyn AsyncPolicy) {
-        if self.issued_tasks < self.max_evals {
-            self.start_task(worker, now, policy);
-        }
+        self.start_task(worker, now, policy);
     }
 }
 
@@ -473,48 +450,160 @@ impl VirtualExecutor {
         retry: &RetryPolicy,
         telemetry: &Telemetry,
     ) -> RunResult {
+        let session = SessionState::new(self.workers, max_evals, init);
+        match self.drive(bb, session, policy, retry, telemetry, None, false) {
+            Ok(result) => result,
+            // Only a session hook can abort the run, and there is none.
+            Err(e) => unreachable!("hookless run cannot abort: {e}"),
+        }
+    }
+
+    /// [`VirtualExecutor::run_async_resilient`] over an explicit
+    /// [`SessionState`], with an optional [`SessionHook`] invoked after
+    /// every completed observation (the seam checkpoint writers and
+    /// chaos plans plug into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::ExecutorFailure`] when the hook aborts the
+    /// run via [`HookAction::Stop`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_session_resilient(
+        &self,
+        bb: &dyn BlackBox,
+        init: &[Vec<f64>],
+        max_evals: usize,
+        policy: &mut dyn AsyncPolicy,
+        retry: &RetryPolicy,
+        telemetry: &Telemetry,
+        hook: Option<&mut SessionHook<'_>>,
+    ) -> Result<RunResult, OptError> {
+        let session = SessionState::new(self.workers, max_evals, init);
+        self.drive(bb, session, policy, retry, telemetry, hook, false)
+    }
+
+    /// Continues a previously captured session to completion: every
+    /// in-flight attempt is re-issued at its recorded worker/start (a
+    /// pure re-evaluation, reproducing its span, busy point, and finish
+    /// event bit-for-bit), pending backoffs are turned back into retry
+    /// events, and the run proceeds as if never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::ExecutorFailure`] when the session was
+    /// captured under a different worker count, or when the hook aborts
+    /// the run via [`HookAction::Stop`].
+    pub fn resume_session_resilient(
+        &self,
+        bb: &dyn BlackBox,
+        session: SessionState,
+        policy: &mut dyn AsyncPolicy,
+        retry: &RetryPolicy,
+        telemetry: &Telemetry,
+        hook: Option<&mut SessionHook<'_>>,
+    ) -> Result<RunResult, OptError> {
+        self.drive(bb, session, policy, retry, telemetry, hook, true)
+    }
+
+    /// The discrete-event loop shared by fresh and resumed runs.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &self,
+        bb: &dyn BlackBox,
+        session: SessionState,
+        policy: &mut dyn AsyncPolicy,
+        retry: &RetryPolicy,
+        telemetry: &Telemetry,
+        mut hook: Option<&mut SessionHook<'_>>,
+        resume: bool,
+    ) -> Result<RunResult, OptError> {
         let b = self.workers;
+        if session.workers() != b {
+            return Err(OptError::ExecutorFailure {
+                reason: format!(
+                    "session captured with {} workers cannot run on {b}",
+                    session.workers()
+                ),
+            });
+        }
         let mut d = AsyncDriver {
             bb,
             retry,
             telemetry,
-            data: Dataset::new(),
-            trace: RunTrace::new(),
-            schedule: Schedule::new(b),
-            pending: init.iter().take(max_evals).cloned().collect(),
-            busy: Vec::new(),
+            session,
             heap: BinaryHeap::new(),
-            issued_tasks: 0,
-            max_evals,
             seq: 0,
         };
 
-        for w in 0..b {
-            if d.issued_tasks >= max_evals {
-                break;
+        if resume {
+            // Re-issue every interrupted attempt at its recorded
+            // worker/start: re-evaluation is pure, so the span, busy
+            // point, and finish event all come back bit-identical.
+            // Attempts never started (threaded captures) restart at the
+            // capture clock on a deterministic worker.
+            let inflight = std::mem::take(&mut d.session.inflight);
+            let clock = d.session.clock();
+            for inf in inflight {
+                let (worker, start) = inf.started.unwrap_or((inf.task % b, clock));
+                d.begin_attempt(worker, start, inf.task, inf.x, inf.attempt);
             }
-            d.start_task(w, 0.0, policy);
+            // Pending backoffs become retry events again; the records
+            // stay in the session (the event loop consumes them).
+            let waiting: Vec<(f64, usize, usize)> = d
+                .session
+                .backoffs()
+                .iter()
+                .map(|r| (r.due, r.worker, r.task))
+                .collect();
+            for (due, worker, task) in waiting {
+                let seq = d.seq;
+                d.seq += 1;
+                d.heap.push(SimEvent {
+                    time: due,
+                    worker,
+                    task,
+                    seq,
+                    kind: SimEventKind::Retry,
+                });
+            }
+        } else {
+            for w in 0..b {
+                if d.session.issued() >= d.session.max_evals() {
+                    break;
+                }
+                d.start_task(w, 0.0, policy);
+            }
         }
+        let mut last_completed = d.session.completed();
         while let Some(ev) = d.heap.pop() {
+            d.session.clock = ev.time;
             match ev.kind {
                 SimEventKind::Finish {
-                    x,
                     value,
                     attempt,
                     outcome,
-                } => d.on_finish(
-                    ev.time, ev.worker, ev.task, x, value, attempt, outcome, policy,
-                ),
-                SimEventKind::Retry { x, attempt } => {
-                    d.begin_attempt(ev.worker, ev.time, ev.task, x, attempt)
+                } => d.on_finish(ev.time, ev.worker, ev.task, value, attempt, outcome, policy),
+                SimEventKind::Retry => {
+                    if let Some(r) = d.session.take_backoff(ev.task) {
+                        d.begin_attempt(ev.worker, ev.time, ev.task, r.x, r.attempt);
+                    }
+                }
+            }
+            if d.session.completed() > last_completed {
+                last_completed = d.session.completed();
+                if let Some(h) = hook.as_mut() {
+                    if let HookAction::Stop { reason } = (**h)(&d.session, &*policy, ev.time) {
+                        return Err(OptError::ExecutorFailure { reason });
+                    }
                 }
             }
         }
-        let (data, trace, schedule) = (d.data, d.trace, d.schedule);
+        let session = d.session;
         if telemetry.enabled() {
-            let makespan = schedule.makespan();
+            let makespan = session.schedule().makespan();
             for w in 0..b {
-                let busy_w: f64 = schedule
+                let busy_w: f64 = session
+                    .schedule()
                     .worker_spans(w)
                     .iter()
                     .map(|s| s.end - s.start)
@@ -525,12 +614,8 @@ impl VirtualExecutor {
                 }
             }
         }
-        finish_run_metrics(telemetry, &schedule);
-        RunResult {
-            data,
-            trace,
-            schedule,
-        }
+        finish_run_metrics(telemetry, session.schedule());
+        Ok(session.into_result())
     }
 
     /// Runs **sequential** optimization (one worker, one point at a time):
@@ -570,6 +655,7 @@ pub(crate) fn finish_run_metrics(telemetry: &Telemetry, schedule: &Schedule) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::retry::FailureAction;
     use crate::{CostedFunction, SimTimeModel};
     use easybo_opt::Bounds;
 

@@ -39,7 +39,7 @@ mod train;
 
 pub use error::GpError;
 pub use kernel::{ArdKernel, KernelFamily};
-pub use model::{Gp, GpConfig, Prediction};
+pub use model::{Gp, GpConfig, GpState, Prediction};
 pub use scaler::YScaler;
 pub use train::TrainConfig;
 

@@ -46,6 +46,42 @@ impl Prediction {
     }
 }
 
+/// Exact raw-parts capture of a fitted [`Gp`], produced by
+/// [`Gp::state`] and consumed by [`Gp::from_state`].
+///
+/// Every float is carried verbatim — including the cached Cholesky
+/// factor and `α = K⁻¹ z` — because a model grown incrementally with
+/// [`Gp::extend_observed`]/[`Gp::augment`] is *not* bit-identical to
+/// one refactorized from scratch, and checkpoint/resume must continue
+/// the run bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpState {
+    /// Kernel family.
+    pub kernel: KernelFamily,
+    /// Input dimensionality.
+    pub dim: usize,
+    /// Kernel hyperparameters `[log ℓ…, log σ_f²]`.
+    pub theta: Vec<f64>,
+    /// Log noise variance (standardized target space).
+    pub log_noise: f64,
+    /// Training inputs (raw), including pseudo-points past `n_real`.
+    pub x: Vec<Vec<f64>>,
+    /// Standardized targets.
+    pub z: Vec<f64>,
+    /// Target-scaler mean.
+    pub scaler_mean: f64,
+    /// Target-scaler std.
+    pub scaler_std: f64,
+    /// Cached Cholesky factor `L`, row-major `n×n`.
+    pub chol_factor: Vec<f64>,
+    /// Diagonal jitter the factorization settled on.
+    pub chol_jitter: f64,
+    /// Cached weight vector `α = K⁻¹ z`.
+    pub alpha: Vec<f64>,
+    /// Number of real (non-hallucinated) observations.
+    pub n_real: usize,
+}
+
 /// A fitted Gaussian process regression model (Eq. 2 of the paper).
 ///
 /// Construction always succeeds into a usable posterior or fails loudly:
@@ -270,6 +306,79 @@ impl Gp {
     /// The target scaler fitted to the training data.
     pub fn scaler(&self) -> &YScaler {
         &self.scaler
+    }
+
+    /// Captures the complete model state, bit-for-bit, for
+    /// checkpointing. See [`GpState`].
+    pub fn state(&self) -> GpState {
+        GpState {
+            kernel: self.kernel.family(),
+            dim: self.kernel.dim(),
+            theta: self.theta.clone(),
+            log_noise: self.log_noise,
+            x: self.x.clone(),
+            z: self.z.as_slice().to_vec(),
+            scaler_mean: self.scaler.mean(),
+            scaler_std: self.scaler.std(),
+            chol_factor: self.chol.factor().as_slice().to_vec(),
+            chol_jitter: self.chol.jitter(),
+            alpha: self.alpha.as_slice().to_vec(),
+            n_real: self.n_real,
+        }
+    }
+
+    /// Rebuilds a model from a captured [`GpState`]. The result
+    /// continues every computation (predictions, incremental extends,
+    /// augmentation) exactly where the captured model left off.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::BadHyperParameters`] if `theta` has the wrong
+    ///   length for the kernel.
+    /// * [`GpError::InconsistentData`] if the part lengths disagree.
+    /// * [`GpError::Linalg`] if the Cholesky factor cannot be rebuilt.
+    pub fn from_state(state: GpState) -> crate::Result<Self> {
+        let kernel = ArdKernel::new(state.kernel, state.dim);
+        if state.theta.len() != kernel.n_theta() {
+            return Err(GpError::BadHyperParameters {
+                expected: kernel.n_theta(),
+                actual: state.theta.len(),
+            });
+        }
+        let n = state.x.len();
+        if state.z.len() != n || state.alpha.len() != n {
+            return Err(GpError::InconsistentData {
+                detail: format!(
+                    "{} inputs but {} targets / {} alpha entries",
+                    n,
+                    state.z.len(),
+                    state.alpha.len()
+                ),
+            });
+        }
+        if state.n_real > n {
+            return Err(GpError::InconsistentData {
+                detail: format!("n_real {} exceeds {} training points", state.n_real, n),
+            });
+        }
+        if state.x.iter().any(|row| row.len() != state.dim) {
+            return Err(GpError::InconsistentData {
+                detail: format!("input rows must all have {} dims", state.dim),
+            });
+        }
+        let l = Matrix::from_vec(n, n, state.chol_factor)?;
+        let chol = Cholesky::from_parts(l, state.chol_jitter)?;
+        Ok(Gp {
+            kernel,
+            theta: state.theta,
+            log_noise: state.log_noise,
+            x: state.x,
+            z: Vector::from(state.z),
+            scaler: YScaler::from_parts(state.scaler_mean, state.scaler_std),
+            chol,
+            alpha: Vector::from(state.alpha),
+            n_real: state.n_real,
+        })
     }
 
     /// Posterior prediction at `x` in raw target units (noise-free latent).
@@ -608,6 +717,57 @@ mod tests {
                 actual: 5
             })
         ));
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let (x, y) = toy_1d();
+        // Grow incrementally so the cached factor differs from a
+        // from-scratch refactorization — the case resume must preserve.
+        let gp = fixed_gp(x, y)
+            .extend_observed(vec![0.55], 2.4)
+            .unwrap()
+            .extend_observed(vec![0.62], 2.1)
+            .unwrap();
+        let rebuilt = Gp::from_state(gp.state()).unwrap();
+        assert_eq!(rebuilt.state(), gp.state());
+        for q in [0.0, 0.31, 0.55, 0.97] {
+            let a = gp.predict(&[q]);
+            let b = rebuilt.predict(&[q]);
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "mean at {q}");
+            assert_eq!(a.variance.to_bits(), b.variance.to_bits(), "var at {q}");
+        }
+        // Future incremental growth also continues identically.
+        let g1 = gp.extend_observed(vec![0.8], 1.9).unwrap();
+        let g2 = rebuilt.extend_observed(vec![0.8], 1.9).unwrap();
+        assert_eq!(g1.state(), g2.state());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_parts() {
+        let (x, y) = toy_1d();
+        let gp = fixed_gp(x, y);
+        let mut s = gp.state();
+        s.alpha.pop();
+        assert!(matches!(
+            Gp::from_state(s),
+            Err(GpError::InconsistentData { .. })
+        ));
+        let mut s = gp.state();
+        s.theta.push(0.0);
+        assert!(matches!(
+            Gp::from_state(s),
+            Err(GpError::BadHyperParameters { .. })
+        ));
+        let mut s = gp.state();
+        s.n_real = s.x.len() + 1;
+        assert!(matches!(
+            Gp::from_state(s),
+            Err(GpError::InconsistentData { .. })
+        ));
+        let mut s = gp.state();
+        s.chol_factor.pop();
+        assert!(matches!(Gp::from_state(s), Err(GpError::Linalg(_))));
     }
 
     #[test]

@@ -45,6 +45,14 @@ impl YScaler {
         }
     }
 
+    /// Rebuilds a scaler from its captured ([`YScaler::mean`],
+    /// [`YScaler::std`]) pair — the exact inverse used by
+    /// checkpoint/resume. No degeneracy guard is applied: the parts
+    /// came from a scaler that already passed through [`YScaler::fit`].
+    pub fn from_parts(mean: f64, std: f64) -> Self {
+        YScaler { mean, std }
+    }
+
     /// Mean removed by the transform.
     pub fn mean(&self) -> f64 {
         self.mean
@@ -88,6 +96,14 @@ mod tests {
         assert_eq!(s.transform(3.5), 3.5);
         assert_eq!(s.inverse(3.5), 3.5);
         assert_eq!(s.inverse_variance(2.0), 2.0);
+    }
+
+    #[test]
+    fn from_parts_is_the_exact_inverse_of_the_accessors() {
+        let s = YScaler::fit(&[1.0, 3.0, 5.0, 700.0]);
+        let rebuilt = YScaler::from_parts(s.mean(), s.std());
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.transform(2.5).to_bits(), s.transform(2.5).to_bits());
     }
 
     #[test]

@@ -89,6 +89,33 @@ impl Cholesky {
         Self::factorize(a, 0.0).map(|l| Cholesky { l, jitter: 0.0 })
     }
 
+    /// Rebuilds a factorization from a previously computed factor `l`
+    /// and the `jitter` that produced it — the exact inverse of
+    /// ([`Cholesky::factor`], [`Cholesky::jitter`]). Used by
+    /// checkpoint/resume, where re-running the factorization is not
+    /// bit-identical to a factor that was grown incrementally with
+    /// [`Cholesky::extend`].
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `l` is not square.
+    /// * [`LinalgError::NonFinite`] if `l` or `jitter` is NaN/inf.
+    pub fn from_parts(l: Matrix, jitter: f64) -> crate::Result<Self> {
+        if !l.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: l.rows(),
+                cols: l.cols(),
+            });
+        }
+        l.ensure_finite("Cholesky factor")?;
+        if !jitter.is_finite() {
+            return Err(LinalgError::NonFinite {
+                context: "Cholesky jitter".to_string(),
+            });
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
     fn factorize(a: &Matrix, jitter: f64) -> crate::Result<Matrix> {
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
@@ -496,6 +523,29 @@ mod tests {
         let full = Cholesky::new_exact(&big).unwrap();
         assert!((&c.reconstruct() - &full.reconstruct()).frobenius_norm() < 1e-9);
         assert!((c.log_det() - full.log_det()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let a = spd(6, 23);
+        let mut c = Cholesky::new(&a).unwrap();
+        // Grow incrementally so the factor is NOT reproducible by
+        // refactorizing — exactly the case resume has to handle.
+        let cross = Vector::from_iter((0..6).map(|i| a[(i, 0)] * 0.5));
+        c.extend(&cross, a[(0, 0)] + 1.0).unwrap();
+        let rebuilt = Cholesky::from_parts(c.factor().clone(), c.jitter()).unwrap();
+        assert_eq!(rebuilt, c);
+        let b = Vector::from_iter((0..7).map(|i| i as f64 - 3.0));
+        assert_eq!(rebuilt.solve_vec(&b).as_slice(), c.solve_vec(&b).as_slice());
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_input() {
+        assert!(Cholesky::from_parts(Matrix::zeros(2, 3), 0.0).is_err());
+        assert!(Cholesky::from_parts(Matrix::zeros(2, 2), f64::NAN).is_err());
+        let mut m = Matrix::identity(2);
+        m[(1, 1)] = f64::INFINITY;
+        assert!(Cholesky::from_parts(m, 0.0).is_err());
     }
 
     #[test]

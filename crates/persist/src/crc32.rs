@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for section
+//! checksums. Table-driven, computed once at first use.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data`, matching `zlib.crc32` / `binascii.crc32`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"easybo snapshot payload".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

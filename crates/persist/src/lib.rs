@@ -1,0 +1,56 @@
+//! Durable checkpoint/resume for EasyBO optimization runs.
+//!
+//! Analog-sizing runs burn hours to days of simulator time; a crashed
+//! coordinator must not discard them. This crate serializes the
+//! complete state of an asynchronous session — the observed dataset,
+//! best-so-far trace, committed schedule, in-flight attempts, retry
+//! backoffs, run clock, and the policy's opaque state (RNG stream, GP
+//! hyperparameters, standardization scalers) — into a versioned,
+//! checksummed, atomically written snapshot file.
+//!
+//! Design rules:
+//!
+//! * **Hermetic**: `std` only. Scalars are stored as exact bit patterns
+//!   (`f64::to_bits`), so restore is bit-identical and a resumed run
+//!   reproduces the uninterrupted run's trace byte for byte.
+//! * **Corruption-safe**: an 8-byte magic, a format version, and a
+//!   CRC-32 per section turn any damage into a structured
+//!   [`PersistError`] instead of a panic or a silently wrong resume.
+//! * **Atomic**: writes land in a temp file that is fsynced and
+//!   renamed over the target, so a crash mid-checkpoint preserves the
+//!   previous snapshot.
+//! * **Layered**: this crate depends only on `easybo-exec` (for the
+//!   plain-data [`easybo_exec::SessionParts`]); the `easybo` core crate
+//!   layers policy/GP capture on top via an opaque `policy` byte
+//!   section, keeping executors free of any persistence dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use easybo_exec::SessionParts;
+//! use easybo_persist::{load_snapshot, save_snapshot, RunSnapshot};
+//!
+//! let snap = RunSnapshot {
+//!     config_fingerprint: 42,
+//!     session: SessionParts::default(),
+//!     policy: None,
+//! };
+//! let path = std::env::temp_dir().join("easybo-doc-example.snap");
+//! save_snapshot(&path, &snap).unwrap();
+//! let back = load_snapshot(&path).unwrap();
+//! assert_eq!(back, snap);
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+mod codec;
+mod crc32;
+mod error;
+mod snapshot;
+
+pub use codec::{ByteReader, ByteWriter};
+pub use crc32::crc32;
+pub use error::PersistError;
+pub use snapshot::{
+    decode_session, decode_snapshot, encode_session, encode_snapshot, load_snapshot, save_snapshot,
+    RunSnapshot, FORMAT_VERSION, MAGIC,
+};

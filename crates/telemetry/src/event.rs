@@ -96,6 +96,20 @@ pub enum Event {
         /// Task it was evaluating when it died.
         task: usize,
     },
+    /// A durable run snapshot was written to disk.
+    CheckpointWritten {
+        /// Completed observations captured in the snapshot.
+        completed: usize,
+        /// Size of the snapshot file in bytes.
+        bytes: usize,
+    },
+    /// A run was rebuilt from a snapshot and is continuing.
+    RunResumed {
+        /// Completed observations restored from the snapshot.
+        completed: usize,
+        /// Interrupted in-flight tasks that will be re-issued.
+        inflight: usize,
+    },
 }
 
 impl Event {
@@ -112,6 +126,8 @@ impl Event {
             Event::EvalFailed { .. } => "EvalFailed",
             Event::EvalRetried { .. } => "EvalRetried",
             Event::WorkerCrashed { .. } => "WorkerCrashed",
+            Event::CheckpointWritten { .. } => "CheckpointWritten",
+            Event::RunResumed { .. } => "RunResumed",
         }
     }
 }

@@ -91,6 +91,14 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             worker: usize_field(line, "worker")?,
             task: usize_field(line, "task")?,
         },
+        "CheckpointWritten" => Event::CheckpointWritten {
+            completed: usize_field(line, "completed")?,
+            bytes: usize_field(line, "bytes")?,
+        },
+        "RunResumed" => Event::RunResumed {
+            completed: usize_field(line, "completed")?,
+            inflight: usize_field(line, "inflight")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(TimedEvent { time, event })
@@ -235,6 +243,20 @@ mod tests {
         roundtrip(TimedEvent {
             time: 7.0,
             event: Event::WorkerCrashed { worker: 0, task: 4 },
+        });
+        roundtrip(TimedEvent {
+            time: 8.0,
+            event: Event::CheckpointWritten {
+                completed: 12,
+                bytes: 4096,
+            },
+        });
+        roundtrip(TimedEvent {
+            time: 0.0,
+            event: Event::RunResumed {
+                completed: 12,
+                inflight: 3,
+            },
         });
     }
 

@@ -38,6 +38,10 @@ pub struct SummaryData {
     pub evals_retried: usize,
     /// `WorkerCrashed` count (workers permanently lost).
     pub worker_crashes: usize,
+    /// `CheckpointWritten` count (durable snapshots on disk).
+    pub checkpoints_written: usize,
+    /// `RunResumed` count (snapshot restores feeding this run).
+    pub resumes: usize,
 }
 
 impl SummaryData {
@@ -63,6 +67,8 @@ impl SummaryData {
             Event::EvalFailed { .. } => self.evals_failed += 1,
             Event::EvalRetried { .. } => self.evals_retried += 1,
             Event::WorkerCrashed { .. } => self.worker_crashes += 1,
+            Event::CheckpointWritten { .. } => self.checkpoints_written += 1,
+            Event::RunResumed { .. } => self.resumes += 1,
         }
     }
 }

@@ -128,6 +128,15 @@ pub fn to_json_line(ev: &TimedEvent) -> String {
         Event::WorkerCrashed { worker, task } => {
             let _ = write!(s, ",\"worker\":{worker},\"task\":{task}");
         }
+        Event::CheckpointWritten { completed, bytes } => {
+            let _ = write!(s, ",\"completed\":{completed},\"bytes\":{bytes}");
+        }
+        Event::RunResumed {
+            completed,
+            inflight,
+        } => {
+            let _ = write!(s, ",\"completed\":{completed},\"inflight\":{inflight}");
+        }
     }
     s.push('}');
     s

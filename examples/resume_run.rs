@@ -1,0 +1,85 @@
+//! Kill and resume: a run dies mid-flight and a fresh process finishes
+//! it from the last snapshot, byte-identical to never having died.
+//!
+//! ```sh
+//! cargo run --release -p easybo-integration --example resume_run
+//! ```
+//!
+//! Three acts:
+//! 1. an uninterrupted baseline run (the ground truth);
+//! 2. the same run with checkpointing on, killed after 14 of 40
+//!    evaluations via the built-in fault injector `abort_after_evals`
+//!    (same effect as `kill -9` between two completions);
+//! 3. a *fresh* optimizer — same configuration, no shared memory —
+//!    resuming from the snapshot and running to completion.
+//!
+//! The resumed run's best-so-far trace CSV must equal the baseline's
+//! byte for byte: in-flight simulations recorded in the snapshot are
+//! re-issued at their recorded start times, the policy's RNG stream and
+//! GP factorization continue exactly where they stopped.
+
+use easybo::{EasyBo, Telemetry};
+use easybo_opt::Bounds;
+
+fn objective(x: &[f64]) -> f64 {
+    0.8 * (-((x[0] + 1.0).powi(2) + (x[1] - 1.0).powi(2))).exp()
+        + (-((x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2))).exp()
+}
+
+/// Same configuration every time — `resume` fingerprints it and refuses
+/// snapshots from a different setup.
+fn configure() -> Result<EasyBo, Box<dyn std::error::Error>> {
+    let bounds = Bounds::new(vec![(-3.0, 3.0), (-3.0, 3.0)])?;
+    let mut opt = EasyBo::new(bounds);
+    opt.batch_size(4).initial_points(10).max_evals(40).seed(7);
+    Ok(opt)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let snap = std::env::temp_dir().join(format!("easybo-example-{}.snap", std::process::id()));
+
+    // Act 1 — the uninterrupted run.
+    let baseline = configure()?.run(objective)?;
+    println!(
+        "baseline:  {} evals, best {:.4} at ({:.3}, {:.3})",
+        baseline.data.len(),
+        baseline.best_value,
+        baseline.best_x[0],
+        baseline.best_x[1]
+    );
+
+    // Act 2 — same run, snapshot every 3 completions, killed at 14/40.
+    let (telemetry, recorder) = Telemetry::recording();
+    let mut doomed = configure()?;
+    doomed
+        .telemetry(telemetry)
+        .checkpoint_to(&snap)
+        .checkpoint_every(3)
+        .abort_after_evals(14);
+    let err = doomed.run(objective).unwrap_err();
+    let checkpoints = recorder
+        .events()
+        .iter()
+        .filter(|e| e.event.kind() == "CheckpointWritten")
+        .count();
+    println!("killed:    {err}");
+    println!("           {checkpoints} checkpoints written, last one survives the crash");
+
+    // Act 3 — a fresh process picks up the snapshot and finishes.
+    let resumed = configure()?.resume(&snap, objective)?;
+    std::fs::remove_file(&snap).ok();
+    println!(
+        "resumed:   {} evals, best {:.4} at ({:.3}, {:.3})",
+        resumed.data.len(),
+        resumed.best_value,
+        resumed.best_x[0],
+        resumed.best_x[1]
+    );
+
+    // The headline invariant: dying was a non-event.
+    assert_eq!(resumed.trace.to_csv(), baseline.trace.to_csv());
+    assert_eq!(resumed.data, baseline.data);
+    assert_eq!(resumed.best_x, baseline.best_x);
+    println!("trace CSV, dataset, and optimum are byte-identical to the baseline");
+    Ok(())
+}

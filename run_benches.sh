@@ -11,3 +11,4 @@ cargo bench -p easybo-bench --bench fig6_class_e_trace
 cargo bench -p easybo-bench --bench micro
 cargo bench -p easybo-bench --bench hotpath
 cargo bench -p easybo-bench --bench faults
+cargo bench -p easybo-bench --bench checkpoint

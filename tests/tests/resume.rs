@@ -1,0 +1,429 @@
+//! Kill-and-resume determinism suite for the checkpoint subsystem.
+//!
+//! The headline invariant: a run killed at an *arbitrary* point and
+//! resumed from its last snapshot produces a final best-so-far trace
+//! byte-identical to the uninterrupted run — across seeds, kill points,
+//! and parallelism levels, with and without fault injection. Plus
+//! property tests over the snapshot codec and a committed golden file
+//! pinning format version 1 on disk.
+
+use easybo::{EasyBo, EasyBoError, Telemetry};
+use easybo_exec::{
+    CostedFunction, FaultPlan, FaultyBlackBox, InFlightTask, PendingBackoff, RetryPolicy,
+    SessionParts, SimTimeModel, TaskSpan,
+};
+use easybo_opt::Bounds;
+use easybo_persist::{
+    decode_session, decode_snapshot, encode_session, encode_snapshot, load_snapshot, save_snapshot,
+    RunSnapshot,
+};
+use proptest::prelude::*;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("easybo-resume-{}-{name}.snap", std::process::id()))
+}
+
+fn objective(x: &[f64]) -> f64 {
+    (-((x[0] - 0.35).powi(2) + (x[1] - 0.65).powi(2))).exp()
+}
+
+fn optimizer(seed: u64, batch: usize) -> EasyBo {
+    let bounds = Bounds::unit_cube(2).unwrap();
+    let mut opt = EasyBo::new(bounds);
+    opt.batch_size(batch)
+        .initial_points(6)
+        .max_evals(18)
+        .seed(seed);
+    opt
+}
+
+/// Headline invariant: seeds {0, 1, 2} × kill points {early, mid, late}
+/// × parallelism {1, 8}. Every resumed run's trace CSV must be
+/// byte-identical to the uninterrupted baseline's.
+#[test]
+fn killed_and_resumed_runs_reproduce_uninterrupted_traces() {
+    for &batch in &[1usize, 8] {
+        for seed in 0..3u64 {
+            let baseline = optimizer(seed, batch).run(objective).unwrap();
+            for &(label, kill) in &[("early", 7usize), ("mid", 12), ("late", 16)] {
+                let path = tmp(&format!("headline-{batch}-{seed}-{label}"));
+                let mut killed = optimizer(seed, batch);
+                killed
+                    .checkpoint_to(&path)
+                    .checkpoint_every(2)
+                    .abort_after_evals(kill);
+                let err = killed.run(objective).unwrap_err();
+                assert!(
+                    matches!(err, EasyBoError::Opt(_)),
+                    "kill should abort: {err}"
+                );
+
+                let resumed = optimizer(seed, batch).resume(&path, objective).unwrap();
+                std::fs::remove_file(&path).ok();
+
+                let tag = format!("seed {seed} batch {batch} kill {label}");
+                assert_eq!(
+                    resumed.trace.to_csv(),
+                    baseline.trace.to_csv(),
+                    "trace diverged: {tag}"
+                );
+                assert_eq!(resumed.data, baseline.data, "dataset diverged: {tag}");
+                assert_eq!(resumed.best_x, baseline.best_x, "best diverged: {tag}");
+            }
+        }
+    }
+}
+
+/// Checkpointing disabled (the default) uses the legacy entry point;
+/// enabling it must not perturb the trajectory either — the hook is a
+/// pure observer. Both must match bit for bit.
+#[test]
+fn checkpointing_never_perturbs_the_run() {
+    let plain = optimizer(1, 8).run(objective).unwrap();
+    let path = tmp("observer");
+    let mut ckpt = optimizer(1, 8);
+    ckpt.checkpoint_to(&path).checkpoint_every(1);
+    let with_ckpt = ckpt.run(objective).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(plain.data, with_ckpt.data);
+    assert_eq!(plain.trace.to_csv(), with_ckpt.trace.to_csv());
+    assert_eq!(plain.schedule, with_ckpt.schedule);
+}
+
+/// Chaos variant: injected failures + a real retry policy, killed
+/// mid-run with backoffs and in-flight retries pending. Resume must
+/// splice the interrupted retry machinery back together bit-for-bit.
+#[test]
+fn kill_and_resume_with_faults_and_retries_is_bit_identical() {
+    let bounds = Bounds::unit_cube(1).unwrap();
+    let mk_bb = || {
+        let time = SimTimeModel::new(&bounds, 30.0, 0.4, 3);
+        let inner = CostedFunction::new("toy", bounds.clone(), time, |x: &[f64]| {
+            1.0 - (x[0] - 0.6).abs()
+        });
+        FaultyBlackBox::new(
+            inner,
+            FaultPlan {
+                seed: 7,
+                fail_rate: 0.25,
+                ..FaultPlan::default()
+            },
+        )
+    };
+    let mut opt = EasyBo::new(bounds.clone());
+    opt.batch_size(4)
+        .initial_points(6)
+        .max_evals(20)
+        .seed(2)
+        .retry_policy(RetryPolicy::default().max_attempts(6).backoff(3.0, 2.0));
+    let baseline = opt.run_blackbox(&mk_bb()).unwrap();
+
+    let path = tmp("chaos");
+    let mut killed = opt.clone();
+    killed
+        .checkpoint_to(&path)
+        .checkpoint_every(1)
+        .abort_after_evals(9);
+    let _ = killed.run_blackbox(&mk_bb()).unwrap_err();
+
+    let resumed = opt.resume_from(&path, &mk_bb()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(resumed.trace.to_csv(), baseline.trace.to_csv());
+    assert_eq!(resumed.data, baseline.data);
+}
+
+/// Threaded executor: real-time scheduling is not bit-reproducible, so
+/// the contract is no lost work — every checkpointed observation
+/// survives the splice verbatim and the budget completes exactly once.
+#[test]
+fn threaded_kill_and_resume_loses_no_work() {
+    let bounds = Bounds::unit_cube(2).unwrap();
+    let time = SimTimeModel::new(&bounds, 5.0, 0.2, 0);
+    let bb = CostedFunction::new("toy", bounds.clone(), time, objective);
+    let mut opt = EasyBo::new(bounds);
+    opt.batch_size(3).initial_points(6).max_evals(16).seed(3);
+
+    let path = tmp("threaded");
+    let mut killed = opt.clone();
+    killed
+        .checkpoint_to(&path)
+        .checkpoint_every(1)
+        .abort_after_evals(8);
+    let err = killed.run_threaded(&bb, 0.0).unwrap_err();
+    assert!(matches!(err, EasyBoError::Opt(_)), "{err}");
+
+    let snap = load_snapshot(&path).unwrap();
+    let preserved = snap.session.observations.clone();
+    assert!(
+        preserved.len() >= 8,
+        "checkpoint too stale: {}",
+        preserved.len()
+    );
+
+    let r = opt.resume_threaded(&path, &bb, 0.0).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(r.data.len(), 16);
+    for (i, (x, y)) in preserved.iter().enumerate() {
+        assert_eq!(r.data.xs()[i], *x, "observation {i} lost or reordered");
+        assert_eq!(r.data.ys()[i].to_bits(), y.to_bits());
+    }
+}
+
+/// Telemetry contract: checkpoints emit `CheckpointWritten` + counter,
+/// resume emits exactly one `RunResumed` + counter.
+#[test]
+fn checkpoint_and_resume_emit_telemetry() {
+    let path = tmp("telemetry");
+    let (tel, recorder) = Telemetry::recording();
+    let mut opt = optimizer(4, 4);
+    opt.telemetry(tel)
+        .checkpoint_to(&path)
+        .checkpoint_every(3)
+        .abort_after_evals(10);
+    let _ = opt.run(objective).unwrap_err();
+    let events = recorder.events();
+    let written = events
+        .iter()
+        .filter(|e| e.event.kind() == "CheckpointWritten")
+        .count();
+    assert!(written >= 2, "expected several checkpoints, saw {written}");
+
+    let (tel2, rec2) = Telemetry::recording();
+    let mut resumer = optimizer(4, 4);
+    resumer.telemetry(tel2);
+    let r = resumer.resume(&path, objective).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(r.data.len(), 18);
+    let events2 = rec2.events();
+    assert_eq!(
+        events2
+            .iter()
+            .filter(|e| e.event.kind() == "RunResumed")
+            .count(),
+        1
+    );
+    let summary = r.report.summary.expect("telemetry was attached");
+    assert_eq!(summary.resumes, 1);
+}
+
+// ---------------------------------------------------------------------
+// Property tests: the snapshot codec is the identity on bytes.
+// ---------------------------------------------------------------------
+
+/// Splitmix64 stream used to build adversarial session states: every
+/// `f64` field gets a *full-bit-pattern* value, so NaN payloads,
+/// infinities, subnormals and negative zero all flow through the codec.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        f64::from_bits(self.next())
+    }
+
+    fn below(&mut self, n: u64) -> usize {
+        (self.next() % n) as usize
+    }
+
+    fn x(&mut self) -> Vec<f64> {
+        (0..self.below(4)).map(|_| self.f64()).collect()
+    }
+}
+
+fn random_parts(g: &mut Gen) -> SessionParts {
+    SessionParts {
+        workers: 1 + g.below(8),
+        max_evals: g.below(64),
+        issued: g.below(64),
+        resolved: g.below(64),
+        clock: g.f64(),
+        pending: (0..g.below(5)).map(|_| g.x()).collect(),
+        observations: (0..g.below(6)).map(|_| (g.x(), g.f64())).collect(),
+        trace: (0..g.below(6)).map(|_| (g.f64(), g.f64())).collect(),
+        spans: (0..g.below(6))
+            .map(|_| TaskSpan {
+                worker: g.below(8),
+                task: g.below(64),
+                start: g.f64(),
+                end: g.f64(),
+                failed: g.next() & 1 == 1,
+            })
+            .collect(),
+        inflight: (0..g.below(4))
+            .map(|_| InFlightTask {
+                task: g.below(64),
+                attempt: 1 + g.below(4),
+                x: g.x(),
+                started: if g.next() & 1 == 1 {
+                    Some((g.below(8), g.f64()))
+                } else {
+                    None
+                },
+            })
+            .collect(),
+        backoffs: (0..g.below(4))
+            .map(|_| PendingBackoff {
+                due: g.f64(),
+                worker: g.below(8),
+                task: g.below(64),
+                attempt: 1 + g.below(4),
+                x: g.x(),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    /// `encode(decode(encode(s))) == encode(s)` over randomized session
+    /// states — comparing bytes sidesteps NaN's `PartialEq` hole while
+    /// still proving the codec loses nothing.
+    #[test]
+    fn session_encoding_round_trips(seed in 0u64..=u64::MAX) {
+        let parts = random_parts(&mut Gen(seed));
+        let bytes = encode_session(&parts);
+        let back = decode_session(&bytes).unwrap();
+        prop_assert_eq!(encode_session(&back), bytes);
+    }
+
+    /// The full container (magic, version, CRC-checked sections, opaque
+    /// policy blob) round-trips byte-exactly too.
+    #[test]
+    fn snapshot_container_round_trips(seed in 0u64..=u64::MAX) {
+        let mut g = Gen(seed ^ 0xabcd);
+        let policy = if g.next() & 1 == 1 {
+            Some((0..g.below(64)).map(|_| (g.next() & 0xff) as u8).collect())
+        } else {
+            None
+        };
+        let snap = RunSnapshot {
+            config_fingerprint: g.next(),
+            session: random_parts(&mut g),
+            policy,
+        };
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        prop_assert_eq!(encode_snapshot(&back), bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden file: format version 1 as committed bytes on disk.
+// ---------------------------------------------------------------------
+
+/// Deterministic, NaN-free snapshot used for the on-disk golden fixture.
+fn golden_snapshot() -> RunSnapshot {
+    RunSnapshot {
+        config_fingerprint: 0x00c0_ffee_1234_abcd,
+        session: SessionParts {
+            workers: 3,
+            max_evals: 12,
+            issued: 7,
+            resolved: 5,
+            clock: 41.25,
+            pending: vec![vec![0.1, 0.9]],
+            observations: vec![
+                (vec![0.25, 0.75], -0.5),
+                (vec![0.5, 0.5], 0.125),
+                (vec![0.125, 0.625], 0.75),
+                (vec![0.3, 0.2], -1.5),
+                (vec![0.9, 0.1], 0.0625),
+            ],
+            trace: vec![(10.0, -0.5), (20.5, 0.125), (30.75, 0.75)],
+            spans: vec![
+                TaskSpan {
+                    worker: 0,
+                    task: 0,
+                    start: 0.0,
+                    end: 10.0,
+                    failed: false,
+                },
+                TaskSpan {
+                    worker: 1,
+                    task: 1,
+                    start: 0.0,
+                    end: 20.5,
+                    failed: false,
+                },
+                TaskSpan {
+                    worker: 2,
+                    task: 2,
+                    start: 0.0,
+                    end: 15.0,
+                    failed: true,
+                },
+            ],
+            inflight: vec![
+                InFlightTask {
+                    task: 5,
+                    attempt: 1,
+                    x: vec![0.4, 0.6],
+                    started: Some((2, 30.75)),
+                },
+                InFlightTask {
+                    task: 6,
+                    attempt: 2,
+                    x: vec![0.7, 0.3],
+                    started: None,
+                },
+            ],
+            backoffs: vec![PendingBackoff {
+                due: 55.5,
+                worker: 1,
+                task: 4,
+                attempt: 3,
+                x: vec![0.2, 0.8],
+            }],
+        },
+        policy: Some(vec![1, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef]),
+    }
+}
+
+/// The committed `tests/data/golden_v1.snap` must keep decoding for as
+/// long as `FORMAT_VERSION` stays 1. Regenerate (after an *intentional*
+/// layout change, together with a version bump and a migration) with:
+/// `EASYBO_REGEN_GOLDEN=1 cargo test -p easybo-integration --test resume golden`.
+#[test]
+fn golden_v1_snapshot_still_decodes() {
+    let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/data/golden_v1.snap"));
+    let golden = golden_snapshot();
+    if std::env::var("EASYBO_REGEN_GOLDEN").is_ok() {
+        save_snapshot(path, &golden).unwrap();
+    }
+    let loaded = load_snapshot(path).unwrap_or_else(|e| {
+        panic!(
+            "the committed golden v1 snapshot no longer decodes: {e}\n\
+             If the snapshot layout changed intentionally, bump the format \
+             version (easybo_persist::FORMAT_VERSION), keep a migration for \
+             files written by older builds, and regenerate this fixture with \
+             EASYBO_REGEN_GOLDEN=1 cargo test -p easybo-integration --test \
+             resume golden"
+        )
+    });
+    assert_eq!(
+        loaded, golden,
+        "golden v1 snapshot decoded to different contents"
+    );
+}
+
+/// Bit flips anywhere in a snapshot must be *detected* — never a panic,
+/// never a silently wrong resume.
+#[test]
+fn corrupted_snapshots_are_rejected_loudly() {
+    let bytes = encode_snapshot(&golden_snapshot());
+    for idx in [8, 12, bytes.len() / 2, bytes.len() - 1] {
+        let mut bad = bytes.clone();
+        bad[idx] ^= 0x40;
+        assert!(
+            decode_snapshot(&bad).is_err(),
+            "flip at byte {idx} went undetected"
+        );
+    }
+    assert!(decode_snapshot(&bytes[..bytes.len() - 5]).is_err());
+}
