@@ -23,6 +23,12 @@ PROPTEST_CASES=64 cargo test -q -p easybo-integration --test fault_injection
 echo "==> kill-and-resume chaos suite (PROPTEST_CASES=64)"
 PROPTEST_CASES=64 cargo test -q -p easybo-integration --test resume
 
+echo "==> zero-alloc discipline of the disabled telemetry/span path"
+cargo test -q -p easybo-integration --test telemetry_alloc
+
+echo "==> introspection suite: span tracing, scrape endpoint, report gate (PROPTEST_CASES=64)"
+PROPTEST_CASES=64 cargo test -q -p easybo-integration --test introspection
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

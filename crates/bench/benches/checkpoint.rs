@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use easybo::policies::EasyBoAsyncPolicy;
 use easybo::EasyBo;
+use easybo_bench::{bench_report, write_bench_report, BenchRecord};
 use easybo_exec::{CostedFunction, RetryPolicy, SimTimeModel, VirtualExecutor};
 use easybo_opt::{sampling, Bounds};
 use easybo_telemetry::Telemetry;
@@ -42,22 +43,9 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, out.expect("reps >= 1"))
 }
 
-struct Row {
-    name: String,
-    baseline_s: f64,
-    candidate_s: f64,
-    identical: bool,
-}
-
-impl Row {
-    fn overhead(&self) -> f64 {
-        self.candidate_s / self.baseline_s - 1.0
-    }
-}
-
 /// Session driver with no hook vs the legacy resilient loop, full
 /// EasyBO policy (GP refits included).
-fn bench_session_driver(rows: &mut Vec<Row>, reps: usize) {
+fn bench_session_driver(rows: &mut Vec<BenchRecord>, reps: usize) {
     let bounds = Bounds::unit_cube(2).expect("unit cube");
     let time = SimTimeModel::new(&bounds, 20.0, 0.3, 5);
     let bb = CostedFunction::new("toy", bounds.clone(), time, objective);
@@ -76,17 +64,17 @@ fn bench_session_driver(rows: &mut Vec<Row>, reps: usize) {
             .run_session_resilient(&bb, &init, 24, &mut policy, &retry, &telemetry, None)
             .expect("no hook, no abort")
     });
-    rows.push(Row {
-        name: "session_driver_nohook_vs_legacy_loop".into(),
-        baseline_s: legacy_s,
-        candidate_s: session_s,
-        identical: legacy.trace.to_csv() == session.trace.to_csv() && legacy.data == session.data,
-    });
+    rows.push(BenchRecord::from_seconds(
+        "session_driver_nohook_vs_legacy_loop",
+        legacy_s,
+        session_s,
+        legacy.trace.to_csv() == session.trace.to_csv() && legacy.data == session.data,
+    ));
 }
 
 /// Full optimizer run, snapshot every completed evaluation (k = 1, the
 /// worst case) vs checkpointing disabled. Returns the snapshot size.
-fn bench_checkpoint_writes(rows: &mut Vec<Row>, reps: usize) -> u64 {
+fn bench_checkpoint_writes(rows: &mut Vec<BenchRecord>, reps: usize) -> u64 {
     let path = std::env::temp_dir().join(format!("easybo-bench-ckpt-{}.snap", std::process::id()));
     let optimizer = || {
         let mut opt = EasyBo::new(Bounds::unit_cube(2).expect("unit cube"));
@@ -102,12 +90,12 @@ fn bench_checkpoint_writes(rows: &mut Vec<Row>, reps: usize) -> u64 {
     });
     let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     std::fs::remove_file(&path).ok();
-    rows.push(Row {
-        name: "checkpoint_every_1_vs_disabled".into(),
-        baseline_s: off_s,
-        candidate_s: on_s,
-        identical: off.trace.to_csv() == on.trace.to_csv() && off.data == on.data,
-    });
+    rows.push(BenchRecord::from_seconds(
+        "checkpoint_every_1_vs_disabled",
+        off_s,
+        on_s,
+        off.trace.to_csv() == on.trace.to_csv() && off.data == on.data,
+    ));
     snapshot_bytes
 }
 
@@ -130,34 +118,26 @@ fn main() {
         println!(
             "{:<40} {:>12.6} {:>12.6} {:>9.1}% {:>10}",
             r.name,
-            r.baseline_s,
-            r.candidate_s,
+            r.baseline_ns / 1e9,
+            r.candidate_ns / 1e9,
             r.overhead() * 100.0,
             r.identical
         );
     }
     println!("snapshot size at max_evals=24, d=2: {snapshot_bytes} bytes");
 
-    // serde is stubbed in this workspace, so the JSON is formatted by hand.
-    let entries: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\n      \"name\": \"{}\",\n      \"baseline_s\": {:.6},\n      \"candidate_s\": {:.6},\n      \"overhead\": {:.4},\n      \"identical\": {}\n    }}",
-                r.name,
-                r.baseline_s,
-                r.candidate_s,
-                r.overhead(),
-                r.identical
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"checkpoint\",\n  \"reps\": {reps},\n  \"snapshot_bytes\": {snapshot_bytes},\n  \"note\": \"baseline = checkpointing disabled (legacy path), candidate = session driver / snapshot-per-eval; best-of-reps wall clock. Identical rows compare the full best-so-far trace and dataset bit for bit.\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+    let json = bench_report(
+        "checkpoint",
+        reps,
+        &format!(
+            "baseline = checkpointing disabled (legacy path), candidate = session driver / \
+             snapshot-per-eval; best-of-reps wall clock. Identical rows compare the full \
+             best-so-far trace and dataset bit for bit. snapshot_bytes at max_evals=24, \
+             d=2: {snapshot_bytes}."
+        ),
+        &rows,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checkpoint.json");
-    std::fs::write(path, json).expect("write BENCH_checkpoint.json");
+    let path = write_bench_report("BENCH_checkpoint.json", &json);
     println!("wrote {path}");
 
     assert!(

@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+use easybo_bench::{bench_report, host_threads, write_bench_report, BenchRecord};
 use easybo_gp::{Gp, GpConfig, KernelFamily, TrainConfig};
 use easybo_opt::{sampling, Bounds, MultiStartMaximizer, Parallelism};
 use rand::SeedableRng;
@@ -56,21 +57,8 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, out.expect("reps >= 1"))
 }
 
-struct Row {
-    name: String,
-    baseline_s: f64,
-    candidate_s: f64,
-    identical: bool,
-}
-
-impl Row {
-    fn speedup(&self) -> f64 {
-        self.baseline_s / self.candidate_s
-    }
-}
-
 /// predict_batch on `m` probes vs `m` scalar `predict` calls.
-fn bench_predict_batch(rows: &mut Vec<Row>, reps: usize, label: &str, n: usize, d: usize) {
+fn bench_predict_batch(rows: &mut Vec<BenchRecord>, reps: usize, label: &str, n: usize, d: usize) {
     let gp = fitted_gp(n, d);
     let bounds = Bounds::unit_cube(d).expect("unit cube");
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
@@ -84,16 +72,16 @@ fn bench_predict_batch(rows: &mut Vec<Row>, reps: usize, label: &str, n: usize, 
         .iter()
         .zip(&batch)
         .all(|(a, b)| a.mean.to_bits() == b.mean.to_bits());
-    rows.push(Row {
-        name: format!("predict_batch_vs_scalar_{label}_n{n}_d{d}_m256"),
-        baseline_s: scalar_s,
-        candidate_s: batch_s,
+    rows.push(BenchRecord::from_seconds(
+        format!("predict_batch_vs_scalar_{label}_n{n}_d{d}_m256"),
+        scalar_s,
+        batch_s,
         identical,
-    });
+    ));
 }
 
 /// Multi-start acquisition maximization at k=8 vs the sequential path.
-fn bench_parallel_multistart(rows: &mut Vec<Row>, reps: usize, d: usize) {
+fn bench_parallel_multistart(rows: &mut Vec<BenchRecord>, reps: usize, d: usize) {
     let gp = fitted_gp(200, d);
     let bounds = Bounds::unit_cube(d).expect("unit cube");
     let ms = MultiStartMaximizer::new(64.max(44 * d), 8, 100.max(14 * d));
@@ -111,16 +99,16 @@ fn bench_parallel_multistart(rows: &mut Vec<Row>, reps: usize, d: usize) {
     };
     let (seq_s, seq) = time_best(reps, || run(1));
     let (par_s, par) = time_best(reps, || run(8));
-    rows.push(Row {
-        name: format!("parallel_multistart_k8_vs_k1_d{d}"),
-        baseline_s: seq_s,
-        candidate_s: par_s,
-        identical: seq.x == par.x && seq.value.to_bits() == par.value.to_bits(),
-    });
+    rows.push(BenchRecord::from_seconds(
+        format!("parallel_multistart_k8_vs_k1_d{d}"),
+        seq_s,
+        par_s,
+        seq.x == par.x && seq.value.to_bits() == par.value.to_bits(),
+    ));
 }
 
 /// GP hyperparameter training with 8 restart workers vs sequential.
-fn bench_parallel_train(rows: &mut Vec<Row>, reps: usize, n: usize, d: usize) {
+fn bench_parallel_train(rows: &mut Vec<BenchRecord>, reps: usize, n: usize, d: usize) {
     let (xs, ys) = training_data(n, d, 13);
     let fit = |k: usize| {
         let config = GpConfig {
@@ -137,12 +125,12 @@ fn bench_parallel_train(rows: &mut Vec<Row>, reps: usize, n: usize, d: usize) {
     let (par_s, par) = time_best(reps, || fit(8));
     let identical =
         seq.theta() == par.theta() && seq.log_noise().to_bits() == par.log_noise().to_bits();
-    rows.push(Row {
-        name: format!("parallel_train_k8_vs_k1_n{n}_d{d}"),
-        baseline_s: seq_s,
-        candidate_s: par_s,
+    rows.push(BenchRecord::from_seconds(
+        format!("parallel_train_k8_vs_k1_n{n}_d{d}"),
+        seq_s,
+        par_s,
         identical,
-    });
+    ));
 }
 
 fn main() {
@@ -150,10 +138,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
-    let host_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    println!("Hot-path benchmark: {reps} repetitions, {host_threads} host thread(s)");
+    println!(
+        "Hot-path benchmark: {reps} repetitions, {} host thread(s)",
+        host_threads()
+    );
 
     let mut rows = Vec::new();
     // Table I / Table II problem sizes: 10-d op-amp, 12-d class-E PA.
@@ -170,33 +158,23 @@ fn main() {
         println!(
             "{:<48} {:>12.6} {:>12.6} {:>8.2}x {:>10}",
             r.name,
-            r.baseline_s,
-            r.candidate_s,
+            r.baseline_ns / 1e9,
+            r.candidate_ns / 1e9,
             r.speedup(),
             r.identical
         );
     }
 
-    // serde is stubbed in this workspace, so the JSON is formatted by hand.
-    let entries: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\n      \"name\": \"{}\",\n      \"baseline_s\": {:.6},\n      \"candidate_s\": {:.6},\n      \"speedup\": {:.3},\n      \"identical\": {}\n    }}",
-                r.name,
-                r.baseline_s,
-                r.candidate_s,
-                r.speedup(),
-                r.identical
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"reps\": {reps},\n  \"host_threads\": {host_threads},\n  \"note\": \"baseline = scalar/sequential path, candidate = batched/parallel path; best-of-reps wall clock. Thread speedups require host_threads > 1; on a single-core host the parallel rows measure fan-out overhead only, while the predict_batch rows are algorithmic and host-independent.\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+    let json = bench_report(
+        "hotpath",
+        reps,
+        "baseline = scalar/sequential path, candidate = batched/parallel path; best-of-reps \
+         wall clock. Thread speedups require host_threads > 1; on a single-core host the \
+         parallel rows measure fan-out overhead only, while the predict_batch rows are \
+         algorithmic and host-independent.",
+        &rows,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
-    std::fs::write(path, json).expect("write BENCH_hotpath.json");
+    let path = write_bench_report("BENCH_hotpath.json", &json);
     println!("wrote {path}");
 
     assert!(

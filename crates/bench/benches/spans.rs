@@ -1,0 +1,188 @@
+//! Span-instrumentation overhead benchmark.
+//!
+//! Guards the zero-cost contract of the hierarchical span layer along
+//! three axes:
+//!
+//! 1. the per-call cost of opening a span on a *disabled* telemetry
+//!    handle (must be nanoseconds — no allocation, no TLS);
+//! 2. a full optimizer run with the default disabled handle vs the same
+//!    run with a recording handle attached — recording must not perturb
+//!    the optimization trajectory (bit-identical best value), and the
+//!    derived disabled-span overhead (spans-per-run x per-call cost)
+//!    must stay under 2% of the run's wall clock;
+//! 3. the raw recording throughput of an enabled handle.
+//!
+//! Prints a table and writes `BENCH_spans.json` at the repository root
+//! in the shared report schema. Repetition count comes from
+//! `EASYBO_REPS` (default 5); each cell reports the best (minimum)
+//! wall-clock across repetitions.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use easybo::EasyBo;
+use easybo_bench::{bench_report, write_bench_report, BenchRecord};
+use easybo_opt::Bounds;
+use easybo_telemetry::Telemetry;
+
+fn objective(x: &[f64]) -> f64 {
+    (-((x[0] - 0.35).powi(2) + (x[1] - 0.65).powi(2))).exp()
+}
+
+/// Best-of-`reps` wall-clock of `f`, in seconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+const SPIN_ITERS: u64 = 10_000_000;
+
+/// Per-call cost of a disabled span: a spin loop with and without the
+/// `span()` call. Returns the per-call cost in seconds.
+fn bench_disabled_span_call(rows: &mut Vec<BenchRecord>, reps: usize) -> f64 {
+    let telemetry = Telemetry::disabled();
+    let (base_s, _) = time_best(reps, || {
+        let mut acc = 0u64;
+        for i in 0..SPIN_ITERS {
+            acc = acc.wrapping_add(black_box(i));
+        }
+        acc
+    });
+    let (span_s, _) = time_best(reps, || {
+        let mut acc = 0u64;
+        for i in 0..SPIN_ITERS {
+            let _g = telemetry.span("bench");
+            acc = acc.wrapping_add(black_box(i));
+        }
+        acc
+    });
+    rows.push(BenchRecord::from_seconds(
+        format!("spin_loop_vs_disabled_span_x{SPIN_ITERS}"),
+        base_s,
+        span_s,
+        true,
+    ));
+    (span_s - base_s).max(0.0) / SPIN_ITERS as f64
+}
+
+/// Full optimizer run with the default (disabled) handle vs a recording
+/// handle. Returns `(run_seconds_disabled, spans_recorded)`.
+fn bench_full_run(rows: &mut Vec<BenchRecord>, reps: usize) -> (f64, usize) {
+    let optimizer = || {
+        let mut opt = EasyBo::new(Bounds::unit_cube(2).expect("unit cube"));
+        opt.batch_size(4).initial_points(6).max_evals(24).seed(11);
+        opt
+    };
+    let (off_s, off) = time_best(reps, || optimizer().run(objective).expect("runs"));
+    let mut spans = 0usize;
+    let (on_s, on) = time_best(reps, || {
+        let (telemetry, recorder) = Telemetry::recording();
+        let mut opt = optimizer();
+        opt.telemetry(telemetry);
+        let result = opt.run(objective).expect("runs");
+        spans = result.report.summary.as_ref().map_or(0, |s| s.spans);
+        drop(recorder);
+        result
+    });
+    rows.push(BenchRecord::from_seconds(
+        "easybo_run_recording_vs_disabled",
+        off_s,
+        on_s,
+        off.best_value.to_bits() == on.best_value.to_bits() && off.data == on.data,
+    ));
+    (off_s, spans)
+}
+
+/// Raw span recording throughput on an enabled handle (10k nested pairs).
+fn bench_enabled_recording(rows: &mut Vec<BenchRecord>, reps: usize) {
+    const N: usize = 10_000;
+    let disabled = Telemetry::disabled();
+    let (off_s, _) = time_best(reps, || {
+        for _ in 0..N {
+            let _outer = disabled.span("outer");
+            let _inner = disabled.span("inner");
+        }
+    });
+    let (on_s, _) = time_best(reps, || {
+        let (telemetry, recorder) = Telemetry::recording();
+        for _ in 0..N {
+            let _outer = telemetry.span("outer");
+            let _inner = telemetry.span("inner");
+        }
+        telemetry.flush();
+        recorder
+    });
+    rows.push(BenchRecord::from_seconds(
+        format!("enabled_recording_vs_disabled_x{N}_nested_pairs"),
+        off_s,
+        on_s,
+        true,
+    ));
+}
+
+fn main() {
+    let reps: usize = std::env::var("EASYBO_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    println!("Span overhead benchmark: {reps} repetitions");
+
+    let mut rows = Vec::new();
+    let per_call_s = bench_disabled_span_call(&mut rows, reps);
+    let (run_s, spans) = bench_full_run(&mut rows, reps);
+    bench_enabled_recording(&mut rows, reps);
+
+    println!(
+        "{:<48} {:>12} {:>12} {:>10} {:>10}",
+        "benchmark", "baseline_s", "candidate_s", "overhead", "identical"
+    );
+    for r in &rows {
+        println!(
+            "{:<48} {:>12.6} {:>12.6} {:>9.2}% {:>10}",
+            r.name,
+            r.baseline_ns / 1e9,
+            r.candidate_ns / 1e9,
+            r.overhead() * 100.0,
+            r.identical
+        );
+    }
+    let disabled_fraction = spans as f64 * per_call_s / run_s.max(1e-12);
+    println!(
+        "disabled span call: {:.2} ns; {spans} spans/run -> {:.4}% of run wall clock",
+        per_call_s * 1e9,
+        disabled_fraction * 100.0
+    );
+
+    let json = bench_report(
+        "spans",
+        reps,
+        &format!(
+            "baseline = span-free / disabled-telemetry path, candidate = span-instrumented \
+             path; best-of-reps wall clock. Disabled span call costs {:.2} ns; at {spans} \
+             spans per toy run that is {:.4}% of the run's wall clock (budget: 2%). The \
+             recording row must be bit-identical in trajectory: telemetry observes the run, \
+             it never steers it.",
+            per_call_s * 1e9,
+            disabled_fraction * 100.0
+        ),
+        &rows,
+    );
+    let path = write_bench_report("BENCH_spans.json", &json);
+    println!("wrote {path}");
+
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "recording telemetry must not perturb the optimization trajectory"
+    );
+    assert!(
+        disabled_fraction < 0.02,
+        "disabled-span overhead {disabled_fraction:.4} exceeds the 2% budget"
+    );
+}

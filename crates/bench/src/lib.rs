@@ -228,6 +228,89 @@ pub fn time_to_target(trace: &[(f64, f64)], target: f64) -> Option<f64> {
     trace.iter().find(|(_, v)| *v >= target).map(|(t, _)| *t)
 }
 
+/// One baseline-vs-candidate measurement in a machine-readable
+/// `BENCH_*.json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Row label (e.g. `predict_batch_vs_scalar_small_n120_d6_m256`).
+    pub name: String,
+    /// Baseline wall-clock, nanoseconds (best of reps).
+    pub baseline_ns: f64,
+    /// Candidate wall-clock, nanoseconds (best of reps).
+    pub candidate_ns: f64,
+    /// Whether the candidate reproduced the baseline output bit for bit.
+    pub identical: bool,
+}
+
+impl BenchRecord {
+    /// Builds a record from seconds-denominated timings.
+    pub fn from_seconds(
+        name: impl Into<String>,
+        baseline_s: f64,
+        candidate_s: f64,
+        identical: bool,
+    ) -> Self {
+        BenchRecord {
+            name: name.into(),
+            baseline_ns: baseline_s * 1e9,
+            candidate_ns: candidate_s * 1e9,
+            identical,
+        }
+    }
+
+    /// Baseline-over-candidate speedup (`> 1` means the candidate is faster).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns / self.candidate_ns
+    }
+
+    /// Candidate-over-baseline relative overhead (`0.02` = 2% slower).
+    pub fn overhead(&self) -> f64 {
+        self.candidate_ns / self.baseline_ns - 1.0
+    }
+}
+
+/// Worker threads available on this host.
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Renders the shared `BENCH_*.json` schema: every benchmark artifact
+/// carries the same top-level fields (`bench`, `env`, `note`, `results`)
+/// so the regression tooling can diff reports without per-bench parsers.
+/// serde is stubbed in this workspace, so the JSON is formatted by hand.
+pub fn bench_report(bench: &str, reps: usize, note: &str, records: &[BenchRecord]) -> String {
+    let entries: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"baseline_ns\": {:.0},\n      \
+                 \"candidate_ns\": {:.0},\n      \"speedup\": {:.4},\n      \
+                 \"identical\": {}\n    }}",
+                r.name,
+                r.baseline_ns,
+                r.candidate_ns,
+                r.speedup(),
+                r.identical
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"env\": {{\n    \"reps\": {reps},\n    \
+         \"host_threads\": {threads},\n    \"os\": \"{os}\"\n  }},\n  \"note\": \"{note}\",\n  \
+         \"results\": [\n{rows}\n  ]\n}}\n",
+        threads = host_threads(),
+        os = std::env::consts::OS,
+        rows = entries.join(",\n")
+    )
+}
+
+/// Writes a bench report to the repository root; returns the path written.
+pub fn write_bench_report(file_name: &str, json: &str) -> String {
+    let path = format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), file_name);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +382,36 @@ mod tests {
         let e = pa.evaluate(&pa.bounds().center());
         assert!(e.value.is_finite());
         assert!(e.cost > CLASS_E_SIM_SECONDS * 0.8 && e.cost < CLASS_E_SIM_SECONDS * 1.2);
+    }
+
+    #[test]
+    fn bench_report_renders_shared_schema() {
+        let records = vec![
+            BenchRecord::from_seconds("fast", 2e-3, 1e-3, true),
+            BenchRecord::from_seconds("slow", 1e-3, 2e-3, false),
+        ];
+        assert!((records[0].speedup() - 2.0).abs() < 1e-12);
+        assert!((records[1].overhead() - 1.0).abs() < 1e-12);
+        let json = bench_report("unit", 5, "note text", &records);
+        let parsed = easybo_telemetry::parse_json(&json).expect("valid JSON");
+        assert_eq!(parsed.get("bench").and_then(|v| v.as_str()), Some("unit"));
+        let env = parsed.get("env").expect("env object");
+        assert_eq!(env.get("reps").and_then(|v| v.as_f64()), Some(5.0));
+        assert!(env.get("host_threads").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+        assert_eq!(
+            env.get("os").and_then(|v| v.as_str()),
+            Some(std::env::consts::OS)
+        );
+        let results = parsed.get("results").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("baseline_ns").and_then(|v| v.as_f64()),
+            Some(2e6)
+        );
+        assert_eq!(
+            results[0].get("speedup").and_then(|v| v.as_f64()),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub use easybo_exec::{FailureAction, FaultPlan, FaultyBlackBox, RetryPolicy};
 pub use easybo_opt::Parallelism;
 pub use easybo_persist::{load_snapshot, PersistError, RunSnapshot, FORMAT_VERSION};
 pub use easybo_telemetry::{
-    Event, JsonlSink, Recorder, RunReport, Telemetry, TimedEvent, TraceCsvSink,
+    chrome_trace_json, gate, parse_aggregate, parse_baseline, render_span_tree, span_tree,
+    AggregateReport, ChromeTraceSink, Event, GateBound, JsonlSink, Recorder, Regression, ReportSet,
+    RunReport, ScrapeServer, SessionStatus, SpanGuard, SpanNode, Stat, StatusBoard, Telemetry,
+    TimedEvent, TraceCsvSink,
 };
 pub use error::EasyBoError;
 pub use optimizer::{EasyBo, OptimizationResult};

@@ -7,7 +7,7 @@ use easybo_exec::{
     RunTrace, Schedule, SessionState, SimTimeModel, ThreadedExecutor, VirtualExecutor,
 };
 use easybo_opt::{sampling, Bounds, Parallelism};
-use easybo_persist::{load_snapshot, save_snapshot, PersistError, RunSnapshot};
+use easybo_persist::{load_snapshot, PersistError, RunSnapshot};
 use easybo_telemetry::{Event, RunReport, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -367,16 +367,35 @@ impl EasyBo {
                 let completed = session.completed();
                 if let Some(path) = &path {
                     if trigger.fire(completed, now) {
+                        telemetry.set_now(now);
+                        let _ckpt_span = telemetry.span("checkpoint");
                         let snap = RunSnapshot {
                             config_fingerprint: fingerprint,
                             session: session.to_parts(),
                             policy: policy.snapshot_state(),
                         };
-                        match save_snapshot(path, &snap) {
-                            Ok(bytes) => {
+                        let t0 = std::time::Instant::now();
+                        let bytes = {
+                            let _span = telemetry.span("snapshot_encode");
+                            easybo_persist::encode_snapshot(&snap)
+                        };
+                        telemetry.observe("snapshot_encode_ns", t0.elapsed().as_nanos() as f64);
+                        let t1 = std::time::Instant::now();
+                        let written = {
+                            let _span = telemetry.span("snapshot_fsync");
+                            easybo_persist::write_snapshot_bytes(path, &bytes)
+                        };
+                        telemetry.observe("snapshot_fsync_ns", t1.elapsed().as_nanos() as f64);
+                        match written {
+                            Ok(()) => {
                                 telemetry.incr("checkpoints_written", 1);
-                                telemetry
-                                    .emit_at(now, Event::CheckpointWritten { completed, bytes });
+                                telemetry.emit_at(
+                                    now,
+                                    Event::CheckpointWritten {
+                                        completed,
+                                        bytes: bytes.len(),
+                                    },
+                                );
                             }
                             Err(e) => {
                                 // Checkpointing was explicitly requested;
@@ -445,12 +464,13 @@ impl EasyBo {
             return Err(EasyBoError::DegenerateObjective);
         }
         self.telemetry.flush();
-        let report = RunReport::new(
+        let report = RunReport::with_metrics(
             result.schedule.makespan(),
             result.schedule.workers(),
             result.schedule.utilization(),
             result.data.len(),
             self.telemetry.summary(),
+            self.telemetry.metrics_snapshot().as_ref(),
         );
         Ok(OptimizationResult {
             best_x,

@@ -268,12 +268,13 @@ fn maximize_traced<F: BatchObjective>(
     if !telemetry.enabled() {
         return maximizer.maximize_batch(rng, f);
     }
+    let _span = telemetry.span("acquisition");
     let counted = CountedObjective {
         inner: f,
         evals: AtomicU64::new(0),
     };
     let t0 = std::time::Instant::now();
-    let u = maximizer.maximize_batch(rng, &counted);
+    let u = maximizer.maximize_batch_traced(rng, &counted, telemetry);
     let duration = t0.elapsed().as_secs_f64();
     let evals = counted.evals.load(Ordering::Relaxed) as usize;
     telemetry.incr("acq_restarts", restarts as u64);

@@ -34,6 +34,7 @@ pub use sequential::{SequentialAcquisition, SequentialBoPolicy};
 pub use sync::{EasyBoSyncPolicy, PboPolicy};
 
 use easybo_opt::{BatchObjective, Bounds, MultiStartMaximizer, Parallelism};
+use easybo_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -113,6 +114,19 @@ impl AcqMaximizer {
     ) -> Vec<f64> {
         self.inner
             .maximize_batched(&self.unit, rng, self.parallelism, f)
+            .x
+    }
+
+    /// [`AcqMaximizer::maximize_batch`] with phase spans
+    /// (`batch_predict` / `nm_refine`) opened on the telemetry handle.
+    pub(crate) fn maximize_batch_traced<F: BatchObjective + ?Sized>(
+        &self,
+        rng: &mut StdRng,
+        f: &F,
+        telemetry: &Telemetry,
+    ) -> Vec<f64> {
+        self.inner
+            .maximize_batched_traced(&self.unit, rng, self.parallelism, f, telemetry)
             .x
     }
 

@@ -226,9 +226,23 @@ impl SessionState {
     /// or a fresh policy proposal against the current data and busy
     /// set. Returns `None` once the task budget is exhausted.
     pub fn ask(&mut self, policy: &mut dyn AsyncPolicy) -> Option<Suggestion> {
+        self.ask_traced(policy, &Telemetry::disabled())
+    }
+
+    /// [`SessionState::ask`] wrapped in a `session_step` span, so the
+    /// proposal phase (and the GP/acquisition spans the policy opens
+    /// beneath it) lands on the run timeline. Both executors call this
+    /// from their coordinator thread only, which keeps span ids
+    /// deterministic.
+    pub fn ask_traced(
+        &mut self,
+        policy: &mut dyn AsyncPolicy,
+        telemetry: &Telemetry,
+    ) -> Option<Suggestion> {
         if self.issued >= self.max_evals {
             return None;
         }
+        let _span = telemetry.span("session_step");
         let x = match self.pending.pop_front() {
             Some(x) => x,
             None => policy.select_next(&self.data, &self.busy),

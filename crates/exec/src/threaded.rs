@@ -375,6 +375,7 @@ impl ThreadedExecutor {
                                issued_at: &mut HashMap<usize, f64>| {
                     let now = epoch.elapsed().as_secs_f64();
                     telemetry.set_now(now);
+                    let _span = telemetry.span("dispatch");
                     // Slot hint only: the real worker id arrives with the
                     // `Started` message and overwrites this field.
                     let worker = task % self.workers;
@@ -392,7 +393,7 @@ impl ThreadedExecutor {
                                  issued_at: &mut HashMap<usize, f64>,
                                  policy: &mut dyn AsyncPolicy| {
                     telemetry.set_now(epoch.elapsed().as_secs_f64());
-                    if let Some(s) = session.ask(policy) {
+                    if let Some(s) = session.ask_traced(policy, telemetry) {
                         enqueue(s.task, s.attempt, s.x, session, issued_at);
                     }
                 };

@@ -175,7 +175,7 @@ impl AsyncDriver<'_> {
     /// fresh policy proposal.
     fn start_task(&mut self, worker: usize, now: f64, policy: &mut dyn AsyncPolicy) {
         self.telemetry.set_now(now);
-        let Some(s) = self.session.ask(policy) else {
+        let Some(s) = self.session.ask_traced(policy, self.telemetry) else {
             return;
         };
         self.begin_attempt(worker, now, s.task, s.x, s.attempt);
@@ -186,6 +186,7 @@ impl AsyncDriver<'_> {
     /// point, and schedules the finish event.
     fn begin_attempt(&mut self, worker: usize, now: f64, task: usize, x: Vec<f64>, attempt: usize) {
         self.telemetry.set_now(now);
+        let _span = self.telemetry.span("dispatch");
         self.telemetry
             .emit_at_with(now, || Event::QueryIssued { task, worker });
         self.telemetry
@@ -585,6 +586,8 @@ impl VirtualExecutor {
                 } => d.on_finish(ev.time, ev.worker, ev.task, value, attempt, outcome, policy),
                 SimEventKind::Retry => {
                     if let Some(r) = d.session.take_backoff(ev.task) {
+                        d.telemetry.set_now(ev.time);
+                        let _span = d.telemetry.span("retry_backoff");
                         d.begin_attempt(ev.worker, ev.time, ev.task, r.x, r.attempt);
                     }
                 }

@@ -156,16 +156,20 @@ impl Gp {
         telemetry: &Telemetry,
     ) -> crate::Result<Self> {
         let t0 = std::time::Instant::now();
+        let _refit_span = telemetry.span("gp_refit");
         let (x, z, scaler, kernel) = Self::prepare(x, &y, config.kernel)?;
-        let (theta, log_noise) = train::train(
-            &kernel,
-            &x,
-            &z,
-            &config.train,
-            config.noise_floor,
-            telemetry,
-        );
-        let gp = Self::assemble(kernel, theta, log_noise, x, z, scaler)?;
+        let (theta, log_noise) = {
+            let _span = telemetry.span("lbfgs_restarts");
+            train::train(
+                &kernel,
+                &x,
+                &z,
+                &config.train,
+                config.noise_floor,
+                telemetry,
+            )
+        };
+        let gp = Self::assemble_traced(kernel, theta, log_noise, x, z, scaler, telemetry)?;
         telemetry.incr("gp_cholesky_factorizations", 1);
         let duration = t0.elapsed().as_secs_f64();
         telemetry.observe("gp_fit_s", duration);
@@ -256,9 +260,37 @@ impl Gp {
         z: Vector,
         scaler: YScaler,
     ) -> crate::Result<Self> {
-        let k = covariance_matrix(&kernel, &theta, log_noise, &x);
-        let chol = Cholesky::new(&k)?;
-        let alpha = chol.solve_vec(&z);
+        Self::assemble_traced(
+            kernel,
+            theta,
+            log_noise,
+            x,
+            z,
+            scaler,
+            &Telemetry::disabled(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_traced(
+        kernel: ArdKernel,
+        theta: Vec<f64>,
+        log_noise: f64,
+        x: Vec<Vec<f64>>,
+        z: Vector,
+        scaler: YScaler,
+        telemetry: &Telemetry,
+    ) -> crate::Result<Self> {
+        let k = {
+            let _span = telemetry.span("kernel_build");
+            covariance_matrix(&kernel, &theta, log_noise, &x)
+        };
+        let (chol, alpha) = {
+            let _span = telemetry.span("cholesky");
+            let chol = Cholesky::new(&k)?;
+            let alpha = chol.solve_vec(&z);
+            (chol, alpha)
+        };
         let n_real = x.len();
         Ok(Gp {
             kernel,

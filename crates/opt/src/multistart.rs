@@ -6,6 +6,7 @@
 //! reproduction — is to scatter a large number of probes, keep the best few,
 //! and polish each with a local derivative-free search.
 
+use easybo_telemetry::Telemetry;
 use rand::Rng;
 
 use crate::nelder_mead::{NelderMead, NelderMeadConfig};
@@ -198,20 +199,44 @@ impl MultiStartMaximizer {
         R: Rng + ?Sized,
         F: BatchObjective + ?Sized,
     {
+        self.maximize_batched_traced(bounds, rng, parallelism, f, &Telemetry::disabled())
+    }
+
+    /// [`MultiStartMaximizer::maximize_batched`] with a telemetry
+    /// handle: the probe-scoring phase is wrapped in a
+    /// `batch_predict` span and the refinement phase in an
+    /// `nm_refine` span, both opened on the calling thread (never
+    /// inside the worker closures) so span ids stay deterministic at
+    /// every parallelism level.
+    pub fn maximize_batched_traced<R, F>(
+        &self,
+        bounds: &Bounds,
+        rng: &mut R,
+        parallelism: Parallelism,
+        f: &F,
+        telemetry: &Telemetry,
+    ) -> Optimum
+    where
+        R: Rng + ?Sized,
+        F: BatchObjective + ?Sized,
+    {
         let candidates = self.candidates(bounds, rng);
         let workers = parallelism.threads();
-        let raw: Vec<f64> = if workers <= 1 || candidates.len() < 2 * workers {
-            f.eval_batch(&candidates)
-        } else {
-            // Chunked probe scoring: each worker gets one contiguous
-            // sub-batch; per-point values do not depend on batch
-            // composition, so chunking cannot change them.
-            let chunk = candidates.len().div_ceil(workers);
-            let chunks: Vec<&[Vec<f64>]> = candidates.chunks(chunk).collect();
-            parallel::parallel_map(parallelism, chunks, |_, c| f.eval_batch(c))
-                .into_iter()
-                .flatten()
-                .collect()
+        let raw: Vec<f64> = {
+            let _span = telemetry.span("batch_predict");
+            if workers <= 1 || candidates.len() < 2 * workers {
+                f.eval_batch(&candidates)
+            } else {
+                // Chunked probe scoring: each worker gets one contiguous
+                // sub-batch; per-point values do not depend on batch
+                // composition, so chunking cannot change them.
+                let chunk = candidates.len().div_ceil(workers);
+                let chunks: Vec<&[Vec<f64>]> = candidates.chunks(chunk).collect();
+                parallel::parallel_map(parallelism, chunks, |_, c| f.eval_batch(c))
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }
         };
         assert_eq!(
             raw.len(),
@@ -223,10 +248,13 @@ impl MultiStartMaximizer {
 
         let nm = self.refiner();
         let nm = &nm;
-        let refined = parallel::parallel_map(parallelism, starts.clone(), |_, (x0, _)| {
-            let (x, neg_v) = nm.minimize(bounds, x0, |p| -safe(f.eval(p)));
-            (x, -neg_v)
-        });
+        let refined = {
+            let _span = telemetry.span("nm_refine");
+            parallel::parallel_map(parallelism, starts.clone(), |_, (x0, _)| {
+                let (x, neg_v) = nm.minimize(bounds, x0, |p| -safe(f.eval(p)));
+                (x, -neg_v)
+            })
+        };
         reduce(&starts[0], refined)
     }
 }

@@ -52,5 +52,5 @@ pub use crc32::crc32;
 pub use error::PersistError;
 pub use snapshot::{
     decode_session, decode_snapshot, encode_session, encode_snapshot, load_snapshot, save_snapshot,
-    RunSnapshot, FORMAT_VERSION, MAGIC,
+    write_snapshot_bytes, RunSnapshot, FORMAT_VERSION, MAGIC,
 };

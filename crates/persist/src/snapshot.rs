@@ -310,6 +310,14 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<RunSnapshot, PersistError> {
 /// new one — never a torn file.
 pub fn save_snapshot(path: &Path, snap: &RunSnapshot) -> Result<usize, PersistError> {
     let bytes = encode_snapshot(snap);
+    write_snapshot_bytes(path, &bytes)?;
+    Ok(bytes.len())
+}
+
+/// The durable half of [`save_snapshot`]: writes pre-encoded snapshot
+/// bytes to `path` atomically (temp file, `fsync`, rename). Split out so
+/// callers can time encode and fsync separately.
+pub fn write_snapshot_bytes(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(dir) = dir {
         fs::create_dir_all(dir)
@@ -321,7 +329,7 @@ pub fn save_snapshot(path: &Path, snap: &RunSnapshot) -> Result<usize, PersistEr
     {
         let mut f = fs::File::create(&tmp)
             .map_err(|e| PersistError::io(format!("creating {}", tmp.display()), e))?;
-        f.write_all(&bytes)
+        f.write_all(bytes)
             .map_err(|e| PersistError::io(format!("writing {}", tmp.display()), e))?;
         f.sync_all()
             .map_err(|e| PersistError::io(format!("syncing {}", tmp.display()), e))?;
@@ -332,7 +340,7 @@ pub fn save_snapshot(path: &Path, snap: &RunSnapshot) -> Result<usize, PersistEr
             e,
         )
     })?;
-    Ok(bytes.len())
+    Ok(())
 }
 
 /// Reads and validates a snapshot from `path`.

@@ -1,0 +1,364 @@
+//! Multi-run report aggregation and baseline regression gating.
+//!
+//! The paper's efficiency claims (Tables I/II) are statements about
+//! *distributions* over repeated runs, not single seeds — and the
+//! ROADMAP's multi-session server needs exactly the same machinery to
+//! watch a fleet. [`ReportSet`] merges N [`RunReport`]s into mean±std
+//! summaries per metric; [`AggregateReport::to_json`] emits them in a
+//! machine-readable form; and [`gate`] diffs an aggregate against a
+//! committed baseline so `check.sh` can fail on phase-share
+//! regressions (GP/acquisition/checkpoint share of makespan creeping
+//! up, utilization dropping) the same way it fails on broken tests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::json::parse_json;
+use crate::report::RunReport;
+
+/// Mean/std/extremes of one metric over a set of runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stat {
+    /// Number of samples (runs that reported this metric).
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation (0 for a single sample).
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Stat {
+    /// Computes the summary (`None` for an empty sample set).
+    pub fn from_samples(samples: &[f64]) -> Option<Stat> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some(Stat {
+            n,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        })
+    }
+}
+
+/// A collection of per-run reports awaiting aggregation.
+#[derive(Debug, Clone, Default)]
+pub struct ReportSet {
+    reports: Vec<RunReport>,
+}
+
+impl ReportSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        ReportSet::default()
+    }
+
+    /// Adds one run's report.
+    pub fn push(&mut self, report: RunReport) {
+        self.reports.push(report);
+    }
+
+    /// Builds a set from existing reports.
+    pub fn from_reports(reports: Vec<RunReport>) -> Self {
+        ReportSet { reports }
+    }
+
+    /// Number of runs collected.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether no runs were collected.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Merges the collected reports into per-metric mean±std
+    /// summaries. Metrics that only exist with telemetry enabled
+    /// (shares, event counts) aggregate over the runs that reported
+    /// them and are omitted when no run did.
+    pub fn aggregate(&self) -> AggregateReport {
+        let mut samples: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+        let mut put = |key: &'static str, v: Option<f64>| {
+            if let Some(v) = v {
+                samples.entry(key).or_default().push(v);
+            }
+        };
+        for r in &self.reports {
+            put("makespan", Some(r.makespan));
+            put("workers", Some(r.workers as f64));
+            put("utilization", Some(r.utilization));
+            put("idle_fraction", Some(r.idle_fraction));
+            put("completed", Some(r.completed as f64));
+            put("gp_fit_share", r.gp_fit_share);
+            put("acq_share", r.acq_share);
+            put("checkpoint_share", r.checkpoint_share);
+            if let Some(s) = &r.summary {
+                put("gp_refits", Some(s.gp_refits as f64));
+                put("acq_optimizations", Some(s.acq_optimizations as f64));
+                put("pseudo_points", Some(s.pseudo_points as f64));
+                put("evals_failed", Some(s.evals_failed as f64));
+                put("evals_retried", Some(s.evals_retried as f64));
+                put("worker_crashes", Some(s.worker_crashes as f64));
+                put("checkpoints_written", Some(s.checkpoints_written as f64));
+                put("resumes", Some(s.resumes as f64));
+                put("spans", Some(s.spans as f64));
+                put("best_value", s.best_value);
+            }
+        }
+        AggregateReport {
+            runs: self.reports.len(),
+            metrics: samples
+                .into_iter()
+                .filter_map(|(k, v)| Stat::from_samples(&v).map(|s| (k.to_string(), s)))
+                .collect(),
+        }
+    }
+}
+
+/// Mean±std of every metric over a [`ReportSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateReport {
+    /// Number of runs merged.
+    pub runs: usize,
+    /// Per-metric summaries, keyed by metric name.
+    pub metrics: BTreeMap<String, Stat>,
+}
+
+impl AggregateReport {
+    /// Summary for one metric.
+    pub fn metric(&self, name: &str) -> Option<&Stat> {
+        self.metrics.get(name)
+    }
+
+    /// Machine-readable JSON form:
+    /// `{"runs": N, "metrics": {name: {n, mean, std, min, max}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{\n  \"runs\": {},", self.runs);
+        out.push_str("  \"metrics\": {\n");
+        for (i, (name, s)) in self.metrics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    \"{name}\": {{\"n\": {}, \"mean\": {}, \"std\": {}, \"min\": {}, \"max\": {}}}",
+                s.n, s.mean, s.std, s.min, s.max
+            );
+            out.push_str(if i + 1 < self.metrics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Parses the JSON produced by [`AggregateReport::to_json`] back.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn parse_aggregate(text: &str) -> Result<AggregateReport, String> {
+    let doc = parse_json(text)?;
+    let runs = doc
+        .get("runs")
+        .and_then(|v| v.as_f64())
+        .ok_or("missing numeric \"runs\"")? as usize;
+    let metrics_obj = doc
+        .get("metrics")
+        .and_then(|v| v.as_object())
+        .ok_or("missing object \"metrics\"")?;
+    let mut metrics = BTreeMap::new();
+    for (name, m) in metrics_obj {
+        let num = |key: &str| {
+            m.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("metric {name:?}: missing numeric {key:?}"))
+        };
+        metrics.insert(
+            name.clone(),
+            Stat {
+                n: num("n")? as usize,
+                mean: num("mean")?,
+                std: num("std")?,
+                min: num("min")?,
+                max: num("max")?,
+            },
+        );
+    }
+    Ok(AggregateReport { runs, metrics })
+}
+
+/// One baseline bound: the committed expected mean and the allowed
+/// absolute deviation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateBound {
+    /// Expected mean.
+    pub mean: f64,
+    /// Allowed absolute deviation of the observed mean.
+    pub tol: f64,
+}
+
+/// One gate violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Metric that moved.
+    pub metric: String,
+    /// Committed bound.
+    pub expected: GateBound,
+    /// Observed mean (`NaN` when the metric is missing entirely).
+    pub actual: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.actual.is_nan() {
+            write!(
+                f,
+                "{}: missing from aggregate (baseline {} ± {})",
+                self.metric, self.expected.mean, self.expected.tol
+            )
+        } else {
+            write!(
+                f,
+                "{}: observed mean {} outside {} ± {}",
+                self.metric, self.actual, self.expected.mean, self.expected.tol
+            )
+        }
+    }
+}
+
+/// Parses a committed baseline document:
+/// `{"metric": {"mean": M, "tol": T}, ...}`.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, GateBound>, String> {
+    let doc = parse_json(text)?;
+    let obj = doc.as_object().ok_or("baseline must be a JSON object")?;
+    let mut bounds = BTreeMap::new();
+    for (name, m) in obj {
+        let num = |key: &str| {
+            m.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("baseline {name:?}: missing numeric {key:?}"))
+        };
+        bounds.insert(
+            name.clone(),
+            GateBound {
+                mean: num("mean")?,
+                tol: num("tol")?,
+            },
+        );
+    }
+    Ok(bounds)
+}
+
+/// Diffs an aggregate against a baseline: every baseline metric must
+/// be present with `|observed mean − expected mean| ≤ tol`. Metrics in
+/// the aggregate but not the baseline are ignored (new metrics don't
+/// fail old gates). Returns the violations, empty when the gate
+/// passes.
+pub fn gate(actual: &AggregateReport, baseline: &BTreeMap<String, GateBound>) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for (name, bound) in baseline {
+        match actual.metric(name) {
+            Some(stat) if (stat.mean - bound.mean).abs() <= bound.tol => {}
+            Some(stat) => regressions.push(Regression {
+                metric: name.clone(),
+                expected: bound.clone(),
+                actual: stat.mean,
+            }),
+            None => regressions.push(Regression {
+                metric: name.clone(),
+                expected: bound.clone(),
+                actual: f64::NAN,
+            }),
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(utilization: f64, completed: usize) -> RunReport {
+        RunReport::new(100.0, 4, utilization, completed, None)
+    }
+
+    #[test]
+    fn stats_cover_mean_std_extremes() {
+        let s = Stat::from_samples(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 4.0);
+        assert!((s.std - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (2.0, 6.0));
+        assert_eq!(Stat::from_samples(&[]), None);
+        let single = Stat::from_samples(&[7.0]).unwrap();
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn aggregate_merges_and_roundtrips_json() {
+        let mut set = ReportSet::new();
+        set.push(report(0.8, 10));
+        set.push(report(0.9, 12));
+        assert_eq!(set.len(), 2);
+        let agg = set.aggregate();
+        assert_eq!(agg.runs, 2);
+        let util = agg.metric("utilization").unwrap();
+        assert!((util.mean - 0.85).abs() < 1e-12);
+        // Telemetry-only metrics are absent when no run had a summary.
+        assert!(agg.metric("gp_refits").is_none());
+        let parsed = parse_aggregate(&agg.to_json()).unwrap();
+        assert_eq!(parsed, agg);
+    }
+
+    #[test]
+    fn gate_flags_drift_and_missing_metrics() {
+        let mut set = ReportSet::new();
+        set.push(report(0.5, 10));
+        let agg = set.aggregate();
+        let baseline = parse_baseline(
+            r#"{
+                "utilization": {"mean": 0.9, "tol": 0.05},
+                "completed": {"mean": 10, "tol": 0},
+                "gp_fit_share": {"mean": 0.0, "tol": 0.2}
+            }"#,
+        )
+        .unwrap();
+        let regressions = gate(&agg, &baseline);
+        assert_eq!(regressions.len(), 2, "{regressions:?}");
+        assert_eq!(regressions[0].metric, "gp_fit_share");
+        assert!(regressions[0].actual.is_nan());
+        assert!(regressions[0].to_string().contains("missing"));
+        assert_eq!(regressions[1].metric, "utilization");
+        assert_eq!(regressions[1].actual, 0.5);
+
+        let ok_baseline = parse_baseline(r#"{"utilization": {"mean": 0.5, "tol": 0.01}}"#).unwrap();
+        assert!(gate(&agg, &ok_baseline).is_empty());
+    }
+
+    #[test]
+    fn baseline_parse_errors_are_described() {
+        assert!(parse_baseline("[1,2]").is_err());
+        assert!(parse_baseline(r#"{"x": {"mean": 1}}"#)
+            .unwrap_err()
+            .contains("tol"));
+    }
+}

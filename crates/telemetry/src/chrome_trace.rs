@@ -1,0 +1,371 @@
+//! Chrome trace-event export: render a recorded event stream as a
+//! `chrome://tracing` / Perfetto-loadable JSON document.
+//!
+//! The export maps the run onto trace lanes:
+//!
+//! - **tid 0, "coordinator"** — the span tree (session step, GP
+//!   refit, Cholesky, acquisition, checkpoint, …) as `"X"` complete
+//!   events, nested by the span hierarchy.
+//! - **tid 1+, "worker N"** — each evaluation attempt as an `"X"`
+//!   slice from `EvalStarted` to `EvalFinished`/`EvalFailed` on the
+//!   worker that ran it.
+//! - Instant (`"i"`) markers for failures, retries, crashes,
+//!   checkpoints, and resumes.
+//!
+//! Timestamps are the run clock converted to microseconds. The export
+//! deliberately carries **no wall-clock durations** (the `duration`
+//! payloads of `GpRefit`/`AcqOptimized` are machine-dependent), so a
+//! bit-reproducible run produces a byte-identical trace file at any
+//! parallelism setting — the same determinism contract as the JSONL
+//! replay path.
+
+use std::fmt::Write as _;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::event::{Event, TimedEvent};
+use crate::sink::EventSink;
+
+const PID: u32 = 0;
+
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+fn push_meta(out: &mut String, tid: usize, name: &str) {
+    let _ = writeln!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{name}\"}}}},"
+    );
+}
+
+fn push_complete(out: &mut String, tid: usize, name: &str, start: f64, end: f64, args: &str) {
+    let _ = writeln!(
+        out,
+        "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"{name}\"{args}}},",
+        us(start),
+        us(end - start).max(0.0),
+    );
+}
+
+fn push_instant(out: &mut String, tid: usize, name: &str, t: f64, args: &str) {
+    let _ = writeln!(
+        out,
+        "{{\"ph\":\"i\",\"pid\":{PID},\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"name\":\"{name}\"{args}}},",
+        us(t),
+    );
+}
+
+/// Renders `events` as a Chrome trace-event JSON document (the
+/// `{"traceEvents": [...]}` object form). Open spans and in-flight
+/// evaluations are closed at the last event's timestamp so truncated
+/// streams still load.
+pub fn chrome_trace_json(events: &[TimedEvent]) -> String {
+    let horizon = events.last().map_or(0.0, |ev| ev.time);
+    let mut workers = 0usize;
+    for ev in events {
+        let w = match ev.event {
+            Event::QueryIssued { worker, .. }
+            | Event::EvalStarted { worker, .. }
+            | Event::EvalFinished { worker, .. }
+            | Event::EvalFailed { worker, .. }
+            | Event::WorkerIdle { worker, .. }
+            | Event::WorkerCrashed { worker, .. } => worker + 1,
+            _ => 0,
+        };
+        workers = workers.max(w);
+    }
+
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let _ = writeln!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{PID},\"name\":\"process_name\",\"args\":{{\"name\":\"easybo\"}}}},"
+    );
+    push_meta(&mut out, 0, "coordinator");
+    for w in 0..workers {
+        push_meta(&mut out, w + 1, &format!("worker {w}"));
+    }
+
+    // Open span id -> (name, start); open task id -> (worker, start).
+    let mut open_spans: Vec<(u64, String, f64)> = Vec::new();
+    let mut open_evals: Vec<(usize, usize, f64)> = Vec::new();
+    for ev in events {
+        match &ev.event {
+            Event::SpanStart { id, parent, name } => {
+                open_spans.push((*id, name.to_string(), ev.time));
+                // Record nesting for the viewer via explicit args; the
+                // slice stacking itself comes from ts/dur containment.
+                let _ = parent;
+            }
+            Event::SpanEnd { id } => {
+                if let Some(pos) = open_spans.iter().rposition(|(sid, _, _)| sid == id) {
+                    let (sid, name, start) = open_spans.remove(pos);
+                    let args = format!(",\"args\":{{\"id\":{sid}}}");
+                    push_complete(&mut out, 0, &name, start, ev.time, &args);
+                }
+            }
+            Event::EvalStarted { task, worker } => {
+                open_evals.push((*task, *worker, ev.time));
+            }
+            Event::EvalFinished {
+                task,
+                worker,
+                value,
+            } => {
+                if let Some(pos) = open_evals.iter().rposition(|(t, _, _)| t == task) {
+                    let (_, w, start) = open_evals.remove(pos);
+                    let args = format!(",\"args\":{{\"task\":{task},\"value\":{value}}}");
+                    push_complete(
+                        &mut out,
+                        w + 1,
+                        &format!("eval {task}"),
+                        start,
+                        ev.time,
+                        &args,
+                    );
+                } else {
+                    let args = format!(",\"args\":{{\"task\":{task},\"value\":{value}}}");
+                    push_instant(&mut out, worker + 1, "eval (recorded)", ev.time, &args);
+                }
+            }
+            Event::EvalFailed {
+                task,
+                worker,
+                attempt,
+                reason,
+            } => {
+                if let Some(pos) = open_evals.iter().rposition(|(t, _, _)| t == task) {
+                    let (_, w, start) = open_evals.remove(pos);
+                    let args = format!(",\"args\":{{\"task\":{task},\"attempt\":{attempt},\"reason\":\"{reason}\"}}");
+                    push_complete(
+                        &mut out,
+                        w + 1,
+                        &format!("eval {task} (failed)"),
+                        start,
+                        ev.time,
+                        &args,
+                    );
+                }
+                let args = format!(
+                    ",\"args\":{{\"task\":{task},\"attempt\":{attempt},\"reason\":\"{reason}\"}}"
+                );
+                push_instant(&mut out, worker + 1, "EvalFailed", ev.time, &args);
+            }
+            Event::EvalRetried {
+                task,
+                attempt,
+                delay,
+            } => {
+                let args = format!(
+                    ",\"args\":{{\"task\":{task},\"attempt\":{attempt},\"delay\":{delay}}}"
+                );
+                push_instant(&mut out, 0, "EvalRetried", ev.time, &args);
+            }
+            Event::WorkerCrashed { worker, task } => {
+                let args = format!(",\"args\":{{\"task\":{task}}}");
+                push_instant(&mut out, worker + 1, "WorkerCrashed", ev.time, &args);
+            }
+            Event::CheckpointWritten { completed, bytes } => {
+                let args = format!(",\"args\":{{\"completed\":{completed},\"bytes\":{bytes}}}");
+                push_instant(&mut out, 0, "CheckpointWritten", ev.time, &args);
+            }
+            Event::RunResumed {
+                completed,
+                inflight,
+            } => {
+                let args =
+                    format!(",\"args\":{{\"completed\":{completed},\"inflight\":{inflight}}}");
+                push_instant(&mut out, 0, "RunResumed", ev.time, &args);
+            }
+            // GpRefit / AcqOptimized carry wall-clock durations that
+            // differ between machines and parallelism settings; the
+            // coordinator spans already cover those phases on the
+            // run clock, so they are intentionally not exported.
+            _ => {}
+        }
+    }
+    // Close anything the stream left open so the file still loads.
+    while let Some((sid, name, start)) = open_spans.pop() {
+        let args = format!(",\"args\":{{\"id\":{sid},\"truncated\":true}}");
+        push_complete(&mut out, 0, &name, start, horizon, &args);
+    }
+    while let Some((task, w, start)) = open_evals.pop() {
+        let args = format!(",\"args\":{{\"task\":{task},\"truncated\":true}}");
+        push_complete(
+            &mut out,
+            w + 1,
+            &format!("eval {task}"),
+            start,
+            horizon,
+            &args,
+        );
+    }
+
+    // Strip the trailing ",\n" left by the last element.
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Sink that buffers the event stream and writes the complete Chrome
+/// trace JSON file on [`EventSink::flush`] (the stream must be seen in
+/// full before slices can be paired, so incremental writes are not
+/// possible). `Telemetry::flush` at end of run triggers the write.
+pub struct ChromeTraceSink {
+    path: PathBuf,
+    events: Mutex<Vec<TimedEvent>>,
+}
+
+impl ChromeTraceSink {
+    /// Will write the trace to `path` on flush.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        ChromeTraceSink {
+            path: path.into(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl EventSink for ChromeTraceSink {
+    fn record(&self, ev: &TimedEvent) {
+        self.events.lock().unwrap().push(ev.clone());
+    }
+
+    fn flush(&self) {
+        let events = self.events.lock().unwrap();
+        let json = chrome_trace_json(&events);
+        if let Ok(mut f) = std::fs::File::create(&self.path) {
+            let _ = f.write_all(json.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::borrow::Cow;
+
+    use super::*;
+    use crate::telemetry::Telemetry;
+
+    fn at(time: f64, event: Event) -> TimedEvent {
+        TimedEvent { time, event }
+    }
+
+    #[test]
+    fn spans_and_evals_become_complete_events() {
+        let (t, r) = Telemetry::recording();
+        t.set_now(1.0);
+        t.emit(Event::EvalStarted { task: 0, worker: 1 });
+        {
+            let _s = t.span("gp_refit");
+            t.set_now(2.0);
+        }
+        t.set_now(3.0);
+        t.emit(Event::EvalFinished {
+            task: 0,
+            worker: 1,
+            value: 0.5,
+        });
+        let json = chrome_trace_json(&r.events());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(json.ends_with("]}\n"));
+        assert!(json.contains("\"name\":\"coordinator\""));
+        assert!(json.contains("\"name\":\"worker 1\""));
+        assert!(
+            json.contains("\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":1000000,\"dur\":1000000,\"name\":\"gp_refit\""),
+            "trace was: {json}"
+        );
+        assert!(
+            json.contains("\"ph\":\"X\",\"pid\":0,\"tid\":2,\"ts\":1000000,\"dur\":2000000,\"name\":\"eval 0\""),
+            "trace was: {json}"
+        );
+        // No dangling comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn failures_and_checkpoints_become_instants() {
+        let evs = vec![
+            at(1.0, Event::EvalStarted { task: 4, worker: 0 }),
+            at(
+                2.0,
+                Event::EvalFailed {
+                    task: 4,
+                    worker: 0,
+                    attempt: 1,
+                    reason: "timeout".to_string(),
+                },
+            ),
+            at(
+                2.5,
+                Event::EvalRetried {
+                    task: 4,
+                    attempt: 2,
+                    delay: 1.0,
+                },
+            ),
+            at(
+                3.0,
+                Event::CheckpointWritten {
+                    completed: 7,
+                    bytes: 512,
+                },
+            ),
+        ];
+        let json = chrome_trace_json(&evs);
+        assert!(json.contains("\"name\":\"eval 4 (failed)\""));
+        assert!(json.contains("\"ph\":\"i\"") && json.contains("\"name\":\"EvalRetried\""));
+        assert!(json.contains("\"name\":\"CheckpointWritten\""));
+    }
+
+    #[test]
+    fn truncated_streams_close_at_horizon() {
+        let evs = vec![
+            at(
+                1.0,
+                Event::SpanStart {
+                    id: 1,
+                    parent: 0,
+                    name: Cow::Borrowed("session_step"),
+                },
+            ),
+            at(2.0, Event::EvalStarted { task: 0, worker: 0 }),
+            at(5.0, Event::PseudoPointAdded { count: 1 }),
+        ];
+        let json = chrome_trace_json(&evs);
+        assert!(json.contains("\"truncated\":true"));
+        assert!(json.contains("\"name\":\"session_step\""));
+        assert!(json.contains("\"name\":\"eval 0\""));
+    }
+
+    #[test]
+    fn empty_stream_is_still_valid() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn sink_writes_on_flush() {
+        let dir = std::env::temp_dir().join("easybo_chrome_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let _ = std::fs::remove_file(&path);
+        let (t, _r) = Telemetry::recording();
+        t.add_sink(ChromeTraceSink::new(&path));
+        t.set_now(1.0);
+        {
+            let _s = t.span("step");
+        }
+        assert!(!path.exists(), "must not write before flush");
+        t.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"name\":\"step\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

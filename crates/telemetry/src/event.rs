@@ -1,11 +1,14 @@
 //! Structured events on the run timeline.
 
+use std::borrow::Cow;
+
 /// One structured occurrence inside an optimization run.
 ///
 /// Variants cover the places where async-BO behaviour is won or lost:
 /// scheduling (`QueryIssued`/`EvalStarted`/`EvalFinished`/`WorkerIdle`),
-/// model overhead (`GpRefit`/`AcqOptimized`/`PseudoPointAdded`), and
-/// fault handling (`EvalFailed`/`EvalRetried`/`WorkerCrashed`).
+/// model overhead (`GpRefit`/`AcqOptimized`/`PseudoPointAdded`), fault
+/// handling (`EvalFailed`/`EvalRetried`/`WorkerCrashed`), and phase
+/// structure (`SpanStart`/`SpanEnd`, see [`crate::SpanGuard`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// The policy proposed a query; `worker` is the worker it was
@@ -110,6 +113,28 @@ pub enum Event {
         /// Interrupted in-flight tasks that will be re-issued.
         inflight: usize,
     },
+    /// A named phase opened on the run timeline (RAII: paired with the
+    /// [`Event::SpanEnd`] carrying the same id). Spans nest — `parent`
+    /// is the id of the enclosing open span on the same thread, or `0`
+    /// for a root span. Ids are assigned from a per-run counter
+    /// starting at 1, so a deterministic run emits a deterministic
+    /// span tree. `name` must stay free of `"` and `\` so the
+    /// restricted JSONL encoding round-trips (instrumentation sites
+    /// use static literals, which satisfies this by construction).
+    SpanStart {
+        /// Unique (per run) span id, starting at 1.
+        id: u64,
+        /// Id of the enclosing span, `0` for roots.
+        parent: u64,
+        /// Phase name (e.g. `gp_refit`, `cholesky`). Borrowed statics
+        /// at emission sites; owned after JSONL replay.
+        name: Cow<'static, str>,
+    },
+    /// The span with this id closed.
+    SpanEnd {
+        /// Id from the matching [`Event::SpanStart`].
+        id: u64,
+    },
 }
 
 impl Event {
@@ -128,6 +153,8 @@ impl Event {
             Event::WorkerCrashed { .. } => "WorkerCrashed",
             Event::CheckpointWritten { .. } => "CheckpointWritten",
             Event::RunResumed { .. } => "RunResumed",
+            Event::SpanStart { .. } => "SpanStart",
+            Event::SpanEnd { .. } => "SpanEnd",
         }
     }
 }

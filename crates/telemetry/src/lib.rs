@@ -42,19 +42,31 @@
 //! assert_eq!(telemetry.metrics_snapshot().unwrap().counter("cholesky_solves"), 3);
 //! ```
 
+mod aggregate;
+mod chrome_trace;
 mod event;
+mod json;
 mod metrics;
 mod report;
+mod serve;
 mod sink;
+mod span;
 mod telemetry;
 
 pub mod replay;
 
+pub use aggregate::{
+    gate, parse_aggregate, parse_baseline, AggregateReport, GateBound, Regression, ReportSet, Stat,
+};
+pub use chrome_trace::{chrome_trace_json, ChromeTraceSink};
 pub use event::{Event, TimedEvent};
+pub use json::{parse_json, JsonValue};
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSummary, Metrics, MetricsSnapshot,
     ScopedTimer,
 };
 pub use report::{RunReport, SummaryData};
-pub use sink::{EventSink, JsonlSink, Recorder, TraceCsvSink};
+pub use serve::{ScrapeServer, SessionStatus, StatusBoard};
+pub use sink::{to_json_line, EventSink, JsonlSink, Recorder, TraceCsvSink};
+pub use span::{render_span_tree, span_tree, SpanGuard, SpanNode};
 pub use telemetry::Telemetry;

@@ -99,6 +99,14 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             completed: usize_field(line, "completed")?,
             inflight: usize_field(line, "inflight")?,
         },
+        "SpanStart" => Event::SpanStart {
+            id: u64_field(line, "id")?,
+            parent: u64_field(line, "parent")?,
+            name: std::borrow::Cow::Owned(str_field(line, "name")?.to_string()),
+        },
+        "SpanEnd" => Event::SpanEnd {
+            id: u64_field(line, "id")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(TimedEvent { time, event })
@@ -140,6 +148,12 @@ fn num_field(line: &str, key: &str) -> Result<f64, String> {
 }
 
 fn usize_field(line: &str, key: &str) -> Result<usize, String> {
+    let raw = raw_field(line, key)?;
+    raw.parse()
+        .map_err(|_| format!("bad integer {raw:?} for {key:?}"))
+}
+
+fn u64_field(line: &str, key: &str) -> Result<u64, String> {
     let raw = raw_field(line, key)?;
     raw.parse()
         .map_err(|_| format!("bad integer {raw:?} for {key:?}"))
@@ -257,6 +271,18 @@ mod tests {
                 completed: 12,
                 inflight: 3,
             },
+        });
+        roundtrip(TimedEvent {
+            time: 1.25,
+            event: Event::SpanStart {
+                id: 7,
+                parent: 3,
+                name: std::borrow::Cow::Borrowed("gp_refit"),
+            },
+        });
+        roundtrip(TimedEvent {
+            time: 1.5,
+            event: Event::SpanEnd { id: 7 },
         });
     }
 

@@ -4,6 +4,7 @@
 use std::fmt;
 
 use crate::event::{Event, TimedEvent};
+use crate::metrics::{HistogramSummary, MetricsSnapshot};
 
 /// Running aggregate over every emitted event, maintained by the
 /// telemetry handle itself so a report is available regardless of which
@@ -42,6 +43,11 @@ pub struct SummaryData {
     pub checkpoints_written: usize,
     /// `RunResumed` count (snapshot restores feeding this run).
     pub resumes: usize,
+    /// `SpanStart` count (phases opened on the run timeline).
+    pub spans: usize,
+    /// Best objective value observed so far (max over
+    /// `EvalFinished`), `None` before the first completion.
+    pub best_value: Option<f64>,
 }
 
 impl SummaryData {
@@ -50,7 +56,10 @@ impl SummaryData {
         match &ev.event {
             Event::QueryIssued { .. } => self.queries_issued += 1,
             Event::EvalStarted { .. } => self.evals_started += 1,
-            Event::EvalFinished { .. } => self.evals_finished += 1,
+            Event::EvalFinished { value, .. } => {
+                self.evals_finished += 1;
+                self.best_value = Some(self.best_value.map_or(*value, |b| b.max(*value)));
+            }
             Event::GpRefit { duration, .. } => {
                 self.gp_refits += 1;
                 self.gp_fit_seconds += duration;
@@ -69,6 +78,8 @@ impl SummaryData {
             Event::WorkerCrashed { .. } => self.worker_crashes += 1,
             Event::CheckpointWritten { .. } => self.checkpoints_written += 1,
             Event::RunResumed { .. } => self.resumes += 1,
+            Event::SpanStart { .. } => self.spans += 1,
+            Event::SpanEnd { .. } => {}
         }
     }
 }
@@ -104,6 +115,17 @@ pub struct RunReport {
     /// Acquisition real seconds / makespan (`None` without telemetry
     /// or with a zero makespan).
     pub acq_share: Option<f64>,
+    /// Checkpoint real seconds (snapshot encode + durable write) /
+    /// makespan (`None` without the snapshot histograms or with a
+    /// zero makespan).
+    pub checkpoint_share: Option<f64>,
+    /// `snapshot_encode_ns` histogram: per-checkpoint time spent
+    /// encoding the snapshot payload (`None` when never observed).
+    pub snapshot_encode: Option<HistogramSummary>,
+    /// `snapshot_fsync_ns` histogram: per-checkpoint time spent on
+    /// the durable write (tmp file + fsync + rename; `None` when
+    /// never observed).
+    pub snapshot_fsync: Option<HistogramSummary>,
 }
 
 impl RunReport {
@@ -116,6 +138,21 @@ impl RunReport {
         completed: usize,
         summary: Option<SummaryData>,
     ) -> Self {
+        RunReport::with_metrics(makespan, workers, utilization, completed, summary, None)
+    }
+
+    /// Like [`RunReport::new`], but additionally mines a metrics
+    /// snapshot for the checkpoint write-path histograms
+    /// (`snapshot_encode_ns` / `snapshot_fsync_ns`) and derives the
+    /// checkpoint share of makespan from them.
+    pub fn with_metrics(
+        makespan: f64,
+        workers: usize,
+        utilization: f64,
+        completed: usize,
+        summary: Option<SummaryData>,
+        metrics: Option<&MetricsSnapshot>,
+    ) -> Self {
         let share = |secs: f64| {
             if makespan > 0.0 {
                 Some(secs / makespan)
@@ -125,6 +162,21 @@ impl RunReport {
         };
         let gp_fit_share = summary.as_ref().and_then(|s| share(s.gp_fit_seconds));
         let acq_share = summary.as_ref().and_then(|s| share(s.acq_seconds));
+        let snapshot_encode = metrics
+            .and_then(|m| m.histogram("snapshot_encode_ns"))
+            .filter(|h| h.count > 0)
+            .cloned();
+        let snapshot_fsync = metrics
+            .and_then(|m| m.histogram("snapshot_fsync_ns"))
+            .filter(|h| h.count > 0)
+            .cloned();
+        let checkpoint_ns = snapshot_encode.as_ref().map_or(0.0, |h| h.sum)
+            + snapshot_fsync.as_ref().map_or(0.0, |h| h.sum);
+        let checkpoint_share = if snapshot_encode.is_some() || snapshot_fsync.is_some() {
+            share(checkpoint_ns / 1e9)
+        } else {
+            None
+        };
         RunReport {
             makespan,
             workers,
@@ -134,6 +186,9 @@ impl RunReport {
             summary,
             gp_fit_share,
             acq_share,
+            checkpoint_share,
+            snapshot_encode,
+            snapshot_fsync,
         }
     }
 }
@@ -172,6 +227,24 @@ impl fmt::Display for RunReport {
                         .map(|v| format!(", {:.2}% of makespan", 100.0 * v))
                         .unwrap_or_default()
                 )?;
+                if s.checkpoints_written > 0 {
+                    let ms = |h: &Option<HistogramSummary>| {
+                        h.as_ref()
+                            .and_then(|h| h.mean())
+                            .map(|ns| format!("{:.3}ms", ns / 1e6))
+                            .unwrap_or_else(|| "-".to_string())
+                    };
+                    writeln!(
+                        f,
+                        "  checkpoints {} (encode {} fsync {} mean{})",
+                        s.checkpoints_written,
+                        ms(&self.snapshot_encode),
+                        ms(&self.snapshot_fsync),
+                        self.checkpoint_share
+                            .map(|v| format!(", {:.2}% of makespan", 100.0 * v))
+                            .unwrap_or_default()
+                    )?;
+                }
                 if s.evals_failed + s.evals_retried + s.worker_crashes > 0 {
                     writeln!(
                         f,

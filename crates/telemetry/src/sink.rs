@@ -137,6 +137,12 @@ pub fn to_json_line(ev: &TimedEvent) -> String {
         } => {
             let _ = write!(s, ",\"completed\":{completed},\"inflight\":{inflight}");
         }
+        Event::SpanStart { id, parent, name } => {
+            let _ = write!(s, ",\"id\":{id},\"parent\":{parent},\"name\":\"{name}\"");
+        }
+        Event::SpanEnd { id } => {
+            let _ = write!(s, ",\"id\":{id}");
+        }
     }
     s.push('}');
     s

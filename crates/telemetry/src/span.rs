@@ -1,0 +1,319 @@
+//! Hierarchical phase spans on the run clock.
+//!
+//! A span marks one named phase of the run — a GP refit, a Cholesky
+//! factorization, a checkpoint fsync — as a `[start, end]` interval on
+//! the same run clock that stamps every other event. Spans nest:
+//! opening a span while another is open on the same thread records the
+//! enclosing span as its parent, so a run yields a phase *tree*
+//! (session step → GP refit → kernel build / Cholesky / L-BFGS), not a
+//! flat list. The tree is what the Chrome trace exporter
+//! ([`crate::chrome_trace_json`]) renders as a flamegraph.
+//!
+//! Design constraints inherited from the rest of the crate:
+//!
+//! - **Zero cost when disabled.** `Telemetry::span` on a disabled
+//!   handle returns an inert guard without touching thread-local
+//!   state, allocating, or constructing an event — the same discipline
+//!   as `emit_with`.
+//! - **Deterministic ids.** Span ids come from a per-run atomic
+//!   counter starting at 1. Instrumentation sites only open spans on
+//!   the coordinator thread (never inside `parallel_map` workers), so
+//!   a bit-reproducible run emits a bit-identical span tree at any
+//!   parallelism setting.
+//! - **Run-clock timestamps only.** Spans are stamped with
+//!   `Telemetry::now`; no wall-clock durations leak into the events,
+//!   which is what keeps replayed traces byte-identical.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, TimedEvent};
+use crate::telemetry::Telemetry;
+
+thread_local! {
+    /// Stack of open span ids on this thread; the top is the parent
+    /// of the next span opened here.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one open span: emits `SpanEnd` when dropped.
+/// Obtained from [`Telemetry::span`]; inert (id 0) when the handle is
+/// disabled.
+#[derive(Debug)]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    id: u64,
+}
+
+impl SpanGuard {
+    /// The span's id (`0` for an inert guard from a disabled handle).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards normally drop in LIFO order; tolerate out-of-order
+            // drops (early returns holding several guards) by removing
+            // the id wherever it sits.
+            if stack.last() == Some(&self.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&open| open != self.id);
+            }
+        });
+        self.telemetry.emit(Event::SpanEnd { id: self.id });
+    }
+}
+
+impl Telemetry {
+    /// Opens a named span at the current run-clock time and returns
+    /// the RAII guard that closes it. On a disabled handle this is a
+    /// single branch: no id is allocated, no thread-local state is
+    /// touched, and nothing is emitted.
+    #[must_use = "dropping the guard immediately closes the span"]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let Some(id) = self.alloc_span_id() else {
+            return SpanGuard {
+                telemetry: Telemetry::disabled(),
+                id: 0,
+            };
+        };
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = stack.last().copied().unwrap_or(0);
+            stack.push(id);
+            parent
+        });
+        self.emit(Event::SpanStart {
+            id,
+            parent,
+            name: Cow::Borrowed(name),
+        });
+        SpanGuard {
+            telemetry: self.clone(),
+            id,
+        }
+    }
+}
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span id from the event stream.
+    pub id: u64,
+    /// Phase name.
+    pub name: String,
+    /// Run-clock seconds at `SpanStart`.
+    pub start: f64,
+    /// Run-clock seconds at `SpanEnd` (`None` if the stream ended
+    /// with the span still open, e.g. a truncated log).
+    pub end: Option<f64>,
+    /// Nested spans, in opening order.
+    pub children: Vec<SpanNode>,
+}
+
+struct SpanRec {
+    name: String,
+    start: f64,
+    end: Option<f64>,
+    children: Vec<u64>,
+}
+
+/// Rebuilds the span forest from an event stream (recorded live or
+/// replayed from JSONL). Spans whose parent never appears in the
+/// stream are treated as roots; unmatched `SpanEnd`s are ignored.
+pub fn span_tree(events: &[TimedEvent]) -> Vec<SpanNode> {
+    let mut recs: BTreeMap<u64, SpanRec> = BTreeMap::new();
+    let mut roots: Vec<u64> = Vec::new();
+    for ev in events {
+        match &ev.event {
+            Event::SpanStart { id, parent, name } => {
+                if recs.contains_key(id) {
+                    continue; // duplicate id: keep the first opening
+                }
+                recs.insert(
+                    *id,
+                    SpanRec {
+                        name: name.to_string(),
+                        start: ev.time,
+                        end: None,
+                        children: Vec::new(),
+                    },
+                );
+                match recs.get_mut(parent) {
+                    Some(p) if *parent != *id => p.children.push(*id),
+                    _ => roots.push(*id),
+                }
+            }
+            Event::SpanEnd { id } => {
+                if let Some(rec) = recs.get_mut(id) {
+                    if rec.end.is_none() {
+                        rec.end = Some(ev.time);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fn build(id: u64, recs: &BTreeMap<u64, SpanRec>) -> SpanNode {
+        let rec = &recs[&id];
+        SpanNode {
+            id,
+            name: rec.name.clone(),
+            start: rec.start,
+            end: rec.end,
+            children: rec.children.iter().map(|&c| build(c, recs)).collect(),
+        }
+    }
+    roots.into_iter().map(|id| build(id, &recs)).collect()
+}
+
+/// Renders the forest as indented text, one span per line
+/// (`name [start..end]`), with shortest-roundtrip float formatting so
+/// two bit-identical runs render byte-identical trees.
+pub fn render_span_tree(roots: &[SpanNode]) -> String {
+    fn walk(node: &SpanNode, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match node.end {
+            Some(end) => {
+                let _ = writeln!(out, "{} [{}..{}]", node.name, node.start, end);
+            }
+            None => {
+                let _ = writeln!(out, "{} [{}..)", node.name, node.start);
+            }
+        }
+        for child in &node.children {
+            walk(child, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    for root in roots {
+        walk(root, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_yields_inert_guard() {
+        let t = Telemetry::disabled();
+        let g = t.span("nothing");
+        assert_eq!(g.id(), 0);
+        drop(g);
+        // Still no thread-local residue: an enabled span after an
+        // inert one sees no parent.
+        let (t, r) = Telemetry::recording();
+        let g = t.span("root");
+        drop(g);
+        let evs = r.events();
+        assert_eq!(
+            evs[0].event,
+            Event::SpanStart {
+                id: 1,
+                parent: 0,
+                name: Cow::Borrowed("root"),
+            }
+        );
+    }
+
+    #[test]
+    fn spans_nest_and_ids_are_sequential() {
+        let (t, r) = Telemetry::recording();
+        t.set_now(1.0);
+        {
+            let _a = t.span("step");
+            t.set_now(2.0);
+            {
+                let _b = t.span("refit");
+                t.set_now(3.0);
+                let _c = t.span("cholesky");
+            }
+            t.set_now(4.0);
+            let _d = t.span("acq");
+        }
+        let evs = r.events();
+        let tree = span_tree(&evs);
+        assert_eq!(tree.len(), 1);
+        let step = &tree[0];
+        assert_eq!(step.name, "step");
+        assert_eq!(step.id, 1);
+        assert_eq!((step.start, step.end), (1.0, Some(4.0)));
+        assert_eq!(step.children.len(), 2);
+        assert_eq!(step.children[0].name, "refit");
+        assert_eq!(step.children[0].children[0].name, "cholesky");
+        assert_eq!(step.children[1].name, "acq");
+        assert_eq!(step.children[1].id, 4);
+        let text = render_span_tree(&tree);
+        assert_eq!(
+            text,
+            "step [1..4]\n  refit [2..3]\n    cholesky [3..3]\n  acq [4..4]\n"
+        );
+    }
+
+    #[test]
+    fn out_of_order_drops_keep_the_stack_sane() {
+        let (t, r) = Telemetry::recording();
+        let a = t.span("a");
+        let b = t.span("b");
+        drop(a); // dropped before its child
+        let c = t.span("c"); // parent should be b, not the dead a
+        drop(c);
+        drop(b);
+        let tree = span_tree(&r.events());
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].name, "a");
+        assert_eq!(tree[0].children[0].name, "b");
+        assert_eq!(tree[0].children[0].children[0].name, "c");
+    }
+
+    #[test]
+    fn truncated_streams_leave_open_spans() {
+        let (t, r) = Telemetry::recording();
+        let _a = t.span("open_forever");
+        let evs = r.events(); // snapshot before the guard drops
+        let tree = span_tree(&evs);
+        assert_eq!(tree[0].end, None);
+        assert!(render_span_tree(&tree).contains("open_forever [0..)"));
+    }
+
+    #[test]
+    fn orphan_parents_become_roots() {
+        use crate::event::TimedEvent;
+        let evs = vec![
+            TimedEvent {
+                time: 5.0,
+                event: Event::SpanStart {
+                    id: 9,
+                    parent: 4, // never opened in this stream
+                    name: Cow::Borrowed("orphan"),
+                },
+            },
+            TimedEvent {
+                time: 6.0,
+                event: Event::SpanEnd { id: 9 },
+            },
+            TimedEvent {
+                time: 7.0,
+                event: Event::SpanEnd { id: 123 }, // unmatched
+            },
+        ];
+        let tree = span_tree(&evs);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].name, "orphan");
+        assert_eq!(tree[0].end, Some(6.0));
+    }
+}

@@ -33,6 +33,8 @@ struct Inner {
     summary: Mutex<SummaryData>,
     /// Run-clock seconds as `f64` bits.
     now_bits: AtomicU64,
+    /// Next span id minus one (ids start at 1; see `crate::span`).
+    span_ids: AtomicU64,
 }
 
 impl std::fmt::Debug for Inner {
@@ -61,6 +63,7 @@ impl Telemetry {
                 metrics: Metrics::new(),
                 summary: Mutex::new(SummaryData::default()),
                 now_bits: AtomicU64::new(0f64.to_bits()),
+                span_ids: AtomicU64::new(0),
             })),
         }
     }
@@ -170,6 +173,14 @@ impl Telemetry {
             Some(inner) => ScopedTimer::started(inner.metrics.histogram(name)),
             None => ScopedTimer::inert(),
         }
+    }
+
+    /// Claims the next span id (`None` when disabled). Ids start at 1
+    /// so `0` can mean "no parent" in span events.
+    pub(crate) fn alloc_span_id(&self) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .map(|i| i.span_ids.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
     /// Snapshot of the metrics registry (`None` when disabled).

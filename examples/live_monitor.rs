@@ -1,0 +1,80 @@
+//! Live monitoring: watch a run through the std-only scrape endpoint
+//! and export a Chrome trace of its phase spans.
+//!
+//! ```sh
+//! cargo run --release -p easybo-integration --example live_monitor
+//! ```
+//!
+//! Binds a `ScrapeServer` on a loopback port, registers the run's
+//! telemetry handle on its `StatusBoard`, and optimizes while the
+//! endpoint is live. Any Prometheus scraper (or plain `curl`) can poll
+//! `/metrics` and `/sessions` mid-run; this example polls once itself
+//! so it stays self-contained. Afterwards it prints the hierarchical
+//! span tree and writes `easybo_trace.json` — open it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use easybo::{
+    chrome_trace_json, render_span_tree, span_tree, EasyBo, ScrapeServer, StatusBoard, Telemetry,
+};
+use easybo_opt::Bounds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A recording handle: the run's events feed both the scrape
+    // endpoint (live counters/gauges) and the post-run trace export.
+    let (telemetry, recorder) = Telemetry::recording();
+
+    let board = StatusBoard::new();
+    board.register("quickstart", telemetry.clone());
+    let server = ScrapeServer::with_board("127.0.0.1:0", board)?;
+    let addr = server.local_addr();
+    println!("scrape endpoint live at http://{addr}/metrics");
+    println!("  (try: curl http://{addr}/metrics | grep easybo_session)");
+
+    // The quickstart objective, instrumented end to end.
+    let bounds = Bounds::new(vec![(-3.0, 3.0), (-3.0, 3.0)])?;
+    let mut opt = EasyBo::new(bounds);
+    opt.batch_size(5)
+        .initial_points(8)
+        .max_evals(40)
+        .seed(7)
+        .telemetry(telemetry.clone());
+    let result = opt.run(|x: &[f64]| {
+        0.8 * (-((x[0] + 1.0).powi(2) + (x[1] - 1.0).powi(2))).exp()
+            + (-((x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2))).exp()
+    })?;
+    telemetry.flush();
+    println!(
+        "\nbest FOM {:.6} at x = {:?}",
+        result.best_value, result.best_x
+    );
+
+    // One scrape, exactly as curl would issue it.
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: local\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or_default();
+    println!("\nscrape sample (session series):");
+    for line in body.lines().filter(|l| l.starts_with("easybo_session")) {
+        println!("  {line}");
+    }
+
+    // The span tree: where the run clock went, hierarchically.
+    let events = recorder.events();
+    let tree = render_span_tree(&span_tree(&events));
+    println!("\nspan tree (first 20 lines):");
+    for line in tree.lines().take(20) {
+        println!("  {line}");
+    }
+
+    let trace_path = std::env::temp_dir().join("easybo_trace.json");
+    std::fs::write(&trace_path, chrome_trace_json(&events))?;
+    println!("\nwrote Chrome trace to {}", trace_path.display());
+    println!("open chrome://tracing (or https://ui.perfetto.dev) and load it");
+
+    server.shutdown();
+    Ok(())
+}

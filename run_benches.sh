@@ -12,3 +12,4 @@ cargo bench -p easybo-bench --bench micro
 cargo bench -p easybo-bench --bench hotpath
 cargo bench -p easybo-bench --bench faults
 cargo bench -p easybo-bench --bench checkpoint
+cargo bench -p easybo-bench --bench spans

@@ -71,6 +71,10 @@ fn disabled_handle_never_allocates_on_the_hot_path() {
             c.incr();
         }
         let _timer = telemetry.timer("gp_fit_s");
+        // Spans must short-circuit before touching the TLS parent
+        // stack, id counter, or event pipeline.
+        let _outer = telemetry.span("session_step");
+        let _inner = telemetry.span("gp_refit");
     }
     let after = allocations();
     assert_eq!(
