@@ -35,7 +35,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo bench --no-run"
+echo "==> cargo bench --no-run (incremental factorization bench must compile)"
+cargo bench -p easybo-bench --bench incremental --no-run
 cargo bench --workspace --no-run
 
 echo "==> all checks passed"

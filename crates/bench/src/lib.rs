@@ -275,9 +275,11 @@ pub fn host_threads() -> usize {
 }
 
 /// Renders the shared `BENCH_*.json` schema: every benchmark artifact
-/// carries the same top-level fields (`bench`, `env`, `note`, `results`)
-/// so the regression tooling can diff reports without per-bench parsers.
-/// serde is stubbed in this workspace, so the JSON is formatted by hand.
+/// carries the same top-level fields (`bench`, `generated_by`, `env`,
+/// `note`, `results`) so the regression tooling can diff reports without
+/// per-bench parsers and knows the exact command that regenerates a stale
+/// artifact. serde is stubbed in this workspace, so the JSON is formatted
+/// by hand.
 pub fn bench_report(bench: &str, reps: usize, note: &str, records: &[BenchRecord]) -> String {
     let entries: Vec<String> = records
         .iter()
@@ -295,7 +297,9 @@ pub fn bench_report(bench: &str, reps: usize, note: &str, records: &[BenchRecord
         })
         .collect();
     format!(
-        "{{\n  \"bench\": \"{bench}\",\n  \"env\": {{\n    \"reps\": {reps},\n    \
+        "{{\n  \"bench\": \"{bench}\",\n  \
+         \"generated_by\": \"cargo bench -p easybo-bench --bench {bench}\",\n  \
+         \"env\": {{\n    \"reps\": {reps},\n    \
          \"host_threads\": {threads},\n    \"os\": \"{os}\"\n  }},\n  \"note\": \"{note}\",\n  \
          \"results\": [\n{rows}\n  ]\n}}\n",
         threads = host_threads(),
@@ -395,6 +399,10 @@ mod tests {
         let json = bench_report("unit", 5, "note text", &records);
         let parsed = easybo_telemetry::parse_json(&json).expect("valid JSON");
         assert_eq!(parsed.get("bench").and_then(|v| v.as_str()), Some("unit"));
+        assert_eq!(
+            parsed.get("generated_by").and_then(|v| v.as_str()),
+            Some("cargo bench -p easybo-bench --bench unit")
+        );
         let env = parsed.get("env").expect("env object");
         assert_eq!(env.get("reps").and_then(|v| v.as_f64()), Some(5.0));
         assert!(env.get("host_threads").and_then(|v| v.as_f64()).unwrap() >= 1.0);

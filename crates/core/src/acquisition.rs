@@ -5,7 +5,7 @@
 //! weighted combination `(1-w)·μ + w·σ` of Eqs. (4)/(8)/(9) is meaningless
 //! if μ lives around 690 while σ is O(1).
 
-use easybo_gp::Gp;
+use easybo_gp::{Gp, IncrementalGp};
 use easybo_opt::BatchObjective;
 
 /// `Φ(z)`: standard normal CDF via the Abramowitz–Stegun erf approximation
@@ -162,6 +162,40 @@ impl BatchObjective for PenalizedAcq<'_> {
     }
 }
 
+/// [`weighted_penalized`] over an [`IncrementalGp`] whose pseudo-point
+/// stack currently holds the hallucinated busy points: the *base* mean
+/// comes from the cached base-alpha prefix ([`IncrementalGp::predict_mean_base`])
+/// and `σ̂` from the augmented model — no cloned GP anywhere. Bit-identical
+/// to [`PenalizedAcq`] over `(base, base.augment(busy))`.
+pub struct PenalizedAcqInc<'a> {
+    /// Surrogate with the busy points pushed as pseudo-points.
+    pub inc: &'a IncrementalGp,
+    /// Exploration weight `w ∈ [0, 1]`.
+    pub w: f64,
+}
+
+impl BatchObjective for PenalizedAcqInc<'_> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        let gp = self.inc.gp();
+        let mu_z = gp.scaler().transform(self.inc.predict_mean_base(x));
+        let (_, var_hat) = gp.predict_standardized(x);
+        (1.0 - self.w) * mu_z + self.w * var_hat.max(0.0).sqrt()
+    }
+
+    fn eval_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        let gp = self.inc.gp();
+        let means = self.inc.predict_mean_base_batch(xs);
+        gp.predict_standardized_batch(xs)
+            .into_iter()
+            .zip(means)
+            .map(|((_, var_hat), mean)| {
+                let mu_z = gp.scaler().transform(mean);
+                (1.0 - self.w) * mu_z + self.w * var_hat.max(0.0).sqrt()
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +341,40 @@ mod tests {
                 );
                 assert_eq!(wa_batch[i], wa.eval(q));
                 assert_eq!(pa_batch[i], pa.eval(q));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_penalized_acq_bitwise_matches_cloned() {
+        let gp = toy_gp();
+        let busy = vec![vec![0.4], vec![1.2]];
+        let aug = gp.augment(&busy).unwrap();
+        let mut inc = IncrementalGp::new(toy_gp());
+        for b in &busy {
+            inc.push_pseudo_mean(b.clone()).unwrap();
+        }
+        let queries: Vec<Vec<f64>> = (0..11).map(|i| vec![i as f64 * 0.17 - 0.3]).collect();
+        for w in [0.0, 0.35, 1.0] {
+            let legacy = PenalizedAcq {
+                base: &gp,
+                augmented: &aug,
+                w,
+            };
+            let fast = PenalizedAcqInc { inc: &inc, w };
+            let legacy_batch = legacy.eval_batch(&queries);
+            let fast_batch = fast.eval_batch(&queries);
+            for (i, q) in queries.iter().enumerate() {
+                assert_eq!(
+                    legacy.eval(q).to_bits(),
+                    fast.eval(q).to_bits(),
+                    "scalar at {i}, w = {w}"
+                );
+                assert_eq!(
+                    legacy_batch[i].to_bits(),
+                    fast_batch[i].to_bits(),
+                    "batch at {i}, w = {w}"
+                );
             }
         }
     }

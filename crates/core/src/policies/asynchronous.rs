@@ -22,7 +22,7 @@ use easybo_telemetry::{Event, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::acquisition::{PenalizedAcq, WeightedAcq};
+use crate::acquisition::{PenalizedAcq, PenalizedAcqInc, WeightedAcq};
 use crate::policies::penalization::PenalizationMode;
 use crate::policies::{AcqMaximizer, AcqOptConfig};
 use crate::surrogate::{SurrogateConfig, SurrogateManager};
@@ -137,78 +137,147 @@ impl AsyncPolicy for EasyBoAsyncPolicy {
             // More workers than initial points: nothing observed yet.
             return self.surrogate.bounds().sample_uniform(&mut self.rng);
         }
-        let gp = match self.surrogate.surrogate(data) {
-            Ok(gp) => gp.clone(),
-            Err(_) => {
-                self.fallbacks += 1;
-                return self.surrogate.bounds().sample_uniform(&mut self.rng);
-            }
-        };
-        let w = sample_kappa_weight(self.lambda, &mut self.rng);
-        let u = if self.penalize && !busy.is_empty() {
+        // Fit (or incrementally extend) the surrogate first. The fit comes
+        // before the `w` draw in both branches so the RNG stream — and with
+        // it every downstream decision — is bit-identical with the
+        // incremental path on or off.
+        if self.surrogate.surrogate(data).is_err() {
+            self.fallbacks += 1;
+            return self.surrogate.bounds().sample_uniform(&mut self.rng);
+        }
+        // Busy-point preprocessing happens before the incremental branch
+        // takes its long-lived mutable borrow of the surrogate.
+        let penalizing = self.penalize && !busy.is_empty();
+        let busy_units: Vec<Vec<f64>> = if penalizing {
             // Hallucinate the busy points (Algorithm 1, lines 5-6).
-            let busy_units: Vec<Vec<f64>> = busy
-                .iter()
+            busy.iter()
                 .map(|bp| self.surrogate.to_unit(&bp.x))
-                .collect();
-            let (y_lo, y_hi) = data
-                .ys()
-                .iter()
-                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
-                    (lo.min(y), hi.max(y))
-                });
-            match self
-                .mode
-                .augment_traced(&gp, &busy_units, y_lo, y_hi, &self.telemetry)
-            {
-                Ok(aug) => {
-                    // Eq. 9 (hallucinated mean): μ from the base GP, σ̂ from
-                    // the augmented one (the augmented mean is identical in
-                    // exact arithmetic). Constant-liar modes *deliberately*
-                    // bias the mean near busy points, so they must read both
-                    // moments from the augmented model.
-                    if self.mode != PenalizationMode::HallucinateMean {
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let (y_lo, y_hi) = data
+            .ys()
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
+                (lo.min(y), hi.max(y))
+            });
+        let u = if self.surrogate.incremental_enabled() {
+            let inc = self
+                .surrogate
+                .incremental(data)
+                .expect("surrogate fitted above");
+            let w = sample_kappa_weight(self.lambda, &mut self.rng);
+            if penalizing {
+                match self
+                    .mode
+                    .push_traced(inc, &busy_units, y_lo, y_hi, &self.telemetry)
+                {
+                    Ok(()) => {
+                        // Eq. 9 (hallucinated mean): μ from the base-alpha
+                        // prefix, σ̂ from the augmented factor. Constant-liar
+                        // modes *deliberately* bias the mean near busy
+                        // points, so they read both moments from the
+                        // augmented model.
+                        let u = if self.mode != PenalizationMode::HallucinateMean {
+                            maximize_traced(
+                                &self.maximizer,
+                                &mut self.rng,
+                                &self.telemetry,
+                                self.acq_restarts,
+                                &WeightedAcq { gp: inc.gp(), w },
+                            )
+                        } else {
+                            maximize_traced(
+                                &self.maximizer,
+                                &mut self.rng,
+                                &self.telemetry,
+                                self.acq_restarts,
+                                &PenalizedAcqInc { inc: &*inc, w },
+                            )
+                        };
+                        // Rank-1 downdates restore the base factor exactly;
+                        // the next selection starts from a clean stack.
+                        inc.pop_all_pseudo();
+                        u
+                    }
+                    Err(_) => {
+                        // Numerically degenerate augmentation (duplicated
+                        // busy points): fall back to the unpenalized
+                        // acquisition. `push_traced` already rolled back.
                         maximize_traced(
                             &self.maximizer,
                             &mut self.rng,
                             &self.telemetry,
                             self.acq_restarts,
-                            &WeightedAcq { gp: &aug, w },
-                        )
-                    } else {
-                        maximize_traced(
-                            &self.maximizer,
-                            &mut self.rng,
-                            &self.telemetry,
-                            self.acq_restarts,
-                            &PenalizedAcq {
-                                base: &gp,
-                                augmented: &aug,
-                                w,
-                            },
+                            &WeightedAcq { gp: inc.gp(), w },
                         )
                     }
                 }
-                Err(_) => {
-                    // Numerically degenerate augmentation (duplicated busy
-                    // points): fall back to the unpenalized acquisition.
-                    maximize_traced(
+            } else {
+                maximize_traced(
+                    &self.maximizer,
+                    &mut self.rng,
+                    &self.telemetry,
+                    self.acq_restarts,
+                    &WeightedAcq { gp: inc.gp(), w },
+                )
+            }
+        } else {
+            // Legacy clone-and-refactorize path (SurrogateConfig
+            // `incremental: false`). Bit-identical decisions, O(n³) per
+            // penalized selection instead of O(n²).
+            let gp = self
+                .surrogate
+                .surrogate(data)
+                .expect("surrogate fitted above")
+                .clone();
+            let w = sample_kappa_weight(self.lambda, &mut self.rng);
+            if penalizing {
+                match self
+                    .mode
+                    .augment_traced(&gp, &busy_units, y_lo, y_hi, &self.telemetry)
+                {
+                    Ok(aug) => {
+                        if self.mode != PenalizationMode::HallucinateMean {
+                            maximize_traced(
+                                &self.maximizer,
+                                &mut self.rng,
+                                &self.telemetry,
+                                self.acq_restarts,
+                                &WeightedAcq { gp: &aug, w },
+                            )
+                        } else {
+                            maximize_traced(
+                                &self.maximizer,
+                                &mut self.rng,
+                                &self.telemetry,
+                                self.acq_restarts,
+                                &PenalizedAcq {
+                                    base: &gp,
+                                    augmented: &aug,
+                                    w,
+                                },
+                            )
+                        }
+                    }
+                    Err(_) => maximize_traced(
                         &self.maximizer,
                         &mut self.rng,
                         &self.telemetry,
                         self.acq_restarts,
                         &WeightedAcq { gp: &gp, w },
-                    )
+                    ),
                 }
+            } else {
+                maximize_traced(
+                    &self.maximizer,
+                    &mut self.rng,
+                    &self.telemetry,
+                    self.acq_restarts,
+                    &WeightedAcq { gp: &gp, w },
+                )
             }
-        } else {
-            maximize_traced(
-                &self.maximizer,
-                &mut self.rng,
-                &self.telemetry,
-                self.acq_restarts,
-                &WeightedAcq { gp: &gp, w },
-            )
         };
         self.surrogate.from_unit(&u)
     }

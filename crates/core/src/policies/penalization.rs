@@ -6,7 +6,7 @@
 //! optimistic value. DESIGN.md calls this design choice out for ablation;
 //! this module implements all three so the benches can compare them.
 
-use easybo_gp::Gp;
+use easybo_gp::{Gp, IncrementalGp};
 use easybo_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +71,50 @@ impl PenalizationMode {
         });
         telemetry.incr("pseudo_points_added", busy_units.len() as u64);
         Ok(aug)
+    }
+
+    /// Incremental counterpart of [`PenalizationMode::augment_traced`]:
+    /// pushes the busy points onto `inc`'s pseudo-point factor stack via
+    /// rank-1 Cholesky updates instead of cloning and refactorizing.
+    ///
+    /// On success the stack holds exactly `busy_units.len()` new
+    /// pseudo-points and one `PseudoPointAdded` event is emitted. On error
+    /// every push made so far is popped again, leaving `inc` bitwise
+    /// unchanged, before the error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PenalizationMode::augment`].
+    pub fn push_traced(
+        &self,
+        inc: &mut IncrementalGp,
+        busy_units: &[Vec<f64>],
+        y_lo: f64,
+        y_hi: f64,
+        telemetry: &Telemetry,
+    ) -> Result<(), easybo_gp::GpError> {
+        let mut pushed = 0usize;
+        for b in busy_units {
+            let res = match self {
+                PenalizationMode::HallucinateMean => inc.push_pseudo_mean(b.clone()),
+                PenalizationMode::ConstantLiarMin => inc.push_pseudo_lie(b.clone(), y_lo),
+                PenalizationMode::ConstantLiarMax => inc.push_pseudo_lie(b.clone(), y_hi),
+            };
+            match res {
+                Ok(()) => pushed += 1,
+                Err(e) => {
+                    for _ in 0..pushed {
+                        inc.pop_pseudo();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        telemetry.emit_with(|| Event::PseudoPointAdded {
+            count: busy_units.len(),
+        });
+        telemetry.incr("pseudo_points_added", busy_units.len() as u64);
+        Ok(())
     }
 
     /// All modes, for ablation sweeps.
@@ -173,6 +217,41 @@ mod tests {
             aug.predict(&[1.5]).mean > gp.predict(&[1.5]).mean,
             "optimistic lie should pull the mean up"
         );
+    }
+
+    #[test]
+    fn push_traced_matches_augment_and_pops_clean() {
+        let telemetry = Telemetry::disabled();
+        let busy = vec![vec![0.3], vec![0.85]];
+        for mode in PenalizationMode::all() {
+            let gp = toy_gp();
+            let aug = mode.augment(&gp, &busy, -5.0, 5.0).expect("augments");
+            let mut inc = IncrementalGp::new(toy_gp());
+            mode.push_traced(&mut inc, &busy, -5.0, 5.0, &telemetry)
+                .expect("pushes");
+            assert_eq!(inc.n_pseudo(), busy.len());
+            for q in [0.1, 0.4, 0.85, 1.3] {
+                let a = aug.predict(&[q]);
+                let b = inc.gp().predict(&[q]);
+                assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{mode:?} mean at {q}");
+                assert_eq!(
+                    a.variance.to_bits(),
+                    b.variance.to_bits(),
+                    "{mode:?} variance at {q}"
+                );
+            }
+            inc.pop_all_pseudo();
+            assert_eq!(inc.n_pseudo(), 0);
+            for q in [0.1, 0.4, 0.85, 1.3] {
+                let a = toy_gp().predict(&[q]);
+                let b = inc.gp().predict(&[q]);
+                assert_eq!(
+                    a.mean.to_bits(),
+                    b.mean.to_bits(),
+                    "{mode:?} restore at {q}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@ use easybo_opt::Bounds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::acquisition::{self, PenalizedAcq, WeightedAcq};
+use crate::acquisition::{self, PenalizedAcq, PenalizedAcqInc, WeightedAcq};
 use crate::policies::{AcqMaximizer, AcqOptConfig};
 use crate::surrogate::{SurrogateConfig, SurrogateManager};
 use crate::weight::WeightSchedule;
@@ -228,41 +228,78 @@ impl SyncBatchPolicy for EasyBoSyncPolicy {
                 .map(|_| self.surrogate.bounds().sample_uniform(&mut self.rng))
                 .collect();
         }
-        let gp = match self.surrogate.surrogate(data) {
-            Ok(gp) => gp.clone(),
-            Err(_) => {
-                self.fallbacks += 1;
-                return (0..batch_size)
-                    .map(|_| self.surrogate.bounds().sample_uniform(&mut self.rng))
-                    .collect();
-            }
-        };
-        let mut batch = Vec::with_capacity(batch_size);
-        let mut augmented = gp.clone();
-        for _ in 0..batch_size {
-            let w = crate::weight::sample_kappa_weight(self.lambda, &mut self.rng);
-            let u = if self.penalize {
-                self.maximizer.maximize_batch(
-                    &mut self.rng,
-                    &PenalizedAcq {
-                        base: &gp,
-                        augmented: &augmented,
-                        w,
-                    },
-                )
-            } else {
-                self.maximizer
-                    .maximize_batch(&mut self.rng, &WeightedAcq { gp: &gp, w })
-            };
-            if self.penalize {
-                // Hallucinate the new member so later members avoid it.
-                if let Ok(next) = augmented.augment(std::slice::from_ref(&u)) {
-                    augmented = next;
-                }
-            }
-            batch.push(self.surrogate.from_unit(&u));
+        if self.surrogate.surrogate(data).is_err() {
+            self.fallbacks += 1;
+            return (0..batch_size)
+                .map(|_| self.surrogate.bounds().sample_uniform(&mut self.rng))
+                .collect();
         }
-        batch
+        let units: Vec<Vec<f64>> = if self.surrogate.incremental_enabled() {
+            // Hot path: sequential hallucination runs on the cached factor
+            // stack — one rank-1 push per batch member, all popped at the
+            // end. Bit-identical decisions to the legacy clone-and-augment
+            // loop below.
+            let inc = self
+                .surrogate
+                .incremental(data)
+                .expect("surrogate fitted above");
+            let mut units = Vec::with_capacity(batch_size);
+            for _ in 0..batch_size {
+                let w = crate::weight::sample_kappa_weight(self.lambda, &mut self.rng);
+                let u = if self.penalize {
+                    self.maximizer
+                        .maximize_batch(&mut self.rng, &PenalizedAcqInc { inc: &*inc, w })
+                } else {
+                    self.maximizer
+                        .maximize_batch(&mut self.rng, &WeightedAcq { gp: inc.gp(), w })
+                };
+                if self.penalize {
+                    // Hallucinate the new member so later members avoid it;
+                    // a degenerate (duplicated) push is skipped, matching
+                    // the legacy loop's `if let Ok` behavior.
+                    let _ = inc.push_pseudo_mean(u.clone());
+                }
+                units.push(u);
+            }
+            inc.pop_all_pseudo();
+            units
+        } else {
+            let gp = self
+                .surrogate
+                .surrogate(data)
+                .expect("surrogate fitted above")
+                .clone();
+            let mut units = Vec::with_capacity(batch_size);
+            let mut augmented = gp.clone();
+            for _ in 0..batch_size {
+                let w = crate::weight::sample_kappa_weight(self.lambda, &mut self.rng);
+                let u = if self.penalize {
+                    self.maximizer.maximize_batch(
+                        &mut self.rng,
+                        &PenalizedAcq {
+                            base: &gp,
+                            augmented: &augmented,
+                            w,
+                        },
+                    )
+                } else {
+                    self.maximizer
+                        .maximize_batch(&mut self.rng, &WeightedAcq { gp: &gp, w })
+                };
+                if self.penalize {
+                    // Hallucinate the new member so later members avoid it.
+                    if let Ok(next) = augmented.augment(std::slice::from_ref(&u)) {
+                        augmented = next;
+                    }
+                }
+                units.push(u);
+            }
+            units
+        };
+        units
+            .into_iter()
+            .map(|u| self.surrogate.from_unit(&u))
+            .collect()
     }
 }
 

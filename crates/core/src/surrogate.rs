@@ -8,7 +8,7 @@
 //! rather than a full marginal-likelihood optimization.
 
 use easybo_exec::Dataset;
-use easybo_gp::{Gp, GpConfig, GpState, KernelFamily, TrainConfig};
+use easybo_gp::{Gp, GpConfig, GpState, IncrementalGp, KernelFamily, TrainConfig};
 use easybo_opt::{Bounds, Parallelism};
 use easybo_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
@@ -38,6 +38,13 @@ pub struct SurrogateConfig {
     /// Worker threads for the L-BFGS training restarts (default: available
     /// cores; 1 = legacy sequential). Bit-identical results at any setting.
     pub parallelism: Parallelism,
+    /// Use the incremental factor path (default true): per-tell appends
+    /// mutate the cached Cholesky factor in place, and the penalization
+    /// inner loop pushes/pops pseudo-points on a factor stack instead of
+    /// cloning the GP. `false` selects the legacy clone-and-extend paths.
+    /// Bit-identical results either way — the incremental path performs
+    /// the same floating-point operations in the same order.
+    pub incremental: bool,
 }
 
 impl Default for SurrogateConfig {
@@ -51,6 +58,7 @@ impl Default for SurrogateConfig {
             max_gp_points: 260,
             seed: 0,
             parallelism: Parallelism::default(),
+            incremental: true,
         }
     }
 }
@@ -85,7 +93,7 @@ impl Default for SurrogateConfig {
 pub struct SurrogateManager {
     bounds: Bounds,
     config: SurrogateConfig,
-    gp: Option<Gp>,
+    gp: Option<IncrementalGp>,
     fitted_n: usize,
     last_trained_n: usize,
     warm: Option<Vec<f64>>,
@@ -110,9 +118,20 @@ impl SurrogateManager {
     }
 
     /// Attaches a telemetry handle: every hyperparameter retraining emits
-    /// a `GpRefit` event and feeds the GP training counters.
+    /// a `GpRefit` event and feeds the GP training counters, and the
+    /// incremental factor path emits `cholesky_update` /
+    /// `cholesky_downdate` spans and counters.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(inc) = self.gp.as_mut() {
+            inc.set_telemetry(telemetry.clone());
+        }
         self.telemetry = telemetry;
+    }
+
+    /// Whether the incremental factor path is enabled (see
+    /// [`SurrogateConfig::incremental`]).
+    pub fn incremental_enabled(&self) -> bool {
+        self.config.incremental
     }
 
     /// The design space.
@@ -176,25 +195,52 @@ impl SurrogateManager {
                 },
                 ..Default::default()
             };
+            // A hyperparameter retrain invalidates the cached factor: the
+            // replacement model comes out of the blocked full
+            // factorization inside `fit_traced`.
             let gp = Gp::fit_traced(xs, ys, gp_config, &self.telemetry)?;
             let mut warm = gp.theta().to_vec();
             warm.push(gp.log_noise());
             self.warm = Some(warm);
             self.last_trained_n = n;
             self.fitted_n = n;
-            self.gp = Some(gp);
+            self.gp = Some(IncrementalGp::with_telemetry(gp, self.telemetry.clone()));
         } else if n > self.fitted_n {
             // Incrementally absorb the new observations with fixed
             // hyperparameters (O(n²) per point).
-            let mut gp = self.gp.take().expect("cached GP exists");
-            for i in self.fitted_n..n {
-                let u = self.to_unit(&data.xs()[i]);
-                gp = gp.extend_observed(u, data.ys()[i].max(self.fence))?;
+            let mut inc = self.gp.take().expect("cached GP exists");
+            if self.config.incremental {
+                // Hot path: extend the cached factor in place — no clone.
+                for i in self.fitted_n..n {
+                    let u = self.to_unit(&data.xs()[i]);
+                    inc.append_observation(u, data.ys()[i].max(self.fence))?;
+                }
+            } else {
+                // Legacy path: clone-and-extend per point. Bit-identical
+                // to the in-place path (same ops, same order).
+                let mut gp = inc.into_gp();
+                for i in self.fitted_n..n {
+                    let u = self.to_unit(&data.xs()[i]);
+                    gp = gp.extend_observed(u, data.ys()[i].max(self.fence))?;
+                }
+                inc = IncrementalGp::with_telemetry(gp, self.telemetry.clone());
             }
             self.fitted_n = n;
-            self.gp = Some(gp);
+            self.gp = Some(inc);
         }
-        Ok(self.gp.as_ref().expect("GP fitted above"))
+        Ok(self.gp.as_ref().expect("GP fitted above").gp())
+    }
+
+    /// Like [`SurrogateManager::surrogate`], but hands back the mutable
+    /// [`IncrementalGp`] wrapper so the caller can push/pop pseudo-points
+    /// on the cached factor stack (the penalization inner loop).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SurrogateManager::surrogate`].
+    pub fn incremental(&mut self, data: &Dataset) -> crate::Result<&mut IncrementalGp> {
+        self.surrogate(data)?;
+        Ok(self.gp.as_mut().expect("GP fitted above"))
     }
 
     /// Number of observations in the cached fit (0 before the first fit).
@@ -224,7 +270,16 @@ impl SurrogateManager {
             last_trained_n: self.last_trained_n,
             warm: self.warm.clone(),
             fence: self.fence,
-            gp: self.gp.as_ref().map(Gp::state),
+            gp: self.gp.as_ref().map(|inc| {
+                // Snapshots fire between selections; the pseudo-point
+                // stack is strictly selection-scoped and must be empty.
+                debug_assert_eq!(
+                    inc.n_pseudo(),
+                    0,
+                    "snapshot with live pseudo-points on the factor stack"
+                );
+                inc.gp().state()
+            }),
         }
     }
 
@@ -239,7 +294,10 @@ impl SurrogateManager {
     /// internally inconsistent (wrong dimensions).
     pub fn restore(&mut self, state: SurrogateState) -> crate::Result<()> {
         self.gp = match state.gp {
-            Some(s) => Some(Gp::from_state(s)?),
+            Some(s) => Some(IncrementalGp::with_telemetry(
+                Gp::from_state(s)?,
+                self.telemetry.clone(),
+            )),
             None => None,
         };
         self.fitted_n = state.fitted_n;

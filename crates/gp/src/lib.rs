@@ -32,12 +32,14 @@
 //! ```
 
 mod error;
+mod incremental;
 pub mod kernel;
 mod model;
 mod scaler;
 mod train;
 
 pub use error::GpError;
+pub use incremental::IncrementalGp;
 pub use kernel::{ArdKernel, KernelFamily};
 pub use model::{Gp, GpConfig, GpState, Prediction};
 pub use scaler::YScaler;

@@ -285,9 +285,24 @@ impl Gp {
             let _span = telemetry.span("kernel_build");
             covariance_matrix(&kernel, &theta, log_noise, &x)
         };
+        // Any well-formed kernel matrix passes the cheap SPD screen; a
+        // failure here means the kernel itself is broken and the jitter
+        // ladder below would only mask it.
+        debug_assert!(
+            k.is_spd_hint(),
+            "kernel produced a matrix that cannot be positive definite"
+        );
         let (chol, alpha) = {
             let _span = telemetry.span("cholesky");
-            let chol = Cholesky::new(&k)?;
+            // Distinct from `gp_cholesky_factorizations`, which also counts
+            // the factorization inside every training NLL evaluation: this
+            // counts full factorizations of the surrogate itself, the work
+            // the rank-1 update path replaces.
+            telemetry.incr("cholesky_full", 1);
+            let (chol, jitter_bumps) = Cholesky::new_counted(&k)?;
+            if jitter_bumps > 0 {
+                telemetry.incr("cholesky_jitter_bumps", jitter_bumps as u64);
+            }
             let alpha = chol.solve_vec(&z);
             (chol, alpha)
         };
@@ -650,21 +665,69 @@ impl Gp {
     }
 
     /// Appends `(x, z)` (z already standardized), extending the Cholesky
-    /// factor incrementally and recomputing `α`.
-    fn push_point_standardized(&mut self, x: Vec<f64>, z: f64) -> crate::Result<()> {
+    /// factor incrementally and recomputing `α`. Returns `true` when the
+    /// duplicate-point pivot floor fired inside the factor extension —
+    /// [`crate::IncrementalGp`] surfaces that as a telemetry counter.
+    ///
+    /// On error the model is left untouched.
+    pub(crate) fn push_point_standardized(&mut self, x: Vec<f64>, z: f64) -> crate::Result<bool> {
         let cross = Vector::from_iter(
             self.x
                 .iter()
                 .map(|xi| self.kernel.eval(&self.theta, &x, xi)),
         );
         let diag = self.kernel.eval(&self.theta, &x, &x) + self.log_noise.exp();
-        self.chol.extend(&cross, diag)?;
+        let floored = self.chol.extend(&cross, diag)?;
         self.x.push(x);
         let mut z_new = self.z.clone();
         z_new.extend([z]);
         self.z = z_new;
         self.alpha = self.chol.solve_vec(&self.z);
-        Ok(())
+        Ok(floored)
+    }
+
+    /// Shrinks the model back to its leading `k` training points, restoring
+    /// the caller-saved weight vector `α` verbatim.
+    ///
+    /// Because [`Cholesky::extend`] copies the existing factor block
+    /// unchanged and [`Cholesky::truncate`] moves (never recomputes) the
+    /// surviving entries, this restores the exact pre-push model bit for
+    /// bit — the `pop_pseudo` half of [`crate::IncrementalGp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n_train()`, `alpha.len() != k`, or the tail being
+    /// dropped contains real observations.
+    pub(crate) fn truncate_to(&mut self, k: usize, alpha: Vector) {
+        assert!(k <= self.x.len(), "truncate_to: {k} > {}", self.x.len());
+        assert!(
+            k >= self.n_real,
+            "truncate_to would drop real observations ({k} < {})",
+            self.n_real
+        );
+        assert_eq!(alpha.len(), k, "truncate_to: alpha length mismatch");
+        self.chol.truncate(k);
+        self.x.truncate(k);
+        let mut z = self.z.as_slice().to_vec();
+        z.truncate(k);
+        self.z = Vector::from(z);
+        self.alpha = alpha;
+    }
+
+    /// The cached weight vector `α = K⁻¹ z`.
+    pub(crate) fn alpha_vec(&self) -> &Vector {
+        &self.alpha
+    }
+
+    /// Training inputs, including any hallucinated tail.
+    pub(crate) fn x_rows(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// Marks every current training point as a real observation (used after
+    /// an in-place [`Gp::push_point_standardized`] of real data).
+    pub(crate) fn mark_all_real(&mut self) {
+        self.n_real = self.x.len();
     }
 }
 

@@ -46,6 +46,18 @@ impl Cholesky {
     /// * [`LinalgError::NotPositiveDefinite`] if the factorization fails even
     ///   with the maximum jitter.
     pub fn new(a: &Matrix) -> crate::Result<Self> {
+        Self::new_counted(a).map(|(c, _)| c)
+    }
+
+    /// Like [`Cholesky::new`], but also reports how many rungs of the
+    /// jitter ladder were climbed before the factorization succeeded
+    /// (0 = the plain factorization worked). Callers use this to surface
+    /// jitter escalation as a telemetry counter instead of a silent retry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cholesky::new`].
+    pub fn new_counted(a: &Matrix) -> crate::Result<(Self, usize)> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: a.rows(),
@@ -63,10 +75,10 @@ impl Cholesky {
             pivot: 0,
             value: 0.0,
         };
-        for &rel in JITTER_LADDER.iter() {
+        for (bumps, &rel) in JITTER_LADDER.iter().enumerate() {
             let jitter = rel * diag_scale;
             match Self::factorize(a, jitter) {
-                Ok(l) => return Ok(Cholesky { l, jitter }),
+                Ok(l) => return Ok((Cholesky { l, jitter }, bumps)),
                 Err(e) => last_err = e,
             }
         }
@@ -116,7 +128,92 @@ impl Cholesky {
         Ok(Cholesky { l, jitter })
     }
 
+    /// Column-block width of the blocked factorization. 32 columns of f64
+    /// keep the panel + a tile of the trailing matrix inside L1/L2 while
+    /// making the trailing update (the O(n³) bulk of the work) stream
+    /// contiguous rows.
+    const BLOCK: usize = 32;
+
+    /// Blocked (tiled) left-looking Cholesky factorization.
+    ///
+    /// The restructuring is bitwise identical to the textbook scalar
+    /// triple loop (kept as `factorize_scalar` for the equivalence test):
+    /// every element of `L` is produced by one accumulator that starts at
+    /// `a[(i, j)]` (plus jitter on the diagonal), subtracts the `k`-terms
+    /// in ascending order, and is divided/square-rooted last. Splitting
+    /// the `k` range across blocks only inserts exact f64 store/load
+    /// round-trips between subtractions, so the value sequence — and
+    /// therefore any error surfaced by a bad pivot — is unchanged. The
+    /// speedup comes purely from memory traffic: the trailing update
+    /// walks contiguous row slices instead of strided columns.
     fn factorize(a: &Matrix, jitter: f64) -> crate::Result<Matrix> {
+        let n = a.rows();
+        // Working matrix: lower triangle of `a` with jitter added to the
+        // diagonal; the strict upper triangle stays explicitly zero to
+        // match the scalar algorithm's output layout.
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            let src = a.row(i);
+            let dst = l.row_mut(i);
+            dst[..=i].copy_from_slice(&src[..=i]);
+            dst[i] += jitter;
+        }
+        let data = l.as_mut_slice();
+        let mut jb = 0;
+        while jb < n {
+            let jend = (jb + Self::BLOCK).min(n);
+            // Panel factorization: columns jb..jend, all rows below.
+            for j in jb..jend {
+                let (head, tail) = data.split_at_mut((j + 1) * n);
+                let row_j = &mut head[j * n..];
+                let mut diag = row_j[j];
+                for &ljk in &row_j[jb..j] {
+                    diag -= ljk * ljk;
+                }
+                if diag <= 0.0 || !diag.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite {
+                        pivot: j,
+                        value: diag,
+                    });
+                }
+                let ljj = diag.sqrt();
+                row_j[j] = ljj;
+                for row_i in tail.chunks_exact_mut(n) {
+                    let mut v = row_i[j];
+                    for (&lik, &ljk) in row_i[jb..j].iter().zip(&row_j[jb..j]) {
+                        v -= lik * ljk;
+                    }
+                    row_i[j] = v / ljj;
+                }
+            }
+            // Trailing update: fold this block's k-terms into every
+            // element of the remaining lower triangle.
+            for i in jend..n {
+                let (head, tail) = data.split_at_mut(i * n);
+                let row_i = &mut tail[..n];
+                for c in jend..i {
+                    let row_c = &head[c * n + jb..c * n + jend];
+                    let mut v = row_i[c];
+                    for (&lik, &lck) in row_i[jb..jend].iter().zip(row_c) {
+                        v -= lik * lck;
+                    }
+                    row_i[c] = v;
+                }
+                let mut v = row_i[i];
+                for &lik in &row_i[jb..jend] {
+                    v -= lik * lik;
+                }
+                row_i[i] = v;
+            }
+            jb = jend;
+        }
+        Ok(l)
+    }
+
+    /// The reference scalar factorization the blocked [`Cholesky::factorize`]
+    /// must reproduce bit for bit. Kept only for the equivalence test.
+    #[cfg(test)]
+    fn factorize_scalar(a: &Matrix, jitter: f64) -> crate::Result<Matrix> {
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
@@ -314,7 +411,13 @@ impl Cholesky {
     /// If `A' = [[A, c], [c^T, d]]` then `L' = [[L, 0], [w^T, s]]` with
     /// `w = L^{-1} c` and `s = sqrt(d - w^T w)`. This powers the EasyBO
     /// penalization scheme, which appends hallucinated pseudo-points to the
-    /// GP one at a time.
+    /// GP one at a time. The existing factor block is copied verbatim, so
+    /// [`Cholesky::truncate`] can later restore it bit for bit.
+    ///
+    /// Returns `true` when the pragmatic duplicate-point floor was applied
+    /// to the new pivot — i.e. the appended point was numerically on top
+    /// of an existing one. Callers surface this as the
+    /// `cholesky_jitter_bumps` telemetry counter.
     ///
     /// # Errors
     ///
@@ -324,17 +427,19 @@ impl Cholesky {
     /// # Panics
     ///
     /// Panics if `cross.len() != dim()`.
-    pub fn extend(&mut self, cross: &Vector, diag: f64) -> crate::Result<()> {
+    pub fn extend(&mut self, cross: &Vector, diag: f64) -> crate::Result<bool> {
         let n = self.dim();
         assert_eq!(cross.len(), n, "extend: cross-covariance length mismatch");
         let w = self.solve_lower(cross);
         let mut s2 = diag + self.jitter - w.dot(&w);
+        let mut floored = false;
         if s2 <= 0.0 || !s2.is_finite() {
             // One more chance with a pragmatic floor: the pseudo-point is
             // numerically on top of an existing point.
             let floor = 1e-10 * diag.abs().max(1.0);
             if s2 > -floor {
                 s2 = floor;
+                floored = true;
             } else {
                 return Err(LinalgError::NotPositiveDefinite {
                     pivot: n,
@@ -353,7 +458,81 @@ impl Cholesky {
         }
         grown[(n, n)] = s2.sqrt();
         self.l = grown;
-        Ok(())
+        Ok(floored)
+    }
+
+    /// Shrinks the factorization to the leading `k`×`k` block of the
+    /// factored matrix — the O(n²) *trailing downdate*.
+    ///
+    /// Because [`Cholesky::extend`] never touches the existing block, a
+    /// `truncate` back to a previous dimension restores that factor
+    /// **bit for bit**: this is the `pop_pseudo` half of the penalization
+    /// inner loop, which pushes hallucinated points and must return to the
+    /// exact pre-push state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > dim()`.
+    pub fn truncate(&mut self, k: usize) {
+        assert!(
+            k <= self.dim(),
+            "truncate: {k} exceeds factored dimension {}",
+            self.dim()
+        );
+        self.l.truncate_square(k);
+    }
+
+    /// Removes row/column `k` of the factored matrix — the O((n-k)²)
+    /// *interior downdate*.
+    ///
+    /// Deleting row `k` of `L` leaves an `(n-1)×n` matrix `M` with
+    /// `M Mᵀ = A` (row/col `k` removed) whose trailing part is lower
+    /// Hessenberg. A sweep of Givens rotations applied from the right
+    /// restores lower-triangular form without changing `M Mᵀ`, and the
+    /// last (annihilated) column is dropped. Rows above `k` are untouched,
+    /// so the leading `k`×`k` factor block is preserved bit for bit.
+    /// Removing the trailing row degenerates to [`Cholesky::truncate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= dim()`.
+    pub fn remove_row(&mut self, k: usize) {
+        let n = self.dim();
+        assert!(k < n, "remove_row: index {k} out of range for dim {n}");
+        if k == n - 1 {
+            self.truncate(n - 1);
+            return;
+        }
+        let mut m = Matrix::zeros(n - 1, n);
+        for i in 0..k {
+            m.row_mut(i)[..=i].copy_from_slice(&self.l.row(i)[..=i]);
+        }
+        for i in k..(n - 1) {
+            m.row_mut(i)[..=i + 1].copy_from_slice(&self.l.row(i + 1)[..=i + 1]);
+        }
+        for j in k..(n - 1) {
+            // Rotate columns (j, j+1) to annihilate the superdiagonal
+            // entry m[(j, j+1)]; rows above j already have zeros in both
+            // columns. The sign choice keeps the new diagonal `r >= 0`.
+            let x = m[(j, j)];
+            let y = m[(j, j + 1)];
+            let r = x.hypot(y);
+            if r == 0.0 {
+                continue;
+            }
+            let (c, s) = (x / r, y / r);
+            for i in j..(n - 1) {
+                let xi = m[(i, j)];
+                let yi = m[(i, j + 1)];
+                m[(i, j)] = c * xi + s * yi;
+                m[(i, j + 1)] = c * yi - s * xi;
+            }
+        }
+        let mut l = Matrix::zeros(n - 1, n - 1);
+        for i in 0..(n - 1) {
+            l.row_mut(i)[..=i].copy_from_slice(&m.row(i)[..=i]);
+        }
+        self.l = l;
     }
 
     /// Reconstructs `L L^T` (for tests and diagnostics).
@@ -561,6 +740,124 @@ mod tests {
     }
 
     #[test]
+    fn blocked_factorize_bitwise_matches_scalar_reference() {
+        // Sizes straddling the block width, including multi-block tails.
+        for &n in &[0usize, 1, 2, 5, 31, 32, 33, 63, 64, 65, 97] {
+            let a = spd(n, n as u64 + 3);
+            for &jitter in &[0.0, 1e-6] {
+                let blocked = Cholesky::factorize(&a, jitter).unwrap();
+                let scalar = Cholesky::factorize_scalar(&a, jitter).unwrap();
+                for (b, s) in blocked.as_slice().iter().zip(scalar.as_slice()) {
+                    assert_eq!(b.to_bits(), s.to_bits(), "n={n} jitter={jitter}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_factorize_fails_like_scalar() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let b = Cholesky::factorize(&a, 0.0).unwrap_err();
+        let s = Cholesky::factorize_scalar(&a, 0.0).unwrap_err();
+        match (b, s) {
+            (
+                LinalgError::NotPositiveDefinite {
+                    pivot: pb,
+                    value: vb,
+                },
+                LinalgError::NotPositiveDefinite {
+                    pivot: ps,
+                    value: vs,
+                },
+            ) => {
+                assert_eq!(pb, ps);
+                assert_eq!(vb.to_bits(), vs.to_bits());
+            }
+            other => panic!("expected matching NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_counted_reports_jitter_ladder_bumps() {
+        let (c, bumps) = Cholesky::new_counted(&spd(4, 9)).unwrap();
+        assert_eq!(bumps, 0);
+        assert_eq!(c.jitter(), 0.0);
+        // Rank-1 matrix needs the ladder.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let (c, bumps) = Cholesky::new_counted(&a).unwrap();
+        assert!(bumps > 0);
+        assert!(c.jitter() > 0.0);
+    }
+
+    #[test]
+    fn truncate_restores_pre_extend_factor_bitwise() {
+        let a = spd(5, 31);
+        let c0 = Cholesky::new_exact(&a).unwrap();
+        let mut c = c0.clone();
+        for step in 0..3 {
+            let cross = Vector::from_iter((0..c.dim()).map(|i| a[(i % 5, step % 5)] * 0.4));
+            c.extend(&cross, a[(step, step)] + 2.0).unwrap();
+        }
+        assert_eq!(c.dim(), 8);
+        c.truncate(5);
+        assert_eq!(c, c0);
+        for (x, y) in c.factor().as_slice().iter().zip(c0.factor().as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn remove_trailing_row_is_exact_truncation() {
+        let a = spd(6, 17);
+        let mut c = Cholesky::new_exact(&a).unwrap();
+        let lead = Matrix::from_fn(5, 5, |i, j| a[(i, j)]);
+        c.remove_row(5);
+        let direct = Cholesky::new_exact(&lead).unwrap();
+        for (x, y) in c.factor().as_slice().iter().zip(direct.factor().as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn remove_interior_row_matches_refactorization() {
+        let a = spd(7, 29);
+        for k in 0..7 {
+            let mut c = Cholesky::new_exact(&a).unwrap();
+            c.remove_row(k);
+            let keep: Vec<usize> = (0..7).filter(|&i| i != k).collect();
+            let sub = Matrix::from_fn(6, 6, |i, j| a[(keep[i], keep[j])]);
+            let full = Cholesky::new_exact(&sub).unwrap();
+            let rel = (&c.reconstruct() - &sub).frobenius_norm() / sub.frobenius_norm();
+            assert!(rel < 1e-12, "k={k}: reconstruction error {rel}");
+            assert!((c.log_det() - full.log_det()).abs() < 1e-9, "k={k}");
+            // Diagonal must stay strictly positive for downstream solves.
+            for i in 0..6 {
+                assert!(c.factor()[(i, i)] > 0.0, "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_row_to_empty() {
+        let a = Matrix::from_rows(&[&[4.0]]).unwrap();
+        let mut c = Cholesky::new_exact(&a).unwrap();
+        c.remove_row(0);
+        assert_eq!(c.dim(), 0);
+    }
+
+    #[test]
+    fn extend_reports_duplicate_floor() {
+        let a = spd(3, 5);
+        let mut c = Cholesky::new(&a).unwrap();
+        let fresh = Vector::from_iter((0..3).map(|i| a[(i, 0)] * 0.2));
+        assert!(!c.extend(&fresh, a[(0, 0)] + 3.0).unwrap());
+        // Re-appending row 0 exactly: Schur complement ~0, floor applies.
+        let dup = Vector::from_iter((0..3).map(|i| a[(i, 0)]));
+        let mut d = Cholesky::new(&a).unwrap();
+        assert!(d.extend(&dup, a[(0, 0)]).unwrap());
+    }
+
+    #[test]
     fn empty_matrix_is_factored() {
         let a = Matrix::zeros(0, 0);
         let c = Cholesky::new(&a).unwrap();
@@ -595,6 +892,58 @@ mod tests {
             let a = spd(n, seed);
             let c = Cholesky::new(&a).unwrap();
             prop_assert!(c.log_det() > 0.0);
+        }
+
+        #[test]
+        fn prop_update_downdate_composition_matches_from_scratch(
+            n in 1usize..64,
+            seed in 0u64..500,
+            removals in 0usize..4,
+        ) {
+            // Grow a factor one appended row at a time, then delete rows at
+            // seed-derived (trailing AND interior) positions. The composed
+            // factor must reconstruct the same principal submatrix a
+            // from-scratch factorization does, to 1e-10 relative error.
+            let total = n + removals;
+            let a = spd(total, seed);
+            let mut active: Vec<usize> = vec![0];
+            let mut c =
+                Cholesky::new_exact(&Matrix::from_fn(1, 1, |_, _| a[(0, 0)])).unwrap();
+            for next in 1..total {
+                let cross =
+                    Vector::from_iter(active.iter().map(|&i| a[(i, next)]));
+                c.extend(&cross, a[(next, next)]).unwrap();
+                active.push(next);
+                // Interleave removals with appends, position driven by the
+                // seed so trailing (k = len-1) and interior cases both occur.
+                if removals > 0 && active.len() > n && active.len() % 5 == 4 {
+                    let k = (seed as usize).wrapping_mul(31).wrapping_add(next) % active.len();
+                    c.remove_row(k);
+                    active.remove(k);
+                }
+            }
+            while active.len() > n {
+                let k = (seed as usize).wrapping_add(active.len()) % active.len();
+                c.remove_row(k);
+                active.remove(k);
+            }
+            let m = active.len();
+            let sub = Matrix::from_fn(m, m, |i, j| a[(active[i], active[j])]);
+            let rel = (&c.reconstruct() - &sub).frobenius_norm()
+                / sub.frobenius_norm().max(1e-300);
+            prop_assert!(rel < 1e-10, "n={n} removals={removals}: error {rel}");
+            let full = Cholesky::new_exact(&sub).unwrap();
+            prop_assert!((c.log_det() - full.log_det()).abs() < 1e-8 * (1.0 + full.log_det().abs()));
+        }
+
+        #[test]
+        fn prop_blocked_factorize_is_bitwise_scalar(n in 1usize..64, seed in 0u64..300) {
+            let a = spd(n, seed);
+            let blocked = Cholesky::factorize(&a, 0.0).unwrap();
+            let scalar = Cholesky::factorize_scalar(&a, 0.0).unwrap();
+            for (b, s) in blocked.as_slice().iter().zip(scalar.as_slice()) {
+                prop_assert_eq!(b.to_bits(), s.to_bits());
+            }
         }
 
         #[test]

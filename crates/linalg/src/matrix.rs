@@ -311,6 +311,65 @@ impl Matrix {
         }
     }
 
+    /// Shrinks a square matrix to its leading `k`×`k` block in place.
+    ///
+    /// The surviving entries are moved, not recomputed, so the result is
+    /// bitwise identical to the original leading block — this is what lets
+    /// a Cholesky factor grown with [`crate::Cholesky::extend`] be restored
+    /// exactly when trailing pseudo-points are popped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `k > rows`.
+    pub fn truncate_square(&mut self, k: usize) {
+        assert!(self.is_square(), "truncate_square: matrix is not square");
+        assert!(k <= self.rows, "truncate_square: {k} > {}", self.rows);
+        let old = self.cols;
+        for i in 1..k {
+            self.data.copy_within(i * old..i * old + k, i * k);
+        }
+        self.data.truncate(k * k);
+        self.rows = k;
+        self.cols = k;
+    }
+
+    /// Cheap necessary-condition check for symmetric positive definiteness:
+    /// square, finite, strictly positive diagonal, symmetric, and every
+    /// off-diagonal entry within the Cauchy–Schwarz bound
+    /// `a_ij^2 <= a_ii * a_jj` (up to a small relative tolerance).
+    ///
+    /// This cannot *prove* positive definiteness (only a factorization can),
+    /// but any well-formed covariance matrix passes, so it makes a useful
+    /// `debug_assert!` guard on the GP hot path: a failure means the kernel
+    /// produced something that was never going to factorize, and the jitter
+    /// ladder is about to paper over a real bug.
+    pub fn is_spd_hint(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        if !self.data.iter().all(|v| v.is_finite()) {
+            return false;
+        }
+        for i in 0..self.rows {
+            if self[(i, i)] <= 0.0 {
+                return false;
+            }
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let aij = self[(i, j)];
+                if (aij - self[(j, i)]).abs() > 1e-8 * aij.abs().max(1.0) {
+                    return false;
+                }
+                let bound = self[(i, i)] * self[(j, j)];
+                if aij * aij > bound * (1.0 + 1e-9) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Checks that the matrix is symmetric to within `tol`.
     pub fn is_symmetric(&self, tol: f64) -> bool {
         if !self.is_square() {
@@ -519,6 +578,66 @@ mod tests {
     fn push_row_wrong_width_panics() {
         let mut m = Matrix::zeros(1, 3);
         m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn truncate_square_keeps_leading_block_bitwise() {
+        let m = Matrix::from_fn(5, 5, |i, j| ((i * 7 + j * 3) as f64 * 0.31).sin());
+        let mut t = m.clone();
+        t.truncate_square(3);
+        assert_eq!(t.shape(), (3, 3));
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(t[(i, j)].to_bits(), m[(i, j)].to_bits());
+            }
+        }
+        let mut z = m.clone();
+        z.truncate_square(0);
+        assert_eq!(z.shape(), (0, 0));
+        let mut full = m.clone();
+        full.truncate_square(5);
+        assert_eq!(full, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncate_square")]
+    fn truncate_square_rejects_growth() {
+        Matrix::identity(2).truncate_square(3);
+    }
+
+    #[test]
+    fn spd_hint_accepts_covariance_shapes() {
+        // A well-formed kernel matrix: symmetric, unit-ish diagonal,
+        // off-diagonals below the Cauchy–Schwarz bound.
+        let k = Matrix::symmetric_from_fn(4, |i, j| {
+            if i == j {
+                1.5
+            } else {
+                1.2 * (-0.5 * ((i as f64 - j as f64).powi(2))).exp()
+            }
+        });
+        assert!(k.is_spd_hint());
+    }
+
+    #[test]
+    fn spd_hint_rejects_malformed_matrices() {
+        assert!(!Matrix::zeros(2, 3).is_spd_hint());
+        // Zero diagonal.
+        assert!(!Matrix::zeros(2, 2).is_spd_hint());
+        // Non-finite entry.
+        let mut nan = Matrix::identity(2);
+        nan[(0, 1)] = f64::NAN;
+        assert!(!nan.is_spd_hint());
+        // Asymmetric.
+        let asym = Matrix::from_rows(&[&[1.0, 0.5], &[0.1, 1.0]]).unwrap();
+        assert!(!asym.is_spd_hint());
+        // Cauchy–Schwarz violation: |a01| > sqrt(a00 * a11).
+        let cs = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(!cs.is_spd_hint());
+        // Hint only: this matrix passes every cheap test yet is indefinite.
+        let sneaky =
+            Matrix::from_rows(&[&[1.0, 0.9, -0.9], &[0.9, 1.0, 0.9], &[-0.9, 0.9, 1.0]]).unwrap();
+        assert!(sneaky.is_spd_hint());
     }
 
     #[test]

@@ -105,6 +105,14 @@ impl ReportSet {
             put("gp_fit_share", r.gp_fit_share);
             put("acq_share", r.acq_share);
             put("checkpoint_share", r.checkpoint_share);
+            put("cholesky_updates", r.cholesky_updates.map(|v| v as f64));
+            put("cholesky_downdates", r.cholesky_downdates.map(|v| v as f64));
+            put("gp_factorizations", r.gp_factorizations.map(|v| v as f64));
+            put(
+                "cholesky_jitter_bumps",
+                r.cholesky_jitter_bumps.map(|v| v as f64),
+            );
+            put("incremental_update_share", r.incremental_update_share);
             if let Some(s) = &r.summary {
                 put("gp_refits", Some(s.gp_refits as f64));
                 put("acq_optimizations", Some(s.acq_optimizations as f64));

@@ -126,6 +126,24 @@ pub struct RunReport {
     /// the durable write (tmp file + fsync + rename; `None` when
     /// never observed).
     pub snapshot_fsync: Option<HistogramSummary>,
+    /// Rank-1 Cholesky extensions of the cached factor (per-tell
+    /// appends and pseudo-point pushes; `None` without metrics).
+    pub cholesky_updates: Option<u64>,
+    /// Rank-1 Cholesky downdates (pseudo-point pops; `None` without
+    /// metrics).
+    pub cholesky_downdates: Option<u64>,
+    /// Full `O(n³)` Cholesky factorizations of the surrogate itself —
+    /// the `cholesky_full` counter, which excludes the factorizations
+    /// inside training NLL evaluations (hyperparameter retrainings
+    /// only on the incremental path; `None` without metrics).
+    pub gp_factorizations: Option<u64>,
+    /// Jitter-ladder escalations and rank-1 pivot floors (`None`
+    /// without metrics).
+    pub cholesky_jitter_bumps: Option<u64>,
+    /// `updates / (updates + full factorizations)`: fraction of factor
+    /// work served by rank-1 updates instead of full refactorizes
+    /// (`None` without metrics or before any factor work).
+    pub incremental_update_share: Option<f64>,
 }
 
 impl RunReport {
@@ -177,6 +195,15 @@ impl RunReport {
         } else {
             None
         };
+        let counter = |name: &str| metrics.map(|m| m.counter(name));
+        let cholesky_updates = counter("cholesky_update");
+        let cholesky_downdates = counter("cholesky_downdate");
+        let gp_factorizations = counter("cholesky_full");
+        let cholesky_jitter_bumps = counter("cholesky_jitter_bumps");
+        let incremental_update_share = match (cholesky_updates, gp_factorizations) {
+            (Some(up), Some(full)) if up + full > 0 => Some(up as f64 / (up + full) as f64),
+            _ => None,
+        };
         RunReport {
             makespan,
             workers,
@@ -189,6 +216,11 @@ impl RunReport {
             checkpoint_share,
             snapshot_encode,
             snapshot_fsync,
+            cholesky_updates,
+            cholesky_downdates,
+            gp_factorizations,
+            cholesky_jitter_bumps,
+            incremental_update_share,
         }
     }
 }
@@ -244,6 +276,21 @@ impl fmt::Display for RunReport {
                             .map(|v| format!(", {:.2}% of makespan", 100.0 * v))
                             .unwrap_or_default()
                     )?;
+                }
+                if let (Some(up), Some(down), Some(full)) = (
+                    self.cholesky_updates,
+                    self.cholesky_downdates,
+                    self.gp_factorizations,
+                ) {
+                    if up + down + full > 0 {
+                        writeln!(
+                            f,
+                            "  cholesky updates {up}  downdates {down}  full factorizations {full}{}",
+                            self.incremental_update_share
+                                .map(|v| format!("  ({:.1}% incremental)", 100.0 * v))
+                                .unwrap_or_default()
+                        )?;
+                    }
                 }
                 if s.evals_failed + s.evals_retried + s.worker_crashes > 0 {
                     writeln!(
@@ -366,6 +413,42 @@ mod tests {
         let degenerate = RunReport::new(0.0, 3, 1.0, 0, Some(s));
         assert_eq!(degenerate.gp_fit_share, None);
         assert_eq!(degenerate.idle_fraction, 0.0);
+    }
+
+    #[test]
+    fn report_mines_incremental_factor_counters() {
+        let (t, _r) = crate::Telemetry::recording();
+        t.incr("cholesky_update", 40);
+        t.incr("cholesky_downdate", 30);
+        t.incr("cholesky_full", 10);
+        t.incr("cholesky_jitter_bumps", 2);
+        let snap = t.metrics_snapshot().unwrap();
+        let report =
+            RunReport::with_metrics(50.0, 2, 0.9, 10, Some(SummaryData::default()), Some(&snap));
+        assert_eq!(report.cholesky_updates, Some(40));
+        assert_eq!(report.cholesky_downdates, Some(30));
+        assert_eq!(report.gp_factorizations, Some(10));
+        assert_eq!(report.cholesky_jitter_bumps, Some(2));
+        assert_eq!(report.incremental_update_share, Some(0.8));
+        let text = report.to_string();
+        assert!(
+            text.contains("cholesky updates 40  downdates 30  full factorizations 10"),
+            "report text: {text}"
+        );
+        assert!(text.contains("(80.0% incremental)"), "report text: {text}");
+
+        // No metrics snapshot: the factor fields stay unpopulated.
+        let bare = RunReport::new(50.0, 2, 0.9, 10, Some(SummaryData::default()));
+        assert_eq!(bare.cholesky_updates, None);
+        assert_eq!(bare.incremental_update_share, None);
+
+        // Metrics present but no factor work yet: counters are zero and
+        // the share is undefined.
+        let (t2, _r2) = crate::Telemetry::recording();
+        let snap2 = t2.metrics_snapshot().unwrap();
+        let idle = RunReport::with_metrics(50.0, 2, 0.9, 10, None, Some(&snap2));
+        assert_eq!(idle.cholesky_updates, Some(0));
+        assert_eq!(idle.incremental_update_share, None);
     }
 
     #[test]

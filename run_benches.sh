@@ -10,6 +10,7 @@ cargo bench -p easybo-bench --bench table2_class_e
 cargo bench -p easybo-bench --bench fig6_class_e_trace
 cargo bench -p easybo-bench --bench micro
 cargo bench -p easybo-bench --bench hotpath
+cargo bench -p easybo-bench --bench incremental
 cargo bench -p easybo-bench --bench faults
 cargo bench -p easybo-bench --bench checkpoint
 cargo bench -p easybo-bench --bench spans
