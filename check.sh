@@ -29,6 +29,9 @@ cargo test -q -p easybo-integration --test telemetry_alloc
 echo "==> introspection suite: span tracing, scrape endpoint, report gate (PROPTEST_CASES=64)"
 PROPTEST_CASES=64 cargo test -q -p easybo-integration --test introspection
 
+echo "==> service wire-protocol chaos suite (PROPTEST_CASES=64)"
+PROPTEST_CASES=64 cargo test -q -p easybo-integration --test service
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -1,0 +1,228 @@
+//! Multi-session service throughput and residency benchmark.
+//!
+//! Measures the `SessionManager`'s ask/tell cycle cost along two axes:
+//!
+//! 1. per-cycle overhead at scale — 1 resident session vs 1000 open
+//!    sessions squeezed through a 16-session residency budget (every
+//!    cycle then pays fair-share selection plus LRU evict/rehydrate
+//!    churn), asserting the memory bound `resident <= budget` holds at
+//!    every step;
+//! 2. the wire tax — the same session drained through a real loopback
+//!    TCP socket (frame codec, CRC, lockstep RPC) vs direct in-process
+//!    manager calls, asserting both produce the identical result.
+//!
+//! Prints a table (with asks/sec) and writes `BENCH_service.json` at
+//! the repository root in the shared report schema. Repetition count
+//! comes from `EASYBO_REPS` (default 5); each cell reports the best
+//! (minimum) wall-clock across repetitions.
+
+use std::time::Instant;
+
+use easybo_bench::{bench_report, write_bench_report, BenchRecord};
+use easybo_exec::{
+    AsyncPolicy, BlackBox, BusyPoint, CostedFunction, Dataset, RetryPolicy, SimTimeModel,
+};
+use easybo_opt::Bounds;
+use easybo_service::{ServiceServer, SessionManager, SessionSpec, WorkerClient};
+
+/// Deterministic stateless policy: cheap enough that the benchmark
+/// measures the manager, not the proposal math.
+struct SweepPolicy;
+
+impl AsyncPolicy for SweepPolicy {
+    fn select_next(&mut self, data: &Dataset, busy: &[BusyPoint]) -> Vec<f64> {
+        let n = (data.len() + busy.len()) as f64;
+        vec![(0.13 + 0.07 * n).fract()]
+    }
+}
+
+fn toy_bb() -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync> {
+    let bounds = Bounds::unit_cube(1).unwrap();
+    let time = SimTimeModel::new(&bounds, 12.0, 0.3, 5);
+    CostedFunction::new("toy", bounds, time, |x: &[f64]| 1.0 - (x[0] - 0.4).abs())
+}
+
+fn toy_spec(fingerprint: u64, max_evals: usize) -> SessionSpec {
+    SessionSpec {
+        bench: "toy".to_string(),
+        workers: 2,
+        max_evals,
+        init: vec![vec![0.2], vec![0.8]],
+        retry: RetryPolicy::none(),
+        fingerprint,
+        policy: Box::new(|| Box::new(SweepPolicy)),
+    }
+}
+
+/// Drains every session to completion with a single synthetic
+/// connection, rehydrating evicted sessions as residency frees up.
+/// Returns the number of ask/tell cycles; panics if the residency
+/// bound is ever violated.
+fn drain(m: &mut SessionManager, bb: &dyn BlackBox) -> u64 {
+    let mut cycles = 0u64;
+    while !m.all_done() {
+        if let Some(w) = m.ask(1) {
+            let e = w.evaluate(bb);
+            m.tell(
+                1,
+                w.session,
+                w.task,
+                w.attempt,
+                e.value,
+                e.cost,
+                e.resolved_outcome(),
+            );
+            cycles += 1;
+        } else if let Some(&id) = m.evicted_ids().first() {
+            m.rehydrate(id).expect("rehydrate evicted session");
+        } else {
+            panic!("no leasable work and nothing evicted, yet not all done");
+        }
+        assert!(
+            m.resident_count() <= m.resident_budget(),
+            "residency bound violated: {} > {}",
+            m.resident_count(),
+            m.resident_budget()
+        );
+    }
+    cycles
+}
+
+/// Best-of-`reps` wall-clock of `f`, in seconds, plus the last output.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Per-cycle seconds for one session of `max_evals` evaluations.
+fn bench_single_session(reps: usize, max_evals: usize) -> (f64, u64) {
+    let bb = toy_bb();
+    let (secs, cycles) = time_best(reps, || {
+        let mut m = SessionManager::new(4);
+        let id = m.open_session(toy_spec(1, max_evals));
+        let cycles = drain(&mut m, &bb);
+        assert!(m.take_result(id).is_some());
+        cycles
+    });
+    (secs / cycles as f64, cycles)
+}
+
+/// Per-cycle seconds for `n` sessions through a `budget`-bounded pool.
+fn bench_many_sessions(reps: usize, n: u64, budget: usize, max_evals: usize) -> (f64, u64) {
+    let bb = toy_bb();
+    let (secs, cycles) = time_best(reps, || {
+        let mut m = SessionManager::new(budget);
+        let ids: Vec<u64> = (0..n)
+            .map(|i| m.open_session(toy_spec(i, max_evals)))
+            .collect();
+        let cycles = drain(&mut m, &bb);
+        assert_eq!(m.finished_count() as u64, n);
+        assert!(m.stats().evictions >= n - budget as u64);
+        for id in ids {
+            assert!(m.take_result(id).is_some());
+        }
+        cycles
+    });
+    (secs / cycles as f64, cycles)
+}
+
+/// Per-cycle seconds for one session drained over a loopback socket by
+/// one remote worker; returns the session's best value for the
+/// identity check.
+fn bench_socket_session(reps: usize, max_evals: usize) -> (f64, u64, f64) {
+    let (secs, (cycles, best)) = time_best(reps, || {
+        let mut server =
+            ServiceServer::start(SessionManager::new(4), "127.0.0.1:0", None).expect("bind");
+        let manager = server.manager();
+        let id = {
+            let mut m = manager.lock().expect("manager lock");
+            m.open_session(toy_spec(1, max_evals))
+        };
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || {
+            let mut w = WorkerClient::connect(addr);
+            w.register("toy", Box::new(toy_bb()));
+            w.run()
+        });
+        let summary = handle.join().expect("worker thread").expect("worker loop");
+        server.stop();
+        let mut m = manager.lock().expect("manager lock");
+        let result = m.take_result(id).expect("session finished");
+        (summary.evaluated, result.best_value())
+    });
+    (secs / cycles as f64, cycles, best)
+}
+
+fn main() {
+    let reps: usize = std::env::var("EASYBO_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+
+    let mut rows = Vec::new();
+
+    // Axis 1: 1 vs 1000 resident sessions under a budget of 16.
+    let (single_cycle_s, single_cycles) = bench_single_session(reps, 64);
+    let (many_cycle_s, many_cycles) = bench_many_sessions(reps, 1000, 16, 8);
+    rows.push(BenchRecord::from_seconds(
+        "ask_tell_cycle_1_session_vs_1000_sessions_budget16",
+        single_cycle_s,
+        many_cycle_s,
+        true,
+    ));
+    println!(
+        "ask/tell cycle: 1 session {:.2} us/cycle ({:.0} asks/sec, {single_cycles} cycles) | \
+         1000 sessions {:.2} us/cycle ({:.0} asks/sec, {many_cycles} cycles)",
+        single_cycle_s * 1e6,
+        1.0 / single_cycle_s,
+        many_cycle_s * 1e6,
+        1.0 / many_cycle_s,
+    );
+
+    // Axis 2: direct manager calls vs the same run over a real socket.
+    let bb = toy_bb();
+    let mut direct = SessionManager::new(4);
+    let direct_id = direct.open_session(toy_spec(1, 64));
+    drain(&mut direct, &bb);
+    let direct_best = direct
+        .take_result(direct_id)
+        .expect("finished")
+        .best_value();
+    let (socket_cycle_s, socket_cycles, socket_best) = bench_socket_session(reps, 64);
+    rows.push(BenchRecord::from_seconds(
+        "ask_tell_cycle_in_process_vs_loopback_socket",
+        single_cycle_s,
+        socket_cycle_s,
+        socket_best == direct_best,
+    ));
+    println!(
+        "wire tax: in-process {:.2} us/cycle vs loopback socket {:.2} us/cycle \
+         ({:.0} asks/sec, {socket_cycles} cycles, identical best: {})",
+        single_cycle_s * 1e6,
+        socket_cycle_s * 1e6,
+        1.0 / socket_cycle_s,
+        socket_best == direct_best,
+    );
+    assert_eq!(
+        socket_best, direct_best,
+        "socket run diverged from the in-process run"
+    );
+
+    let json = bench_report(
+        "service",
+        reps,
+        "ask/tell cycle cost: 1 vs 1000 resident sessions (budget 16, LRU \
+         evict/rehydrate churn, residency bound asserted every cycle), and \
+         in-process vs loopback-socket dispatch",
+        &rows,
+    );
+    let path = write_bench_report("BENCH_service.json", &json);
+    println!("wrote {path}");
+}

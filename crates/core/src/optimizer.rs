@@ -273,6 +273,34 @@ impl EasyBo {
         self.max_evals
     }
 
+    /// The configured asynchronous policy as a standalone value — the
+    /// same construction every internal entry point uses. External
+    /// drivers of `run_session_resilient` (the network session manager,
+    /// custom executors) build their policy here so its decision stream
+    /// matches an in-process [`EasyBo::run`] bit for bit.
+    pub fn build_async_policy(&self) -> EasyBoAsyncPolicy {
+        self.build_policy()
+    }
+
+    /// The seeded initial design exactly as the internal entry points
+    /// draw it — external drivers pass this to their session setup so
+    /// the first `initial_points` queries agree with an in-process run.
+    pub fn initial_design_points(&self) -> Vec<Vec<f64>> {
+        self.initial_design()
+    }
+
+    /// The configuration fingerprint stamped into snapshots and checked
+    /// on resume (see [`EasyBo::resume`]); external checkpoint writers
+    /// stamp the same value so their snapshots interoperate.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.fingerprint()
+    }
+
+    /// The retry policy in force (see [`EasyBo::retry_policy`]).
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     fn build_policy(&self) -> EasyBoAsyncPolicy {
         let mut policy = EasyBoAsyncPolicy::with_configs(
             self.bounds.clone(),

@@ -283,6 +283,34 @@ impl SessionState {
         });
     }
 
+    /// Records a committed worker-occupancy span. The virtual executor
+    /// adds spans at dispatch time (the cost is known eagerly); remote
+    /// drivers such as the network session manager only learn the cost
+    /// when the result arrives, so they add the span here — in dispatch
+    /// order, which keeps the schedule bit-identical to the in-process
+    /// run.
+    pub fn add_span(&mut self, worker: usize, task: usize, start: f64, end: f64, failed: bool) {
+        self.schedule.add_with(worker, task, start, end, failed);
+    }
+
+    /// Sets the run clock (the time of the last processed event).
+    /// Drivers call this exactly where the in-process executor assigns
+    /// `session.clock`, so captures taken by either agree.
+    pub fn set_clock(&mut self, t: f64) {
+        self.clock = t;
+    }
+
+    /// Removes and returns every in-flight record in issue order,
+    /// clearing their busy points — the first step of a resume or
+    /// rehydration, which re-issues each attempt at its recorded
+    /// worker/start.
+    pub fn drain_inflight(&mut self) -> Vec<InFlightTask> {
+        let drained = std::mem::take(&mut self.inflight);
+        self.busy
+            .retain(|bp| !drained.iter().any(|i| i.task == bp.task));
+        drained
+    }
+
     /// Removes and returns the in-flight record for `task`, dropping
     /// its busy point.
     pub fn take_inflight(&mut self, task: usize) -> Option<InFlightTask> {

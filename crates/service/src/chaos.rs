@@ -1,0 +1,282 @@
+//! Seeded chaos injection for the wire transport.
+//!
+//! [`WireFaultPlan`] generalizes the executor's `FaultPlan` from
+//! simulator faults to transport faults: dropped, duplicated, and
+//! reordered frames, stalled writes, and connections killed mid-frame.
+//! A [`ChaosLink`] wraps the client side of a TCP connection and
+//! applies the plan to every outgoing frame. Faults are a pure
+//! function of `(seed, frame counter)`, so a chaos run is exactly
+//! reproducible — and because the session manager's trajectory is
+//! independent of transport timing, a seeded chaos run must finish
+//! byte-identical to a clean one (the `service` e2e suite asserts
+//! this).
+//!
+//! Chaos is injected on the *client* side only. That is sufficient to
+//! exercise every recovery path: a dropped or held request triggers
+//! the client's retransmit, a duplicated request exercises the
+//! server's reply cache, and a mid-frame kill exercises both lease
+//! reclamation on the server and reconnection on the client.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use crate::frame::{encode_frame, read_frame, WireError};
+
+/// One transport fault, decided per outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Deliver the frame normally.
+    None,
+    /// Discard the frame without sending it.
+    Drop,
+    /// Send the frame twice back to back.
+    Duplicate,
+    /// Hold the frame and send it after the next one.
+    Reorder,
+    /// Sleep briefly before sending (a slow link, not a broken one).
+    Stall,
+    /// Write only half the frame, then sever the connection.
+    KillMidFrame,
+}
+
+/// Seeded per-frame fault schedule for a [`ChaosLink`].
+#[derive(Debug, Clone, Copy)]
+pub struct WireFaultPlan {
+    /// Seed mixed with the frame counter to decide each fault.
+    pub seed: u64,
+    /// Probability an outgoing frame is dropped.
+    pub drop_rate: f64,
+    /// Probability an outgoing frame is duplicated.
+    pub dup_rate: f64,
+    /// Probability an outgoing frame is held behind the next one.
+    pub reorder_rate: f64,
+    /// Probability the link stalls before a frame.
+    pub stall_rate: f64,
+    /// Probability the connection dies halfway through a frame.
+    pub kill_rate: f64,
+}
+
+impl WireFaultPlan {
+    /// A plan with every fault disabled (frames pass through).
+    pub fn clean(seed: u64) -> Self {
+        WireFaultPlan {
+            seed,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            stall_rate: 0.0,
+            kill_rate: 0.0,
+        }
+    }
+
+    /// A plan where `rate` (in `[0, 1]`) of frames suffer *some*
+    /// fault, spread across all five kinds. `rate = 0.3` is a very
+    /// hostile link; anything above ~0.5 mostly measures retransmit
+    /// throughput.
+    pub fn chaos(rate: f64, seed: u64) -> Self {
+        let share = rate.clamp(0.0, 1.0) / 5.0;
+        WireFaultPlan {
+            seed,
+            drop_rate: share,
+            dup_rate: share,
+            reorder_rate: share,
+            stall_rate: share,
+            kill_rate: share,
+        }
+    }
+
+    /// Decides the fault for the `counter`-th outgoing frame. Pure in
+    /// `(self.seed, counter)`.
+    pub fn decide(&self, counter: u64) -> WireFault {
+        let u = unit(mix(self.seed ^ 0x57_49_52_45, counter));
+        let mut edge = self.drop_rate;
+        if u < edge {
+            return WireFault::Drop;
+        }
+        edge += self.dup_rate;
+        if u < edge {
+            return WireFault::Duplicate;
+        }
+        edge += self.reorder_rate;
+        if u < edge {
+            return WireFault::Reorder;
+        }
+        edge += self.stall_rate;
+        if u < edge {
+            return WireFault::Stall;
+        }
+        edge += self.kill_rate;
+        if u < edge {
+            return WireFault::KillMidFrame;
+        }
+        WireFault::None
+    }
+}
+
+/// splitmix64 over a seed/counter pair; kept local so the service
+/// crate does not depend on the optimizer's RNG.
+fn mix(seed: u64, counter: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(counter.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps 64 random bits to a uniform f64 in `[0, 1)`.
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A client-side connection wrapper that applies a [`WireFaultPlan`]
+/// to outgoing frames. Incoming frames pass through untouched.
+pub struct ChaosLink {
+    stream: TcpStream,
+    plan: WireFaultPlan,
+    counter: u64,
+    /// A reordered frame waiting to ride behind the next send.
+    held: Option<Vec<u8>>,
+    dead: bool,
+}
+
+impl ChaosLink {
+    /// Wraps a connected stream. `counter_start` carries the fault
+    /// schedule across reconnects so a new connection does not replay
+    /// the old one's faults.
+    pub fn new(stream: TcpStream, plan: WireFaultPlan, counter_start: u64) -> Self {
+        ChaosLink {
+            stream,
+            plan,
+            counter: counter_start,
+            held: None,
+            dead: false,
+        }
+    }
+
+    /// How many frames this link has decided faults for; feed it into
+    /// the next link's `counter_start` after a reconnect.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Sets the read timeout used by [`ChaosLink::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn set_read_timeout(&self, timeout: Duration) -> Result<(), WireError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        Ok(())
+    }
+
+    /// Sends one message payload as a frame, subject to the fault
+    /// plan. A `Drop` or `Reorder` fault returns `Ok` — from the
+    /// sender's view the frame left; the loss surfaces later as a
+    /// read timeout and a retransmit.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the fault plan kills the connection or
+    /// the socket fails.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), WireError> {
+        if self.dead {
+            return Err(WireError::Closed);
+        }
+        let frame = encode_frame(payload);
+        let fault = self.plan.decide(self.counter);
+        self.counter += 1;
+        match fault {
+            WireFault::Drop => Ok(()),
+            WireFault::Reorder => {
+                // Hold at most one frame; a second reorder in a row
+                // degrades to a plain send so nothing is held forever.
+                if self.held.is_none() {
+                    self.held = Some(frame);
+                    Ok(())
+                } else {
+                    self.push(&frame)
+                }
+            }
+            WireFault::Duplicate => {
+                self.push(&frame)?;
+                self.push(&frame)
+            }
+            WireFault::Stall => {
+                std::thread::sleep(Duration::from_millis(2));
+                self.push(&frame)
+            }
+            WireFault::KillMidFrame => {
+                let half = frame.len() / 2;
+                let _ = self.stream.write_all(&frame[..half]);
+                let _ = self.stream.flush();
+                let _ = self.stream.shutdown(Shutdown::Both);
+                self.dead = true;
+                Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "chaos: connection killed mid-frame",
+                )))
+            }
+            WireFault::None => self.push(&frame),
+        }
+    }
+
+    /// Writes one already-encoded frame, flushing any held (reordered)
+    /// frame *after* it — that is the reordering.
+    fn push(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        self.stream.write_all(frame)?;
+        if let Some(held) = self.held.take() {
+            self.stream.write_all(&held)?;
+        }
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Receives one frame (no chaos on the inbound path).
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`read_frame`] reports, including timeouts as
+    /// [`WireError::Io`].
+    pub fn recv(&mut self) -> Result<Vec<u8>, WireError> {
+        if self.dead {
+            return Err(WireError::Closed);
+        }
+        read_frame(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_is_deterministic_and_clean_plan_is_silent() {
+        let plan = WireFaultPlan::chaos(0.3, 42);
+        let a: Vec<_> = (0..64).map(|i| plan.decide(i)).collect();
+        let b: Vec<_> = (0..64).map(|i| plan.decide(i)).collect();
+        assert_eq!(a, b);
+        let clean = WireFaultPlan::clean(42);
+        assert!((0..1024).all(|i| clean.decide(i) == WireFault::None));
+    }
+
+    #[test]
+    fn chaos_plan_actually_injects_each_fault_kind() {
+        let plan = WireFaultPlan::chaos(0.5, 7);
+        let decisions: Vec<_> = (0..4096).map(|i| plan.decide(i)).collect();
+        for kind in [
+            WireFault::Drop,
+            WireFault::Duplicate,
+            WireFault::Reorder,
+            WireFault::Stall,
+            WireFault::KillMidFrame,
+            WireFault::None,
+        ] {
+            assert!(
+                decisions.contains(&kind),
+                "fault kind {kind:?} never drawn in 4096 frames"
+            );
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Length-prefixed, checksummed wire frames.
+//!
+//! Every message on a service connection travels inside one frame:
+//!
+//! ```text
+//! +----------+----------+----------+-----------------+
+//! | magic u32| len  u32 | crc  u32 | payload (len B) |
+//! +----------+----------+----------+-----------------+
+//! ```
+//!
+//! All integers are little-endian (the `easybo-persist` codec
+//! convention). `crc` is the CRC-32 of the payload alone, so any bit
+//! flip in the payload — and, via the magic and the length bound, any
+//! damage to the header — surfaces as a structured [`WireError`]
+//! instead of a panic, a hang, or a silently wrong message. Frames are
+//! self-delimiting, which is what lets the chaos injector drop,
+//! duplicate, and reorder whole messages without desynchronizing the
+//! byte stream parser on the healthy side.
+
+use std::io::{Read, Write};
+
+use easybo_persist::crc32;
+
+/// Frame magic: `"EZBW"` little-endian. A connection byte that is not
+/// part of a well-formed frame fails here first.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"EZBW");
+
+/// Hard cap on payload size. Service messages are tiny (a query point
+/// is a few hundred bytes); the cap turns corrupt length headers into
+/// [`WireError::TooLarge`] before any allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Wire protocol version, negotiated by the `Hello` handshake and
+/// pinned by the committed `tests/data/golden_wire_v1.bin` fixture.
+/// Bump it on any frame or message layout change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Structured failure of frame or message decoding. Never panics,
+/// never hangs: every malformed input maps to one of these.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed or closed mid-frame.
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The frame header did not start with [`FRAME_MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: u32,
+    },
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The declared length.
+        len: usize,
+    },
+    /// The payload failed its CRC-32 check.
+    BadCrc {
+        /// Checksum declared by the header.
+        expected: u32,
+        /// Checksum of the payload actually received.
+        actual: u32,
+    },
+    /// The payload decoded to a malformed or unknown message.
+    Protocol(String),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Our [`PROTOCOL_VERSION`].
+        ours: u32,
+        /// The version the peer announced.
+        theirs: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::BadMagic { found } => {
+                write!(
+                    f,
+                    "bad frame magic {found:#010x} (expected {FRAME_MAGIC:#010x})"
+                )
+            }
+            WireError::TooLarge { len } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {MAX_FRAME_LEN} byte cap"
+                )
+            }
+            WireError::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "frame crc mismatch: header {expected:#010x}, payload {actual:#010x}"
+                )
+            }
+            WireError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "protocol version mismatch: we speak v{ours}, peer speaks v{theirs}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether the error means the connection is unusable (as opposed
+    /// to one rejected message on a healthy stream).
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, WireError::Protocol(_))
+    }
+}
+
+/// Encodes `payload` as one self-delimiting frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one frame from the start of `buf`, returning the payload
+/// and the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`WireError::Closed`] on an empty buffer, [`WireError::Io`] (kind
+/// `UnexpectedEof`) on a truncated frame, and the structured header /
+/// checksum errors on damage.
+pub fn decode_frame(buf: &[u8]) -> Result<(Vec<u8>, usize), WireError> {
+    if buf.is_empty() {
+        return Err(WireError::Closed);
+    }
+    if buf.len() < 12 {
+        return Err(truncated("frame header"));
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let len = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge { len });
+    }
+    let expected = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    if buf.len() < 12 + len {
+        return Err(truncated("frame payload"));
+    }
+    let payload = buf[12..12 + len].to_vec();
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(WireError::BadCrc { expected, actual });
+    }
+    Ok((payload, 12 + len))
+}
+
+/// Writes one frame to a stream.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one complete frame from a stream, validating magic, length
+/// bound, and checksum.
+///
+/// # Errors
+///
+/// [`WireError::Closed`] when the stream ends cleanly before a frame
+/// starts; the structured header/checksum errors on damage; I/O errors
+/// (including read timeouts) as [`WireError::Io`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 12];
+    let mut got = 0;
+    while got < header.len() {
+        let n = r.read(&mut header[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Err(WireError::Closed);
+            }
+            return Err(truncated("frame header"));
+        }
+        got += n;
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge { len });
+    }
+    let expected = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        let n = r.read(&mut payload[got..])?;
+        if n == 0 {
+            return Err(truncated("frame payload"));
+        }
+        got += n;
+    }
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(WireError::BadCrc { expected, actual });
+    }
+    Ok(payload)
+}
+
+fn truncated(what: &str) -> WireError {
+    WireError::Io(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        format!("truncated {what}"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        for payload in [&b""[..], b"x", b"hello frame", &[0u8; 4096]] {
+            let framed = encode_frame(payload);
+            let (back, consumed) = decode_frame(&framed).unwrap();
+            assert_eq!(back, payload);
+            assert_eq!(consumed, framed.len());
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut framed = encode_frame(b"abc");
+        framed[0] ^= 0xff;
+        assert!(matches!(
+            decode_frame(&framed),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_bit_flip_fails_crc() {
+        let mut framed = encode_frame(b"sensitive");
+        framed[14] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&framed),
+            Err(WireError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_reported_not_panicked() {
+        let framed = encode_frame(b"whole message");
+        for cut in [0, 3, 11, 12, framed.len() - 1] {
+            let r = decode_frame(&framed[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn huge_length_headers_fail_before_allocating() {
+        let mut framed = encode_frame(b"");
+        framed[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&framed),
+            Err(WireError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_reader_matches_buffer_decoder() {
+        let framed = encode_frame(b"stream payload");
+        let mut cursor = std::io::Cursor::new(framed.clone());
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"stream payload");
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Err(WireError::Closed)));
+    }
+}

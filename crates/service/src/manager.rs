@@ -1,0 +1,780 @@
+//! Multi-session manager: many concurrent [`SessionState`] machines
+//! over one shared pool of remote workers.
+//!
+//! # Determinism under remote evaluation
+//!
+//! The in-process virtual executor evaluates eagerly: at dispatch time
+//! it already knows an attempt's cost, so it inserts the worker span
+//! and the finish event immediately. A remote worker only reports the
+//! cost when the result comes back, so the manager runs the same
+//! discrete-event loop with *deferred* results:
+//!
+//! - **Dispatch** registers the attempt (busy point, in-flight record,
+//!   `QueryIssued`/`EvalStarted`) and reserves its event sequence
+//!   number, but inserts no span and no finish event — the finish time
+//!   is unknown.
+//! - **Stall** — while any outstanding dispatch lacks a result, no
+//!   event is popped: the missing finish time could precede (or tie
+//!   with) the current heap top, so popping would commit to an order
+//!   the in-process executor might not choose.
+//! - **Fold** — results are folded strictly in dispatch order (span
+//!   insertion order and reserved sequence numbers then match the
+//!   eager executor exactly), each producing the finish event the
+//!   eager executor would have pushed at dispatch time.
+//!
+//! Evaluation itself is pure — value, cost, and outcome are functions
+//! of the query point and attempt — so *when* a result arrives, over
+//! which connection, after how many retransmits, cannot change it.
+//! Together these rules make the trajectory of every session a pure
+//! function of its spec, byte-identical to an in-process
+//! `run_session_resilient` over the same black box — which is exactly
+//! what the service chaos suite asserts through a real socket pair.
+//!
+//! Within one session the pump is lockstep (one dispatch outstanding
+//! after the initial worker fill — the price of bit-exactness when
+//! costs arrive late); throughput comes from running many sessions
+//! concurrently, which is the service's job. Fair-share allocation
+//! leases work from the session with the fewest active leases, ties
+//! broken by lowest id, so one greedy session cannot starve the rest.
+//!
+//! # Bounded residency
+//!
+//! Sessions are evicted least-recently-used to an `easybo-persist`
+//! snapshot whenever more than `resident_budget` are live, and
+//! rehydrated on demand — the kill/resume path PR 4 proved
+//! bit-identical, reused as a memory valve.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use easybo_exec::{
+    AsyncPolicy, AttemptContext, BlackBox, EvalOutcome, RetryPolicy, RunResult, SessionState, Told,
+};
+use easybo_persist::{decode_snapshot, encode_snapshot, RunSnapshot};
+use easybo_telemetry::{Event, Telemetry};
+
+/// Everything needed to run — and re-run, after eviction — one
+/// optimization session.
+pub struct SessionSpec {
+    /// Black-box name workers resolve in their local registry.
+    pub bench: String,
+    /// Virtual worker pool size (the async batch parallelism).
+    pub workers: usize,
+    /// Total task budget.
+    pub max_evals: usize,
+    /// Initial design points.
+    pub init: Vec<Vec<f64>>,
+    /// Retry/backoff/timeout policy.
+    pub retry: RetryPolicy,
+    /// Configuration fingerprint stamped into snapshots.
+    pub fingerprint: u64,
+    /// Factory for the session's policy; called once at open and once
+    /// per rehydration (followed by `restore_state`).
+    pub policy: Box<dyn Fn() -> Box<dyn AsyncPolicy + Send> + Send>,
+}
+
+/// One leased evaluation, as handed to a remote worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Work {
+    /// Owning session.
+    pub session: u64,
+    /// Task id within the session.
+    pub task: usize,
+    /// 1-based attempt number.
+    pub attempt: usize,
+    /// Virtual worker slot (feeds the deterministic [`AttemptContext`]).
+    pub worker: usize,
+    /// Query point.
+    pub x: Vec<f64>,
+    /// Black-box name to evaluate.
+    pub bench: String,
+}
+
+impl Work {
+    /// Evaluates this work item against a local black box exactly the
+    /// way the in-process executor would (`panics_caught = false`, so
+    /// injected faults surface as failed evaluations, not panics).
+    pub fn evaluate(&self, bb: &dyn BlackBox) -> easybo_exec::Evaluation {
+        bb.evaluate_attempt(
+            &self.x,
+            AttemptContext {
+                task: self.task,
+                attempt: self.attempt,
+                worker: self.worker,
+                panics_caught: false,
+            },
+        )
+    }
+}
+
+/// Manager counters; the session-manager invariants proptest pins the
+/// conservation law
+/// `asks == tells + reclaimed + active_leases`
+/// (every granted lease is retired exactly once — by the result that
+/// lands it, by its connection dying, or by its session being evicted
+/// — or is still active).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Leases granted ("asks" served with work).
+    pub asks: u64,
+    /// Leases retired by an accepted result.
+    pub tells: u64,
+    /// Leases retired by connection death or eviction.
+    pub reclaimed: u64,
+    /// Results accepted, including late ones whose lease was already
+    /// reclaimed (`accepted >= tells`).
+    pub accepted: u64,
+    /// Results rejected as stale (unknown dispatch, evicted or
+    /// finished session, duplicate delivery).
+    pub stale_tells: u64,
+    /// Sessions evicted to snapshots.
+    pub evictions: u64,
+    /// Sessions rebuilt from snapshots.
+    pub rehydrations: u64,
+}
+
+/// Heap entry mirroring the virtual executor's event ordering:
+/// earliest time first, ties broken by worker, then task, then the
+/// reserved sequence number.
+#[derive(Debug)]
+struct PumpEvent {
+    time: f64,
+    worker: usize,
+    task: usize,
+    seq: usize,
+    kind: PumpEventKind,
+}
+
+#[derive(Debug)]
+enum PumpEventKind {
+    Finish {
+        value: f64,
+        attempt: usize,
+        outcome: EvalOutcome,
+    },
+    Retry,
+}
+
+impl PartialEq for PumpEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for PumpEvent {}
+impl PartialOrd for PumpEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PumpEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.worker.cmp(&self.worker))
+            .then(other.task.cmp(&self.task))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// One dispatched attempt awaiting its remote result.
+#[derive(Debug)]
+struct Dispatch {
+    task: usize,
+    attempt: usize,
+    worker: usize,
+    /// Virtual start time (the event time of the pop that issued it).
+    start: f64,
+    x: Vec<f64>,
+    /// Sequence number reserved at dispatch, used by the finish event.
+    seq: usize,
+    /// Connection currently holding the lease.
+    lease: Option<u64>,
+    /// `(value, cost, outcome)` once a worker reported back.
+    result: Option<(f64, f64, EvalOutcome)>,
+}
+
+/// A live session: state machine, policy, event heap, and the queue of
+/// outstanding dispatches (dispatch order, folded from the front).
+struct Resident {
+    session: SessionState,
+    policy: Box<dyn AsyncPolicy + Send>,
+    heap: BinaryHeap<PumpEvent>,
+    seq: usize,
+    outstanding: VecDeque<Dispatch>,
+    last_touch: u64,
+}
+
+impl Resident {
+    fn done(&self) -> bool {
+        self.heap.is_empty() && self.outstanding.is_empty()
+    }
+}
+
+/// Drives many concurrent optimization sessions over a shared remote
+/// worker pool. See the module docs for the determinism and residency
+/// contracts.
+pub struct SessionManager {
+    specs: BTreeMap<u64, SessionSpec>,
+    resident: BTreeMap<u64, Resident>,
+    /// Evicted sessions as encoded `easybo-persist` snapshot bytes.
+    evicted: BTreeMap<u64, Vec<u8>>,
+    finished: BTreeMap<u64, RunResult>,
+    next_id: u64,
+    touch: u64,
+    resident_budget: usize,
+    stats: ManagerStats,
+    telemetry: Telemetry,
+}
+
+impl SessionManager {
+    /// A manager keeping at most `resident_budget` sessions in memory
+    /// (older ones are snapshotted out LRU). Telemetry is disabled;
+    /// attach one with [`SessionManager::with_telemetry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resident_budget == 0`.
+    pub fn new(resident_budget: usize) -> Self {
+        assert!(resident_budget > 0, "need room for at least one session");
+        SessionManager {
+            specs: BTreeMap::new(),
+            resident: BTreeMap::new(),
+            evicted: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            next_id: 0,
+            touch: 0,
+            resident_budget,
+            stats: ManagerStats::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle (service counters plus the
+    /// `SessionEvicted`/`SessionRehydrated` events).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Opens a new session and returns its id. The initial worker fill
+    /// is dispatched immediately; if opening pushes residency over
+    /// budget, the least-recently-used *other* session is evicted.
+    pub fn open_session(&mut self, spec: SessionSpec) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let session = SessionState::new(spec.workers, spec.max_evals, &spec.init);
+        let policy = (spec.policy)();
+        let workers = spec.workers;
+        self.specs.insert(id, spec);
+        let mut r = Resident {
+            session,
+            policy,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            outstanding: VecDeque::new(),
+            last_touch: 0,
+        };
+        // Mirror the fresh-run branch of the in-process driver: fill
+        // every virtual worker at t = 0 while budget remains.
+        for w in 0..workers {
+            if r.session.issued() >= r.session.max_evals() {
+                break;
+            }
+            self.telemetry.set_now(0.0);
+            let Some(s) = r.session.ask_traced(r.policy.as_mut(), &self.telemetry) else {
+                break;
+            };
+            Self::dispatch(&self.telemetry, &mut r, w, 0.0, s.task, s.x, s.attempt);
+        }
+        self.resident.insert(id, r);
+        self.touch_session(id);
+        self.finalize_if_done(id);
+        self.enforce_budget(Some(id));
+        id
+    }
+
+    /// Registers an attempt and reserves its event sequence number;
+    /// the span and finish event wait for the result (see module docs).
+    fn dispatch(
+        telemetry: &Telemetry,
+        r: &mut Resident,
+        worker: usize,
+        now: f64,
+        task: usize,
+        x: Vec<f64>,
+        attempt: usize,
+    ) {
+        telemetry.set_now(now);
+        let _span = telemetry.span("dispatch");
+        telemetry.emit_at_with(now, || Event::QueryIssued { task, worker });
+        telemetry.emit_at_with(now, || Event::EvalStarted { task, worker });
+        r.session
+            .begin(task, attempt, x.clone(), worker, Some(now), f64::NAN);
+        let seq = r.seq;
+        r.seq += 1;
+        r.outstanding.push_back(Dispatch {
+            task,
+            attempt,
+            worker,
+            start: now,
+            x,
+            seq,
+            lease: None,
+            result: None,
+        });
+    }
+
+    /// Leases one work item to connection `conn`, fair-share across
+    /// sessions: fewest active leases first, lowest id on ties.
+    /// Returns `None` when no session has leasable work (all
+    /// outstanding dispatches are leased, stalled, or resident
+    /// sessions are drained).
+    pub fn ask(&mut self, conn: u64) -> Option<Work> {
+        let pick = self
+            .resident
+            .iter()
+            .filter(|(_, r)| {
+                r.outstanding
+                    .iter()
+                    .any(|d| d.lease.is_none() && d.result.is_none())
+            })
+            .min_by_key(|(id, r)| {
+                let leased = r.outstanding.iter().filter(|d| d.lease.is_some()).count();
+                (leased, **id)
+            })
+            .map(|(id, _)| *id)?;
+        let bench = self.specs[&pick].bench.clone();
+        let r = self.resident.get_mut(&pick).expect("picked resident");
+        let d = r
+            .outstanding
+            .iter_mut()
+            .find(|d| d.lease.is_none() && d.result.is_none())
+            .expect("picked session has leasable work");
+        d.lease = Some(conn);
+        let work = Work {
+            session: pick,
+            task: d.task,
+            attempt: d.attempt,
+            worker: d.worker,
+            x: d.x.clone(),
+            bench,
+        };
+        self.stats.asks += 1;
+        self.telemetry.incr("service_asks", 1);
+        self.touch_session(pick);
+        Some(work)
+    }
+
+    /// Accepts one remote result. Returns whether it was folded into
+    /// the session (`false` = stale: unknown or already-resolved
+    /// dispatch, evicted/finished session, duplicate delivery).
+    ///
+    /// Results are matched by `(session, task, attempt)` regardless of
+    /// which connection leased the dispatch — a worker whose
+    /// connection died mid-report can reconnect and land the same
+    /// result, and evaluation purity makes the copies identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tell(
+        &mut self,
+        _conn: u64,
+        session: u64,
+        task: usize,
+        attempt: usize,
+        value: f64,
+        cost: f64,
+        outcome: EvalOutcome,
+    ) -> bool {
+        let Some(r) = self.resident.get_mut(&session) else {
+            self.stats.stale_tells += 1;
+            self.telemetry.incr("service_stale_tells", 1);
+            return false;
+        };
+        let Some(d) = r
+            .outstanding
+            .iter_mut()
+            .find(|d| d.task == task && d.attempt == attempt && d.result.is_none())
+        else {
+            self.stats.stale_tells += 1;
+            self.telemetry.incr("service_stale_tells", 1);
+            return false;
+        };
+        if d.lease.take().is_some() {
+            self.stats.tells += 1;
+        }
+        d.result = Some((value, cost, outcome));
+        self.stats.accepted += 1;
+        self.telemetry.incr("service_tells", 1);
+        self.touch_session(session);
+        self.pump(session);
+        self.finalize_if_done(session);
+        true
+    }
+
+    /// Reclaims every lease held by a dead connection; the work items
+    /// go back to the unleased pool and are re-leased in dispatch
+    /// order to the next asker.
+    pub fn drop_connection(&mut self, conn: u64) {
+        let mut reclaimed = 0u64;
+        for r in self.resident.values_mut() {
+            for d in r.outstanding.iter_mut() {
+                if d.lease == Some(conn) && d.result.is_none() {
+                    d.lease = None;
+                    reclaimed += 1;
+                }
+            }
+        }
+        self.stats.reclaimed += reclaimed;
+        if reclaimed > 0 {
+            self.telemetry.incr("service_leases_reclaimed", reclaimed);
+        }
+    }
+
+    /// Runs the deferred-result discrete-event loop for one session
+    /// until it stalls on an unresolved dispatch or drains.
+    fn pump(&mut self, id: u64) {
+        let Some(r) = self.resident.get_mut(&id) else {
+            return;
+        };
+        let spec = &self.specs[&id];
+        loop {
+            // Fold resolved dispatches from the front — strictly in
+            // dispatch order, so span insertion matches the eager
+            // executor.
+            while let Some(front) = r.outstanding.front() {
+                let Some((value, mut cost, mut outcome)) = front.result.clone() else {
+                    break;
+                };
+                let d = r.outstanding.pop_front().expect("front exists");
+                if let Some(deadline) = spec.retry.timeout {
+                    if cost > deadline {
+                        cost = deadline;
+                        outcome = EvalOutcome::TimedOut;
+                    }
+                }
+                let finish = d.start + cost;
+                r.session
+                    .add_span(d.worker, d.task, d.start, finish, !outcome.is_ok());
+                r.heap.push(PumpEvent {
+                    time: finish,
+                    worker: d.worker,
+                    task: d.task,
+                    seq: d.seq,
+                    kind: PumpEventKind::Finish {
+                        value,
+                        attempt: d.attempt,
+                        outcome,
+                    },
+                });
+            }
+            // Stall: an unresolved dispatch could finish before (or
+            // tie with) the heap top, so popping now could diverge
+            // from the in-process event order.
+            if !r.outstanding.is_empty() {
+                return;
+            }
+            let Some(ev) = r.heap.pop() else {
+                return;
+            };
+            r.session.set_clock(ev.time);
+            match ev.kind {
+                PumpEventKind::Finish {
+                    value,
+                    attempt,
+                    outcome,
+                } => {
+                    let Some(inf) = r.session.take_inflight(ev.task) else {
+                        continue;
+                    };
+                    self.telemetry.set_now(ev.time);
+                    match r.session.tell(
+                        &spec.retry,
+                        &self.telemetry,
+                        ev.time,
+                        ev.worker,
+                        ev.task,
+                        inf.x,
+                        value,
+                        attempt,
+                        outcome,
+                    ) {
+                        Told::Committed | Told::Dropped => {
+                            self.telemetry.set_now(ev.time);
+                            if let Some(s) =
+                                r.session.ask_traced(r.policy.as_mut(), &self.telemetry)
+                            {
+                                Self::dispatch(
+                                    &self.telemetry,
+                                    r,
+                                    ev.worker,
+                                    ev.time,
+                                    s.task,
+                                    s.x,
+                                    s.attempt,
+                                );
+                            }
+                        }
+                        Told::Backoff { due } => {
+                            let seq = r.seq;
+                            r.seq += 1;
+                            r.heap.push(PumpEvent {
+                                time: due,
+                                worker: ev.worker,
+                                task: ev.task,
+                                seq,
+                                kind: PumpEventKind::Retry,
+                            });
+                        }
+                    }
+                }
+                PumpEventKind::Retry => {
+                    if let Some(b) = r.session.take_backoff(ev.task) {
+                        self.telemetry.set_now(ev.time);
+                        let _span = self.telemetry.span("retry_backoff");
+                        Self::dispatch(
+                            &self.telemetry,
+                            r,
+                            ev.worker,
+                            ev.time,
+                            ev.task,
+                            b.x,
+                            b.attempt,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves a drained session from resident to finished.
+    fn finalize_if_done(&mut self, id: u64) {
+        let done = self.resident.get(&id).is_some_and(Resident::done);
+        if done {
+            let r = self.resident.remove(&id).expect("checked above");
+            self.finished.insert(id, r.session.into_result());
+            self.telemetry.incr("service_sessions_finished", 1);
+        }
+    }
+
+    /// Encodes a session's current state as `easybo-persist` snapshot
+    /// bytes (works on resident and evicted sessions alike).
+    ///
+    /// # Errors
+    ///
+    /// Describes the failure for unknown or finished sessions.
+    pub fn checkpoint(&mut self, id: u64) -> Result<Vec<u8>, String> {
+        if let Some(bytes) = self.evicted.get(&id) {
+            return Ok(bytes.clone());
+        }
+        let Some(r) = self.resident.get(&id) else {
+            return Err(format!("session {id} is not live (unknown or finished)"));
+        };
+        let spec = &self.specs[&id];
+        let snap = RunSnapshot {
+            config_fingerprint: spec.fingerprint,
+            session: r.session.to_parts(),
+            policy: r.policy.snapshot_state(),
+        };
+        self.touch_session(id);
+        Ok(encode_snapshot(&snap))
+    }
+
+    /// Snapshots a resident session and releases its in-memory state;
+    /// leases on its outstanding work are reclaimed (late results for
+    /// them are rejected as stale, and rehydration re-dispatches the
+    /// same attempts — purity makes the replay identical).
+    ///
+    /// # Errors
+    ///
+    /// Describes the failure for unknown, finished, or already-evicted
+    /// sessions.
+    pub fn evict(&mut self, id: u64) -> Result<(), String> {
+        if self.evicted.contains_key(&id) {
+            return Err(format!("session {id} is already evicted"));
+        }
+        let bytes = self.checkpoint(id)?;
+        let r = self.resident.remove(&id).expect("checkpoint verified");
+        let reclaimed = r
+            .outstanding
+            .iter()
+            .filter(|d| d.lease.is_some() && d.result.is_none())
+            .count() as u64;
+        self.stats.reclaimed += reclaimed;
+        self.evicted.insert(id, bytes);
+        self.stats.evictions += 1;
+        self.telemetry.incr("service_evictions", 1);
+        self.telemetry.emit_with(|| Event::SessionEvicted {
+            session: id,
+            resident: self.resident.len(),
+        });
+        Ok(())
+    }
+
+    /// Rebuilds an evicted session from its snapshot: restores the
+    /// session and policy state, re-dispatches every interrupted
+    /// attempt at its recorded worker/start, and turns pending
+    /// backoffs into retry events — the same continuation the
+    /// checkpoint/resume path runs in process.
+    ///
+    /// # Errors
+    ///
+    /// Describes the failure for sessions that are not evicted or
+    /// whose snapshot no longer decodes.
+    pub fn rehydrate(&mut self, id: u64) -> Result<(), String> {
+        let Some(bytes) = self.evicted.remove(&id) else {
+            return Err(format!("session {id} is not evicted"));
+        };
+        let snap = match decode_snapshot(&bytes) {
+            Ok(snap) => snap,
+            Err(e) => {
+                self.evicted.insert(id, bytes);
+                return Err(format!("snapshot for session {id} is corrupt: {e}"));
+            }
+        };
+        let spec = &self.specs[&id];
+        let mut policy = (spec.policy)();
+        if let Some(blob) = &snap.policy {
+            if let Err(e) = policy.restore_state(blob) {
+                self.evicted.insert(id, bytes);
+                return Err(format!("policy restore for session {id} failed: {e}"));
+            }
+        }
+        let session = SessionState::from_parts(snap.session);
+        let workers = session.workers();
+        let clock = session.clock();
+        let mut r = Resident {
+            session,
+            policy,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            outstanding: VecDeque::new(),
+            last_touch: 0,
+        };
+        // Mirror the resume branch of the in-process driver: re-issue
+        // in-flight attempts first (they take the low sequence
+        // numbers), then re-arm backoffs as retry events.
+        let inflight = r.session.drain_inflight();
+        let inflight_count = inflight.len();
+        for inf in inflight {
+            let (worker, start) = inf.started.unwrap_or((inf.task % workers, clock));
+            Self::dispatch(
+                &self.telemetry,
+                &mut r,
+                worker,
+                start,
+                inf.task,
+                inf.x,
+                inf.attempt,
+            );
+        }
+        let waiting: Vec<(f64, usize, usize)> = r
+            .session
+            .backoffs()
+            .iter()
+            .map(|b| (b.due, b.worker, b.task))
+            .collect();
+        for (due, worker, task) in waiting {
+            let seq = r.seq;
+            r.seq += 1;
+            r.heap.push(PumpEvent {
+                time: due,
+                worker,
+                task,
+                seq,
+                kind: PumpEventKind::Retry,
+            });
+        }
+        self.resident.insert(id, r);
+        self.stats.rehydrations += 1;
+        self.telemetry.incr("service_rehydrations", 1);
+        self.telemetry.emit_with(|| Event::SessionRehydrated {
+            session: id,
+            inflight: inflight_count,
+        });
+        self.touch_session(id);
+        // A snapshot taken after the final observation rehydrates into
+        // an already-drained session.
+        self.pump(id);
+        self.finalize_if_done(id);
+        self.enforce_budget(Some(id));
+        Ok(())
+    }
+
+    /// Evicts least-recently-used sessions until residency fits the
+    /// budget, never evicting `protect` (the session that just became
+    /// active).
+    fn enforce_budget(&mut self, protect: Option<u64>) {
+        while self.resident.len() > self.resident_budget {
+            let victim = self
+                .resident
+                .iter()
+                .filter(|(id, _)| Some(**id) != protect)
+                .min_by_key(|(id, r)| (r.last_touch, **id))
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else {
+                return;
+            };
+            self.evict(victim)
+                .expect("resident non-protected session must evict");
+        }
+    }
+
+    fn touch_session(&mut self, id: u64) {
+        self.touch += 1;
+        let touch = self.touch;
+        if let Some(r) = self.resident.get_mut(&id) {
+            r.last_touch = touch;
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Number of sessions currently resident in memory (always at most
+    /// the budget after any public call returns).
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Number of sessions held only as snapshots.
+    pub fn evicted_count(&self) -> usize {
+        self.evicted.len()
+    }
+
+    /// Number of finished sessions whose results await collection.
+    pub fn finished_count(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Leases currently held by connections.
+    pub fn active_leases(&self) -> usize {
+        self.resident
+            .values()
+            .flat_map(|r| r.outstanding.iter())
+            .filter(|d| d.lease.is_some() && d.result.is_none())
+            .count()
+    }
+
+    /// The configured residency budget.
+    pub fn resident_budget(&self) -> usize {
+        self.resident_budget
+    }
+
+    /// Whether every opened session has finished.
+    pub fn all_done(&self) -> bool {
+        self.resident.is_empty() && self.evicted.is_empty()
+    }
+
+    /// Ids of sessions that are evicted but not finished (callers
+    /// rehydrate these to make progress once residency frees up).
+    pub fn evicted_ids(&self) -> Vec<u64> {
+        self.evicted.keys().copied().collect()
+    }
+
+    /// Removes and returns a finished session's result.
+    pub fn take_result(&mut self, id: u64) -> Option<RunResult> {
+        self.finished.remove(&id)
+    }
+}

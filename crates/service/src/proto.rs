@@ -1,0 +1,558 @@
+//! Service messages and their byte encoding.
+//!
+//! One [`Message`] travels per frame, encoded with the
+//! `easybo-persist` [`ByteWriter`]/[`ByteReader`] codec: a one-byte
+//! tag followed by the variant's fields, little-endian, `f64` as exact
+//! bit patterns. The encoding is pinned by the committed
+//! `tests/data/golden_wire_v1.bin` fixture; any layout change must
+//! bump [`crate::PROTOCOL_VERSION`].
+//!
+//! Reliability contract (at-most-once effects over a lossy link):
+//! every request carries a client-assigned `req` id, every reply
+//! echoes it. Clients run lockstep — one outstanding request,
+//! retransmitted verbatim on timeout, replies with a stale `req`
+//! discarded — and the server replays its cached reply for a `req` it
+//! has already served, so duplicated or retransmitted frames never
+//! lease the same work twice.
+
+use easybo_exec::EvalOutcome;
+use easybo_persist::{ByteReader, ByteWriter};
+
+use crate::frame::WireError;
+
+/// What a connecting peer intends to do, declared in its `Hello`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Evaluates dispatched work items (a remote simulator slot).
+    Worker,
+    /// Issues session-management commands (checkpoint/evict/shutdown).
+    Admin,
+}
+
+/// One service message (either direction); see the module docs for the
+/// reliability contract around `req` ids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Connection opener: protocol version + role. Must be the first
+    /// message on every connection.
+    Hello {
+        /// The sender's [`crate::PROTOCOL_VERSION`].
+        version: u32,
+        /// What the peer intends to do.
+        role: Role,
+    },
+    /// Handshake accepted.
+    HelloAck {
+        /// The server's protocol version.
+        version: u32,
+    },
+    /// Worker asks for one evaluation to run.
+    AskWork {
+        /// Client-assigned request id.
+        req: u64,
+    },
+    /// One leased evaluation: run `bench` at `x` and `TellResult` back.
+    Work {
+        /// Echoed request id.
+        req: u64,
+        /// Session the work belongs to.
+        session: u64,
+        /// Task id within the session.
+        task: usize,
+        /// 1-based attempt number.
+        attempt: usize,
+        /// Virtual worker slot the attempt is scheduled on (feeds the
+        /// deterministic `AttemptContext`).
+        worker: usize,
+        /// The query point.
+        x: Vec<f64>,
+        /// Black-box name to evaluate (resolved by the worker's local
+        /// registry).
+        bench: String,
+    },
+    /// No session has leasable work right now; poll again shortly.
+    NoWork {
+        /// Echoed request id.
+        req: u64,
+    },
+    /// All sessions are finished (or the server is stopping); the
+    /// worker should disconnect.
+    Bye {
+        /// Echoed request id.
+        req: u64,
+    },
+    /// Worker reports one finished evaluation.
+    TellResult {
+        /// Client-assigned request id.
+        req: u64,
+        /// Session the work belongs to.
+        session: u64,
+        /// Task id within the session.
+        task: usize,
+        /// 1-based attempt number.
+        attempt: usize,
+        /// Observed objective value.
+        value: f64,
+        /// Simulation cost in (virtual) seconds.
+        cost: f64,
+        /// How the attempt ended.
+        outcome: EvalOutcome,
+    },
+    /// Result acknowledged. `accepted == false` means the result was
+    /// stale (already resolved, or its session evicted) and was
+    /// discarded — which is fine: evaluation is pure, so the authoritative
+    /// copy is identical.
+    TellAck {
+        /// Echoed request id.
+        req: u64,
+        /// Whether the result was folded into the session.
+        accepted: bool,
+    },
+    /// Admin: write a durable snapshot of `session` now.
+    Checkpoint {
+        /// Client-assigned request id.
+        req: u64,
+        /// Target session.
+        session: u64,
+    },
+    /// Snapshot written.
+    CheckpointAck {
+        /// Echoed request id.
+        req: u64,
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+    /// Admin: snapshot `session` and release its resident state.
+    Evict {
+        /// Client-assigned request id.
+        req: u64,
+        /// Target session.
+        session: u64,
+    },
+    /// Admin: rebuild an evicted `session` from its snapshot.
+    Rehydrate {
+        /// Client-assigned request id.
+        req: u64,
+        /// Target session.
+        session: u64,
+    },
+    /// Generic success acknowledgement for admin commands.
+    Ack {
+        /// Echoed request id.
+        req: u64,
+    },
+    /// Admin: stop accepting work; workers get `Bye` on their next ask.
+    Shutdown {
+        /// Client-assigned request id.
+        req: u64,
+    },
+    /// Admin: report manager counters.
+    Stats {
+        /// Client-assigned request id.
+        req: u64,
+    },
+    /// Manager counters (see `ManagerStats`).
+    StatsReply {
+        /// Echoed request id.
+        req: u64,
+        /// Resident (in-memory) sessions.
+        resident: usize,
+        /// Evicted sessions held as snapshots.
+        evicted: usize,
+        /// Finished sessions.
+        finished: usize,
+        /// Work items leased so far.
+        asks: u64,
+        /// Results accepted so far.
+        tells: u64,
+    },
+    /// A request failed; `message` says why. The connection stays up.
+    Error {
+        /// Echoed request id (0 when the request had none).
+        req: u64,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_ASK_WORK: u8 = 3;
+const TAG_WORK: u8 = 4;
+const TAG_NO_WORK: u8 = 5;
+const TAG_BYE: u8 = 6;
+const TAG_TELL_RESULT: u8 = 7;
+const TAG_TELL_ACK: u8 = 8;
+const TAG_CHECKPOINT: u8 = 9;
+const TAG_CHECKPOINT_ACK: u8 = 10;
+const TAG_EVICT: u8 = 11;
+const TAG_REHYDRATE: u8 = 12;
+const TAG_ACK: u8 = 13;
+const TAG_SHUTDOWN: u8 = 14;
+const TAG_STATS: u8 = 15;
+const TAG_STATS_REPLY: u8 = 16;
+const TAG_ERROR: u8 = 17;
+
+const OUTCOME_OK: u8 = 0;
+const OUTCOME_FAILED: u8 = 1;
+const OUTCOME_NON_FINITE: u8 = 2;
+const OUTCOME_TIMED_OUT: u8 = 3;
+
+fn put_outcome(w: &mut ByteWriter, outcome: &EvalOutcome) {
+    match outcome {
+        EvalOutcome::Ok => w.put_u8(OUTCOME_OK),
+        EvalOutcome::Failed { reason } => {
+            w.put_u8(OUTCOME_FAILED);
+            w.put_str(reason);
+        }
+        EvalOutcome::NonFinite => w.put_u8(OUTCOME_NON_FINITE),
+        EvalOutcome::TimedOut => w.put_u8(OUTCOME_TIMED_OUT),
+    }
+}
+
+fn get_outcome(r: &mut ByteReader<'_>) -> Result<EvalOutcome, WireError> {
+    match r.get_u8().map_err(protocol)? {
+        OUTCOME_OK => Ok(EvalOutcome::Ok),
+        OUTCOME_FAILED => Ok(EvalOutcome::Failed {
+            reason: r.get_str().map_err(protocol)?,
+        }),
+        OUTCOME_NON_FINITE => Ok(EvalOutcome::NonFinite),
+        OUTCOME_TIMED_OUT => Ok(EvalOutcome::TimedOut),
+        tag => Err(WireError::Protocol(format!("unknown outcome tag {tag}"))),
+    }
+}
+
+fn protocol(e: easybo_persist::PersistError) -> WireError {
+    WireError::Protocol(e.to_string())
+}
+
+/// Encodes one message as a frame payload.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match msg {
+        Message::Hello { version, role } => {
+            w.put_u8(TAG_HELLO);
+            w.put_u32(*version);
+            w.put_u8(match role {
+                Role::Worker => 0,
+                Role::Admin => 1,
+            });
+        }
+        Message::HelloAck { version } => {
+            w.put_u8(TAG_HELLO_ACK);
+            w.put_u32(*version);
+        }
+        Message::AskWork { req } => {
+            w.put_u8(TAG_ASK_WORK);
+            w.put_u64(*req);
+        }
+        Message::Work {
+            req,
+            session,
+            task,
+            attempt,
+            worker,
+            x,
+            bench,
+        } => {
+            w.put_u8(TAG_WORK);
+            w.put_u64(*req);
+            w.put_u64(*session);
+            w.put_usize(*task);
+            w.put_usize(*attempt);
+            w.put_usize(*worker);
+            w.put_f64s(x);
+            w.put_str(bench);
+        }
+        Message::NoWork { req } => {
+            w.put_u8(TAG_NO_WORK);
+            w.put_u64(*req);
+        }
+        Message::Bye { req } => {
+            w.put_u8(TAG_BYE);
+            w.put_u64(*req);
+        }
+        Message::TellResult {
+            req,
+            session,
+            task,
+            attempt,
+            value,
+            cost,
+            outcome,
+        } => {
+            w.put_u8(TAG_TELL_RESULT);
+            w.put_u64(*req);
+            w.put_u64(*session);
+            w.put_usize(*task);
+            w.put_usize(*attempt);
+            w.put_f64(*value);
+            w.put_f64(*cost);
+            put_outcome(&mut w, outcome);
+        }
+        Message::TellAck { req, accepted } => {
+            w.put_u8(TAG_TELL_ACK);
+            w.put_u64(*req);
+            w.put_bool(*accepted);
+        }
+        Message::Checkpoint { req, session } => {
+            w.put_u8(TAG_CHECKPOINT);
+            w.put_u64(*req);
+            w.put_u64(*session);
+        }
+        Message::CheckpointAck { req, bytes } => {
+            w.put_u8(TAG_CHECKPOINT_ACK);
+            w.put_u64(*req);
+            w.put_u64(*bytes);
+        }
+        Message::Evict { req, session } => {
+            w.put_u8(TAG_EVICT);
+            w.put_u64(*req);
+            w.put_u64(*session);
+        }
+        Message::Rehydrate { req, session } => {
+            w.put_u8(TAG_REHYDRATE);
+            w.put_u64(*req);
+            w.put_u64(*session);
+        }
+        Message::Ack { req } => {
+            w.put_u8(TAG_ACK);
+            w.put_u64(*req);
+        }
+        Message::Shutdown { req } => {
+            w.put_u8(TAG_SHUTDOWN);
+            w.put_u64(*req);
+        }
+        Message::Stats { req } => {
+            w.put_u8(TAG_STATS);
+            w.put_u64(*req);
+        }
+        Message::StatsReply {
+            req,
+            resident,
+            evicted,
+            finished,
+            asks,
+            tells,
+        } => {
+            w.put_u8(TAG_STATS_REPLY);
+            w.put_u64(*req);
+            w.put_usize(*resident);
+            w.put_usize(*evicted);
+            w.put_usize(*finished);
+            w.put_u64(*asks);
+            w.put_u64(*tells);
+        }
+        Message::Error { req, message } => {
+            w.put_u8(TAG_ERROR);
+            w.put_u64(*req);
+            w.put_str(message);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes one frame payload into a message.
+///
+/// # Errors
+///
+/// [`WireError::Protocol`] on unknown tags, truncated fields, or
+/// trailing bytes — never a panic.
+pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = ByteReader::new(payload);
+    let tag = r.get_u8().map_err(protocol)?;
+    let msg = match tag {
+        TAG_HELLO => Message::Hello {
+            version: r.get_u32().map_err(protocol)?,
+            role: match r.get_u8().map_err(protocol)? {
+                0 => Role::Worker,
+                1 => Role::Admin,
+                b => return Err(WireError::Protocol(format!("unknown role byte {b}"))),
+            },
+        },
+        TAG_HELLO_ACK => Message::HelloAck {
+            version: r.get_u32().map_err(protocol)?,
+        },
+        TAG_ASK_WORK => Message::AskWork {
+            req: r.get_u64().map_err(protocol)?,
+        },
+        TAG_WORK => Message::Work {
+            req: r.get_u64().map_err(protocol)?,
+            session: r.get_u64().map_err(protocol)?,
+            task: r.get_usize().map_err(protocol)?,
+            attempt: r.get_usize().map_err(protocol)?,
+            worker: r.get_usize().map_err(protocol)?,
+            x: r.get_f64s().map_err(protocol)?,
+            bench: r.get_str().map_err(protocol)?,
+        },
+        TAG_NO_WORK => Message::NoWork {
+            req: r.get_u64().map_err(protocol)?,
+        },
+        TAG_BYE => Message::Bye {
+            req: r.get_u64().map_err(protocol)?,
+        },
+        TAG_TELL_RESULT => Message::TellResult {
+            req: r.get_u64().map_err(protocol)?,
+            session: r.get_u64().map_err(protocol)?,
+            task: r.get_usize().map_err(protocol)?,
+            attempt: r.get_usize().map_err(protocol)?,
+            value: r.get_f64().map_err(protocol)?,
+            cost: r.get_f64().map_err(protocol)?,
+            outcome: get_outcome(&mut r)?,
+        },
+        TAG_TELL_ACK => Message::TellAck {
+            req: r.get_u64().map_err(protocol)?,
+            accepted: r.get_bool().map_err(protocol)?,
+        },
+        TAG_CHECKPOINT => Message::Checkpoint {
+            req: r.get_u64().map_err(protocol)?,
+            session: r.get_u64().map_err(protocol)?,
+        },
+        TAG_CHECKPOINT_ACK => Message::CheckpointAck {
+            req: r.get_u64().map_err(protocol)?,
+            bytes: r.get_u64().map_err(protocol)?,
+        },
+        TAG_EVICT => Message::Evict {
+            req: r.get_u64().map_err(protocol)?,
+            session: r.get_u64().map_err(protocol)?,
+        },
+        TAG_REHYDRATE => Message::Rehydrate {
+            req: r.get_u64().map_err(protocol)?,
+            session: r.get_u64().map_err(protocol)?,
+        },
+        TAG_ACK => Message::Ack {
+            req: r.get_u64().map_err(protocol)?,
+        },
+        TAG_SHUTDOWN => Message::Shutdown {
+            req: r.get_u64().map_err(protocol)?,
+        },
+        TAG_STATS => Message::Stats {
+            req: r.get_u64().map_err(protocol)?,
+        },
+        TAG_STATS_REPLY => Message::StatsReply {
+            req: r.get_u64().map_err(protocol)?,
+            resident: r.get_usize().map_err(protocol)?,
+            evicted: r.get_usize().map_err(protocol)?,
+            finished: r.get_usize().map_err(protocol)?,
+            asks: r.get_u64().map_err(protocol)?,
+            tells: r.get_u64().map_err(protocol)?,
+        },
+        TAG_ERROR => Message::Error {
+            req: r.get_u64().map_err(protocol)?,
+            message: r.get_str().map_err(protocol)?,
+        },
+        other => return Err(WireError::Protocol(format!("unknown message tag {other}"))),
+    };
+    r.finish("message").map_err(protocol)?;
+    Ok(msg)
+}
+
+/// One exemplar of every message variant, used by the golden wire
+/// fixture and the conformance tests. Values are chosen to exercise
+/// interesting bit patterns without any NaN (which `PartialEq`-based
+/// assertions would trip over).
+pub fn exemplar_messages() -> Vec<Message> {
+    vec![
+        Message::Hello {
+            version: crate::PROTOCOL_VERSION,
+            role: Role::Worker,
+        },
+        Message::HelloAck {
+            version: crate::PROTOCOL_VERSION,
+        },
+        Message::AskWork { req: 1 },
+        Message::Work {
+            req: 1,
+            session: 3,
+            task: 7,
+            attempt: 2,
+            worker: 4,
+            x: vec![0.125, -0.5, 1.0 / 3.0],
+            bench: "two-stage-opamp".to_string(),
+        },
+        Message::NoWork { req: 2 },
+        Message::Bye { req: 3 },
+        Message::TellResult {
+            req: 4,
+            session: 3,
+            task: 7,
+            attempt: 2,
+            value: -0.0625,
+            cost: 38.75,
+            outcome: EvalOutcome::Failed {
+                reason: "injected simulator crash".to_string(),
+            },
+        },
+        Message::TellAck {
+            req: 4,
+            accepted: true,
+        },
+        Message::Checkpoint { req: 5, session: 3 },
+        Message::CheckpointAck {
+            req: 5,
+            bytes: 4096,
+        },
+        Message::Evict { req: 6, session: 3 },
+        Message::Rehydrate { req: 7, session: 3 },
+        Message::Ack { req: 7 },
+        Message::Shutdown { req: 8 },
+        Message::Stats { req: 9 },
+        Message::StatsReply {
+            req: 9,
+            resident: 8,
+            evicted: 992,
+            finished: 17,
+            asks: 123_456,
+            tells: 123_400,
+        },
+        Message::Error {
+            req: 10,
+            message: "unknown session 99".to_string(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        for msg in exemplar_messages() {
+            let bytes = encode_message(&msg);
+            let back = decode_message(&bytes).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(encode_message(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_rejected() {
+        assert!(decode_message(&[200]).is_err());
+        assert!(decode_message(&[]).is_err());
+        let mut bytes = encode_message(&Message::AskWork { req: 5 });
+        bytes.push(0);
+        assert!(decode_message(&bytes).is_err(), "trailing byte undetected");
+    }
+
+    #[test]
+    fn nan_values_survive_the_tell_encoding() {
+        let msg = Message::TellResult {
+            req: 1,
+            session: 0,
+            task: 0,
+            attempt: 1,
+            value: f64::NAN,
+            cost: f64::INFINITY,
+            outcome: EvalOutcome::NonFinite,
+        };
+        let bytes = encode_message(&msg);
+        match decode_message(&bytes).unwrap() {
+            Message::TellResult { value, cost, .. } => {
+                assert!(value.is_nan());
+                assert!(cost.is_infinite());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+}

@@ -179,6 +179,14 @@ pub fn chrome_trace_json(events: &[TimedEvent]) -> String {
                     format!(",\"args\":{{\"completed\":{completed},\"inflight\":{inflight}}}");
                 push_instant(&mut out, 0, "RunResumed", ev.time, &args);
             }
+            Event::SessionEvicted { session, resident } => {
+                let args = format!(",\"args\":{{\"session\":{session},\"resident\":{resident}}}");
+                push_instant(&mut out, 0, "SessionEvicted", ev.time, &args);
+            }
+            Event::SessionRehydrated { session, inflight } => {
+                let args = format!(",\"args\":{{\"session\":{session},\"inflight\":{inflight}}}");
+                push_instant(&mut out, 0, "SessionRehydrated", ev.time, &args);
+            }
             // GpRefit / AcqOptimized carry wall-clock durations that
             // differ between machines and parallelism settings; the
             // coordinator spans already cover those phases on the

@@ -113,6 +113,23 @@ pub enum Event {
         /// Interrupted in-flight tasks that will be re-issued.
         inflight: usize,
     },
+    /// The session manager serialized a resident session to a snapshot
+    /// and released its in-memory state (LRU bound or explicit admin
+    /// request).
+    SessionEvicted {
+        /// Manager-assigned session id.
+        session: u64,
+        /// Resident sessions remaining after the eviction.
+        resident: usize,
+    },
+    /// The session manager rebuilt an evicted session from its
+    /// snapshot and re-issued its interrupted in-flight attempts.
+    SessionRehydrated {
+        /// Manager-assigned session id.
+        session: u64,
+        /// Interrupted in-flight attempts re-issued by the rehydration.
+        inflight: usize,
+    },
     /// A named phase opened on the run timeline (RAII: paired with the
     /// [`Event::SpanEnd`] carrying the same id). Spans nest — `parent`
     /// is the id of the enclosing open span on the same thread, or `0`
@@ -153,6 +170,8 @@ impl Event {
             Event::WorkerCrashed { .. } => "WorkerCrashed",
             Event::CheckpointWritten { .. } => "CheckpointWritten",
             Event::RunResumed { .. } => "RunResumed",
+            Event::SessionEvicted { .. } => "SessionEvicted",
+            Event::SessionRehydrated { .. } => "SessionRehydrated",
             Event::SpanStart { .. } => "SpanStart",
             Event::SpanEnd { .. } => "SpanEnd",
         }

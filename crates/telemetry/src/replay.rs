@@ -99,6 +99,14 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             completed: usize_field(line, "completed")?,
             inflight: usize_field(line, "inflight")?,
         },
+        "SessionEvicted" => Event::SessionEvicted {
+            session: u64_field(line, "session")?,
+            resident: usize_field(line, "resident")?,
+        },
+        "SessionRehydrated" => Event::SessionRehydrated {
+            session: u64_field(line, "session")?,
+            inflight: usize_field(line, "inflight")?,
+        },
         "SpanStart" => Event::SpanStart {
             id: u64_field(line, "id")?,
             parent: u64_field(line, "parent")?,

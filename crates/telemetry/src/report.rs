@@ -78,6 +78,9 @@ impl SummaryData {
             Event::WorkerCrashed { .. } => self.worker_crashes += 1,
             Event::CheckpointWritten { .. } => self.checkpoints_written += 1,
             Event::RunResumed { .. } => self.resumes += 1,
+            // Service-level events describe the multi-session manager,
+            // not any single run; they stay out of per-run summaries.
+            Event::SessionEvicted { .. } | Event::SessionRehydrated { .. } => {}
             Event::SpanStart { .. } => self.spans += 1,
             Event::SpanEnd { .. } => {}
         }

@@ -137,6 +137,12 @@ pub fn to_json_line(ev: &TimedEvent) -> String {
         } => {
             let _ = write!(s, ",\"completed\":{completed},\"inflight\":{inflight}");
         }
+        Event::SessionEvicted { session, resident } => {
+            let _ = write!(s, ",\"session\":{session},\"resident\":{resident}");
+        }
+        Event::SessionRehydrated { session, inflight } => {
+            let _ = write!(s, ",\"session\":{session},\"inflight\":{inflight}");
+        }
         Event::SpanStart { id, parent, name } => {
             let _ = write!(s, ",\"id\":{id},\"parent\":{parent},\"name\":\"{name}\"");
         }

@@ -1,0 +1,152 @@
+//! Two-process optimization service: a server drives several op-amp
+//! sizing sessions over TCP while separate worker *processes* run the
+//! simulations — the paper's asynchronous batch architecture with the
+//! simulator pool genuinely out of process.
+//!
+//! ```sh
+//! cargo run --release -p easybo-integration --example serve_sessions
+//! ```
+//!
+//! The parent process binds a loopback `ServiceServer`, opens two
+//! sessions (same circuit, different seeds) under a residency budget
+//! of one — so the sessions take turns being resident, checkpointed to
+//! `easybo-persist` snapshots in between — then re-spawns its own
+//! binary twice with `--worker <addr>`. Each child connects as a
+//! remote worker, evaluates dispatched points against its local op-amp
+//! model, and reports results until the server says `Bye`.
+//!
+//! The punchline: each session's trace is byte-identical to a clean
+//! in-process `run_async_resilient` with the same configuration —
+//! sockets, process boundaries, leases, and eviction are all invisible
+//! to the optimization trajectory.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use easybo::EasyBo;
+use easybo_circuits::opamp::TwoStageOpAmp;
+use easybo_circuits::Circuit;
+use easybo_exec::{CostedFunction, SimTimeModel, VirtualExecutor};
+use easybo_service::{ServiceServer, SessionManager, SessionSpec, WorkerClient};
+use easybo_telemetry::Telemetry;
+
+const BATCH: usize = 4;
+const MAX_EVALS: usize = 16;
+
+fn opamp_blackbox() -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync> {
+    let amp = TwoStageOpAmp::new();
+    let bounds = amp.bounds().clone();
+    let time = SimTimeModel::new(&bounds, 38.7, 0.25, 2020);
+    CostedFunction::new("two-stage-opamp", bounds, time, move |x: &[f64]| amp.fom(x))
+}
+
+fn optimizer(seed: u64) -> EasyBo {
+    let mut opt = EasyBo::new(TwoStageOpAmp::new().bounds().clone());
+    opt.batch_size(BATCH)
+        .initial_points(6)
+        .max_evals(MAX_EVALS)
+        .seed(seed);
+    opt
+}
+
+fn spec_for(seed: u64) -> SessionSpec {
+    let opt = optimizer(seed);
+    let factory = opt.clone();
+    SessionSpec {
+        bench: "two-stage-opamp".to_string(),
+        workers: BATCH,
+        max_evals: MAX_EVALS,
+        init: opt.initial_design_points(),
+        retry: opt.retry().clone(),
+        fingerprint: opt.config_fingerprint(),
+        policy: Box::new(move || Box::new(factory.build_async_policy())),
+    }
+}
+
+fn lock(m: &Arc<Mutex<SessionManager>>) -> std::sync::MutexGuard<'_, SessionManager> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Child-process entry: connect to the server and evaluate until `Bye`.
+fn worker_main(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut worker = WorkerClient::connect(addr.parse()?);
+    worker.register("two-stage-opamp", Box::new(opamp_blackbox()));
+    let summary = worker.run()?;
+    println!(
+        "[worker {}] evaluated {} points ({} accepted, {} stale)",
+        std::process::id(),
+        summary.evaluated,
+        summary.accepted,
+        summary.stale
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--worker" {
+        return worker_main(&args[2]);
+    }
+
+    let seeds = [11u64, 12];
+
+    // Residency budget of one: with two live sessions the manager must
+    // continually evict one to a snapshot and rehydrate it later.
+    let mut server = ServiceServer::start(SessionManager::new(1), "127.0.0.1:0", None)?;
+    let manager = server.manager();
+    let ids: Vec<u64> = seeds
+        .iter()
+        .map(|&seed| lock(&manager).open_session(spec_for(seed)))
+        .collect();
+    let addr = server.local_addr();
+    println!("server listening on {addr}; spawning 2 worker processes");
+
+    let exe = std::env::current_exe()?;
+    let children: Vec<std::process::Child> = (0..2)
+        .map(|_| {
+            std::process::Command::new(&exe)
+                .arg("--worker")
+                .arg(addr.to_string())
+                .spawn()
+        })
+        .collect::<Result<_, _>>()?;
+    for mut child in children {
+        let status = child.wait()?;
+        assert!(status.success(), "worker process failed: {status}");
+    }
+    server.stop();
+
+    let mut m = lock(&manager);
+    let stats = m.stats();
+    println!(
+        "server stats: {} asks, {} tells, {} evictions, {} rehydrations",
+        stats.asks, stats.tells, stats.evictions, stats.rehydrations
+    );
+
+    // Every session must match its clean in-process baseline exactly.
+    let bb = opamp_blackbox();
+    for (&seed, &id) in seeds.iter().zip(&ids) {
+        let served = m.take_result(id).expect("session finished");
+        let opt = optimizer(seed);
+        let baseline = VirtualExecutor::new(BATCH).run_async_resilient(
+            &bb,
+            &opt.initial_design_points(),
+            MAX_EVALS,
+            &mut opt.build_async_policy(),
+            opt.retry(),
+            &Telemetry::disabled(),
+        );
+        assert_eq!(
+            served.trace.to_csv(),
+            baseline.trace.to_csv(),
+            "seed {seed}: served trace diverged from the in-process run"
+        );
+        println!(
+            "session {id} (seed {seed}): best FOM {:.6} over {} evaluations — \
+             trace byte-identical to the in-process run",
+            served.best_value(),
+            served.data.len()
+        );
+    }
+    println!("two processes, one trajectory: the wire changed nothing");
+    Ok(())
+}

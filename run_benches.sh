@@ -14,3 +14,4 @@ cargo bench -p easybo-bench --bench incremental
 cargo bench -p easybo-bench --bench faults
 cargo bench -p easybo-bench --bench checkpoint
 cargo bench -p easybo-bench --bench spans
+cargo bench -p easybo-bench --bench service
