@@ -23,6 +23,9 @@ PROPTEST_CASES=64 cargo test -q -p easybo-integration --test fault_injection
 echo "==> kill-and-resume chaos suite (PROPTEST_CASES=64)"
 PROPTEST_CASES=64 cargo test -q -p easybo-integration --test resume
 
+echo "==> algorithm-portfolio acceptance matrix (PROPTEST_CASES=64)"
+PROPTEST_CASES=64 cargo test -q -p easybo-integration --test portfolio
+
 echo "==> zero-alloc discipline of the disabled telemetry/span path"
 cargo test -q -p easybo-integration --test telemetry_alloc
 

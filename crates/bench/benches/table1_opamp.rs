@@ -2,9 +2,10 @@
 //! simulation time of the two-stage operational amplifier.
 //!
 //! Matrix: DE (20000 sims), LCB / EI / sequential EasyBO (150 sims), and
-//! {pBO, pHCBO, EasyBO-S, EasyBO-A, EasyBO-SP, EasyBO} at batch sizes
-//! {5, 10, 15} (150 sims, 20 initial points), each repeated `EASYBO_REPS`
-//! times.
+//! {pBO, pHCBO, EasyBO-S, EasyBO-A, EasyBO-SP, EasyBO} plus the async
+//! portfolio from the literature {EpsGreedy, PessBO, StdBO} at batch
+//! sizes {5, 10, 15} (150 sims, 20 initial points), each repeated
+//! `EASYBO_REPS` times.
 //!
 //! With `EASYBO_ABLATE=lambda`, adds the λ-sweep ablation for the κ range
 //! of the EasyBO acquisition (design-choice ablation from DESIGN.md).
@@ -48,6 +49,9 @@ fn main() {
             Algorithm::EasyBoA,
             Algorithm::EasyBoSp,
             Algorithm::EasyBo,
+            Algorithm::EpsGreedy,
+            Algorithm::PessimisticBo,
+            Algorithm::StandardBo,
         ] {
             let runs = run_cell(algo, &bb, batch, max_evals, n_init, 0, reps, 11);
             let row = summarize(algo.label(batch), &runs);

@@ -2,9 +2,10 @@
 //! simulation time of the class-E power amplifier.
 //!
 //! Matrix: DE (15000 sims), LCB / EI / sequential EasyBO (450 sims), and
-//! {pBO, pHCBO, EasyBO-S, EasyBO-A, EasyBO-SP, EasyBO} at batch sizes
-//! {5, 10, 15} (450 sims, 20 initial points), each repeated `EASYBO_REPS`
-//! times. With `EASYBO_EXTENSIONS=1`, adds the BUCB and LP baselines.
+//! {pBO, pHCBO, EasyBO-S, EasyBO-A, EasyBO-SP, EasyBO} plus the async
+//! portfolio {EpsGreedy, PessBO, StdBO} at batch sizes {5, 10, 15}
+//! (450 sims, 20 initial points), each repeated `EASYBO_REPS` times.
+//! With `EASYBO_EXTENSIONS=1`, adds the BUCB and LP baselines.
 
 use easybo::Algorithm;
 use easybo_bench::*;
@@ -44,6 +45,9 @@ fn main() {
             Algorithm::EasyBoA,
             Algorithm::EasyBoSp,
             Algorithm::EasyBo,
+            Algorithm::EpsGreedy,
+            Algorithm::PessimisticBo,
+            Algorithm::StandardBo,
         ];
         if extensions {
             algos.push(Algorithm::Bucb);

@@ -1,17 +1,37 @@
 //! The benchmark algorithm registry: every optimizer evaluated in the
-//! paper's Tables I/II (plus the BUCB/LP extensions), behind a single
-//! dispatcher so the benchmark harness can sweep the full matrix.
+//! paper's Tables I/II (plus the BUCB/LP extensions and the asynchronous
+//! portfolio from the wider literature), behind a single dispatcher so
+//! the benchmark harness can sweep the full matrix.
+//!
+//! # Exhaustiveness invariant
+//!
+//! Every `match` over [`Algorithm`] in this module — [`Algorithm::index`],
+//! [`Algorithm::key`], [`Algorithm::mode`], [`Algorithm::label`],
+//! [`Algorithm::async_policy`], [`Algorithm::sync_policy`] and the
+//! metaheuristic dispatcher — is written **without a `_` arm** on
+//! purpose. Adding a variant without wiring its index, key, label, mode
+//! and policy constructor is a compile error, not a silently missing
+//! bench row; the registry tests then force `COUNT`, `all()` and
+//! `from_key` to agree. Keep it that way: a new algorithm that compiles
+//! is a new algorithm the bench tables and acceptance matrix actually
+//! cover.
 
-use easybo_exec::{BlackBox, Dataset, RunResult, RunTrace, Schedule, VirtualExecutor};
-use easybo_opt::{sampling, DeConfig, DifferentialEvolution};
+use easybo_exec::{
+    AsyncPolicy, BlackBox, Dataset, RetryPolicy, RunResult, RunTrace, Schedule, SyncBatchPolicy,
+    VirtualExecutor,
+};
+use easybo_opt::{sampling, Bounds, DeConfig, DifferentialEvolution, Parallelism};
+use easybo_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::policies::{
-    BucbPolicy, EasyBoAsyncPolicy, EasyBoSyncPolicy, LocalPenalizationPolicy, PboPolicy,
-    SequentialAcquisition, SequentialBoPolicy,
+    AcqOptConfig, BucbPolicy, EasyBoAsyncPolicy, EasyBoSyncPolicy, EpsGreedyPolicy,
+    LocalPenalizationPolicy, MacePolicy, PboPolicy, PessimisticAsyncPolicy, PortfolioPolicy,
+    SequentialAcquisition, SequentialBoPolicy, StandardAsyncPolicy, ThompsonSamplingPolicy,
 };
+use crate::surrogate::SurrogateConfig;
 
 /// Scheduling mode of an [`Algorithm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -65,9 +85,67 @@ pub enum Algorithm {
     CmaEs,
     /// MACE: multi-objective acquisition ensemble batch BO (§II-C, ref. \[22\]).
     Mace,
+    /// Asynchronous ε-greedy (De Ath et al. 2020, arXiv:2010.07615).
+    EpsGreedy,
+    /// Pessimistic asynchronous sampling (Volk et al. 2024, arXiv:2406.15291).
+    PessimisticBo,
+    /// Standard-acquisition async baseline (Riegler et al., arXiv:2603.13501).
+    StandardBo,
+}
+
+/// Everything [`Algorithm::run_with`] needs beyond the black box: budgets,
+/// seed, worker-thread knob, retry policy and telemetry sink.
+///
+/// [`Algorithm::run`] is `run_with` at the defaults (no retries, disabled
+/// telemetry, default thread pool) and reproduces the legacy dispatcher
+/// bit for bit.
+pub struct RunSetup {
+    /// Worker count for batch algorithms (ignored otherwise).
+    pub batch: usize,
+    /// Total evaluation budget for BO algorithms, including `n_init`.
+    pub max_evals: usize,
+    /// Initial Latin-hypercube design size.
+    pub n_init: usize,
+    /// Evaluation budget for the metaheuristic baselines.
+    pub de_evals: usize,
+    /// Controls the initial design, all stochastic selection, and the
+    /// surrogate training restarts.
+    pub seed: u64,
+    /// Worker threads for GP training and acquisition maximization.
+    /// Results are bit-identical at any setting.
+    pub parallelism: Parallelism,
+    /// Task retry policy for the resilient async driver. Ignored by
+    /// sync-batch and evolutionary algorithms (their drivers have no
+    /// retry machinery).
+    pub retry: RetryPolicy,
+    /// Telemetry handle threaded through the executor. Evolutionary
+    /// baselines emit no executor events.
+    pub telemetry: Telemetry,
+}
+
+impl RunSetup {
+    /// The defaults [`Algorithm::run`] uses: no retries, disabled
+    /// telemetry, default thread pool.
+    pub fn new(batch: usize, max_evals: usize, n_init: usize, de_evals: usize, seed: u64) -> Self {
+        RunSetup {
+            batch,
+            max_evals,
+            n_init,
+            de_evals,
+            seed,
+            parallelism: Parallelism::default(),
+            retry: RetryPolicy::none(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
 }
 
 impl Algorithm {
+    /// Number of registered algorithms; [`Algorithm::all`] has exactly
+    /// this many entries and [`Algorithm::index`] is a bijection onto
+    /// `0..COUNT` (checked by the registry tests).
+    pub const COUNT: usize = 21;
+
     /// The algorithms appearing in the paper's tables, in table order.
     pub fn paper_set() -> [Algorithm; 10] {
         [
@@ -84,8 +162,9 @@ impl Algorithm {
         ]
     }
 
-    /// All implemented algorithms (paper set + extensions).
-    pub fn all() -> [Algorithm; 18] {
+    /// All implemented algorithms (paper set + extensions + the async
+    /// portfolio), ordered by [`Algorithm::index`].
+    pub fn all() -> [Algorithm; Self::COUNT] {
         [
             Algorithm::De,
             Algorithm::Lcb,
@@ -105,7 +184,71 @@ impl Algorithm {
             Algorithm::Sa,
             Algorithm::CmaEs,
             Algorithm::Mace,
+            Algorithm::EpsGreedy,
+            Algorithm::PessimisticBo,
+            Algorithm::StandardBo,
         ]
+    }
+
+    /// Stable position in [`Algorithm::all`]. Exhaustive on purpose — see
+    /// the module docs.
+    pub const fn index(self) -> usize {
+        match self {
+            Algorithm::De => 0,
+            Algorithm::Lcb => 1,
+            Algorithm::Ei => 2,
+            Algorithm::EasyBoSeq => 3,
+            Algorithm::Pbo => 4,
+            Algorithm::Phcbo => 5,
+            Algorithm::EasyBoS => 6,
+            Algorithm::EasyBoA => 7,
+            Algorithm::EasyBoSp => 8,
+            Algorithm::EasyBo => 9,
+            Algorithm::Bucb => 10,
+            Algorithm::Lp => 11,
+            Algorithm::Ts => 12,
+            Algorithm::Portfolio => 13,
+            Algorithm::Pso => 14,
+            Algorithm::Sa => 15,
+            Algorithm::CmaEs => 16,
+            Algorithm::Mace => 17,
+            Algorithm::EpsGreedy => 18,
+            Algorithm::PessimisticBo => 19,
+            Algorithm::StandardBo => 20,
+        }
+    }
+
+    /// Stable kebab-case wire key (used by the service's `OpenSession`
+    /// request and the CLI). Exhaustive on purpose — see the module docs.
+    pub const fn key(self) -> &'static str {
+        match self {
+            Algorithm::De => "de",
+            Algorithm::Lcb => "lcb",
+            Algorithm::Ei => "ei",
+            Algorithm::EasyBoSeq => "easybo-seq",
+            Algorithm::Pbo => "pbo",
+            Algorithm::Phcbo => "phcbo",
+            Algorithm::EasyBoS => "easybo-s",
+            Algorithm::EasyBoA => "easybo-a",
+            Algorithm::EasyBoSp => "easybo-sp",
+            Algorithm::EasyBo => "easybo",
+            Algorithm::Bucb => "bucb",
+            Algorithm::Lp => "lp",
+            Algorithm::Ts => "ts",
+            Algorithm::Portfolio => "portfolio",
+            Algorithm::Pso => "pso",
+            Algorithm::Sa => "sa",
+            Algorithm::CmaEs => "cma-es",
+            Algorithm::Mace => "mace",
+            Algorithm::EpsGreedy => "eps-greedy",
+            Algorithm::PessimisticBo => "pessimistic",
+            Algorithm::StandardBo => "standard",
+        }
+    }
+
+    /// Inverse of [`Algorithm::key`].
+    pub fn from_key(key: &str) -> Option<Algorithm> {
+        Algorithm::all().into_iter().find(|a| a.key() == key)
     }
 
     /// Scheduling mode.
@@ -126,7 +269,11 @@ impl Algorithm {
             | Algorithm::Bucb
             | Algorithm::Lp
             | Algorithm::Mace => AlgorithmMode::SyncBatch,
-            Algorithm::EasyBoA | Algorithm::EasyBo => AlgorithmMode::AsyncBatch,
+            Algorithm::EasyBoA
+            | Algorithm::EasyBo
+            | Algorithm::EpsGreedy
+            | Algorithm::PessimisticBo
+            | Algorithm::StandardBo => AlgorithmMode::AsyncBatch,
         }
     }
 
@@ -160,6 +307,9 @@ impl Algorithm {
             Algorithm::Sa => "SA",
             Algorithm::CmaEs => "CMA-ES",
             Algorithm::Mace => "MACE",
+            Algorithm::EpsGreedy => "EpsGreedy",
+            Algorithm::PessimisticBo => "PessBO",
+            Algorithm::StandardBo => "StdBO",
         };
         if self.is_batch() {
             format!("{base}-{batch}")
@@ -168,7 +318,173 @@ impl Algorithm {
         }
     }
 
-    /// Runs the algorithm against `bb`.
+    /// Constructs the boxed [`AsyncPolicy`] for a sequential or
+    /// async-batch algorithm (the two modes the async driver — and with
+    /// it the service's remote worker pool — can host). `None` for
+    /// sync-batch and evolutionary algorithms.
+    ///
+    /// `parallelism` threads the worker-thread knob into GP training and
+    /// acquisition maximization; decisions are bit-identical at any
+    /// setting.
+    pub fn async_policy(
+        &self,
+        bounds: Bounds,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> Option<Box<dyn AsyncPolicy + Send>> {
+        let dim = bounds.dim();
+        let scfg = SurrogateConfig {
+            parallelism,
+            ..SurrogateConfig::default()
+        };
+        let acfg = AcqOptConfig {
+            parallelism,
+            ..AcqOptConfig::for_dim(dim)
+        };
+        match self {
+            Algorithm::Ei => Some(Box::new(SequentialBoPolicy::with_configs(
+                bounds,
+                SequentialAcquisition::Ei,
+                seed,
+                scfg,
+                acfg,
+            ))),
+            Algorithm::Lcb => Some(Box::new(SequentialBoPolicy::with_configs(
+                bounds,
+                SequentialAcquisition::Ucb { kappa: 2.0 },
+                seed,
+                scfg,
+                acfg,
+            ))),
+            Algorithm::EasyBoSeq => Some(Box::new(SequentialBoPolicy::with_configs(
+                bounds,
+                SequentialAcquisition::EasyBo {
+                    lambda: crate::weight::DEFAULT_LAMBDA,
+                },
+                seed,
+                scfg,
+                acfg,
+            ))),
+            Algorithm::Ts => Some(Box::new(ThompsonSamplingPolicy::with_configs(
+                bounds, 192, seed, scfg,
+            ))),
+            Algorithm::Portfolio => Some(Box::new(PortfolioPolicy::with_configs(
+                bounds, 1.0, seed, scfg, acfg,
+            ))),
+            Algorithm::EasyBoA => Some(Box::new(EasyBoAsyncPolicy::with_configs(
+                bounds,
+                false,
+                crate::weight::DEFAULT_LAMBDA,
+                seed,
+                scfg,
+                acfg,
+            ))),
+            Algorithm::EasyBo => Some(Box::new(EasyBoAsyncPolicy::with_configs(
+                bounds,
+                true,
+                crate::weight::DEFAULT_LAMBDA,
+                seed,
+                scfg,
+                acfg,
+            ))),
+            Algorithm::EpsGreedy => Some(Box::new(EpsGreedyPolicy::with_configs(
+                bounds,
+                crate::policies::DEFAULT_EPSILON,
+                seed,
+                scfg,
+                acfg,
+            ))),
+            Algorithm::PessimisticBo => Some(Box::new(PessimisticAsyncPolicy::with_configs(
+                bounds,
+                crate::policies::DEFAULT_PESSIMISTIC_KAPPA,
+                seed,
+                scfg,
+                acfg,
+            ))),
+            Algorithm::StandardBo => Some(Box::new(StandardAsyncPolicy::with_configs(
+                bounds, seed, scfg, acfg,
+            ))),
+            Algorithm::De
+            | Algorithm::Pso
+            | Algorithm::Sa
+            | Algorithm::CmaEs
+            | Algorithm::Pbo
+            | Algorithm::Phcbo
+            | Algorithm::EasyBoS
+            | Algorithm::EasyBoSp
+            | Algorithm::Bucb
+            | Algorithm::Lp
+            | Algorithm::Mace => None,
+        }
+    }
+
+    /// Constructs the boxed [`SyncBatchPolicy`] for a sync-batch
+    /// algorithm; `None` otherwise. Same `parallelism` semantics as
+    /// [`Algorithm::async_policy`].
+    pub fn sync_policy(
+        &self,
+        bounds: Bounds,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> Option<Box<dyn SyncBatchPolicy + Send>> {
+        let dim = bounds.dim();
+        let scfg = SurrogateConfig {
+            parallelism,
+            ..SurrogateConfig::default()
+        };
+        let acfg = AcqOptConfig {
+            parallelism,
+            ..AcqOptConfig::for_dim(dim)
+        };
+        match self {
+            Algorithm::Pbo => Some(Box::new(PboPolicy::with_configs(
+                bounds, false, seed, scfg, acfg,
+            ))),
+            Algorithm::Phcbo => Some(Box::new(PboPolicy::with_configs(
+                bounds, true, seed, scfg, acfg,
+            ))),
+            Algorithm::EasyBoS => Some(Box::new(EasyBoSyncPolicy::with_configs(
+                bounds,
+                false,
+                crate::weight::DEFAULT_LAMBDA,
+                seed,
+                scfg,
+                acfg,
+            ))),
+            Algorithm::EasyBoSp => Some(Box::new(EasyBoSyncPolicy::with_configs(
+                bounds,
+                true,
+                crate::weight::DEFAULT_LAMBDA,
+                seed,
+                scfg,
+                acfg,
+            ))),
+            Algorithm::Bucb => Some(Box::new(BucbPolicy::with_configs(
+                bounds, 2.0, seed, scfg, acfg,
+            ))),
+            Algorithm::Lp => Some(Box::new(LocalPenalizationPolicy::with_configs(
+                bounds, seed, scfg, acfg,
+            ))),
+            Algorithm::Mace => Some(Box::new(MacePolicy::with_configs(bounds, seed, scfg, acfg))),
+            Algorithm::De
+            | Algorithm::Pso
+            | Algorithm::Sa
+            | Algorithm::CmaEs
+            | Algorithm::Ei
+            | Algorithm::Lcb
+            | Algorithm::EasyBoSeq
+            | Algorithm::Ts
+            | Algorithm::Portfolio
+            | Algorithm::EasyBoA
+            | Algorithm::EasyBo
+            | Algorithm::EpsGreedy
+            | Algorithm::PessimisticBo
+            | Algorithm::StandardBo => None,
+        }
+    }
+
+    /// Runs the algorithm against `bb` with the default [`RunSetup`]
+    /// knobs (no retries, disabled telemetry, default thread pool).
     ///
     /// * `batch` — worker count for batch algorithms (ignored otherwise).
     /// * `max_evals` — total evaluation budget for BO algorithms,
@@ -185,79 +501,61 @@ impl Algorithm {
         de_evals: usize,
         seed: u64,
     ) -> RunResult {
-        let bounds = bb.bounds().clone();
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
-        let init = sampling::latin_hypercube(&bounds, n_init, &mut rng);
+        self.run_with(bb, &RunSetup::new(batch, max_evals, n_init, de_evals, seed))
+    }
 
-        match self {
-            Algorithm::De | Algorithm::Pso | Algorithm::Sa | Algorithm::CmaEs => {
-                run_metaheuristic(*self, bb, de_evals, seed)
+    /// Runs the algorithm with explicit chaos/parallelism/telemetry
+    /// knobs. With the [`RunSetup::new`] defaults this is bit-identical
+    /// to the legacy dispatcher ([`Algorithm::run`]): the async driver's
+    /// resilient path with `RetryPolicy::none()` *is* the plain path.
+    pub fn run_with(&self, bb: &dyn BlackBox, setup: &RunSetup) -> RunResult {
+        let bounds = bb.bounds().clone();
+        let mut rng = StdRng::seed_from_u64(setup.seed.wrapping_mul(0x9e37_79b9));
+        let init = sampling::latin_hypercube(&bounds, setup.n_init, &mut rng);
+
+        match self.mode() {
+            // Metaheuristics drive their own loop: retry, parallelism and
+            // executor telemetry do not apply.
+            AlgorithmMode::Evolutionary => run_metaheuristic(*self, bb, setup.de_evals, setup.seed),
+            AlgorithmMode::Sequential => {
+                let mut p = self
+                    .async_policy(bounds, setup.seed, setup.parallelism)
+                    .expect("sequential algorithms expose an async policy");
+                VirtualExecutor::new(1).run_async_resilient(
+                    bb,
+                    &init,
+                    setup.max_evals,
+                    p.as_mut(),
+                    &setup.retry,
+                    &setup.telemetry,
+                )
             }
-            Algorithm::Ei => {
-                let mut p = SequentialBoPolicy::new(bounds, SequentialAcquisition::Ei, seed);
-                VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
+            AlgorithmMode::AsyncBatch => {
+                let mut p = self
+                    .async_policy(bounds, setup.seed, setup.parallelism)
+                    .expect("async-batch algorithms expose an async policy");
+                VirtualExecutor::new(setup.batch).run_async_resilient(
+                    bb,
+                    &init,
+                    setup.max_evals,
+                    p.as_mut(),
+                    &setup.retry,
+                    &setup.telemetry,
+                )
             }
-            Algorithm::Lcb => {
-                let mut p = SequentialBoPolicy::new(
-                    bounds,
-                    SequentialAcquisition::Ucb { kappa: 2.0 },
-                    seed,
-                );
-                VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::EasyBoSeq => {
-                let mut p = SequentialBoPolicy::new(
-                    bounds,
-                    SequentialAcquisition::EasyBo {
-                        lambda: crate::weight::DEFAULT_LAMBDA,
-                    },
-                    seed,
-                );
-                VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::Pbo => {
-                let mut p = PboPolicy::new(bounds, false, seed);
-                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::Phcbo => {
-                let mut p = PboPolicy::new(bounds, true, seed);
-                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::EasyBoS => {
-                let mut p = EasyBoSyncPolicy::new(bounds, false, seed);
-                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::EasyBoSp => {
-                let mut p = EasyBoSyncPolicy::new(bounds, true, seed);
-                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::EasyBoA => {
-                let mut p = EasyBoAsyncPolicy::new(bounds, false, seed);
-                VirtualExecutor::new(batch).run_async(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::EasyBo => {
-                let mut p = EasyBoAsyncPolicy::new(bounds, true, seed);
-                VirtualExecutor::new(batch).run_async(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::Bucb => {
-                let mut p = BucbPolicy::new(bounds, 2.0, seed);
-                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::Lp => {
-                let mut p = LocalPenalizationPolicy::new(bounds, seed);
-                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::Ts => {
-                let mut p = crate::policies::ThompsonSamplingPolicy::new(bounds, 192, seed);
-                VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::Portfolio => {
-                let mut p = crate::policies::PortfolioPolicy::new(bounds, 1.0, seed);
-                VirtualExecutor::run_sequential(bb, &init, max_evals, &mut p)
-            }
-            Algorithm::Mace => {
-                let mut p = crate::policies::MacePolicy::new(bounds, seed);
-                VirtualExecutor::new(batch).run_sync(bb, &init, max_evals, &mut p)
+            // The barrier driver has no retry machinery; `setup.retry` is
+            // ignored here by design.
+            AlgorithmMode::SyncBatch => {
+                let mut p = self
+                    .sync_policy(bounds, setup.seed, setup.parallelism)
+                    .expect("sync-batch algorithms expose a sync policy");
+                VirtualExecutor::new(setup.batch).run_sync_with(
+                    bb,
+                    &init,
+                    setup.max_evals,
+                    p.as_mut(),
+                    &setup.telemetry,
+                )
             }
         }
     }
@@ -318,7 +616,23 @@ fn run_metaheuristic(algo: Algorithm, bb: &dyn BlackBox, budget: usize, seed: u6
                 .expect("static CMA-ES config is valid");
                 let _ = cma.maximize(&bounds, &mut rng, &mut objective);
             }
-            _ => unreachable!("not a metaheuristic"),
+            Algorithm::Ei
+            | Algorithm::Lcb
+            | Algorithm::EasyBoSeq
+            | Algorithm::Pbo
+            | Algorithm::Phcbo
+            | Algorithm::EasyBoS
+            | Algorithm::EasyBoA
+            | Algorithm::EasyBoSp
+            | Algorithm::EasyBo
+            | Algorithm::Bucb
+            | Algorithm::Lp
+            | Algorithm::Ts
+            | Algorithm::Portfolio
+            | Algorithm::Mace
+            | Algorithm::EpsGreedy
+            | Algorithm::PessimisticBo
+            | Algorithm::StandardBo => unreachable!("not a metaheuristic"),
         }
     }
     RunResult {
@@ -350,6 +664,9 @@ mod tests {
         assert_eq!(Algorithm::Pbo.label(5), "pBO-5");
         assert_eq!(Algorithm::EasyBoSp.label(10), "EasyBO-SP-10");
         assert_eq!(Algorithm::EasyBo.label(15), "EasyBO-15");
+        assert_eq!(Algorithm::EpsGreedy.label(8), "EpsGreedy-8");
+        assert_eq!(Algorithm::PessimisticBo.label(8), "PessBO-8");
+        assert_eq!(Algorithm::StandardBo.label(8), "StdBO-8");
     }
 
     #[test]
@@ -358,8 +675,52 @@ mod tests {
         assert_eq!(Algorithm::Ei.mode(), AlgorithmMode::Sequential);
         assert_eq!(Algorithm::Pbo.mode(), AlgorithmMode::SyncBatch);
         assert_eq!(Algorithm::EasyBo.mode(), AlgorithmMode::AsyncBatch);
+        assert_eq!(Algorithm::EpsGreedy.mode(), AlgorithmMode::AsyncBatch);
+        assert_eq!(Algorithm::PessimisticBo.mode(), AlgorithmMode::AsyncBatch);
+        assert_eq!(Algorithm::StandardBo.mode(), AlgorithmMode::AsyncBatch);
         assert!(!Algorithm::Lcb.is_batch());
         assert!(Algorithm::Bucb.is_batch());
+    }
+
+    #[test]
+    fn index_is_a_bijection_onto_all() {
+        let all = Algorithm::all();
+        assert_eq!(all.len(), Algorithm::COUNT);
+        for (i, a) in all.iter().enumerate() {
+            assert_eq!(a.index(), i, "{a:?} out of place in all()");
+        }
+    }
+
+    #[test]
+    fn keys_round_trip_and_are_unique() {
+        for a in Algorithm::all() {
+            assert_eq!(Algorithm::from_key(a.key()), Some(a));
+        }
+        let mut keys: Vec<&str> = Algorithm::all().iter().map(|a| a.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), Algorithm::COUNT, "duplicate wire key");
+        assert_eq!(Algorithm::from_key("no-such-algo"), None);
+    }
+
+    #[test]
+    fn policy_constructors_match_modes() {
+        let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        for a in Algorithm::all() {
+            let has_async = a
+                .async_policy(bounds.clone(), 1, Parallelism::default())
+                .is_some();
+            let has_sync = a
+                .sync_policy(bounds.clone(), 1, Parallelism::default())
+                .is_some();
+            match a.mode() {
+                AlgorithmMode::Evolutionary => assert!(!has_async && !has_sync, "{a:?}"),
+                AlgorithmMode::Sequential | AlgorithmMode::AsyncBatch => {
+                    assert!(has_async && !has_sync, "{a:?}")
+                }
+                AlgorithmMode::SyncBatch => assert!(!has_async && has_sync, "{a:?}"),
+            }
+        }
     }
 
     #[test]
@@ -407,6 +768,25 @@ mod tests {
         assert_eq!(a.data, b.data);
         let c = Algorithm::EasyBo.run(&bb, 3, 20, 6, 0, 8);
         assert_ne!(a.data, c.data, "different seeds must differ");
+    }
+
+    #[test]
+    fn portfolio_policies_reproduce_across_thread_counts() {
+        // The Parallelism knob must not perturb a single decision bit.
+        let bb = bb();
+        for algo in [
+            Algorithm::EpsGreedy,
+            Algorithm::PessimisticBo,
+            Algorithm::StandardBo,
+        ] {
+            let mut lone = RunSetup::new(3, 16, 6, 0, 5);
+            lone.parallelism = Parallelism::sequential();
+            let mut wide = RunSetup::new(3, 16, 6, 0, 5);
+            wide.parallelism = Parallelism::new(8);
+            let a = algo.run_with(&bb, &lone);
+            let b = algo.run_with(&bb, &wide);
+            assert_eq!(a.data, b.data, "{algo:?} diverged across thread counts");
+        }
     }
 
     #[test]

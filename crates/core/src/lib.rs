@@ -53,7 +53,7 @@ pub mod policies;
 mod surrogate;
 mod weight;
 
-pub use algorithms::{Algorithm, AlgorithmMode};
+pub use algorithms::{Algorithm, AlgorithmMode, RunSetup};
 pub use constrained::ConstrainedProblem;
 pub use easybo_exec::{FailureAction, FaultPlan, FaultyBlackBox, RetryPolicy};
 pub use easybo_opt::Parallelism;

@@ -169,6 +169,250 @@ pub(crate) fn decode_policy_state(bytes: &[u8]) -> Result<PolicyStateBlob, Persi
     })
 }
 
+// ---------------------------------------------------------------------
+// Portfolio policy blobs: kind-tagged, independently versioned layouts.
+//
+// The legacy EasyBO blob above starts directly with its version word (a
+// small integer). Every portfolio policy added since starts with a
+// four-byte ASCII kind tag instead, so a blob handed to the wrong
+// policy's `restore_state` fails loudly with a message naming both the
+// expected policy and what was found — it can never be half-decoded as
+// a different policy's state. Each layout carries its own version
+// constant; bump it on any layout change and keep the failure message
+// (pinned by `tests/tests/resume.rs`) in sync.
+// ---------------------------------------------------------------------
+
+/// Kind tag of [`EpsGreedyPolicy`] blobs (`"EPSG"` little-endian).
+///
+/// [`EpsGreedyPolicy`]: crate::policies::EpsGreedyPolicy
+pub(crate) const EPS_GREEDY_BLOB_TAG: u32 = u32::from_le_bytes(*b"EPSG");
+/// Layout version of [`EpsGreedyPolicy`] blobs.
+///
+/// [`EpsGreedyPolicy`]: crate::policies::EpsGreedyPolicy
+pub(crate) const EPS_GREEDY_BLOB_VERSION: u32 = 1;
+/// Kind tag of [`PessimisticAsyncPolicy`] blobs (`"PESS"` little-endian).
+///
+/// [`PessimisticAsyncPolicy`]: crate::policies::PessimisticAsyncPolicy
+pub(crate) const PESSIMISTIC_BLOB_TAG: u32 = u32::from_le_bytes(*b"PESS");
+/// Layout version of [`PessimisticAsyncPolicy`] blobs.
+///
+/// [`PessimisticAsyncPolicy`]: crate::policies::PessimisticAsyncPolicy
+pub(crate) const PESSIMISTIC_BLOB_VERSION: u32 = 1;
+/// Kind tag of [`StandardAsyncPolicy`] blobs (`"STDB"` little-endian).
+///
+/// [`StandardAsyncPolicy`]: crate::policies::StandardAsyncPolicy
+pub(crate) const STANDARD_BLOB_TAG: u32 = u32::from_le_bytes(*b"STDB");
+/// Layout version of [`StandardAsyncPolicy`] blobs.
+///
+/// [`StandardAsyncPolicy`]: crate::policies::StandardAsyncPolicy
+pub(crate) const STANDARD_BLOB_VERSION: u32 = 1;
+
+/// Shared core of every portfolio policy blob: RNG words, fallback
+/// counter, surrogate manager state.
+fn put_policy_core(w: &mut ByteWriter, rng: [u64; 4], fallbacks: usize, s: &SurrogateState) {
+    for word in rng {
+        w.put_u64(word);
+    }
+    w.put_usize(fallbacks);
+    w.put_usize(s.fitted_n);
+    w.put_usize(s.last_trained_n);
+    w.put_f64(s.fence);
+    match &s.warm {
+        Some(warm) => {
+            w.put_bool(true);
+            w.put_f64s(warm);
+        }
+        None => w.put_bool(false),
+    }
+    match &s.gp {
+        Some(gp) => {
+            w.put_bool(true);
+            put_gp_state(w, gp);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_policy_core(r: &mut ByteReader<'_>) -> Result<PolicyStateBlob, PersistError> {
+    let mut rng = [0u64; 4];
+    for word in &mut rng {
+        *word = r.get_u64()?;
+    }
+    let fallbacks = r.get_usize()?;
+    let fitted_n = r.get_usize()?;
+    let last_trained_n = r.get_usize()?;
+    let fence = r.get_f64()?;
+    let warm = if r.get_bool()? {
+        Some(r.get_f64s()?)
+    } else {
+        None
+    };
+    let gp = if r.get_bool()? {
+        Some(get_gp_state(r)?)
+    } else {
+        None
+    };
+    Ok(PolicyStateBlob {
+        rng,
+        fallbacks,
+        surrogate: SurrogateState {
+            fitted_n,
+            last_trained_n,
+            warm,
+            fence,
+            gp,
+        },
+    })
+}
+
+/// Checks a portfolio blob's kind tag and layout version; the error
+/// messages are part of the kill/resume contract and pinned by tests.
+fn check_tag_and_version(
+    r: &mut ByteReader<'_>,
+    policy: &str,
+    tag: u32,
+    version: u32,
+) -> Result<(), PersistError> {
+    let found = r.get_u32()?;
+    if found != tag {
+        return Err(PersistError::decode(format!(
+            "not a {policy} policy blob (found tag {found:#010x}, expected {tag:#010x})"
+        )));
+    }
+    let v = r.get_u32()?;
+    if v != version {
+        return Err(PersistError::decode(format!(
+            "{policy} policy blob version {v} is not supported (this build reads \
+             version {version})"
+        )));
+    }
+    Ok(())
+}
+
+/// Decoded state of an [`EpsGreedyPolicy`] blob.
+///
+/// [`EpsGreedyPolicy`]: crate::policies::EpsGreedyPolicy
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EpsGreedyStateBlob {
+    /// Shared core (RNG, fallbacks, surrogate).
+    pub core: PolicyStateBlob,
+    /// Number of ε-branch (uniform-random) selections taken so far.
+    pub explores: u64,
+    /// Number of greedy (posterior-mean) selections taken so far.
+    pub exploits: u64,
+}
+
+/// Encodes [`EpsGreedyPolicy`] state (layout `EPSG` v1).
+///
+/// [`EpsGreedyPolicy`]: crate::policies::EpsGreedyPolicy
+pub(crate) fn encode_eps_greedy_state(
+    rng: [u64; 4],
+    fallbacks: usize,
+    explores: u64,
+    exploits: u64,
+    surrogate: &SurrogateState,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(EPS_GREEDY_BLOB_TAG);
+    w.put_u32(EPS_GREEDY_BLOB_VERSION);
+    w.put_u64(explores);
+    w.put_u64(exploits);
+    put_policy_core(&mut w, rng, fallbacks, surrogate);
+    w.into_bytes()
+}
+
+/// Decodes a blob written by [`encode_eps_greedy_state`].
+pub(crate) fn decode_eps_greedy_state(bytes: &[u8]) -> Result<EpsGreedyStateBlob, PersistError> {
+    let mut r = ByteReader::new(bytes);
+    check_tag_and_version(
+        &mut r,
+        "eps-greedy",
+        EPS_GREEDY_BLOB_TAG,
+        EPS_GREEDY_BLOB_VERSION,
+    )?;
+    let explores = r.get_u64()?;
+    let exploits = r.get_u64()?;
+    let core = get_policy_core(&mut r)?;
+    r.finish("eps-greedy policy state blob")?;
+    Ok(EpsGreedyStateBlob {
+        core,
+        explores,
+        exploits,
+    })
+}
+
+/// Decoded state of a [`PessimisticAsyncPolicy`] blob.
+///
+/// [`PessimisticAsyncPolicy`]: crate::policies::PessimisticAsyncPolicy
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PessimisticStateBlob {
+    /// Shared core (RNG, fallbacks, surrogate).
+    pub core: PolicyStateBlob,
+    /// Number of pessimistic lies hallucinated onto busy points so far.
+    pub lies: u64,
+}
+
+/// Encodes [`PessimisticAsyncPolicy`] state (layout `PESS` v1).
+///
+/// [`PessimisticAsyncPolicy`]: crate::policies::PessimisticAsyncPolicy
+pub(crate) fn encode_pessimistic_state(
+    rng: [u64; 4],
+    fallbacks: usize,
+    lies: u64,
+    surrogate: &SurrogateState,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(PESSIMISTIC_BLOB_TAG);
+    w.put_u32(PESSIMISTIC_BLOB_VERSION);
+    w.put_u64(lies);
+    put_policy_core(&mut w, rng, fallbacks, surrogate);
+    w.into_bytes()
+}
+
+/// Decodes a blob written by [`encode_pessimistic_state`].
+pub(crate) fn decode_pessimistic_state(bytes: &[u8]) -> Result<PessimisticStateBlob, PersistError> {
+    let mut r = ByteReader::new(bytes);
+    check_tag_and_version(
+        &mut r,
+        "pessimistic",
+        PESSIMISTIC_BLOB_TAG,
+        PESSIMISTIC_BLOB_VERSION,
+    )?;
+    let lies = r.get_u64()?;
+    let core = get_policy_core(&mut r)?;
+    r.finish("pessimistic policy state blob")?;
+    Ok(PessimisticStateBlob { core, lies })
+}
+
+/// Encodes [`StandardAsyncPolicy`] state (layout `STDB` v1).
+///
+/// [`StandardAsyncPolicy`]: crate::policies::StandardAsyncPolicy
+pub(crate) fn encode_standard_state(
+    rng: [u64; 4],
+    fallbacks: usize,
+    surrogate: &SurrogateState,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(STANDARD_BLOB_TAG);
+    w.put_u32(STANDARD_BLOB_VERSION);
+    put_policy_core(&mut w, rng, fallbacks, surrogate);
+    w.into_bytes()
+}
+
+/// Decodes a blob written by [`encode_standard_state`].
+pub(crate) fn decode_standard_state(bytes: &[u8]) -> Result<PolicyStateBlob, PersistError> {
+    let mut r = ByteReader::new(bytes);
+    check_tag_and_version(
+        &mut r,
+        "standard-acquisition",
+        STANDARD_BLOB_TAG,
+        STANDARD_BLOB_VERSION,
+    )?;
+    let core = get_policy_core(&mut r)?;
+    r.finish("standard-acquisition policy state blob")?;
+    Ok(core)
+}
+
 /// Streaming FNV-1a (64-bit) hasher for the snapshot's configuration
 /// fingerprint. Deterministic across platforms: everything is hashed as
 /// little-endian `u64` words, floats by exact bit pattern.
@@ -283,6 +527,116 @@ mod tests {
         ] {
             assert_eq!(kernel_from_tag(kernel_tag(k)).unwrap(), k);
         }
+    }
+
+    #[test]
+    fn eps_greedy_blob_round_trips() {
+        let state = sample_surrogate_state();
+        let bytes = encode_eps_greedy_state([4, 3, 2, 1], 2, 9, 31, &state);
+        let blob = decode_eps_greedy_state(&bytes).unwrap();
+        assert_eq!(blob.core.rng, [4, 3, 2, 1]);
+        assert_eq!(blob.core.fallbacks, 2);
+        assert_eq!(blob.explores, 9);
+        assert_eq!(blob.exploits, 31);
+        let re = encode_eps_greedy_state(
+            blob.core.rng,
+            blob.core.fallbacks,
+            blob.explores,
+            blob.exploits,
+            &blob.core.surrogate,
+        );
+        assert_eq!(re, bytes);
+    }
+
+    #[test]
+    fn pessimistic_blob_round_trips() {
+        let state = sample_surrogate_state();
+        let bytes = encode_pessimistic_state([7, 7, 7, 7], 0, 12, &state);
+        let blob = decode_pessimistic_state(&bytes).unwrap();
+        assert_eq!(blob.lies, 12);
+        let re = encode_pessimistic_state(
+            blob.core.rng,
+            blob.core.fallbacks,
+            blob.lies,
+            &blob.core.surrogate,
+        );
+        assert_eq!(re, bytes);
+    }
+
+    #[test]
+    fn standard_blob_round_trips() {
+        let state = sample_surrogate_state();
+        let bytes = encode_standard_state([5, 6, 7, 8], 1, &state);
+        let blob = decode_standard_state(&bytes).unwrap();
+        assert_eq!(blob.rng, [5, 6, 7, 8]);
+        assert_eq!(blob.fallbacks, 1);
+        let re = encode_standard_state(blob.rng, blob.fallbacks, &blob.surrogate);
+        assert_eq!(re, bytes);
+    }
+
+    #[test]
+    fn portfolio_blobs_reject_cross_policy_and_legacy_confusion() {
+        let state = sample_surrogate_state();
+        let eps = encode_eps_greedy_state([1, 2, 3, 4], 0, 1, 2, &state);
+        let pess = encode_pessimistic_state([1, 2, 3, 4], 0, 1, &state);
+        let std_blob = encode_standard_state([1, 2, 3, 4], 0, &state);
+        let legacy = encode_policy_state([1, 2, 3, 4], 0, &state);
+        // Every decoder refuses every other policy's blob, with a
+        // message naming the expected kind.
+        let err = decode_eps_greedy_state(&pess).unwrap_err().to_string();
+        assert!(err.contains("eps-greedy"), "{err}");
+        let err = decode_pessimistic_state(&std_blob).unwrap_err().to_string();
+        assert!(err.contains("pessimistic"), "{err}");
+        let err = decode_standard_state(&eps).unwrap_err().to_string();
+        assert!(err.contains("standard-acquisition"), "{err}");
+        // Legacy EasyBO blobs (version-first layout) are rejected too, in
+        // both directions.
+        assert!(decode_eps_greedy_state(&legacy).is_err());
+        assert!(decode_policy_state(&eps).is_err());
+    }
+
+    #[test]
+    fn portfolio_blob_version_mismatch_messages_name_the_policy() {
+        let state = sample_surrogate_state();
+        for (bytes, name) in [
+            (
+                encode_eps_greedy_state([0; 4], 0, 0, 0, &state),
+                "eps-greedy",
+            ),
+            (
+                encode_pessimistic_state([0; 4], 0, 0, &state),
+                "pessimistic",
+            ),
+            (
+                encode_standard_state([0; 4], 0, &state),
+                "standard-acquisition",
+            ),
+        ] {
+            // Corrupt the version word (bytes 4..8) but keep the tag.
+            let mut bad = bytes.clone();
+            bad[4] = 0xfe;
+            let err = match name {
+                "eps-greedy" => decode_eps_greedy_state(&bad).unwrap_err().to_string(),
+                "pessimistic" => decode_pessimistic_state(&bad).unwrap_err().to_string(),
+                _ => decode_standard_state(&bad).unwrap_err().to_string(),
+            };
+            assert!(
+                err.contains(&format!("{name} policy blob version")),
+                "{name}: {err}"
+            );
+            assert!(err.contains("is not supported"), "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_portfolio_blobs_are_rejected() {
+        let state = sample_surrogate_state();
+        let bytes = encode_eps_greedy_state([1; 4], 0, 5, 6, &state);
+        assert!(decode_eps_greedy_state(&bytes[..bytes.len() - 2]).is_err());
+        let bytes = encode_pessimistic_state([1; 4], 0, 5, &state);
+        assert!(decode_pessimistic_state(&bytes[..bytes.len() - 2]).is_err());
+        let bytes = encode_standard_state([1; 4], 0, &state);
+        assert!(decode_standard_state(&bytes[..bytes.len() - 2]).is_err());
     }
 
     #[test]

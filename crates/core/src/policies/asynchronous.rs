@@ -326,8 +326,8 @@ impl<F: BatchObjective + ?Sized> BatchObjective for CountedObjective<'_, F> {
 /// the `acq_batch_size` (probes scored through the batched GP posterior)
 /// and `parallel_starts` (refinement starts fanned out concurrently)
 /// counters. On a disabled handle this is a direct call with no wrapper at
-/// all.
-fn maximize_traced<F: BatchObjective>(
+/// all. Shared by every async portfolio policy.
+pub(crate) fn maximize_traced<F: BatchObjective>(
     maximizer: &AcqMaximizer,
     rng: &mut StdRng,
     telemetry: &Telemetry,

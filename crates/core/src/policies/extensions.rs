@@ -30,15 +30,27 @@ impl BucbPolicy {
     /// (2.0 is a standard choice).
     pub fn new(bounds: Bounds, kappa: f64, seed: u64) -> Self {
         let dim = bounds.dim();
+        Self::with_configs(
+            bounds,
+            kappa,
+            seed,
+            SurrogateConfig::default(),
+            AcqOptConfig::for_dim(dim),
+        )
+    }
+
+    /// Full-configuration constructor.
+    pub fn with_configs(
+        bounds: Bounds,
+        kappa: f64,
+        seed: u64,
+        surrogate: SurrogateConfig,
+        acq_opt: AcqOptConfig,
+    ) -> Self {
+        let dim = bounds.dim();
         BucbPolicy {
-            surrogate: SurrogateManager::new(
-                bounds,
-                SurrogateConfig {
-                    seed,
-                    ..Default::default()
-                },
-            ),
-            maximizer: AcqMaximizer::new(dim, AcqOptConfig::for_dim(dim)),
+            surrogate: SurrogateManager::new(bounds, SurrogateConfig { seed, ..surrogate }),
+            maximizer: AcqMaximizer::new(dim, acq_opt),
             rng: StdRng::seed_from_u64(seed ^ 0xbcbc_0001),
             kappa,
             fallbacks: 0,
@@ -102,15 +114,25 @@ impl LocalPenalizationPolicy {
     /// Creates an LP policy.
     pub fn new(bounds: Bounds, seed: u64) -> Self {
         let dim = bounds.dim();
+        Self::with_configs(
+            bounds,
+            seed,
+            SurrogateConfig::default(),
+            AcqOptConfig::for_dim(dim),
+        )
+    }
+
+    /// Full-configuration constructor.
+    pub fn with_configs(
+        bounds: Bounds,
+        seed: u64,
+        surrogate: SurrogateConfig,
+        acq_opt: AcqOptConfig,
+    ) -> Self {
+        let dim = bounds.dim();
         LocalPenalizationPolicy {
-            surrogate: SurrogateManager::new(
-                bounds,
-                SurrogateConfig {
-                    seed,
-                    ..Default::default()
-                },
-            ),
-            maximizer: AcqMaximizer::new(dim, AcqOptConfig::for_dim(dim)),
+            surrogate: SurrogateManager::new(bounds, SurrogateConfig { seed, ..surrogate }),
+            maximizer: AcqMaximizer::new(dim, acq_opt),
             rng: StdRng::seed_from_u64(seed ^ 0x1b1b_0002),
             fallbacks: 0,
         }

@@ -54,15 +54,25 @@ impl MacePolicy {
     /// Creates a MACE policy with the default candidate pool size.
     pub fn new(bounds: Bounds, seed: u64) -> Self {
         let dim = bounds.dim();
+        Self::with_configs(
+            bounds,
+            seed,
+            SurrogateConfig::default(),
+            AcqOptConfig::for_dim(dim),
+        )
+    }
+
+    /// Full-configuration constructor (pool size still scales with dim).
+    pub fn with_configs(
+        bounds: Bounds,
+        seed: u64,
+        surrogate: SurrogateConfig,
+        acq_opt: AcqOptConfig,
+    ) -> Self {
+        let dim = bounds.dim();
         MacePolicy {
-            surrogate: SurrogateManager::new(
-                bounds,
-                SurrogateConfig {
-                    seed,
-                    ..Default::default()
-                },
-            ),
-            maximizer: AcqMaximizer::new(dim, AcqOptConfig::for_dim(dim)),
+            surrogate: SurrogateManager::new(bounds, SurrogateConfig { seed, ..surrogate }),
+            maximizer: AcqMaximizer::new(dim, acq_opt),
             rng: StdRng::seed_from_u64(seed ^ 0x3ace_0001),
             pool_size: 256.max(32 * dim),
             fallbacks: 0,

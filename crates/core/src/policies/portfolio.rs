@@ -54,14 +54,19 @@ impl ThompsonSamplingPolicy {
     /// Creates a TS policy drawing over `candidates` random points per
     /// selection (clamped to at least 8).
     pub fn new(bounds: Bounds, candidates: usize, seed: u64) -> Self {
+        Self::with_configs(bounds, candidates, seed, SurrogateConfig::default())
+    }
+
+    /// Full-configuration constructor (TS has no acquisition maximizer, so
+    /// only the surrogate settings apply).
+    pub fn with_configs(
+        bounds: Bounds,
+        candidates: usize,
+        seed: u64,
+        surrogate: SurrogateConfig,
+    ) -> Self {
         ThompsonSamplingPolicy {
-            surrogate: SurrogateManager::new(
-                bounds,
-                SurrogateConfig {
-                    seed,
-                    ..Default::default()
-                },
-            ),
+            surrogate: SurrogateManager::new(bounds, SurrogateConfig { seed, ..surrogate }),
             rng: StdRng::seed_from_u64(seed ^ 0x7503_0001),
             candidates: candidates.max(8),
             fallbacks: 0,
@@ -168,15 +173,27 @@ impl PortfolioPolicy {
     /// (1.0 is a reasonable default for standardized rewards).
     pub fn new(bounds: Bounds, eta: f64, seed: u64) -> Self {
         let dim = bounds.dim();
+        Self::with_configs(
+            bounds,
+            eta,
+            seed,
+            SurrogateConfig::default(),
+            AcqOptConfig::for_dim(dim),
+        )
+    }
+
+    /// Full-configuration constructor.
+    pub fn with_configs(
+        bounds: Bounds,
+        eta: f64,
+        seed: u64,
+        surrogate: SurrogateConfig,
+        acq_opt: AcqOptConfig,
+    ) -> Self {
+        let dim = bounds.dim();
         PortfolioPolicy {
-            surrogate: SurrogateManager::new(
-                bounds,
-                SurrogateConfig {
-                    seed,
-                    ..Default::default()
-                },
-            ),
-            maximizer: AcqMaximizer::new(dim, AcqOptConfig::for_dim(dim)),
+            surrogate: SurrogateManager::new(bounds, SurrogateConfig { seed, ..surrogate }),
+            maximizer: AcqMaximizer::new(dim, acq_opt),
             rng: StdRng::seed_from_u64(seed ^ 0x90f7_0002),
             log_weights: [0.0; 3],
             eta,

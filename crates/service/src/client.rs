@@ -203,6 +203,42 @@ impl ServiceClient {
         }
     }
 
+    /// Admin: open a new optimization session on the server's shared
+    /// worker pool. The server's session factory maps `algo` (an
+    /// `Algorithm` registry key) to a policy, so different clients can
+    /// run heterogeneous algorithms side by side. Returns the new
+    /// session id.
+    ///
+    /// # Errors
+    ///
+    /// Server-side failures (no factory configured, unknown bench or
+    /// algorithm key) arrive as [`WireError::Protocol`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_session(
+        &mut self,
+        bench: &str,
+        algo: &str,
+        seed: u64,
+        workers: usize,
+        max_evals: usize,
+        n_init: usize,
+    ) -> Result<u64, WireError> {
+        let req = self.fresh_req();
+        let open = Message::OpenSession {
+            req,
+            bench: bench.to_string(),
+            algo: algo.to_string(),
+            seed,
+            workers,
+            max_evals,
+            n_init,
+        };
+        match self.rpc(req, &open)? {
+            Message::SessionOpened { session, .. } => Ok(session),
+            other => Err(unexpected("SessionOpened", &other)),
+        }
+    }
+
     /// Admin: evict a session to its snapshot.
     ///
     /// # Errors
@@ -277,6 +313,7 @@ fn reply_req(msg: &Message) -> Option<u64> {
         | Message::CheckpointAck { req, .. }
         | Message::Ack { req }
         | Message::StatsReply { req, .. }
+        | Message::SessionOpened { req, .. }
         | Message::Error { req, .. } => Some(*req),
         _ => None,
     }

@@ -31,9 +31,10 @@ pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"EZBW");
 pub const MAX_FRAME_LEN: usize = 1 << 24;
 
 /// Wire protocol version, negotiated by the `Hello` handshake and
-/// pinned by the committed `tests/data/golden_wire_v1.bin` fixture.
-/// Bump it on any frame or message layout change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// pinned by the committed `tests/data/golden_wire_v2.bin` fixture.
+/// Bump it on any frame or message layout change (v2 added the
+/// `OpenSession`/`SessionOpened` admin pair).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Structured failure of frame or message decoding. Never panics,
 /// never hangs: every malformed input maps to one of these.

@@ -49,4 +49,4 @@ pub use frame::{
 };
 pub use manager::{ManagerStats, SessionManager, SessionSpec, Work};
 pub use proto::{decode_message, encode_message, exemplar_messages, Message, Role};
-pub use server::ServiceServer;
+pub use server::{OpenRequest, ServiceServer, SessionFactory};

@@ -4,7 +4,7 @@
 //! `easybo-persist` [`ByteWriter`]/[`ByteReader`] codec: a one-byte
 //! tag followed by the variant's fields, little-endian, `f64` as exact
 //! bit patterns. The encoding is pinned by the committed
-//! `tests/data/golden_wire_v1.bin` fixture; any layout change must
+//! `tests/data/golden_wire_v2.bin` fixture; any layout change must
 //! bump [`crate::PROTOCOL_VERSION`].
 //!
 //! Reliability contract (at-most-once effects over a lossy link):
@@ -173,6 +173,33 @@ pub enum Message {
         /// Human-readable failure description.
         message: String,
     },
+    /// Admin: open a new optimization session on the shared pool. The
+    /// server maps `algo` (an `Algorithm` registry key) to a policy
+    /// through its session factory, so heterogeneous algorithms run
+    /// side by side over the same workers.
+    OpenSession {
+        /// Client-assigned request id.
+        req: u64,
+        /// Black-box name workers resolve in their local registry.
+        bench: String,
+        /// Algorithm registry key (e.g. `"easybo"`, `"eps-greedy"`).
+        algo: String,
+        /// Seed for the initial design and the policy RNG.
+        seed: u64,
+        /// Virtual worker pool size (the async batch parallelism).
+        workers: usize,
+        /// Total task budget.
+        max_evals: usize,
+        /// Initial design points (Latin hypercube, drawn server-side).
+        n_init: usize,
+    },
+    /// Session opened; `session` is the id for work and admin calls.
+    SessionOpened {
+        /// Echoed request id.
+        req: u64,
+        /// The new session's id.
+        session: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -192,6 +219,8 @@ const TAG_SHUTDOWN: u8 = 14;
 const TAG_STATS: u8 = 15;
 const TAG_STATS_REPLY: u8 = 16;
 const TAG_ERROR: u8 = 17;
+const TAG_OPEN_SESSION: u8 = 18;
+const TAG_SESSION_OPENED: u8 = 19;
 
 const OUTCOME_OK: u8 = 0;
 const OUTCOME_FAILED: u8 = 1;
@@ -348,6 +377,29 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             w.put_u64(*req);
             w.put_str(message);
         }
+        Message::OpenSession {
+            req,
+            bench,
+            algo,
+            seed,
+            workers,
+            max_evals,
+            n_init,
+        } => {
+            w.put_u8(TAG_OPEN_SESSION);
+            w.put_u64(*req);
+            w.put_str(bench);
+            w.put_str(algo);
+            w.put_u64(*seed);
+            w.put_usize(*workers);
+            w.put_usize(*max_evals);
+            w.put_usize(*n_init);
+        }
+        Message::SessionOpened { req, session } => {
+            w.put_u8(TAG_SESSION_OPENED);
+            w.put_u64(*req);
+            w.put_u64(*session);
+        }
     }
     w.into_bytes()
 }
@@ -441,6 +493,19 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             req: r.get_u64().map_err(protocol)?,
             message: r.get_str().map_err(protocol)?,
         },
+        TAG_OPEN_SESSION => Message::OpenSession {
+            req: r.get_u64().map_err(protocol)?,
+            bench: r.get_str().map_err(protocol)?,
+            algo: r.get_str().map_err(protocol)?,
+            seed: r.get_u64().map_err(protocol)?,
+            workers: r.get_usize().map_err(protocol)?,
+            max_evals: r.get_usize().map_err(protocol)?,
+            n_init: r.get_usize().map_err(protocol)?,
+        },
+        TAG_SESSION_OPENED => Message::SessionOpened {
+            req: r.get_u64().map_err(protocol)?,
+            session: r.get_u64().map_err(protocol)?,
+        },
         other => return Err(WireError::Protocol(format!("unknown message tag {other}"))),
     };
     r.finish("message").map_err(protocol)?;
@@ -508,6 +573,19 @@ pub fn exemplar_messages() -> Vec<Message> {
         Message::Error {
             req: 10,
             message: "unknown session 99".to_string(),
+        },
+        Message::OpenSession {
+            req: 11,
+            bench: "two-stage-opamp".to_string(),
+            algo: "eps-greedy".to_string(),
+            seed: 42,
+            workers: 4,
+            max_evals: 150,
+            n_init: 20,
+        },
+        Message::SessionOpened {
+            req: 11,
+            session: 3,
         },
     ]
 }

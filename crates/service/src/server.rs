@@ -22,7 +22,7 @@ use std::time::Duration;
 use easybo_persist::write_snapshot_bytes;
 
 use crate::frame::{read_frame, write_frame, WireError, PROTOCOL_VERSION};
-use crate::manager::SessionManager;
+use crate::manager::{SessionManager, SessionSpec};
 use crate::proto::{decode_message, encode_message, Message};
 
 /// How often an idle connection handler wakes to poll the stop flag.
@@ -32,6 +32,31 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 /// Clients run lockstep (one outstanding request), so even a handful
 /// is generous; the bound keeps a chatty connection's memory flat.
 const REPLY_CACHE_SIZE: usize = 64;
+
+/// One decoded `OpenSession` request, handed to the server's
+/// [`SessionFactory`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenRequest {
+    /// Black-box name workers resolve in their local registry.
+    pub bench: String,
+    /// Algorithm registry key (e.g. `"easybo"`, `"eps-greedy"`).
+    pub algo: String,
+    /// Seed for the initial design and the policy RNG.
+    pub seed: u64,
+    /// Virtual worker pool size (the async batch parallelism).
+    pub workers: usize,
+    /// Total task budget.
+    pub max_evals: usize,
+    /// Initial design points to draw.
+    pub n_init: usize,
+}
+
+/// Maps an admin `OpenSession` request to a runnable [`SessionSpec`]
+/// — supplied by the embedder, because only it knows which benches
+/// exist, how to build a policy for an algorithm key, and what retry
+/// discipline the deployment wants. Returning `Err` rejects the
+/// request with a wire `Error` carrying the message.
+pub type SessionFactory = dyn Fn(&OpenRequest) -> Result<SessionSpec, String> + Send + Sync;
 
 /// A running service: listener thread + one handler thread per
 /// connection, all sharing one [`SessionManager`] behind a mutex.
@@ -46,7 +71,9 @@ impl ServiceServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
     /// serving `manager`. When `checkpoint_dir` is set, `Checkpoint`
     /// requests also write `session_<id>.snap` files there (atomic
-    /// temp-file + rename via `easybo-persist`).
+    /// temp-file + rename via `easybo-persist`). Without a factory,
+    /// admin `OpenSession` requests are rejected; sessions are opened
+    /// through the [`ServiceServer::manager`] handle instead.
     ///
     /// # Errors
     ///
@@ -55,6 +82,22 @@ impl ServiceServer {
         manager: SessionManager,
         addr: &str,
         checkpoint_dir: Option<PathBuf>,
+    ) -> io::Result<Self> {
+        Self::start_with_factory(manager, addr, checkpoint_dir, None)
+    }
+
+    /// Like [`ServiceServer::start`], but with a [`SessionFactory`]
+    /// that serves admin `OpenSession` requests — remote admins can
+    /// then mix heterogeneous algorithms over one shared worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start_with_factory(
+        manager: SessionManager,
+        addr: &str,
+        checkpoint_dir: Option<PathBuf>,
+        factory: Option<Arc<SessionFactory>>,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -74,8 +117,16 @@ impl ServiceServer {
                 let stop = Arc::clone(&accept_stop);
                 let manager = Arc::clone(&accept_manager);
                 let dir = checkpoint_dir.clone();
+                let factory = factory.clone();
                 handlers.push(std::thread::spawn(move || {
-                    serve_connection(stream, conn, &manager, &stop, dir.as_deref());
+                    serve_connection(
+                        stream,
+                        conn,
+                        &manager,
+                        &stop,
+                        dir.as_deref(),
+                        factory.as_deref(),
+                    );
                     lock(&manager).drop_connection(conn);
                 }));
             }
@@ -137,6 +188,7 @@ fn serve_connection(
     manager: &Mutex<SessionManager>,
     stop: &AtomicBool,
     checkpoint_dir: Option<&std::path::Path>,
+    factory: Option<&SessionFactory>,
 ) {
     // The poll timeout doubles as the idle heartbeat. A timeout can in
     // principle fire mid-frame and desynchronize the parser; the next
@@ -194,7 +246,7 @@ fn serve_connection(
             }
             continue;
         }
-        let reply = handle_request(msg, conn, manager, stop, checkpoint_dir);
+        let reply = handle_request(msg, conn, manager, stop, checkpoint_dir, factory);
         let bytes = crate::frame::encode_frame(&encode_message(&reply));
         cache.insert(req, bytes.clone());
         cache_order.push_back(req);
@@ -278,7 +330,8 @@ fn request_id(msg: &Message) -> Option<u64> {
         | Message::Evict { req, .. }
         | Message::Rehydrate { req, .. }
         | Message::Shutdown { req }
-        | Message::Stats { req } => Some(*req),
+        | Message::Stats { req }
+        | Message::OpenSession { req, .. } => Some(*req),
         _ => None,
     }
 }
@@ -290,6 +343,7 @@ fn handle_request(
     manager: &Mutex<SessionManager>,
     stop: &AtomicBool,
     checkpoint_dir: Option<&std::path::Path>,
+    factory: Option<&SessionFactory>,
 ) -> Message {
     match msg {
         Message::AskWork { req } => {
@@ -374,6 +428,39 @@ fn handle_request(
         Message::Shutdown { req } => {
             stop.store(true, Ordering::SeqCst);
             Message::Ack { req }
+        }
+        Message::OpenSession {
+            req,
+            bench,
+            algo,
+            seed,
+            workers,
+            max_evals,
+            n_init,
+        } => {
+            let Some(factory) = factory else {
+                return Message::Error {
+                    req,
+                    message: "this server has no session factory; \
+                              open sessions through the manager handle"
+                        .to_string(),
+                };
+            };
+            let open = OpenRequest {
+                bench,
+                algo,
+                seed,
+                workers,
+                max_evals,
+                n_init,
+            };
+            match factory(&open) {
+                Ok(spec) => {
+                    let session = lock(manager).open_session(spec);
+                    Message::SessionOpened { req, session }
+                }
+                Err(message) => Message::Error { req, message },
+            }
         }
         other => Message::Error {
             req: 0,

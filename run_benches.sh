@@ -1,5 +1,8 @@
 #!/bin/sh
 # Regenerates every table and figure of the paper into bench_output.txt.
+# table1_opamp/table2_class_e also emit the literature-portfolio rows
+# (EpsGreedy-B, PessBO-B, StdBO-B) next to the paper's own ablations;
+# see EXPERIMENTS.md "Widened Table I: the literature portfolio".
 set -x
 export EASYBO_REPS=${EASYBO_REPS:-5}
 cargo bench -p easybo-bench --bench fig2_acquisition

@@ -7,17 +7,20 @@
 //! property tests over the snapshot codec and a committed golden file
 //! pinning format version 1 on disk.
 
-use easybo::{EasyBo, EasyBoError, Telemetry};
+use easybo::{Algorithm, EasyBo, EasyBoError, Parallelism, Telemetry};
 use easybo_exec::{
-    CostedFunction, FaultPlan, FaultyBlackBox, InFlightTask, PendingBackoff, RetryPolicy,
-    SessionParts, SimTimeModel, TaskSpan,
+    AsyncPolicy, CostedFunction, Dataset, FaultPlan, FaultyBlackBox, HookAction, InFlightTask,
+    PendingBackoff, RetryPolicy, SessionParts, SessionState, SimTimeModel, TaskSpan,
+    VirtualExecutor,
 };
-use easybo_opt::Bounds;
+use easybo_opt::{sampling, Bounds};
 use easybo_persist::{
     decode_session, decode_snapshot, encode_session, encode_snapshot, load_snapshot, save_snapshot,
     RunSnapshot,
 };
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn tmp(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("easybo-resume-{}-{name}.snap", std::process::id()))
@@ -204,6 +207,195 @@ fn checkpoint_and_resume_emit_telemetry() {
     );
     let summary = r.report.summary.expect("telemetry was attached");
     assert_eq!(summary.resumes, 1);
+}
+
+// ---------------------------------------------------------------------
+// Portfolio policies: kill/resume byte-identity and blob format pins.
+// ---------------------------------------------------------------------
+
+/// The three literature policies under the raw session driver:
+/// checkpoint every observation, kill mid-run, rebuild a same-config
+/// replacement policy, overwrite its mutable state from the snapshot
+/// blob, and resume. The resumed trajectory must be byte-identical to
+/// the uninterrupted run — the same contract the EasyBO policy already
+/// honors, now holding for every member of the async portfolio. Kill
+/// points sit early enough that a hyperparameter retrain happens
+/// *after* the resume, proving the warm-start vector and retrain
+/// schedule survive the round trip.
+#[test]
+fn portfolio_policies_kill_and_resume_bit_identical() {
+    let bounds = Bounds::unit_cube(2).unwrap();
+    let time = SimTimeModel::new(&bounds, 12.0, 0.3, 5);
+    let bb = CostedFunction::new("toy", bounds.clone(), time, objective);
+    let init = sampling::latin_hypercube(&bounds, 6, &mut StdRng::seed_from_u64(77));
+    let (batch, max_evals) = (4usize, 16usize);
+    let retry = RetryPolicy::none();
+    let tel = Telemetry::disabled();
+    let build = |algo: Algorithm, seed: u64| {
+        algo.async_policy(bounds.clone(), seed, Parallelism::sequential())
+            .expect("portfolio algorithms expose an async policy")
+    };
+
+    for (algo, kill_at) in [
+        (Algorithm::StandardBo, 8usize),
+        (Algorithm::PessimisticBo, 9),
+        (Algorithm::EpsGreedy, 10),
+    ] {
+        let mut p0 = build(algo, 77);
+        let baseline = VirtualExecutor::new(batch)
+            .run_session_resilient(&bb, &init, max_evals, p0.as_mut(), &retry, &tel, None)
+            .expect("uninterrupted run completes");
+
+        // Kill: snapshot after every observation, stop at `kill_at`.
+        let mut latest: Option<Vec<u8>> = None;
+        {
+            let mut p1 = build(algo, 77);
+            let mut hook = |session: &SessionState, policy: &dyn AsyncPolicy, _now: f64| {
+                if session.completed() >= kill_at {
+                    return HookAction::Stop {
+                        reason: "injected kill".to_string(),
+                    };
+                }
+                latest = Some(encode_snapshot(&RunSnapshot {
+                    config_fingerprint: 42,
+                    session: session.to_parts(),
+                    policy: policy.snapshot_state(),
+                }));
+                HookAction::Continue
+            };
+            VirtualExecutor::new(batch)
+                .run_session_resilient(
+                    &bb,
+                    &init,
+                    max_evals,
+                    p1.as_mut(),
+                    &retry,
+                    &tel,
+                    Some(&mut hook),
+                )
+                .expect_err("the kill hook must abort the run");
+        }
+        let bytes = latest.expect("at least one checkpoint before the kill");
+        let snap = decode_snapshot(&bytes).expect("snapshot decodes");
+
+        // Resume: a fresh policy rebuilt from the *same* configuration
+        // (seed included — config is re-derived by the resuming
+        // optimizer and guarded by the snapshot fingerprint), with all
+        // mutable state — RNG stream, counters, GP factorization,
+        // warm-start vector — overwritten from the blob.
+        let mut p2 = build(algo, 77);
+        let blob = snap.policy.as_ref().expect("portfolio policies snapshot");
+        p2.restore_state(blob).expect("blob restores");
+        let session = SessionState::from_parts(snap.session);
+        let resumed = VirtualExecutor::new(batch)
+            .resume_session_resilient(&bb, session, p2.as_mut(), &retry, &tel, None)
+            .expect("resumed run completes");
+
+        let tag = algo.key();
+        assert_eq!(
+            resumed.trace.to_csv(),
+            baseline.trace.to_csv(),
+            "trace diverged after kill/resume: {tag}"
+        );
+        assert_eq!(resumed.data, baseline.data, "dataset diverged: {tag}");
+    }
+}
+
+/// Pins each new policy's blob layout: the leading four-byte kind tag,
+/// the versioned-format failure message for an unsupported version, and
+/// by-name refusal of a foreign policy's blob.
+#[test]
+fn portfolio_policy_blobs_pin_their_versioned_format() {
+    let bounds = Bounds::unit_cube(2).unwrap();
+    let cases: [(Algorithm, [u8; 4], &str); 3] = [
+        (Algorithm::EpsGreedy, *b"EPSG", "eps-greedy"),
+        (Algorithm::PessimisticBo, *b"PESS", "pessimistic"),
+        (Algorithm::StandardBo, *b"STDB", "standard-acquisition"),
+    ];
+    for (algo, tag, name) in cases {
+        let mut p = algo
+            .async_policy(bounds.clone(), 7, Parallelism::sequential())
+            .unwrap();
+        let mut data = Dataset::new();
+        for i in 0..5 {
+            data.push(vec![i as f64 / 5.0, 1.0 - i as f64 / 5.0], (i as f64).sin());
+        }
+        let _ = p.select_next(&data, &[]);
+        let blob = p.snapshot_state().expect("snapshots supported");
+        assert_eq!(&blob[..4], &tag, "kind tag drifted for {name}");
+
+        // An unsupported version must fail with the pinned message.
+        let mut bad = blob.clone();
+        bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let err = p.restore_state(&bad).expect_err("version 99 accepted");
+        assert!(
+            err.contains(&format!("{name} policy blob version 99 is not supported")),
+            "unexpected version-mismatch message for {name}: {err}"
+        );
+
+        // A different policy's blob is refused, naming this policy.
+        let donor = match algo {
+            Algorithm::EpsGreedy => Algorithm::PessimisticBo,
+            _ => Algorithm::EpsGreedy,
+        };
+        let foreign = donor
+            .async_policy(bounds.clone(), 7, Parallelism::sequential())
+            .unwrap()
+            .snapshot_state()
+            .expect("snapshots supported");
+        let err = p
+            .restore_state(&foreign)
+            .expect_err("foreign blob accepted");
+        assert!(
+            err.contains(&format!("not a {name} policy blob")),
+            "unexpected foreign-blob message for {name}: {err}"
+        );
+    }
+}
+
+proptest! {
+    /// Snapshot blobs round-trip through a wrong-seed replacement for
+    /// every portfolio policy: after restoring, the clone reproduces
+    /// the donor's next decision bit for bit.
+    #[test]
+    fn portfolio_policy_blobs_restore_the_decision_stream(seed in 0u64..500) {
+        for algo in [
+            Algorithm::EpsGreedy,
+            Algorithm::PessimisticBo,
+            Algorithm::StandardBo,
+        ] {
+            let bounds = Bounds::unit_cube(2).unwrap();
+            let mut donor = algo
+                .async_policy(bounds.clone(), seed, Parallelism::sequential())
+                .unwrap();
+            let mut g = Gen(seed ^ 0xf00d);
+            let mut data = Dataset::new();
+            for _ in 0..6 {
+                let x = vec![
+                    g.below(1000) as f64 / 1000.0,
+                    g.below(1000) as f64 / 1000.0,
+                ];
+                let y = objective(&x);
+                data.push(x, y);
+            }
+            // Advance the donor so its RNG/counters are mid-stream.
+            let q = donor.select_next(&data, &[]);
+            data.push(q.clone(), objective(&q));
+            let blob = donor.snapshot_state().expect("snapshots supported");
+            let mut clone = algo
+                .async_policy(bounds, seed ^ 0xdead_beef, Parallelism::sequential())
+                .unwrap();
+            clone.restore_state(&blob).expect("blob restores");
+            let a = donor.select_next(&data, &[]);
+            let b = clone.select_next(&data, &[]);
+            prop_assert!(
+                a.len() == b.len()
+                    && a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "decision diverged for {}: {:?} vs {:?}",
+                algo.key(), a, b
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -6,7 +6,7 @@
 //! and schedule byte-identical to a clean in-process
 //! `run_async_resilient` over the same black box. Plus protocol
 //! conformance properties over the frame/message codecs, a committed
-//! golden fixture pinning wire format v1, and a session-manager
+//! golden fixture pinning wire format v2, and a session-manager
 //! invariants property pinning the lease conservation law and the
 //! residency bound under arbitrary interleavings.
 
@@ -14,22 +14,24 @@ use std::net::SocketAddr;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use easybo::EasyBo;
+use easybo::{Algorithm, EasyBo, Parallelism};
 use easybo_circuits::opamp::TwoStageOpAmp;
 use easybo_circuits::Circuit;
 use easybo_exec::{
     AsyncPolicy, BlackBox, BusyPoint, CostedFunction, Dataset, EvalOutcome, FaultPlan,
     FaultyBlackBox, RetryPolicy, RunResult, SimTimeModel, VirtualExecutor,
 };
-use easybo_opt::Bounds;
+use easybo_opt::{sampling, Bounds};
 use easybo_persist::decode_snapshot;
 use easybo_service::{
     decode_frame, decode_message, encode_frame, encode_message, exemplar_messages, read_frame,
-    write_frame, Message, Role, ServiceClient, ServiceServer, SessionManager, SessionSpec,
-    WireError, WireFaultPlan, WorkerClient, PROTOCOL_VERSION,
+    write_frame, Message, OpenRequest, Role, ServiceClient, ServiceServer, SessionFactory,
+    SessionManager, SessionSpec, WireError, WireFaultPlan, WorkerClient, PROTOCOL_VERSION,
 };
 use easybo_telemetry::Telemetry;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 // ---------------------------------------------------------------------
 // Shared helpers.
@@ -491,6 +493,186 @@ fn many_sessions_share_the_pool_under_a_residency_budget() {
 }
 
 // ---------------------------------------------------------------------
+// Heterogeneous algorithm portfolio: three different policies, one
+// shared pool, opened over the wire through the session factory.
+// ---------------------------------------------------------------------
+
+/// The session factory a deployment would install: algorithm keys
+/// resolved through the [`Algorithm`] registry, benches from a fixed
+/// local table, the initial design drawn server-side from the seed.
+fn registry_factory() -> Arc<SessionFactory> {
+    Arc::new(|open: &OpenRequest| {
+        let algo = Algorithm::from_key(&open.algo)
+            .ok_or_else(|| format!("unknown algorithm key '{}'", open.algo))?;
+        let bounds = match open.bench.as_str() {
+            "two-stage-opamp" => TwoStageOpAmp::new().bounds().clone(),
+            other => return Err(format!("unknown bench '{other}'")),
+        };
+        if algo
+            .async_policy(bounds.clone(), open.seed, Parallelism::sequential())
+            .is_none()
+        {
+            return Err(format!(
+                "algorithm '{}' has no asynchronous policy",
+                open.algo
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(open.seed);
+        let init = sampling::latin_hypercube(&bounds, open.n_init, &mut rng);
+        let seed = open.seed;
+        Ok(SessionSpec {
+            bench: open.bench.clone(),
+            workers: open.workers,
+            max_evals: open.max_evals,
+            init,
+            retry: RetryPolicy::none(),
+            fingerprint: seed ^ ((algo.index() as u64) << 32),
+            policy: Box::new(move || {
+                algo.async_policy(bounds.clone(), seed, Parallelism::sequential())
+                    .expect("async-capable checked at open")
+            }),
+        })
+    })
+}
+
+/// The uninterrupted in-process run an `OpenSession`-opened session
+/// must reproduce: same seed-derived initial design, same policy built
+/// through the same registry call.
+fn portfolio_baseline(
+    algo: Algorithm,
+    seed: u64,
+    workers: usize,
+    max_evals: usize,
+    n_init: usize,
+) -> RunResult {
+    let bb = opamp_blackbox();
+    let bounds = TwoStageOpAmp::new().bounds().clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let init = sampling::latin_hypercube(&bounds, n_init, &mut rng);
+    let mut policy = algo
+        .async_policy(bounds, seed, Parallelism::sequential())
+        .expect("async-capable");
+    VirtualExecutor::new(workers).run_async_resilient(
+        &bb,
+        &init,
+        max_evals,
+        policy.as_mut(),
+        &RetryPolicy::none(),
+        &Telemetry::disabled(),
+    )
+}
+
+/// Tentpole acceptance: three sessions running three *different*
+/// algorithms (EasyBO, ε-greedy, pessimistic), opened over the wire
+/// via `OpenSession`, share one budget-2 worker pool. Each trajectory
+/// must be byte-identical to its own in-process baseline, including
+/// across a mid-run admin evict/rehydrate of one of them.
+#[test]
+fn heterogeneous_algorithms_share_one_pool_via_open_session() {
+    let (workers_per_session, max_evals, n_init) = (2usize, 10usize, 6usize);
+    let cells = [
+        (Algorithm::EasyBo, 31u64),
+        (Algorithm::EpsGreedy, 32),
+        (Algorithm::PessimisticBo, 33),
+    ];
+    let baselines: Vec<RunResult> = cells
+        .iter()
+        .map(|&(algo, seed)| portfolio_baseline(algo, seed, workers_per_session, max_evals, n_init))
+        .collect();
+
+    let mut server = ServiceServer::start_with_factory(
+        SessionManager::new(2),
+        "127.0.0.1:0",
+        None,
+        Some(registry_factory()),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut admin = ServiceClient::connect(addr, Role::Admin);
+
+    // Unknown keys are rejected with a wire error, not a hang or panic.
+    match admin.open_session("two-stage-opamp", "no-such-algo", 1, 2, 4, 2) {
+        Err(WireError::Protocol(msg)) => assert!(msg.contains("no-such-algo"), "got: {msg}"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // Sync-only algorithms have no async policy and are refused up front.
+    match admin.open_session("two-stage-opamp", "pbo", 1, 2, 4, 2) {
+        Err(WireError::Protocol(msg)) => assert!(msg.contains("pbo"), "got: {msg}"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+
+    let ids: Vec<u64> = cells
+        .iter()
+        .map(|&(algo, seed)| {
+            admin
+                .open_session(
+                    "two-stage-opamp",
+                    algo.key(),
+                    seed,
+                    workers_per_session,
+                    max_evals,
+                    n_init,
+                )
+                .expect("open session over the wire")
+        })
+        .collect();
+    assert!(lock(&server.manager()).resident_count() <= 2);
+
+    let worker_handles: Vec<_> = (0..3u64)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut worker =
+                    WorkerClient::connect_with_chaos(addr, WireFaultPlan::chaos(0.1, 0xBABE + w));
+                worker.register("two-stage-opamp", Box::new(opamp_blackbox()));
+                worker.run()
+            })
+        })
+        .collect();
+
+    // Mid-run, force one session through an explicit evict/rehydrate
+    // cycle on top of whatever the budget-2 LRU already does. The
+    // budget may have beaten us to the evict (already evicted) or the
+    // ask path to the rehydrate (already resident) — both arrive as
+    // protocol errors and both mean the session cycled as intended.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, _, _, _, tells) = admin.stats().expect("stats rpc");
+        if tells >= 4 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "pool never reached 4 tells");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    match admin.evict(ids[1]) {
+        Ok(()) | Err(WireError::Protocol(_)) => {}
+        Err(e) => panic!("evict rpc failed fatally: {e}"),
+    }
+    match admin.rehydrate(ids[1]) {
+        Ok(()) | Err(WireError::Protocol(_)) => {}
+        Err(e) => panic!("rehydrate rpc failed fatally: {e}"),
+    }
+
+    for h in worker_handles {
+        h.join()
+            .expect("worker panicked")
+            .expect("worker loop failed");
+    }
+    server.stop();
+    let manager = server.manager();
+    let mut m = lock(&manager);
+    assert!(m.all_done(), "every session should have drained");
+    assert!(m.stats().evictions >= 1, "stats: {:?}", m.stats());
+    for (i, id) in ids.iter().enumerate() {
+        let result = m.take_result(*id).expect("finished");
+        assert_same_resumed_run(
+            &result,
+            &baselines[i],
+            &format!("algorithm {}", cells[i].0.key()),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Satellite 2: protocol conformance + golden wire fixture.
 // ---------------------------------------------------------------------
 
@@ -650,13 +832,13 @@ fn every_exemplar_frame_rejects_all_truncations_and_bit_flips() {
     }
 }
 
-/// Committed golden fixture: wire format v1 as bytes on disk — one
+/// Committed golden fixture: wire format v2 as bytes on disk — one
 /// frame per message variant. Any drift in the frame header, the
 /// message tags, or the field encodings fails here before it can break
 /// a deployed worker fleet.
 #[test]
-fn golden_wire_format_v1_is_pinned_on_disk() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/data/golden_wire_v1.bin");
+fn golden_wire_format_v2_is_pinned_on_disk() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/data/golden_wire_v2.bin");
     let mut expected = Vec::new();
     for m in exemplar_messages() {
         expected.extend_from_slice(&encode_frame(&encode_message(&m)));
