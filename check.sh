@@ -35,6 +35,9 @@ PROPTEST_CASES=64 cargo test -q -p easybo-integration --test introspection
 echo "==> service wire-protocol chaos suite (PROPTEST_CASES=64)"
 PROPTEST_CASES=64 cargo test -q -p easybo-integration --test service
 
+echo "==> scenario zoo acceptance suite (PROPTEST_CASES=64)"
+PROPTEST_CASES=64 cargo test -q -p easybo-integration --test scenario
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

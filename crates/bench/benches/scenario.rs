@@ -1,0 +1,120 @@
+//! Scenario-zoo benchmark: paper-style rows for the under-benchmarked
+//! zoo circuits (LDO, ring oscillator) plus parallelism bit-identity
+//! measurements for the constrained scenarios, written to
+//! `BENCH_scenario.json` via the shared `bench_report` schema.
+//!
+//! Every record compares a parallelism-1 run (baseline) against a
+//! parallelism-8 run (candidate) of the *same* seeded workload; the
+//! `identical` flag is true iff the two runs produced byte-identical
+//! best-so-far trace CSVs and identical datasets — the repo-wide
+//! contract that the thread-count knob never changes results.
+
+use std::time::Instant;
+
+use easybo::{Algorithm, EasyBo, OptimizationResult};
+use easybo_bench::*;
+use easybo_exec::BlackBox;
+use easybo_scenario::{zoo, Scenario};
+
+/// Wall-clock one optimizer run at the given parallelism.
+fn timed_run(opt: &EasyBo, bb: &dyn BlackBox) -> (OptimizationResult, f64) {
+    let t0 = Instant::now();
+    let result = opt.run_blackbox(bb).expect("bench run must succeed");
+    (result, t0.elapsed().as_secs_f64())
+}
+
+/// Parallelism {1, 8} bit-identity record for a plain zoo circuit.
+fn circuit_record(name: &str, bb: &dyn BlackBox, evals: usize, seed: u64) -> BenchRecord {
+    let mut runs = Vec::new();
+    for par in [1usize, 8] {
+        let mut opt = EasyBo::new(bb.bounds().clone());
+        opt.batch_size(5)
+            .initial_points(16.min(evals / 2))
+            .max_evals(evals)
+            .seed(seed)
+            .parallelism(par);
+        runs.push(timed_run(&opt, bb));
+    }
+    let (base, cand) = (&runs[0], &runs[1]);
+    let identical = base.0.trace.to_csv() == cand.0.trace.to_csv() && base.0.data == cand.0.data;
+    BenchRecord::from_seconds(format!("{name}_par1_vs_par8"), base.1, cand.1, identical)
+}
+
+/// Parallelism {1, 8} bit-identity record for a constrained scenario.
+fn scenario_record(scenario: &Scenario, evals: usize, seed: u64) -> BenchRecord {
+    let mut runs = Vec::new();
+    for par in [1usize, 8] {
+        let mut opt = scenario.optimizer();
+        opt.batch_size(5)
+            .initial_points(16.min(evals / 2))
+            .max_evals(evals)
+            .seed(seed)
+            .parallelism(par);
+        let t0 = Instant::now();
+        let outcome = scenario.run_with(&opt).expect("scenario run must succeed");
+        runs.push((outcome, t0.elapsed().as_secs_f64()));
+    }
+    let (base, cand) = (&runs[0], &runs[1]);
+    let identical = base.0.result.trace.to_csv() == cand.0.result.trace.to_csv()
+        && base.0.result.data == cand.0.result.data
+        && base.0 == cand.0;
+    BenchRecord::from_seconds(
+        format!("{}_par1_vs_par8", scenario.name().replace('-', "_")),
+        base.1,
+        cand.1,
+        identical,
+    )
+}
+
+fn main() {
+    let reps = reps();
+    let evals = scaled(100);
+    let n_init = 20.min(evals / 2);
+    println!("Scenario zoo: {reps} repetitions, {evals} sims/run");
+
+    // Paper-style rows for the zoo circuits that had none: sequential
+    // EasyBO and the async batch-5 flavor on the LDO and the ring VCO.
+    let mut rows = Vec::new();
+    for (bb, seed) in [
+        (Box::new(ldo_blackbox()) as Box<dyn BlackBox>, 77u64),
+        (Box::new(ring_osc_blackbox()) as Box<dyn BlackBox>, 78u64),
+    ] {
+        for (algo, batch) in [(Algorithm::EasyBoSeq, 1), (Algorithm::EasyBo, 5)] {
+            let runs = run_cell(algo, bb.as_ref(), batch, evals, n_init, 0, reps, seed);
+            let label = format!("{}/{}", bb.name(), algo.label(batch));
+            rows.push(summarize(label.clone(), &runs));
+            eprintln!("done: {label}");
+        }
+    }
+    print_table("Zoo circuits: LDO and ring oscillator", &rows);
+
+    // Bit-identity across the thread-count knob, plain and constrained.
+    let id_evals = scaled(60);
+    let records = vec![
+        circuit_record("ldo", &ldo_blackbox(), id_evals, 101),
+        circuit_record("ring_osc", &ring_osc_blackbox(), id_evals, 102),
+        scenario_record(&zoo::matched_opamp(), id_evals, 103),
+        scenario_record(&zoo::multicorner_ldo(), id_evals, 104),
+    ];
+    for r in &records {
+        println!(
+            "{:<32} base {:>8.2}s cand {:>8.2}s speedup {:>5.2}x identical={}",
+            r.name,
+            r.baseline_ns / 1e9,
+            r.candidate_ns / 1e9,
+            r.speedup(),
+            r.identical
+        );
+        assert!(r.identical, "{}: parallelism changed the results", r.name);
+    }
+
+    let json = bench_report(
+        "scenario",
+        reps,
+        "baseline: parallelism 1; candidate: parallelism 8, same seeds. \
+         identical requires byte-equal trace CSVs and equal datasets.",
+        &records,
+    );
+    let path = write_bench_report("BENCH_scenario.json", &json);
+    println!("wrote {path}");
+}

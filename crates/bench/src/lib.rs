@@ -23,7 +23,9 @@
 
 use easybo::Algorithm;
 use easybo_circuits::class_e::ClassEPa;
+use easybo_circuits::ldo::Ldo;
 use easybo_circuits::opamp::TwoStageOpAmp;
+use easybo_circuits::ring_osc::RingOscillator;
 use easybo_circuits::Circuit;
 use easybo_exec::{BlackBox, CostedFunction, RunResult, SimTimeModel};
 use easybo_linalg::{mean, sample_std};
@@ -37,6 +39,12 @@ pub const CLASS_E_SIM_SECONDS: f64 = 52.7;
 /// Relative spread of simulation times (max-of-batch effects match the
 /// paper's sync-vs-async gaps at this value).
 pub const SIM_TIME_SPREAD: f64 = 0.25;
+/// Mean per-simulation cost of the LDO testbench (seconds) — AC + load
+/// transient, cheaper than the op-amp's full corner deck.
+pub const LDO_SIM_SECONDS: f64 = 24.3;
+/// Mean per-simulation cost of the ring-oscillator testbench (seconds) —
+/// a transient to frequency lock plus phase-noise extraction.
+pub const RING_OSC_SIM_SECONDS: f64 = 31.1;
 
 /// Repetitions per cell (`EASYBO_REPS`, default 10, `EASYBO_FAST` → 3).
 pub fn reps() -> usize {
@@ -91,6 +99,23 @@ pub fn class_e_blackbox() -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync
     let bounds = pa.bounds().clone();
     let time = SimTimeModel::new(&bounds, CLASS_E_SIM_SECONDS, SIM_TIME_SPREAD, 2021);
     CostedFunction::new("class-e-pa", bounds, time, move |x: &[f64]| pa.fom(x))
+}
+
+/// The LDO benchmark as a [`BlackBox`] with the calibrated time model.
+pub fn ldo_blackbox() -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync> {
+    let ldo = Ldo::new();
+    let bounds = ldo.bounds().clone();
+    let time = SimTimeModel::new(&bounds, LDO_SIM_SECONDS, SIM_TIME_SPREAD, 2022);
+    CostedFunction::new("ldo", bounds, time, move |x: &[f64]| ldo.fom(x))
+}
+
+/// The ring-oscillator benchmark as a [`BlackBox`] with the calibrated
+/// time model.
+pub fn ring_osc_blackbox() -> CostedFunction<impl Fn(&[f64]) -> f64 + Send + Sync> {
+    let vco = RingOscillator::new();
+    let bounds = vco.bounds().clone();
+    let time = SimTimeModel::new(&bounds, RING_OSC_SIM_SECONDS, SIM_TIME_SPREAD, 2023);
+    CostedFunction::new("ring-oscillator", bounds, time, move |x: &[f64]| vco.fom(x))
 }
 
 /// One row of a paper-style results table.
@@ -386,6 +411,18 @@ mod tests {
         let e = pa.evaluate(&pa.bounds().center());
         assert!(e.value.is_finite());
         assert!(e.cost > CLASS_E_SIM_SECONDS * 0.8 && e.cost < CLASS_E_SIM_SECONDS * 1.2);
+
+        let ldo = ldo_blackbox();
+        assert_eq!(ldo.bounds().dim(), 8);
+        let e = ldo.evaluate(&ldo.bounds().center());
+        assert!(e.value.is_finite());
+        assert!(e.cost > LDO_SIM_SECONDS * 0.8 && e.cost < LDO_SIM_SECONDS * 1.2);
+
+        let vco = ring_osc_blackbox();
+        assert_eq!(vco.bounds().dim(), 7);
+        let e = vco.evaluate(&vco.bounds().center());
+        assert!(e.value.is_finite());
+        assert!(e.cost > RING_OSC_SIM_SECONDS * 0.8 && e.cost < RING_OSC_SIM_SECONDS * 1.2);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Process/voltage/temperature (PVT) corners for multi-corner sign-off.
+//!
+//! Real sizing flows never qualify a design at the typical point alone:
+//! every candidate is re-simulated at a handful of PVT corners and the
+//! *worst* figure of merit is what ships. A [`Corner`] bundles the three
+//! knobs the analytical device models expose:
+//!
+//! * **process** — per-polarity [`ProcessParams`] (slow/fast skews scale
+//!   `kp` and shift `vth`);
+//! * **voltage** — the supply rail, ±10% of the nominal 1.8V;
+//! * **temperature** — mobility degradation `kp ∝ (T/300K)^-1.5` and
+//!   threshold drift `dVth/dT = −2mV/K`, folded into the process params
+//!   so circuit models stay temperature-agnostic.
+//!
+//! The nominal corner reproduces the default device models *bitwise*:
+//! `analyze_at(x, &Corner::nominal())` is exactly `analyze(x)` for every
+//! circuit in the zoo, so single-corner benches are unchanged.
+
+use crate::mosfet::{ProcessParams, PROCESS_180NM_NMOS, PROCESS_180NM_PMOS, VDD_180NM};
+
+/// Nominal junction temperature the device models are extracted at (°C).
+pub const T_NOMINAL_C: f64 = 27.0;
+
+/// One PVT corner: per-polarity process parameters plus supply and
+/// temperature. Build with [`Corner::nominal`] / [`Corner::ss`] /
+/// [`Corner::ff`] or assemble a custom corner field-by-field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corner {
+    /// Corner name, used in telemetry and failure reasons; keep it free
+    /// of `"` and `\` so JSONL sinks round-trip.
+    pub name: &'static str,
+    /// NMOS process parameters at this corner (temperature folded in).
+    pub nmos: ProcessParams,
+    /// PMOS process parameters at this corner (temperature folded in).
+    pub pmos: ProcessParams,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Junction temperature (°C), recorded for reporting.
+    pub temp_c: f64,
+}
+
+/// Applies a process skew (transconductance scale, threshold shift) and
+/// temperature derating to one polarity's parameters.
+fn skew(base: ProcessParams, kp_scale: f64, vth_shift: f64, temp_c: f64) -> ProcessParams {
+    let t_ratio = (temp_c + 273.15) / (T_NOMINAL_C + 273.15);
+    ProcessParams {
+        kp: base.kp * kp_scale * t_ratio.powf(-1.5),
+        vth: base.vth + vth_shift - 2e-3 * (temp_c - T_NOMINAL_C),
+        ..base
+    }
+}
+
+impl Corner {
+    /// Typical process, nominal supply, room temperature. Bitwise
+    /// identical to the default device models.
+    pub fn nominal() -> Self {
+        Corner {
+            name: "tt",
+            nmos: PROCESS_180NM_NMOS,
+            pmos: PROCESS_180NM_PMOS,
+            vdd: VDD_180NM,
+            temp_c: T_NOMINAL_C,
+        }
+    }
+
+    /// Slow/slow process at low supply and high temperature — the
+    /// classic speed/gain worst case.
+    pub fn ss() -> Self {
+        let temp_c = 85.0;
+        Corner {
+            name: "ss",
+            nmos: skew(PROCESS_180NM_NMOS, 0.8, 50e-3, temp_c),
+            pmos: skew(PROCESS_180NM_PMOS, 0.8, 50e-3, temp_c),
+            vdd: VDD_180NM * 0.9,
+            temp_c,
+        }
+    }
+
+    /// Fast/fast process at high supply and cold temperature — the
+    /// classic power/stability worst case.
+    pub fn ff() -> Self {
+        let temp_c = -40.0;
+        Corner {
+            name: "ff",
+            nmos: skew(PROCESS_180NM_NMOS, 1.2, -50e-3, temp_c),
+            pmos: skew(PROCESS_180NM_PMOS, 1.2, -50e-3, temp_c),
+            vdd: VDD_180NM * 1.1,
+            temp_c,
+        }
+    }
+
+    /// The standard three-corner sign-off set: `[tt, ss, ff]`.
+    pub fn pvt_set() -> Vec<Corner> {
+        vec![Corner::nominal(), Corner::ss(), Corner::ff()]
+    }
+}
+
+impl Default for Corner {
+    fn default() -> Self {
+        Corner::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_bitwise_default_process() {
+        let c = Corner::nominal();
+        assert_eq!(c.nmos, PROCESS_180NM_NMOS);
+        assert_eq!(c.pmos, PROCESS_180NM_PMOS);
+        assert_eq!(c.vdd, VDD_180NM);
+        assert_eq!(c, Corner::default());
+    }
+
+    #[test]
+    fn slow_corner_is_slower_and_higher_vth() {
+        let tt = Corner::nominal();
+        let ss = Corner::ss();
+        assert!(ss.nmos.kp < tt.nmos.kp);
+        assert!(ss.pmos.kp < tt.pmos.kp);
+        // +50mV skew dominates the -2mV/K·58K hot-temperature drop.
+        assert!(ss.nmos.vth < tt.nmos.vth + 50e-3);
+        assert!(ss.vdd < tt.vdd);
+    }
+
+    #[test]
+    fn fast_corner_is_faster_and_lower_vth() {
+        let tt = Corner::nominal();
+        let ff = Corner::ff();
+        assert!(ff.nmos.kp > tt.nmos.kp);
+        assert!(ff.nmos.vth > tt.nmos.vth - 50e-3, "cold raises vth back up");
+        assert!(ff.vdd > tt.vdd);
+    }
+
+    #[test]
+    fn pvt_set_is_three_distinct_named_corners() {
+        let set = Corner::pvt_set();
+        assert_eq!(set.len(), 3);
+        let names: Vec<_> = set.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["tt", "ss", "ff"]);
+        assert_ne!(set[1], set[0]);
+        assert_ne!(set[2], set[0]);
+    }
+
+    #[test]
+    fn temperature_derating_is_monotone() {
+        let hot = skew(PROCESS_180NM_NMOS, 1.0, 0.0, 125.0);
+        let cold = skew(PROCESS_180NM_NMOS, 1.0, 0.0, -40.0);
+        assert!(hot.kp < PROCESS_180NM_NMOS.kp);
+        assert!(cold.kp > PROCESS_180NM_NMOS.kp);
+        assert!(hot.vth < PROCESS_180NM_NMOS.vth);
+        assert!(cold.vth > PROCESS_180NM_NMOS.vth);
+    }
+}

@@ -18,8 +18,9 @@
 
 use easybo_opt::Bounds;
 
-use crate::mosfet::{MosType, Mosfet, VDD_180NM};
-use crate::{Circuit, Performances};
+use crate::corner::Corner;
+use crate::mosfet::{MosType, Mosfet};
+use crate::{Circuit, CornerCircuit, Performances};
 
 /// Load current the regulator is evaluated at (A).
 pub const I_LOAD: f64 = 50e-3;
@@ -92,22 +93,32 @@ impl Ldo {
         Ldo { bounds }
     }
 
-    /// Detailed analysis at the rated load.
+    /// Detailed analysis at the rated load, nominal corner. Bitwise
+    /// identical to `analyze_at(x, &Corner::nominal())`.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != 8`.
     pub fn analyze(&self, x: &[f64]) -> LdoAnalysis {
+        self.analyze_at(x, &Corner::nominal())
+    }
+
+    /// Detailed analysis at an explicit PVT [`Corner`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 8`.
+    pub fn analyze_at(&self, x: &[f64], corner: &Corner) -> LdoAnalysis {
         assert_eq!(x.len(), 8, "LDO expects 8 design variables");
         let x = self.bounds.clamp(x);
         let (w_pass, l_pass, w_ea, l_ea) = (x[0], x[1], x[2], x[3]);
         let (i_ea, c_out, r_esr, r_div) = (x[4], x[5], x[6], x[7]);
 
-        let pass = Mosfet::new(MosType::Pmos, w_pass, l_pass);
-        let ea = Mosfet::new(MosType::Nmos, w_ea, l_ea);
+        let pass = Mosfet::with_process(MosType::Pmos, w_pass, l_pass, corner.pmos);
+        let ea = Mosfet::with_process(MosType::Nmos, w_ea, l_ea, corner.nmos);
 
         // Pass device in triode at dropout: Ron = 1/(K' W/L Vov_max).
-        let vov_max = VDD_180NM - pass.vth();
+        let vov_max = corner.vdd - pass.vth();
         let r_on = 1.0 / (pass.params().kp * pass.aspect() * vov_max);
         let dropout = I_LOAD * r_on;
 
@@ -212,6 +223,26 @@ impl Circuit for Ldo {
     }
 }
 
+impl CornerCircuit for Ldo {
+    fn performances_at(&self, x: &[f64], corner: &Corner) -> Performances {
+        let a = self.analyze_at(x, corner);
+        Performances::new()
+            .with("dropout_v", a.dropout_v)
+            .with("load_reg_mv", a.load_reg_mv)
+            .with("pm_deg", a.pm_deg)
+            .with("i_q_a", a.i_q_a)
+            .with("droop_mv", a.droop_mv)
+    }
+
+    fn fom_at(&self, x: &[f64], corner: &Corner) -> f64 {
+        let a = self.analyze_at(x, corner);
+        let stability = 1.0 / (1.0 + (-(a.pm_deg - 45.0) / 6.0).exp());
+        let quality =
+            -20.0 * a.dropout_v - 0.5 * a.load_reg_mv - 0.05 * a.droop_mv - 50.0 * (a.i_q_a * 1e3);
+        10.0 * stability + quality
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +327,32 @@ mod tests {
         assert_eq!(l.name(), "ldo");
         assert_eq!(l.dim(), 8);
         assert_eq!(l.performances(&nominal()).len(), 5);
+    }
+
+    #[test]
+    fn nominal_corner_is_bitwise_analyze() {
+        let l = ldo();
+        let x = nominal();
+        assert_eq!(l.analyze(&x), l.analyze_at(&x, &Corner::nominal()));
+        assert_eq!(l.fom(&x), l.fom_at(&x, &Corner::nominal()));
+        assert_eq!(
+            l.performances(&x),
+            l.performances_at(&x, &Corner::nominal())
+        );
+    }
+
+    #[test]
+    fn slow_corner_raises_dropout() {
+        // Lower kp and higher |vth| at lower supply → larger Ron.
+        let l = ldo();
+        let x = nominal();
+        let tt = l.analyze_at(&x, &Corner::nominal());
+        let ss = l.analyze_at(&x, &Corner::ss());
+        assert!(
+            ss.dropout_v > tt.dropout_v,
+            "{} vs {}",
+            ss.dropout_v,
+            tt.dropout_v
+        );
     }
 }

@@ -31,13 +31,17 @@
 //! ```
 
 pub mod class_e;
+pub mod corner;
 pub mod ldo;
+pub mod matched;
 pub mod mosfet;
 pub mod opamp;
 pub mod ring_osc;
 pub mod testfns;
 
 use easybo_opt::Bounds;
+
+pub use corner::Corner;
 
 /// A named bundle of circuit performance metrics.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -105,6 +109,19 @@ pub trait Circuit: Send + Sync {
 
     /// The weighted figure of merit to maximize.
     fn fom(&self, x: &[f64]) -> f64;
+}
+
+/// A circuit whose analysis is parameterized by a PVT [`Corner`] — the
+/// hook multi-corner scenarios fan out over. The contract every
+/// implementation upholds (and tests pin): evaluation at
+/// [`Corner::nominal`] is *bitwise identical* to the plain [`Circuit`]
+/// methods, so single-corner runs are unchanged by this trait existing.
+pub trait CornerCircuit: Circuit {
+    /// Performance metrics at design `x` under `corner`.
+    fn performances_at(&self, x: &[f64], corner: &Corner) -> Performances;
+
+    /// Figure of merit at design `x` under `corner`.
+    fn fom_at(&self, x: &[f64], corner: &Corner) -> f64;
 }
 
 #[cfg(test)]

@@ -23,8 +23,9 @@
 
 use easybo_opt::Bounds;
 
-use crate::mosfet::{parallel, MosType, Mosfet, VDD_180NM};
-use crate::{Circuit, Performances};
+use crate::corner::Corner;
+use crate::mosfet::{parallel, MosType, Mosfet};
+use crate::{Circuit, CornerCircuit, Performances};
 
 /// Fixed load capacitance at the output (F).
 const C_LOAD: f64 = 3e-12;
@@ -110,28 +111,40 @@ impl TwoStageOpAmp {
         TwoStageOpAmp { bounds }
     }
 
-    /// Detailed operating-point and small-signal analysis.
+    /// Detailed operating-point and small-signal analysis at the nominal
+    /// corner. Bitwise identical to `analyze_at(x, &Corner::nominal())`.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != 10`.
     pub fn analyze(&self, x: &[f64]) -> OpAmpAnalysis {
+        self.analyze_at(x, &Corner::nominal())
+    }
+
+    /// Detailed analysis at an explicit PVT [`Corner`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 10`.
+    pub fn analyze_at(&self, x: &[f64], corner: &Corner) -> OpAmpAnalysis {
         assert_eq!(x.len(), 10, "op-amp expects 10 design variables");
         let x = self.bounds.clamp(x);
         let (w1, l1, w3, l3, w6, l6) = (x[0], x[1], x[2], x[3], x[4], x[5]);
         let (ib, mb, cc, rz) = (x[6], x[7], x[8], x[9]);
+        let vdd = corner.vdd;
 
         // --- Bias ---------------------------------------------------------
         let i_tail = mb * ib;
         let i1 = 0.5 * i_tail; // per diff-pair branch
         let i6 = 2.0 * i_tail; // second stage (2x mirror)
 
-        let m1 = Mosfet::new(MosType::Nmos, w1, l1);
-        let m3 = Mosfet::new(MosType::Pmos, w3, l3);
-        let m6 = Mosfet::new(MosType::Nmos, w6, l6);
+        let m1 = Mosfet::with_process(MosType::Nmos, w1, l1, corner.nmos);
+        let m3 = Mosfet::with_process(MosType::Pmos, w3, l3, corner.pmos);
+        let m6 = Mosfet::with_process(MosType::Nmos, w6, l6, corner.nmos);
         // Fixed-geometry bias devices: tail mirror and 2nd-stage load.
-        let m_tail = Mosfet::new(MosType::Nmos, (5e-6 * mb).max(1e-6), 0.5e-6);
-        let m7 = Mosfet::new(MosType::Pmos, (2.0 * w3).max(1e-6), l3);
+        let m_tail =
+            Mosfet::with_process(MosType::Nmos, (5e-6 * mb).max(1e-6), 0.5e-6, corner.nmos);
+        let m7 = Mosfet::with_process(MosType::Pmos, (2.0 * w3).max(1e-6), l3, corner.pmos);
 
         // --- Small signal ---------------------------------------------------
         let gm1 = m1.gm_eff(i1);
@@ -212,8 +225,8 @@ impl TwoStageOpAmp {
         let stack1 = m_tail.vdsat(i_tail) + m1.vov_for_id(i1) + m3.vth() + m3.vov_for_id(i1);
         // Output branch: both output devices in saturation with margin.
         let stack2 = m6.vdsat(i6) + m7.vdsat(i6);
-        let viol = (stack1 - (VDD_180NM - HEADROOM_MARGIN)).max(0.0)
-            + (stack2 - (VDD_180NM - 2.0 * HEADROOM_MARGIN)).max(0.0);
+        let viol = (stack1 - (vdd - HEADROOM_MARGIN)).max(0.0)
+            + (stack2 - (vdd - 2.0 * HEADROOM_MARGIN)).max(0.0);
         let penalty = 400.0 * viol * viol + 100.0 * viol;
 
         OpAmpAnalysis {
@@ -284,6 +297,22 @@ impl Circuit for TwoStageOpAmp {
     /// UGF in units of 10 MHz, PM in degrees, minus the headroom penalty.
     fn fom(&self, x: &[f64]) -> f64 {
         let a = self.analyze(x);
+        1.2 * a.gain_db + 10.0 * (a.ugf_hz / 1e7) + 1.6 * a.pm_deg - a.penalty
+    }
+}
+
+impl CornerCircuit for TwoStageOpAmp {
+    fn performances_at(&self, x: &[f64], corner: &Corner) -> Performances {
+        let a = self.analyze_at(x, corner);
+        Performances::new()
+            .with("gain_db", a.gain_db)
+            .with("ugf_hz", a.ugf_hz)
+            .with("pm_deg", a.pm_deg)
+            .with("headroom_violation", a.headroom_violation)
+    }
+
+    fn fom_at(&self, x: &[f64], corner: &Corner) -> f64 {
+        let a = self.analyze_at(x, corner);
         1.2 * a.gain_db + 10.0 * (a.ugf_hz / 1e7) + 1.6 * a.pm_deg - a.penalty
     }
 }
@@ -456,6 +485,32 @@ mod tests {
         let p = amp.performances(&good_design());
         assert_eq!(p.len(), 4);
         assert!(p.get("pm_deg").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn nominal_corner_is_bitwise_analyze() {
+        let amp = amp();
+        let x = good_design();
+        assert_eq!(amp.analyze(&x), amp.analyze_at(&x, &Corner::nominal()));
+        assert_eq!(amp.fom(&x), amp.fom_at(&x, &Corner::nominal()));
+        assert_eq!(
+            amp.performances(&x),
+            amp.performances_at(&x, &Corner::nominal())
+        );
+    }
+
+    #[test]
+    fn corners_change_the_answer() {
+        let amp = amp();
+        let x = good_design();
+        let tt = amp.fom_at(&x, &Corner::nominal());
+        let ss = amp.fom_at(&x, &Corner::ss());
+        let ff = amp.fom_at(&x, &Corner::ff());
+        assert!(ss.is_finite() && ff.is_finite());
+        assert_ne!(tt, ss);
+        assert_ne!(tt, ff);
+        // Slow-cold corner loses gain/bandwidth on a sensible design.
+        assert!(ss < tt, "ss {ss} vs tt {tt}");
     }
 
     #[test]

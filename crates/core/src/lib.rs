@@ -54,7 +54,7 @@ mod surrogate;
 mod weight;
 
 pub use algorithms::{Algorithm, AlgorithmMode, RunSetup};
-pub use constrained::ConstrainedProblem;
+pub use constrained::{ConstrainedPolicy, ConstrainedProblem};
 pub use easybo_exec::{FailureAction, FaultPlan, FaultyBlackBox, RetryPolicy};
 pub use easybo_opt::Parallelism;
 pub use easybo_persist::{load_snapshot, PersistError, RunSnapshot, FORMAT_VERSION};

@@ -273,6 +273,18 @@ impl EasyBo {
         self.max_evals
     }
 
+    pub(crate) fn lambda_value(&self) -> f64 {
+        self.lambda
+    }
+
+    pub(crate) fn surrogate_config_value(&self) -> &SurrogateConfig {
+        &self.surrogate
+    }
+
+    pub(crate) fn acq_config_value(&self) -> AcqOptConfig {
+        self.acq_opt
+    }
+
     /// The configured asynchronous policy as a standalone value — the
     /// same construction every internal entry point uses. External
     /// drivers of `run_session_resilient` (the network session manager,
@@ -375,18 +387,32 @@ impl EasyBo {
     /// Whether the run needs the hooked session driver at all. When
     /// neither checkpointing nor fault injection is configured, the
     /// legacy entry point is used — bit-identical to earlier releases.
-    fn hooks_active(&self) -> bool {
+    pub(crate) fn hooks_active(&self) -> bool {
         self.checkpoint_path.is_some() || self.abort_after.is_some()
+    }
+
+    /// Builds the per-run session hook stamped with this optimizer's own
+    /// configuration fingerprint (the plain-policy entry points).
+    #[allow(clippy::type_complexity)]
+    fn session_hook(
+        &self,
+        baseline: Option<(usize, f64)>,
+    ) -> Box<dyn FnMut(&SessionState, &dyn AsyncPolicy, f64) -> HookAction> {
+        self.session_hook_with(baseline, self.fingerprint())
     }
 
     /// Builds the per-run session hook: fires the checkpoint trigger
     /// (writing a snapshot + emitting `CheckpointWritten`), then applies
     /// the `abort_after_evals` fault injection. Pure observer of the
     /// session — it never perturbs the optimization trajectory.
+    /// `fingerprint` is what snapshots are stamped with; entry points
+    /// whose trajectory depends on more than the builder settings (the
+    /// constrained path) pass an extended fingerprint here.
     #[allow(clippy::type_complexity)]
-    fn session_hook(
+    pub(crate) fn session_hook_with(
         &self,
         baseline: Option<(usize, f64)>,
+        fingerprint: u64,
     ) -> Box<dyn FnMut(&SessionState, &dyn AsyncPolicy, f64) -> HookAction> {
         let mut trigger = if self.checkpoint_path.is_some() {
             CheckpointTrigger::new(
@@ -400,7 +426,6 @@ impl EasyBo {
             trigger.rearm(completed, clock);
         }
         let path = self.checkpoint_path.clone();
-        let fingerprint = self.fingerprint();
         let telemetry = self.telemetry.clone();
         let abort_after = self.abort_after;
         Box::new(
@@ -464,25 +489,28 @@ impl EasyBo {
         )
     }
 
-    /// Loads a snapshot, checks its configuration fingerprint, restores
-    /// the policy's RNG/surrogate state, and rebuilds the session.
-    fn load_session(&self, path: &Path) -> crate::Result<(SessionState, EasyBoAsyncPolicy)> {
+    /// Loads a snapshot, checks its configuration fingerprint against
+    /// `fingerprint`, and rebuilds the session; the raw policy blob (if
+    /// any) is returned for the caller to restore into its own policy.
+    pub(crate) fn load_session_parts(
+        &self,
+        path: &Path,
+        fingerprint: u64,
+    ) -> crate::Result<(SessionState, Option<Vec<u8>>)> {
         let snap = load_snapshot(path)?;
-        let actual = self.fingerprint();
-        if snap.config_fingerprint != actual {
+        if snap.config_fingerprint != fingerprint {
             return Err(PersistError::ConfigMismatch {
                 expected: snap.config_fingerprint,
-                actual,
+                actual: fingerprint,
             }
             .into());
         }
-        let mut policy = self.build_policy();
-        if let Some(blob) = &snap.policy {
-            policy
-                .restore_state(blob)
-                .map_err(|e| EasyBoError::from(PersistError::decode(e)))?;
-        }
-        let session = SessionState::from_parts(snap.session);
+        Ok((SessionState::from_parts(snap.session), snap.policy))
+    }
+
+    /// Rewinds the telemetry clock to the snapshot's and emits
+    /// `RunResumed` — called once the restored policy is ready.
+    pub(crate) fn announce_resume(&self, session: &SessionState) {
         self.telemetry.set_now(session.clock());
         self.telemetry.incr("resumes", 1);
         self.telemetry.emit_at(
@@ -492,6 +520,19 @@ impl EasyBo {
                 inflight: session.inflight().len(),
             },
         );
+    }
+
+    /// Loads a snapshot, checks its configuration fingerprint, restores
+    /// the policy's RNG/surrogate state, and rebuilds the session.
+    fn load_session(&self, path: &Path) -> crate::Result<(SessionState, EasyBoAsyncPolicy)> {
+        let (session, blob) = self.load_session_parts(path, self.fingerprint())?;
+        let mut policy = self.build_policy();
+        if let Some(blob) = &blob {
+            policy
+                .restore_state(blob)
+                .map_err(|e| EasyBoError::from(PersistError::decode(e)))?;
+        }
+        self.announce_resume(&session);
         Ok((session, policy))
     }
 

@@ -95,6 +95,50 @@ fn get_gp_state(r: &mut ByteReader<'_>) -> Result<GpState, PersistError> {
     })
 }
 
+/// Serializes one surrogate manager state (shared by every blob layout).
+fn put_surrogate_state(w: &mut ByteWriter, s: &SurrogateState) {
+    w.put_usize(s.fitted_n);
+    w.put_usize(s.last_trained_n);
+    w.put_f64(s.fence);
+    match &s.warm {
+        Some(warm) => {
+            w.put_bool(true);
+            w.put_f64s(warm);
+        }
+        None => w.put_bool(false),
+    }
+    match &s.gp {
+        Some(gp) => {
+            w.put_bool(true);
+            put_gp_state(w, gp);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_surrogate_state(r: &mut ByteReader<'_>) -> Result<SurrogateState, PersistError> {
+    let fitted_n = r.get_usize()?;
+    let last_trained_n = r.get_usize()?;
+    let fence = r.get_f64()?;
+    let warm = if r.get_bool()? {
+        Some(r.get_f64s()?)
+    } else {
+        None
+    };
+    let gp = if r.get_bool()? {
+        Some(get_gp_state(r)?)
+    } else {
+        None
+    };
+    Ok(SurrogateState {
+        fitted_n,
+        last_trained_n,
+        warm,
+        fence,
+        gp,
+    })
+}
+
 /// Encodes the policy's mutable state into the opaque snapshot blob.
 pub(crate) fn encode_policy_state(
     rng: [u64; 4],
@@ -107,23 +151,7 @@ pub(crate) fn encode_policy_state(
         w.put_u64(word);
     }
     w.put_usize(fallbacks);
-    w.put_usize(surrogate.fitted_n);
-    w.put_usize(surrogate.last_trained_n);
-    w.put_f64(surrogate.fence);
-    match &surrogate.warm {
-        Some(warm) => {
-            w.put_bool(true);
-            w.put_f64s(warm);
-        }
-        None => w.put_bool(false),
-    }
-    match &surrogate.gp {
-        Some(gp) => {
-            w.put_bool(true);
-            put_gp_state(&mut w, gp);
-        }
-        None => w.put_bool(false),
-    }
+    put_surrogate_state(&mut w, surrogate);
     w.into_bytes()
 }
 
@@ -142,30 +170,12 @@ pub(crate) fn decode_policy_state(bytes: &[u8]) -> Result<PolicyStateBlob, Persi
         *word = r.get_u64()?;
     }
     let fallbacks = r.get_usize()?;
-    let fitted_n = r.get_usize()?;
-    let last_trained_n = r.get_usize()?;
-    let fence = r.get_f64()?;
-    let warm = if r.get_bool()? {
-        Some(r.get_f64s()?)
-    } else {
-        None
-    };
-    let gp = if r.get_bool()? {
-        Some(get_gp_state(&mut r)?)
-    } else {
-        None
-    };
+    let surrogate = get_surrogate_state(&mut r)?;
     r.finish("policy state blob")?;
     Ok(PolicyStateBlob {
         rng,
         fallbacks,
-        surrogate: SurrogateState {
-            fitted_n,
-            last_trained_n,
-            warm,
-            fence,
-            gp,
-        },
+        surrogate,
     })
 }
 
@@ -214,23 +224,7 @@ fn put_policy_core(w: &mut ByteWriter, rng: [u64; 4], fallbacks: usize, s: &Surr
         w.put_u64(word);
     }
     w.put_usize(fallbacks);
-    w.put_usize(s.fitted_n);
-    w.put_usize(s.last_trained_n);
-    w.put_f64(s.fence);
-    match &s.warm {
-        Some(warm) => {
-            w.put_bool(true);
-            w.put_f64s(warm);
-        }
-        None => w.put_bool(false),
-    }
-    match &s.gp {
-        Some(gp) => {
-            w.put_bool(true);
-            put_gp_state(w, gp);
-        }
-        None => w.put_bool(false),
-    }
+    put_surrogate_state(w, s);
 }
 
 fn get_policy_core(r: &mut ByteReader<'_>) -> Result<PolicyStateBlob, PersistError> {
@@ -239,29 +233,11 @@ fn get_policy_core(r: &mut ByteReader<'_>) -> Result<PolicyStateBlob, PersistErr
         *word = r.get_u64()?;
     }
     let fallbacks = r.get_usize()?;
-    let fitted_n = r.get_usize()?;
-    let last_trained_n = r.get_usize()?;
-    let fence = r.get_f64()?;
-    let warm = if r.get_bool()? {
-        Some(r.get_f64s()?)
-    } else {
-        None
-    };
-    let gp = if r.get_bool()? {
-        Some(get_gp_state(r)?)
-    } else {
-        None
-    };
+    let surrogate = get_surrogate_state(r)?;
     Ok(PolicyStateBlob {
         rng,
         fallbacks,
-        surrogate: SurrogateState {
-            fitted_n,
-            last_trained_n,
-            warm,
-            fence,
-            gp,
-        },
+        surrogate,
     })
 }
 
@@ -411,6 +387,100 @@ pub(crate) fn decode_standard_state(bytes: &[u8]) -> Result<PolicyStateBlob, Per
     let core = get_policy_core(&mut r)?;
     r.finish("standard-acquisition policy state blob")?;
     Ok(core)
+}
+
+/// Kind tag of [`ConstrainedPolicy`] blobs (`"CNST"` little-endian).
+///
+/// [`ConstrainedPolicy`]: crate::constrained::ConstrainedPolicy
+pub(crate) const CONSTRAINED_BLOB_TAG: u32 = u32::from_le_bytes(*b"CNST");
+/// Layout version of [`ConstrainedPolicy`] blobs.
+///
+/// [`ConstrainedPolicy`]: crate::constrained::ConstrainedPolicy
+pub(crate) const CONSTRAINED_BLOB_VERSION: u32 = 1;
+
+/// Decoded state of a [`ConstrainedPolicy`] blob. Slack observations are
+/// *not* serialized: they are a pure deterministic function of the
+/// dataset (re-derived by `sync_slacks` on resume), so persisting them
+/// would only create a second source of truth.
+///
+/// [`ConstrainedPolicy`]: crate::constrained::ConstrainedPolicy
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ConstrainedStateBlob {
+    /// Shared core (RNG, fallbacks, objective surrogate).
+    pub core: PolicyStateBlob,
+    /// Completed observations whose spec telemetry was already emitted
+    /// (prevents duplicate events after a resume).
+    pub announced: u64,
+    /// Feasible completed observations seen so far.
+    pub feasible: u64,
+    /// Best feasible objective value seen so far.
+    pub best_feasible: Option<f64>,
+    /// One surrogate manager state per constraint, in constraint order.
+    pub constraints: Vec<SurrogateState>,
+}
+
+/// Encodes [`ConstrainedPolicy`] state (layout `CNST` v1).
+///
+/// [`ConstrainedPolicy`]: crate::constrained::ConstrainedPolicy
+pub(crate) fn encode_constrained_state(
+    rng: [u64; 4],
+    fallbacks: usize,
+    announced: u64,
+    feasible: u64,
+    best_feasible: Option<f64>,
+    surrogate: &SurrogateState,
+    constraints: &[SurrogateState],
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(CONSTRAINED_BLOB_TAG);
+    w.put_u32(CONSTRAINED_BLOB_VERSION);
+    w.put_u64(announced);
+    w.put_u64(feasible);
+    match best_feasible {
+        Some(v) => {
+            w.put_bool(true);
+            w.put_f64(v);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_u32(constraints.len() as u32);
+    for c in constraints {
+        put_surrogate_state(&mut w, c);
+    }
+    put_policy_core(&mut w, rng, fallbacks, surrogate);
+    w.into_bytes()
+}
+
+/// Decodes a blob written by [`encode_constrained_state`].
+pub(crate) fn decode_constrained_state(bytes: &[u8]) -> Result<ConstrainedStateBlob, PersistError> {
+    let mut r = ByteReader::new(bytes);
+    check_tag_and_version(
+        &mut r,
+        "constrained",
+        CONSTRAINED_BLOB_TAG,
+        CONSTRAINED_BLOB_VERSION,
+    )?;
+    let announced = r.get_u64()?;
+    let feasible = r.get_u64()?;
+    let best_feasible = if r.get_bool()? {
+        Some(r.get_f64()?)
+    } else {
+        None
+    };
+    let k = r.get_u32()? as usize;
+    let mut constraints = Vec::with_capacity(k.min(1024));
+    for _ in 0..k {
+        constraints.push(get_surrogate_state(&mut r)?);
+    }
+    let core = get_policy_core(&mut r)?;
+    r.finish("constrained policy state blob")?;
+    Ok(ConstrainedStateBlob {
+        core,
+        announced,
+        feasible,
+        best_feasible,
+        constraints,
+    })
 }
 
 /// Streaming FNV-1a (64-bit) hasher for the snapshot's configuration
@@ -572,6 +642,59 @@ mod tests {
         assert_eq!(blob.fallbacks, 1);
         let re = encode_standard_state(blob.rng, blob.fallbacks, &blob.surrogate);
         assert_eq!(re, bytes);
+    }
+
+    #[test]
+    fn constrained_blob_round_trips() {
+        let state = sample_surrogate_state();
+        let cons = vec![
+            sample_surrogate_state(),
+            SurrogateState {
+                fitted_n: 0,
+                last_trained_n: 0,
+                warm: None,
+                fence: f64::NEG_INFINITY,
+                gp: None,
+            },
+        ];
+        let bytes = encode_constrained_state([8, 6, 7, 5], 3, 14, 9, Some(101.5), &state, &cons);
+        let blob = decode_constrained_state(&bytes).unwrap();
+        assert_eq!(blob.core.rng, [8, 6, 7, 5]);
+        assert_eq!(blob.core.fallbacks, 3);
+        assert_eq!(blob.announced, 14);
+        assert_eq!(blob.feasible, 9);
+        assert_eq!(blob.best_feasible, Some(101.5));
+        assert_eq!(blob.constraints.len(), 2);
+        let re = encode_constrained_state(
+            blob.core.rng,
+            blob.core.fallbacks,
+            blob.announced,
+            blob.feasible,
+            blob.best_feasible,
+            &blob.core.surrogate,
+            &blob.constraints,
+        );
+        assert_eq!(re, bytes);
+
+        // No constraints, no feasible point yet.
+        let bytes = encode_constrained_state([1; 4], 0, 0, 0, None, &state, &[]);
+        let blob = decode_constrained_state(&bytes).unwrap();
+        assert_eq!(blob.best_feasible, None);
+        assert!(blob.constraints.is_empty());
+    }
+
+    #[test]
+    fn constrained_blob_rejects_other_policies_and_truncation() {
+        let state = sample_surrogate_state();
+        let std_blob = encode_standard_state([1, 2, 3, 4], 0, &state);
+        let err = decode_constrained_state(&std_blob).unwrap_err().to_string();
+        assert!(err.contains("constrained"), "{err}");
+        let bytes = encode_constrained_state([1; 4], 0, 2, 1, None, &state, &[]);
+        assert!(decode_constrained_state(&bytes[..bytes.len() - 2]).is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 0xfe;
+        let err = decode_constrained_state(&bad).unwrap_err().to_string();
+        assert!(err.contains("constrained policy blob version"), "{err}");
     }
 
     #[test]

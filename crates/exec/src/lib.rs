@@ -29,6 +29,7 @@
 
 mod blackbox;
 mod dataset;
+mod fanout;
 pub mod fault;
 mod retry;
 mod schedule;
@@ -40,6 +41,7 @@ mod virtual_exec;
 
 pub use blackbox::{AttemptContext, BlackBox, CostedFunction, EvalOutcome, Evaluation};
 pub use dataset::{BusyPoint, Dataset};
+pub use fanout::FanOutBlackBox;
 pub use fault::{FaultPlan, FaultyBlackBox};
 pub use retry::{FailureAction, RetryPolicy};
 pub use schedule::{Schedule, TaskSpan};

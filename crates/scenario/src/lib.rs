@@ -1,0 +1,52 @@
+//! Constrained sizing scenario zoo for the EasyBO reproduction.
+//!
+//! Real analog sizing briefs are never "maximize one scalar over a box".
+//! They come with *structure* the raw optimizer cannot see:
+//!
+//! 1. **parameter constraints** — matched pairs and mirror ratios are
+//!    equalities between device parameters; [`ParamSpace`] eliminates
+//!    the dependent variables so the GP searches a strictly smaller
+//!    *reduced* space and the equalities hold bitwise by construction;
+//! 2. **design specs** — inequality requirements over the circuit's
+//!    [`Performances`](easybo_circuits::Performances) bundle; each
+//!    [`Spec`] compiles to one constraint GP of the probability-of-
+//!    feasibility layer, so the optimizer reports the best *feasible*
+//!    design, not the best number;
+//! 3. **corners** — sign-off re-simulates every candidate at a PVT
+//!    [`Corner`](easybo_circuits::Corner) set and keeps the worst case;
+//!    a [`Scenario`] fans each query out through the executor's
+//!    multi-corner black box.
+//!
+//! A [`Scenario`] bundles all three with a circuit and runs constrained
+//! asynchronous EasyBO end-to-end:
+//!
+//! ```
+//! use easybo_scenario::zoo;
+//!
+//! # fn main() -> easybo::Result<()> {
+//! let scenario = zoo::matched_opamp();
+//! // 14 raw device parameters, 10 searched: the matched pairs are linked.
+//! assert_eq!(scenario.space().raw_dim(), 14);
+//! assert_eq!(scenario.space().reduced_dim(), 10);
+//! let mut opt = scenario.optimizer();
+//! opt.initial_points(6).max_evals(10).seed(7);
+//! let outcome = scenario.run_with(&opt)?;
+//! assert_eq!(outcome.best_full.len(), 14);
+//! // Every spec holds at the reported incumbent.
+//! assert!(outcome.best_slacks.iter().all(|s| *s >= 0.0));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Runs are bit-identical across the executor `parallelism` knob and
+//! survive kill/resume byte-identically — the scenario layer adds no
+//! nondeterminism on top of the constrained optimizer's guarantees.
+
+pub mod params;
+pub mod scenario;
+pub mod spec;
+pub mod zoo;
+
+pub use params::{Link, ParamSpace};
+pub use scenario::{Scenario, ScenarioOutcome};
+pub use spec::Spec;

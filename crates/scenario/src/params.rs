@@ -1,0 +1,324 @@
+//! The parameter-constraint layer: named design variables with
+//! equality/expression links that shrink the search space the optimizer
+//! actually sees.
+//!
+//! Analog sizing constraints like "the diff-pair halves match"
+//! (`w1b = w1a`) or "the output mirror is 2× the reference"
+//! (`w_out = 2·w_mirror`) are *equalities*, not inequalities — handled
+//! best by eliminating variables, not by penalties. A [`ParamSpace`]
+//! records one [`Link`] per raw parameter; linked parameters are
+//! reconstructed deterministically from their source, and the GP only
+//! ever models the free (reduced) coordinates.
+//!
+//! The projection contract, pinned by property tests:
+//!
+//! * `to_reduced(to_full(r)) == r` **bitwise** — free values pass
+//!   through untouched;
+//! * a [`Link::Copy`] target is **bitwise equal** to its source in the
+//!   full vector (no arithmetic touches it);
+//! * `to_full` output always respects the free parameters' bounds when
+//!   the reduced input does.
+
+use easybo_opt::Bounds;
+
+/// How one raw parameter gets its value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Link {
+    /// A coordinate of the reduced space: the optimizer chooses it.
+    Free,
+    /// Equality link: bitwise copy of the raw parameter at this index.
+    Copy(usize),
+    /// Expression link: `factor ×` the raw parameter at this index.
+    Scaled(usize, f64),
+}
+
+/// A named, box-bounded raw design space plus the link structure that
+/// projects it down to the reduced space the optimizer searches.
+///
+/// # Example
+///
+/// ```
+/// use easybo_scenario::ParamSpace;
+///
+/// let space = ParamSpace::new(vec![
+///     ("w1", 1.0, 10.0),
+///     ("w2", 1.0, 10.0),
+///     ("w_out", 1.0, 40.0),
+/// ])
+/// .link("w2", "w1")               // matched pair
+/// .link_scaled("w_out", "w1", 2.0); // 2x mirror
+/// assert_eq!(space.raw_dim(), 3);
+/// assert_eq!(space.reduced_dim(), 1);
+/// let full = space.to_full(&[3.0]);
+/// assert_eq!(full, vec![3.0, 3.0, 6.0]);
+/// assert_eq!(space.to_reduced(&full), vec![3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    names: Vec<&'static str>,
+    full_bounds: Vec<(f64, f64)>,
+    links: Vec<Link>,
+}
+
+impl ParamSpace {
+    /// Creates a space of all-free parameters from `(name, lo, hi)`
+    /// triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list, duplicate names, non-finite or inverted
+    /// bounds.
+    pub fn new(params: Vec<(&'static str, f64, f64)>) -> Self {
+        assert!(!params.is_empty(), "parameter space cannot be empty");
+        let mut names = Vec::with_capacity(params.len());
+        let mut full_bounds = Vec::with_capacity(params.len());
+        for (name, lo, hi) in params {
+            assert!(
+                lo.is_finite() && hi.is_finite() && lo < hi,
+                "parameter {name:?} has invalid bounds [{lo}, {hi}]"
+            );
+            assert!(!names.contains(&name), "duplicate parameter name {name:?}");
+            names.push(name);
+            full_bounds.push((lo, hi));
+        }
+        let links = vec![Link::Free; names.len()];
+        ParamSpace {
+            names,
+            full_bounds,
+            links,
+        }
+    }
+
+    fn index_of(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+    }
+
+    /// Validates a prospective `target = f(source)` link and returns the
+    /// two raw indices.
+    fn validate_link(&self, target: &str, source: &str) -> (usize, usize) {
+        let t = self.index_of(target);
+        let s = self.index_of(source);
+        assert_ne!(t, s, "cannot link parameter {target:?} to itself");
+        assert_eq!(
+            self.links[t],
+            Link::Free,
+            "parameter {target:?} is already linked"
+        );
+        assert_eq!(
+            self.links[s],
+            Link::Free,
+            "link source {source:?} must be a free parameter"
+        );
+        assert!(
+            !self.links.iter().any(|l| matches!(
+                l,
+                Link::Copy(i) | Link::Scaled(i, _) if *i == t
+            )),
+            "parameter {target:?} is the source of another link"
+        );
+        (t, s)
+    }
+
+    /// Adds the equality link `target = source` (builder style). The
+    /// target leaves the reduced space; its full-vector value is a
+    /// bitwise copy of the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names, self-links, re-linking an already
+    /// linked target, or a source that is itself linked (chains must be
+    /// expressed against the free root).
+    pub fn link(mut self, target: &'static str, source: &'static str) -> Self {
+        let (t, s) = self.validate_link(target, source);
+        self.links[t] = Link::Copy(s);
+        self
+    }
+
+    /// Adds the expression link `target = factor × source` (builder
+    /// style).
+    ///
+    /// # Panics
+    ///
+    /// As [`ParamSpace::link`], plus non-finite or non-positive
+    /// `factor`.
+    pub fn link_scaled(mut self, target: &'static str, source: &'static str, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "link factor must be finite and positive, got {factor}"
+        );
+        let (t, s) = self.validate_link(target, source);
+        self.links[t] = Link::Scaled(s, factor);
+        self
+    }
+
+    /// Number of raw parameters.
+    pub fn raw_dim(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of free (searchable) parameters.
+    pub fn reduced_dim(&self) -> usize {
+        self.links.iter().filter(|l| **l == Link::Free).count()
+    }
+
+    /// Raw parameter names, in raw index order.
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// The link of each raw parameter, in raw index order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Raw indices of the free parameters, in raw index order — the
+    /// coordinate order of the reduced space.
+    pub fn free_indices(&self) -> Vec<usize> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == Link::Free)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The reduced search space: the free parameters' bounds, in raw
+    /// index order.
+    pub fn reduced_bounds(&self) -> Bounds {
+        let pairs: Vec<(f64, f64)> = self
+            .free_indices()
+            .into_iter()
+            .map(|i| self.full_bounds[i])
+            .collect();
+        Bounds::new(pairs).expect("free-parameter bounds validated at construction")
+    }
+
+    /// Projects a reduced point up to the raw space: free values are
+    /// written through verbatim, then every link is resolved from its
+    /// (free) source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced.len() != reduced_dim()`.
+    pub fn to_full(&self, reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            reduced.len(),
+            self.reduced_dim(),
+            "reduced point has wrong dimension"
+        );
+        let mut full = vec![0.0; self.raw_dim()];
+        let mut next = 0;
+        for (i, link) in self.links.iter().enumerate() {
+            if *link == Link::Free {
+                full[i] = reduced[next];
+                next += 1;
+            }
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            match *link {
+                Link::Free => {}
+                Link::Copy(s) => full[i] = full[s],
+                Link::Scaled(s, k) => full[i] = k * full[s],
+            }
+        }
+        full
+    }
+
+    /// Projects a raw point down to the reduced space by reading the
+    /// free coordinates (link targets are simply dropped — if the raw
+    /// point violates its links, that information is lost, which is why
+    /// the optimizer only ever works in the reduced space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len() != raw_dim()`.
+    pub fn to_reduced(&self, full: &[f64]) -> Vec<f64> {
+        assert_eq!(full.len(), self.raw_dim(), "raw point has wrong dimension");
+        self.free_indices().into_iter().map(|i| full[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ("a", 0.0, 1.0),
+            ("b", 0.0, 1.0),
+            ("c", 0.0, 4.0),
+            ("d", -1.0, 1.0),
+        ])
+        .link("b", "a")
+        .link_scaled("c", "a", 3.0)
+    }
+
+    #[test]
+    fn projection_shapes() {
+        let s = space();
+        assert_eq!(s.raw_dim(), 4);
+        assert_eq!(s.reduced_dim(), 2);
+        assert_eq!(s.free_indices(), vec![0, 3]);
+        assert_eq!(s.reduced_bounds().pairs(), &[(0.0, 1.0), (-1.0, 1.0)]);
+    }
+
+    #[test]
+    fn links_resolve_and_copies_are_bitwise() {
+        let s = space();
+        let r = vec![0.1 + 0.2, -0.5]; // deliberately non-representable value
+        let full = s.to_full(&r);
+        assert_eq!(full[0].to_bits(), r[0].to_bits());
+        assert_eq!(full[1].to_bits(), full[0].to_bits(), "Copy is bitwise");
+        assert_eq!(full[2], 3.0 * full[0]);
+        assert_eq!(full[3].to_bits(), r[1].to_bits());
+        let back = s.to_reduced(&full);
+        assert_eq!(back.len(), 2);
+        for (a, b) in back.iter().zip(&r) {
+            assert_eq!(a.to_bits(), b.to_bits(), "round trip is bitwise");
+        }
+    }
+
+    #[test]
+    fn all_free_space_is_identity() {
+        let s = ParamSpace::new(vec![("x", 0.0, 1.0), ("y", 0.0, 1.0)]);
+        assert_eq!(s.reduced_dim(), 2);
+        let r = vec![0.25, 0.75];
+        assert_eq!(s.to_full(&r), r);
+        assert_eq!(s.to_reduced(&r), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "already linked")]
+    fn double_link_is_rejected() {
+        let _ = space().link("b", "d");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a free parameter")]
+    fn chained_link_is_rejected() {
+        let _ = space().link("d", "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn unknown_name_is_rejected() {
+        let _ = space().link("d", "nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "source of another link")]
+    fn linking_a_source_is_rejected() {
+        // `a` is the source of b and c; making it a target would chain.
+        let _ = space().link("a", "d");
+    }
+
+    #[test]
+    #[should_panic(expected = "link factor")]
+    fn bad_factor_is_rejected() {
+        let _ =
+            ParamSpace::new(vec![("x", 0.0, 1.0), ("y", 0.0, 1.0)]).link_scaled("y", "x", f64::NAN);
+    }
+}

@@ -1,0 +1,134 @@
+//! The spec layer: named inequality design specifications compiled from
+//! a circuit's [`Performances`] bundle into the `c(x) ≥ 0` slack
+//! convention of constrained EasyBO.
+//!
+//! A sizing brief reads "phase margin at least 50°, quiescent current at
+//! most 200µA". Each line becomes one [`Spec`]; its [`Spec::slack`] is
+//! positive when satisfied, negative when violated, and its name (e.g.
+//! `pm_deg>=50`) travels through `SpecViolated` telemetry events.
+
+use easybo_circuits::Performances;
+
+/// Direction of a spec inequality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecOp {
+    /// `metric ≥ threshold`.
+    AtLeast,
+    /// `metric ≤ threshold`.
+    AtMost,
+}
+
+/// One named inequality over a circuit performance metric.
+///
+/// # Example
+///
+/// ```
+/// use easybo_circuits::Performances;
+/// use easybo_scenario::Spec;
+///
+/// let pm = Spec::at_least("pm_deg", 50.0);
+/// assert_eq!(pm.name(), "pm_deg>=50");
+/// let perf = Performances::new().with("pm_deg", 61.5);
+/// assert!(pm.slack(&perf) > 0.0); // satisfied by 11.5 degrees
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    name: String,
+    metric: &'static str,
+    op: SpecOp,
+    threshold: f64,
+}
+
+impl Spec {
+    /// Spec `metric ≥ threshold`, named `{metric}>={threshold}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite threshold.
+    pub fn at_least(metric: &'static str, threshold: f64) -> Self {
+        assert!(threshold.is_finite(), "spec threshold must be finite");
+        Spec {
+            name: format!("{metric}>={threshold}"),
+            metric,
+            op: SpecOp::AtLeast,
+            threshold,
+        }
+    }
+
+    /// Spec `metric ≤ threshold`, named `{metric}<={threshold}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite threshold.
+    pub fn at_most(metric: &'static str, threshold: f64) -> Self {
+        assert!(threshold.is_finite(), "spec threshold must be finite");
+        Spec {
+            name: format!("{metric}<={threshold}"),
+            metric,
+            op: SpecOp::AtMost,
+            threshold,
+        }
+    }
+
+    /// The spec's display/telemetry name — free of `"` and `\` by
+    /// construction (metric names are static identifiers and the
+    /// threshold renders as a number).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The performance metric this spec constrains.
+    pub fn metric(&self) -> &'static str {
+        self.metric
+    }
+
+    /// The threshold value.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Signed slack of the spec at `perf`: `≥ 0` feasible, `< 0`
+    /// violated. A bundle missing the metric is treated as maximally
+    /// infeasible (`-∞`) — a spec against a metric the circuit never
+    /// reports must fail loudly, not silently pass.
+    pub fn slack(&self, perf: &Performances) -> f64 {
+        match perf.get(self.metric) {
+            Some(v) => match self.op {
+                SpecOp::AtLeast => v - self.threshold,
+                SpecOp::AtMost => self.threshold - v,
+            },
+            None => f64::NEG_INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_jsonl_safe_and_descriptive() {
+        assert_eq!(Spec::at_least("gain_db", 55.0).name(), "gain_db>=55");
+        assert_eq!(Spec::at_most("i_q_a", 2e-4).name(), "i_q_a<=0.0002");
+        let name = Spec::at_most("dropout_v", 0.1).name().to_string();
+        assert!(!name.contains('"') && !name.contains('\\'));
+    }
+
+    #[test]
+    fn slack_signs_follow_the_inequality() {
+        let perf = Performances::new().with("pm_deg", 48.0).with("i_q_a", 1e-4);
+        assert_eq!(Spec::at_least("pm_deg", 50.0).slack(&perf), -2.0);
+        assert_eq!(Spec::at_least("pm_deg", 45.0).slack(&perf), 3.0);
+        assert!(Spec::at_most("i_q_a", 2e-4).slack(&perf) > 0.0);
+        assert!(Spec::at_most("i_q_a", 0.5e-4).slack(&perf) < 0.0);
+    }
+
+    #[test]
+    fn missing_metric_is_infeasible() {
+        let perf = Performances::new().with("pm_deg", 60.0);
+        assert_eq!(
+            Spec::at_least("nonexistent", 1.0).slack(&perf),
+            f64::NEG_INFINITY
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The scenario zoo: ready-made constrained sizing briefs over the
+//! analytical circuit models, each tying a circuit to its matching
+//! constraints, specs and corner set.
+//!
+//! * [`matched_opamp`] — the two-stage Miller op-amp with its symmetric
+//!   pairs *linked*, so the optimizer searches 10 dimensions instead of
+//!   14 and matching holds exactly (not approximately via a mismatch
+//!   penalty).
+//! * [`multicorner_ldo`] — the LDO regulator signed off at the full
+//!   `tt/ss/ff` PVT set, with stability, dropout and quiescent-current
+//!   specs that must hold at *every* corner.
+
+use easybo_circuits::ldo::Ldo;
+use easybo_circuits::matched::MatchedOpAmp;
+use easybo_circuits::Corner;
+
+use crate::params::ParamSpace;
+use crate::scenario::Scenario;
+use crate::spec::Spec;
+
+/// The matched-pair two-stage op-amp scenario: 14 raw device parameters
+/// reduced to 10 by the symmetry links `w1b = w1a`, `l1b = l1a`,
+/// `w3b = w3a`, `l3b = l3a`, with minimum-gain and phase-margin specs
+/// at the nominal corner.
+pub fn matched_opamp() -> Scenario {
+    let space = ParamSpace::new(vec![
+        ("w1a", 5e-6, 100e-6),
+        ("l1a", 0.18e-6, 1e-6),
+        ("w1b", 5e-6, 100e-6),
+        ("l1b", 0.18e-6, 1e-6),
+        ("w3a", 2e-6, 60e-6),
+        ("l3a", 0.18e-6, 1e-6),
+        ("w3b", 2e-6, 60e-6),
+        ("l3b", 0.18e-6, 1e-6),
+        ("w6", 10e-6, 200e-6),
+        ("l6", 0.18e-6, 1e-6),
+        ("ib", 5e-6, 50e-6),
+        ("mb", 1.0, 8.0),
+        ("cc", 0.2e-12, 3e-12),
+        ("rz", 300.0, 10e3),
+    ])
+    .link("w1b", "w1a")
+    .link("l1b", "l1a")
+    .link("w3b", "w3a")
+    .link("l3b", "l3a");
+    Scenario::new("matched-opamp", MatchedOpAmp::new(), space)
+        .with_spec(Spec::at_least("gain_db", 55.0))
+        .with_spec(Spec::at_least("pm_deg", 50.0))
+}
+
+/// The multi-corner LDO scenario: all eight regulator parameters free,
+/// signed off over [`Corner::pvt_set`] with worst-case phase-margin,
+/// dropout and quiescent-current specs.
+pub fn multicorner_ldo() -> Scenario {
+    let space = ParamSpace::new(vec![
+        ("w_pass", 500e-6, 10000e-6),
+        ("l_pass", 0.18e-6, 0.5e-6),
+        ("w_ea", 2e-6, 50e-6),
+        ("l_ea", 0.2e-6, 2e-6),
+        ("i_ea", 2e-6, 100e-6),
+        ("c_out", 0.1e-6, 10e-6),
+        ("r_esr", 1e-3, 1.0),
+        ("r_div", 10e3, 1e6),
+    ]);
+    Scenario::new("multicorner-ldo", Ldo::new(), space)
+        .with_corners(Corner::pvt_set())
+        .with_spec(Spec::at_least("pm_deg", 50.0))
+        .with_spec(Spec::at_most("dropout_v", 0.1))
+        .with_spec(Spec::at_most("i_q_a", 2e-4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easybo_circuits::Circuit;
+
+    /// The known-good matched design (mirrors the circuit crate's own
+    /// test point).
+    fn matched_design() -> Vec<f64> {
+        vec![
+            30e-6, 0.5e-6, // w1a, l1a
+            30e-6, 0.5e-6, // w1b, l1b
+            20e-6, 0.5e-6, // w3a, l3a
+            20e-6, 0.5e-6, // w3b, l3b
+            80e-6, 0.3e-6, // w6, l6
+            30e-6, 4.0, // ib, mb
+            1.5e-12, 3e3, // cc, rz
+        ]
+    }
+
+    /// The known-good LDO sizing (mirrors the circuit crate's own test
+    /// point).
+    fn ldo_nominal_design() -> Vec<f64> {
+        vec![4000e-6, 0.18e-6, 20e-6, 0.5e-6, 30e-6, 4e-6, 0.2, 100e3]
+    }
+
+    #[test]
+    fn matched_opamp_reduces_the_search_space() {
+        let s = matched_opamp();
+        assert_eq!(s.space().raw_dim(), 14);
+        assert_eq!(s.space().reduced_dim(), 10);
+        assert!(s.space().reduced_dim() < MatchedOpAmp::new().dim());
+        // Bounds in the space agree with the circuit's own bounds.
+        let circuit_pairs = MatchedOpAmp::new().bounds().pairs().to_vec();
+        let mut rebuilt = vec![(0.0, 0.0); 14];
+        for (i, &(lo, hi)) in circuit_pairs.iter().enumerate() {
+            rebuilt[i] = (lo, hi);
+        }
+        let full = s.space().to_full(&s.reduced_bounds().center());
+        for (v, &(lo, hi)) in full.iter().zip(&rebuilt) {
+            assert!(lo <= *v && *v <= hi);
+        }
+    }
+
+    #[test]
+    fn matched_opamp_good_design_is_feasible() {
+        let s = matched_opamp();
+        let reduced = s.space().to_reduced(&matched_design());
+        // matched_design has identical pair halves, so the projection
+        // round-trips onto the same raw point.
+        assert_eq!(s.space().to_full(&reduced), matched_design());
+        for (j, slack) in s.spec_slacks(&reduced).iter().enumerate() {
+            assert!(*slack >= 0.0, "spec {j} violated by the known-good design");
+        }
+    }
+
+    #[test]
+    fn multicorner_ldo_nominal_design_passes_all_corners() {
+        let s = multicorner_ldo();
+        let good = ldo_nominal_design();
+        let reduced = s.space().to_reduced(&good);
+        for (j, slack) in s.spec_slacks(&reduced).iter().enumerate() {
+            assert!(*slack >= 0.0, "spec {j} violated at some corner");
+        }
+        // The center of the space is *not* feasible — the specs bite.
+        let center = s.reduced_bounds().center();
+        assert!(s.spec_slacks(&center).iter().any(|sl| *sl < 0.0));
+    }
+
+    #[test]
+    fn zoo_scenarios_have_distinct_names_and_corners() {
+        let a = matched_opamp();
+        let b = multicorner_ldo();
+        assert_ne!(a.name(), b.name());
+        assert_eq!(a.corners().len(), 1);
+        assert_eq!(b.corners().len(), 3);
+        assert_eq!(b.specs().len(), 3);
+    }
+}

@@ -130,6 +130,25 @@ pub enum Event {
         /// Interrupted in-flight attempts re-issued by the rehydration.
         inflight: usize,
     },
+    /// A completed evaluation violated a named design spec (constrained
+    /// runs only). `spec` must stay free of `"` and `\` so the
+    /// restricted JSONL encoding round-trips.
+    SpecViolated {
+        /// Task id of the evaluation.
+        task: usize,
+        /// Name of the violated spec (e.g. `pm_deg>=50`).
+        spec: String,
+        /// Signed slack of the spec at the point (negative = violated).
+        slack: f64,
+    },
+    /// A completed evaluation satisfied every spec and improved on the
+    /// best feasible objective seen so far (constrained runs only).
+    FeasibleIncumbent {
+        /// Task id of the evaluation.
+        task: usize,
+        /// Feasible objective value that became the incumbent.
+        value: f64,
+    },
     /// A named phase opened on the run timeline (RAII: paired with the
     /// [`Event::SpanEnd`] carrying the same id). Spans nest — `parent`
     /// is the id of the enclosing open span on the same thread, or `0`
@@ -172,6 +191,8 @@ impl Event {
             Event::RunResumed { .. } => "RunResumed",
             Event::SessionEvicted { .. } => "SessionEvicted",
             Event::SessionRehydrated { .. } => "SessionRehydrated",
+            Event::SpecViolated { .. } => "SpecViolated",
+            Event::FeasibleIncumbent { .. } => "FeasibleIncumbent",
             Event::SpanStart { .. } => "SpanStart",
             Event::SpanEnd { .. } => "SpanEnd",
         }

@@ -107,6 +107,15 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             session: u64_field(line, "session")?,
             inflight: usize_field(line, "inflight")?,
         },
+        "SpecViolated" => Event::SpecViolated {
+            task: usize_field(line, "task")?,
+            spec: str_field(line, "spec")?.to_string(),
+            slack: num_field(line, "slack")?,
+        },
+        "FeasibleIncumbent" => Event::FeasibleIncumbent {
+            task: usize_field(line, "task")?,
+            value: num_field(line, "value")?,
+        },
         "SpanStart" => Event::SpanStart {
             id: u64_field(line, "id")?,
             parent: u64_field(line, "parent")?,
@@ -278,6 +287,21 @@ mod tests {
             event: Event::RunResumed {
                 completed: 12,
                 inflight: 3,
+            },
+        });
+        roundtrip(TimedEvent {
+            time: 9.0,
+            event: Event::SpecViolated {
+                task: 17,
+                spec: "pm_deg>=50".to_string(),
+                slack: -3.25,
+            },
+        });
+        roundtrip(TimedEvent {
+            time: 9.5,
+            event: Event::FeasibleIncumbent {
+                task: 18,
+                value: 123.456789,
             },
         });
         roundtrip(TimedEvent {

@@ -45,9 +45,18 @@ pub struct SummaryData {
     pub resumes: usize,
     /// `SpanStart` count (phases opened on the run timeline).
     pub spans: usize,
+    /// `SpecViolated` count (spec × evaluation violations, constrained
+    /// runs only).
+    pub spec_violations: usize,
+    /// `FeasibleIncumbent` count (feasible best-so-far improvements,
+    /// constrained runs only).
+    pub feasible_incumbents: usize,
     /// Best objective value observed so far (max over
     /// `EvalFinished`), `None` before the first completion.
     pub best_value: Option<f64>,
+    /// Best *feasible* objective value (max over `FeasibleIncumbent`),
+    /// `None` for unconstrained runs or before any feasible point.
+    pub best_feasible: Option<f64>,
 }
 
 impl SummaryData {
@@ -81,6 +90,11 @@ impl SummaryData {
             // Service-level events describe the multi-session manager,
             // not any single run; they stay out of per-run summaries.
             Event::SessionEvicted { .. } | Event::SessionRehydrated { .. } => {}
+            Event::SpecViolated { .. } => self.spec_violations += 1,
+            Event::FeasibleIncumbent { value, .. } => {
+                self.feasible_incumbents += 1;
+                self.best_feasible = Some(self.best_feasible.map_or(*value, |b| b.max(*value)));
+            }
             Event::SpanStart { .. } => self.spans += 1,
             Event::SpanEnd { .. } => {}
         }
@@ -147,6 +161,11 @@ pub struct RunReport {
     /// work served by rank-1 updates instead of full refactorizes
     /// (`None` without metrics or before any factor work).
     pub incremental_update_share: Option<f64>,
+    /// `feasible_points / (feasible_points + infeasible_points)` from
+    /// the metrics counters — the fraction of completed evaluations
+    /// that satisfied every spec (`None` for unconstrained runs or
+    /// without metrics).
+    pub feasible_fraction: Option<f64>,
 }
 
 impl RunReport {
@@ -207,6 +226,12 @@ impl RunReport {
             (Some(up), Some(full)) if up + full > 0 => Some(up as f64 / (up + full) as f64),
             _ => None,
         };
+        let feasible_fraction = match (counter("feasible_points"), counter("infeasible_points")) {
+            (Some(feas), Some(infeas)) if feas + infeas > 0 => {
+                Some(feas as f64 / (feas + infeas) as f64)
+            }
+            _ => None,
+        };
         RunReport {
             makespan,
             workers,
@@ -224,6 +249,7 @@ impl RunReport {
             gp_factorizations,
             cholesky_jitter_bumps,
             incremental_update_share,
+            feasible_fraction,
         }
     }
 }
@@ -294,6 +320,20 @@ impl fmt::Display for RunReport {
                                 .unwrap_or_default()
                         )?;
                     }
+                }
+                if s.spec_violations + s.feasible_incumbents > 0 {
+                    writeln!(
+                        f,
+                        "  spec violations {}  feasible incumbents {}{}{}",
+                        s.spec_violations,
+                        s.feasible_incumbents,
+                        s.best_feasible
+                            .map(|v| format!("  best feasible {v:.4}"))
+                            .unwrap_or_default(),
+                        self.feasible_fraction
+                            .map(|v| format!("  ({:.1}% feasible)", 100.0 * v))
+                            .unwrap_or_default()
+                    )?;
                 }
                 if s.evals_failed + s.evals_retried + s.worker_crashes > 0 {
                     writeln!(

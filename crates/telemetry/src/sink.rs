@@ -143,6 +143,12 @@ pub fn to_json_line(ev: &TimedEvent) -> String {
         Event::SessionRehydrated { session, inflight } => {
             let _ = write!(s, ",\"session\":{session},\"inflight\":{inflight}");
         }
+        Event::SpecViolated { task, spec, slack } => {
+            let _ = write!(s, ",\"task\":{task},\"spec\":\"{spec}\",\"slack\":{slack}");
+        }
+        Event::FeasibleIncumbent { task, value } => {
+            let _ = write!(s, ",\"task\":{task},\"value\":{value}");
+        }
         Event::SpanStart { id, parent, name } => {
             let _ = write!(s, ",\"id\":{id},\"parent\":{parent},\"name\":\"{name}\"");
         }

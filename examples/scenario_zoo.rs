@@ -1,0 +1,80 @@
+//! The constrained sizing scenario zoo: parameter-linked, spec-driven,
+//! multi-corner briefs run end-to-end through asynchronous EasyBO.
+//!
+//! Two scenarios from the zoo:
+//!
+//! * **matched op-amp** — the symmetric pairs of the two-stage Miller
+//!   op-amp are *equality-linked* (`w1b = w1a`, …), so the optimizer
+//!   searches 10 dimensions instead of 14 and matching holds exactly;
+//!   gain and phase-margin specs gate feasibility.
+//! * **multi-corner LDO** — every candidate sizing is re-simulated at
+//!   the `tt/ss/ff` PVT corners through the executor fan-out, and the
+//!   specs must hold at the *worst* corner.
+//!
+//! ```sh
+//! cargo run --release -p easybo-integration --example scenario_zoo
+//! ```
+
+use easybo_scenario::{zoo, Scenario};
+use easybo_telemetry::{Event, Telemetry};
+
+fn run(scenario: &Scenario, evals: usize, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "=== {} ===\n  raw params: {}  searched: {}  corners: {:?}  specs: {:?}",
+        scenario.name(),
+        scenario.space().raw_dim(),
+        scenario.space().reduced_dim(),
+        scenario
+            .corners()
+            .iter()
+            .map(|c| c.name)
+            .collect::<Vec<_>>(),
+        scenario
+            .specs()
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>(),
+    );
+
+    let (telemetry, recorder) = Telemetry::recording();
+    let mut opt = scenario.optimizer();
+    opt.batch_size(4)
+        .initial_points(16)
+        .max_evals(evals)
+        .seed(seed)
+        .telemetry(telemetry);
+    let outcome = scenario.run_with(&opt)?;
+
+    println!(
+        "  best feasible worst-corner FOM: {:.3}",
+        outcome.result.best_value
+    );
+    for (corner, fom) in &outcome.corner_foms {
+        println!("    fom@{corner}: {fom:.3}");
+    }
+    for (spec, slack) in scenario.specs().iter().zip(&outcome.best_slacks) {
+        println!("    {}: worst-corner slack {:+.3}", spec.name(), slack);
+        assert!(*slack >= 0.0, "incumbent must satisfy every spec");
+    }
+    for (name, value) in scenario.space().names().iter().zip(&outcome.best_full) {
+        println!("    {name:>8} = {value:.4e}");
+    }
+
+    let events = recorder.events();
+    let violations = events
+        .iter()
+        .filter(|e| matches!(e.event, Event::SpecViolated { .. }))
+        .count();
+    let incumbents = events
+        .iter()
+        .filter(|e| matches!(e.event, Event::FeasibleIncumbent { .. }))
+        .count();
+    println!("  telemetry: {violations} spec violations, {incumbents} feasible incumbents\n");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(&zoo::matched_opamp(), 60, 17)?;
+    run(&zoo::multicorner_ldo(), 60, 21)?;
+    Ok(())
+}

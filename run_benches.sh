@@ -18,3 +18,4 @@ cargo bench -p easybo-bench --bench faults
 cargo bench -p easybo-bench --bench checkpoint
 cargo bench -p easybo-bench --bench spans
 cargo bench -p easybo-bench --bench service
+cargo bench -p easybo-bench --bench scenario
